@@ -1,0 +1,5 @@
+//! Bench target regenerating the ablation_bypass table.
+
+fn main() {
+    smt_bench::run_figure("ablation_bypass", smt_experiments::figures::ablation_bypass);
+}

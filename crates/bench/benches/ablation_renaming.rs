@@ -1,0 +1,5 @@
+//! Bench target regenerating the ablation_renaming table.
+
+fn main() {
+    smt_bench::run_figure("ablation_renaming", smt_experiments::figures::ablation_renaming);
+}

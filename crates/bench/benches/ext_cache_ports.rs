@@ -1,0 +1,5 @@
+//! Bench target regenerating the ext_cache_ports table.
+
+fn main() {
+    smt_bench::run_figure("ext_cache_ports", smt_experiments::figures::ext_cache_ports);
+}

@@ -1,0 +1,5 @@
+//! Bench target regenerating the ext_fetch_alignment table.
+
+fn main() {
+    smt_bench::run_figure("ext_fetch_alignment", smt_experiments::figures::ext_fetch_alignment);
+}

@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the simulator itself: simulated cycles per
+//! wall-clock second on representative workloads and configurations.
+//!
+//! These measure the *tool*, not the paper's results — regressions here
+//! make the experiment harness slower without changing any figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smt_core::{FetchPolicy, SimConfig, Simulator};
+use smt_workloads::{workload, Scale, WorkloadKind};
+
+fn bench_workload_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    for kind in [WorkloadKind::Matrix, WorkloadKind::Ll7, WorkloadKind::Sieve] {
+        let w = workload(kind, Scale::Test);
+        let program = w.build(4).expect("kernel fits");
+        // Measure throughput in simulated cycles.
+        let cycles = {
+            let mut sim = Simulator::new(SimConfig::default(), &program);
+            sim.run().expect("runs").cycles
+        };
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(BenchmarkId::new("4thr", w.name()), &program, |b, p| {
+            b.iter(|| {
+                let mut sim = Simulator::new(SimConfig::default(), p);
+                sim.run().expect("runs").cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fetch_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fetch_policy_overhead");
+    let w = workload(WorkloadKind::Ll1, Scale::Test);
+    let program = w.build(4).expect("kernel fits");
+    for policy in [
+        FetchPolicy::TrueRoundRobin,
+        FetchPolicy::MaskedRoundRobin,
+        FetchPolicy::ConditionalSwitch,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        SimConfig::default().with_fetch_policy(policy),
+                        &program,
+                    );
+                    sim.run().expect("runs").cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let w = workload(WorkloadKind::Matrix, Scale::Test);
+    let program = w.build(4).expect("kernel fits");
+    c.bench_function("functional_interpreter/matrix", |b| {
+        b.iter(|| {
+            let mut interp = smt_isa::interp::Interp::new(&program, 4);
+            interp.run().expect("runs").steps
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_workload_simulation, bench_fetch_policies, bench_interpreter
+}
+criterion_main!(benches);

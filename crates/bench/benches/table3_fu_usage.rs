@@ -1,0 +1,5 @@
+//! Bench target regenerating the paper's table3_fu_usage.
+
+fn main() {
+    smt_bench::run_figure("table3_fu_usage", smt_experiments::figures::table3_fu_usage);
+}

@@ -1,0 +1,56 @@
+//! Bench-harness support: one `cargo bench` target per paper table/figure.
+//!
+//! Each target regenerates its table and prints it with wall-clock timing.
+//! By default the *test*-scale inputs are used so `cargo bench --workspace`
+//! stays fast; set `SMT_BENCH_SCALE=paper` to regenerate the evaluation at
+//! full scale (as the `report` binary does).
+//!
+//! ```text
+//! cargo bench -p smt-bench --bench fig05_threads_group1
+//! SMT_BENCH_SCALE=paper cargo bench -p smt-bench --bench table2_hit_rates
+//! ```
+
+use std::time::Instant;
+
+use smt_experiments::runner::Runner;
+use smt_experiments::Table;
+use smt_workloads::Scale;
+
+/// Scale selected by the `SMT_BENCH_SCALE` environment variable
+/// (`paper` → [`Scale::Paper`], anything else/unset → [`Scale::Test`]).
+#[must_use]
+pub fn scale_from_env() -> Scale {
+    match std::env::var("SMT_BENCH_SCALE").as_deref() {
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Test,
+    }
+}
+
+/// Runs one figure generator and prints its table with timing — the body of
+/// every per-figure bench target.
+pub fn run_figure(name: &str, generator: fn(&mut Runner) -> Table) {
+    let scale = scale_from_env();
+    let mut runner = Runner::new(scale);
+    let start = Instant::now();
+    let table = generator(&mut runner);
+    let elapsed = start.elapsed();
+    println!("{table}");
+    println!(
+        "[{name}] regenerated at {scale:?} scale in {:.2}s ({} verified simulations)\n",
+        elapsed.as_secs_f64(),
+        runner.runs()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_test() {
+        // The env var is unset in the test environment.
+        if std::env::var("SMT_BENCH_SCALE").is_err() {
+            assert_eq!(scale_from_env(), Scale::Test);
+        }
+    }
+}

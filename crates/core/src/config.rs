@@ -1,0 +1,387 @@
+//! Simulator configuration — the knobs of the paper's Table 2.
+
+use std::fmt;
+
+use smt_isa::MAX_THREADS;
+use smt_mem::{CacheConfig, CacheKind};
+use smt_uarch::FuConfig;
+
+/// How the instruction unit chooses which thread fetches each cycle
+/// (Section 5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FetchPolicy {
+    /// One fetch slot per thread in strict cyclic order, advanced every
+    /// cycle "irrespective of the state of execution of the threads" —
+    /// a waiting thread's slot is simply wasted. The default, and the
+    /// paper's recommendation ("the easiest to implement").
+    #[default]
+    TrueRoundRobin,
+    /// Round robin, but a thread is masked out while it fails to commit
+    /// results from the lower-most reorder-buffer block.
+    MaskedRoundRobin,
+    /// Keep fetching the same thread until the decoder sees a long-latency
+    /// trigger (integer divide, FP multiply/divide, or a synchronization
+    /// primitive), then switch.
+    ConditionalSwitch,
+}
+
+impl fmt::Display for FetchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FetchPolicy::TrueRoundRobin => "True Round Robin",
+            FetchPolicy::MaskedRoundRobin => "Masked Round Robin",
+            FetchPolicy::ConditionalSwitch => "Conditional Switch",
+        })
+    }
+}
+
+/// Which reorder-buffer blocks may commit results (Section 3.5, Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CommitPolicy {
+    /// Flexible Result Commit: the bottom four blocks are examined and the
+    /// lowest eligible block (ready, and with no older block of the same
+    /// thread below it) commits. The paper's default.
+    #[default]
+    Flexible,
+    /// Only the lower-most block may commit (the single-threaded baseline
+    /// behaviour).
+    LowestOnly,
+}
+
+impl fmt::Display for CommitPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CommitPolicy::Flexible => "Flexible (bottom four blocks)",
+            CommitPolicy::LowestOnly => "Lower-most block only",
+        })
+    }
+}
+
+/// How the decoder tracks dependences (Table 2's "Register Renaming" row).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RenamingMode {
+    /// Full renaming through globally unique tags (the paper's design).
+    #[default]
+    Full,
+    /// Scoreboarding ablation: no renaming — the decoder stalls an
+    /// instruction until every pending producer of its source registers has
+    /// written back.
+    Scoreboard,
+}
+
+impl fmt::Display for RenamingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RenamingMode::Full => "full renaming",
+            RenamingMode::Scoreboard => "scoreboarding",
+        })
+    }
+}
+
+/// Reconstructed default parameters (see DESIGN.md for provenance).
+pub mod defaults {
+    /// Default number of resident threads.
+    pub const THREADS: usize = 4;
+    /// Instructions fetched per cycle (one block).
+    pub const FETCH_WIDTH: usize = 4;
+    /// Scheduling-unit depth in entries (8 blocks of 4).
+    pub const SU_DEPTH: usize = 32;
+    /// Instructions per reorder-buffer block.
+    pub const BLOCK_SIZE: usize = 4;
+    /// Maximum instructions issued to functional units per cycle.
+    pub const ISSUE_WIDTH: usize = 8;
+    /// Maximum results written back to the scheduling unit per cycle.
+    pub const WRITEBACK_WIDTH: usize = 8;
+    /// Blocks examined by Flexible Result Commit.
+    pub const COMMIT_WINDOW_BLOCKS: usize = 4;
+    /// Store-buffer entries.
+    pub const STORE_BUFFER: usize = 8;
+    /// Branch-target-buffer entries.
+    pub const BTB_ENTRIES: usize = 512;
+    /// Watchdog: a run exceeding this many cycles is reported as hung.
+    pub const MAX_CYCLES: u64 = 200_000_000;
+}
+
+/// Full hardware configuration of a simulation run.
+///
+/// Construct with [`SimConfig::default`] (the paper's Table 2 defaults) and
+/// adjust with the `with_*` methods:
+///
+/// ```
+/// use smt_core::{FetchPolicy, SimConfig};
+///
+/// let cfg = SimConfig::default()
+///     .with_threads(2)
+///     .with_fetch_policy(FetchPolicy::ConditionalSwitch)
+///     .with_su_depth(48);
+/// assert_eq!(cfg.threads, 2);
+/// cfg.validate().expect("consistent configuration");
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimConfig {
+    /// Number of simultaneously resident threads (1–6).
+    pub threads: usize,
+    /// Fetch policy.
+    pub fetch_policy: FetchPolicy,
+    /// Commit policy.
+    pub commit_policy: CommitPolicy,
+    /// Dependence-tracking mode.
+    pub renaming: RenamingMode,
+    /// Result bypassing: a result written back in cycle *c* may wake a
+    /// dependant that issues in cycle *c* (Table 2's "Bypassing of results").
+    pub bypass: bool,
+    /// Fetch blocks are aligned to `block_size` boundaries: entering a block
+    /// mid-way wastes the leading slots. This is the stricter reading of the
+    /// SDSP's "block of four contiguous instructions" and the machine model
+    /// under which the paper's Section 6 suggestion — align branch targets
+    /// to block starts — pays off. Default `false` (fetch starts anywhere).
+    pub aligned_fetch: bool,
+    /// Scheduling-unit depth in entries (a multiple of `block_size`).
+    pub su_depth: usize,
+    /// Instructions per block (fetch width and commit granule).
+    pub block_size: usize,
+    /// Issue width (instructions per cycle).
+    pub issue_width: usize,
+    /// Writeback width (results per cycle).
+    pub writeback_width: usize,
+    /// Blocks examined by the flexible commit mux.
+    pub commit_window_blocks: usize,
+    /// Functional-unit complement.
+    pub fu: FuConfig,
+    /// Data-cache organization.
+    pub cache_kind: CacheKind,
+    /// Data-cache geometry and timing.
+    pub cache: CacheConfig,
+    /// Store-buffer capacity.
+    pub store_buffer: usize,
+    /// BTB entries.
+    pub btb_entries: usize,
+    /// Watchdog limit in cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            threads: defaults::THREADS,
+            fetch_policy: FetchPolicy::default(),
+            commit_policy: CommitPolicy::default(),
+            renaming: RenamingMode::default(),
+            bypass: true,
+            aligned_fetch: false,
+            su_depth: defaults::SU_DEPTH,
+            block_size: defaults::BLOCK_SIZE,
+            issue_width: defaults::ISSUE_WIDTH,
+            writeback_width: defaults::WRITEBACK_WIDTH,
+            commit_window_blocks: defaults::COMMIT_WINDOW_BLOCKS,
+            fu: FuConfig::paper_default(),
+            cache_kind: CacheKind::SetAssociative,
+            cache: CacheConfig::paper(CacheKind::SetAssociative),
+            store_buffer: defaults::STORE_BUFFER,
+            btb_entries: defaults::BTB_ENTRIES,
+            max_cycles: defaults::MAX_CYCLES,
+        }
+    }
+}
+
+/// Error from [`SimConfig::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SimConfig {
+    /// Sets the thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the fetch policy.
+    #[must_use]
+    pub fn with_fetch_policy(mut self, policy: FetchPolicy) -> Self {
+        self.fetch_policy = policy;
+        self
+    }
+
+    /// Sets the commit policy.
+    #[must_use]
+    pub fn with_commit_policy(mut self, policy: CommitPolicy) -> Self {
+        self.commit_policy = policy;
+        self
+    }
+
+    /// Sets the dependence-tracking mode.
+    #[must_use]
+    pub fn with_renaming(mut self, renaming: RenamingMode) -> Self {
+        self.renaming = renaming;
+        self
+    }
+
+    /// Enables or disables result bypassing.
+    #[must_use]
+    pub fn with_bypass(mut self, bypass: bool) -> Self {
+        self.bypass = bypass;
+        self
+    }
+
+    /// Selects aligned or free fetch-block placement.
+    #[must_use]
+    pub fn with_aligned_fetch(mut self, aligned: bool) -> Self {
+        self.aligned_fetch = aligned;
+        self
+    }
+
+    /// Sets the scheduling-unit depth in entries.
+    #[must_use]
+    pub fn with_su_depth(mut self, entries: usize) -> Self {
+        self.su_depth = entries;
+        self
+    }
+
+    /// Sets the functional-unit complement.
+    #[must_use]
+    pub fn with_fu(mut self, fu: FuConfig) -> Self {
+        self.fu = fu;
+        self
+    }
+
+    /// Selects the cache organization (geometry follows the paper's 8 KB).
+    #[must_use]
+    pub fn with_cache_kind(mut self, kind: CacheKind) -> Self {
+        self.cache_kind = kind;
+        self.cache = CacheConfig::paper(kind);
+        self
+    }
+
+    /// Overrides the cache geometry/timing directly.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the store-buffer capacity.
+    #[must_use]
+    pub fn with_store_buffer(mut self, entries: usize) -> Self {
+        self.store_buffer = entries;
+        self
+    }
+
+    /// Sets the watchdog limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Number of blocks the scheduling unit holds.
+    #[must_use]
+    pub fn su_blocks(&self) -> usize {
+        self.su_depth / self.block_size
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 || self.threads > MAX_THREADS {
+            return Err(ConfigError(format!(
+                "threads must be 1..={MAX_THREADS}, got {}",
+                self.threads
+            )));
+        }
+        if self.block_size == 0 {
+            return Err(ConfigError("block_size must be positive".into()));
+        }
+        if self.su_depth == 0 || !self.su_depth.is_multiple_of(self.block_size) {
+            return Err(ConfigError(format!(
+                "su_depth {} must be a positive multiple of block_size {}",
+                self.su_depth, self.block_size
+            )));
+        }
+        if self.issue_width == 0 || self.writeback_width == 0 {
+            return Err(ConfigError("issue and writeback widths must be positive".into()));
+        }
+        if self.commit_window_blocks == 0 {
+            return Err(ConfigError("commit window must examine at least one block".into()));
+        }
+        if self.store_buffer == 0 {
+            return Err(ConfigError("store buffer must have at least one entry".into()));
+        }
+        if !self.btb_entries.is_power_of_two() {
+            return Err(ConfigError(format!(
+                "btb_entries {} must be a power of two",
+                self.btb_entries
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.fetch_policy, FetchPolicy::TrueRoundRobin);
+        assert_eq!(cfg.commit_policy, CommitPolicy::Flexible);
+        assert_eq!(cfg.su_depth, 32);
+        assert_eq!(cfg.su_blocks(), 8);
+        assert_eq!(cfg.issue_width, 8);
+        assert_eq!(cfg.writeback_width, 8);
+        assert_eq!(cfg.store_buffer, 8);
+        assert!(cfg.bypass);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = SimConfig::default()
+            .with_threads(6)
+            .with_commit_policy(CommitPolicy::LowestOnly)
+            .with_su_depth(64)
+            .with_bypass(false);
+        assert_eq!(cfg.threads, 6);
+        assert_eq!(cfg.su_blocks(), 16);
+        assert!(!cfg.bypass);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_kind_switches_geometry() {
+        let cfg = SimConfig::default().with_cache_kind(CacheKind::DirectMapped);
+        assert_eq!(cfg.cache.ways, 1);
+        assert_eq!(cfg.cache.size_bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        assert!(SimConfig::default().with_threads(0).validate().is_err());
+        assert!(SimConfig::default().with_threads(7).validate().is_err());
+        assert!(SimConfig::default().with_su_depth(30).validate().is_err());
+        assert!(SimConfig::default().with_store_buffer(0).validate().is_err());
+        let mut cfg = SimConfig::default();
+        cfg.btb_entries = 300;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(FetchPolicy::TrueRoundRobin.to_string(), "True Round Robin");
+        assert_eq!(CommitPolicy::LowestOnly.to_string(), "Lower-most block only");
+        assert_eq!(RenamingMode::Scoreboard.to_string(), "scoreboarding");
+    }
+}

@@ -1,0 +1,94 @@
+//! Simulation errors.
+
+use std::fmt;
+
+use smt_mem::MemError;
+
+use crate::config::ConfigError;
+
+/// Fatal error raised by the cycle simulator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The program is incompatible with the configuration (e.g. uses more
+    /// registers than the thread partition provides).
+    Program(String),
+    /// The run exceeded the watchdog cycle limit — a deadlocked or runaway
+    /// program.
+    Watchdog {
+        /// Configured limit that was hit.
+        cycles: u64,
+    },
+    /// A non-speculative memory access faulted (or a speculative fault
+    /// survived to commit).
+    Mem {
+        /// The underlying fault.
+        err: MemError,
+        /// Faulting thread.
+        tid: usize,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Program(msg) => write!(f, "program incompatible: {msg}"),
+            SimError::Watchdog { cycles } => {
+                write!(f, "watchdog: run exceeded {cycles} cycles (deadlock or runaway program)")
+            }
+            SimError::Mem { err, tid, pc } => {
+                write!(f, "thread {tid} at pc {pc}: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Mem { err, .. } => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Watchdog { cycles: 10 };
+        assert!(e.to_string().contains("10 cycles"));
+        let e = SimError::Mem {
+            err: MemError::Unaligned { addr: 3 },
+            tid: 1,
+            pc: 7,
+        };
+        assert!(e.to_string().contains("thread 1"));
+        assert!(e.to_string().contains("0x3"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let e = SimError::Mem {
+            err: MemError::Unaligned { addr: 3 },
+            tid: 0,
+            pc: 0,
+        };
+        assert!(e.source().is_some());
+        assert!(SimError::Watchdog { cycles: 1 }.source().is_none());
+    }
+}

@@ -1,0 +1,479 @@
+//! The instruction unit: per-thread program counters and the three fetch
+//! policies of Section 5.1.
+//!
+//! One thread fetches one aligned-to-itself block of up to four contiguous
+//! instructions per cycle ("Instructions fetched in one cycle all belong to
+//! the same thread, but fetching in different cycles is done from different
+//! streams"). The unit consults the shared branch predictor so a
+//! predicted-taken control transfer ends the block and redirects the
+//! thread's PC speculatively.
+
+use smt_isa::{Instruction, Opcode, Program};
+use smt_uarch::{BranchPredictor, Tag};
+
+use crate::config::FetchPolicy;
+
+/// One fetched instruction with its fetch-time prediction.
+#[derive(Clone, Copy, Debug)]
+pub struct FetchedInsn {
+    /// Instruction index.
+    pub pc: usize,
+    /// The instruction.
+    pub insn: Instruction,
+    /// Fetch-time prediction: taken?
+    pub predicted_taken: bool,
+    /// Fetch-time predicted target (valid when `predicted_taken`).
+    pub predicted_target: usize,
+}
+
+/// A block fetched in one cycle, owned by a single thread.
+#[derive(Clone, Debug)]
+pub struct FetchedBlock {
+    /// Owning thread.
+    pub tid: usize,
+    /// 1..=block_size instructions.
+    pub insns: Vec<FetchedInsn>,
+}
+
+#[derive(Clone, Debug)]
+struct ThreadState {
+    pc: usize,
+    /// A `halt` was fetched: stop fetching until squash-redirect or retire.
+    fetch_halted: bool,
+    /// A decoded `wait` suspends fetch until the tag writes back.
+    suspended_on: Option<Tag>,
+    /// PC to resume at when the suspension lifts.
+    resume_pc: usize,
+    /// The thread's `halt` has committed.
+    retired: bool,
+    /// Masked Round Robin: excluded while true.
+    masked: bool,
+    /// Conditional Switch: the decoder saw a trigger instruction.
+    switch_pending: bool,
+}
+
+/// The multithreaded instruction unit.
+#[derive(Clone, Debug)]
+pub struct InstructionUnit {
+    threads: Vec<ThreadState>,
+    policy: FetchPolicy,
+    width: usize,
+    /// Fetch blocks start at multiples of `width` (Section 6 model).
+    aligned: bool,
+    /// True Round Robin position ("a modulo N binary counter").
+    rr: usize,
+    /// Conditional Switch active thread.
+    active: usize,
+}
+
+impl InstructionUnit {
+    /// Creates the unit with all threads at `entry`, with free block
+    /// placement.
+    #[must_use]
+    pub fn new(n_threads: usize, policy: FetchPolicy, entry: usize, width: usize) -> Self {
+        Self::with_alignment(n_threads, policy, entry, width, false)
+    }
+
+    /// Creates the unit, choosing aligned or free fetch-block placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligned` is requested with a non-power-of-two width.
+    #[must_use]
+    pub fn with_alignment(
+        n_threads: usize,
+        policy: FetchPolicy,
+        entry: usize,
+        width: usize,
+        aligned: bool,
+    ) -> Self {
+        assert!(
+            !aligned || width.is_power_of_two(),
+            "aligned fetch needs a power-of-two block size"
+        );
+        InstructionUnit {
+            threads: (0..n_threads)
+                .map(|_| ThreadState {
+                    pc: entry,
+                    fetch_halted: false,
+                    suspended_on: None,
+                    resume_pc: entry,
+                    retired: false,
+                    masked: false,
+                    switch_pending: false,
+                })
+                .collect(),
+            policy,
+            width,
+            aligned,
+            rr: 0,
+            active: 0,
+        }
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether the thread still participates in fetch rotation at all.
+    fn in_rotation(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        !t.retired && !t.fetch_halted
+    }
+
+    /// Whether the thread could actually fetch this cycle.
+    fn fetchable(&self, tid: usize) -> bool {
+        self.in_rotation(tid) && self.threads[tid].suspended_on.is_none()
+    }
+
+    /// Selects the thread that owns this cycle's fetch slot, advancing the
+    /// policy state. Returns `None` when the slot is wasted (True Round
+    /// Robin grants a slot to a waiting thread) or no thread can fetch.
+    pub fn select(&mut self) -> Option<usize> {
+        let n = self.threads.len();
+        match self.policy {
+            FetchPolicy::TrueRoundRobin => {
+                // Rotate over threads still in the rotation; a suspended
+                // thread consumes (wastes) its slot, per the paper: the
+                // counter advances "irrespective of the state of execution".
+                for step in 0..n {
+                    let tid = (self.rr + step) % n;
+                    if self.in_rotation(tid) {
+                        self.rr = (tid + 1) % n;
+                        return self.fetchable(tid).then_some(tid);
+                    }
+                }
+                None
+            }
+            FetchPolicy::MaskedRoundRobin => {
+                // Skip masked and waiting threads instead of wasting slots.
+                for step in 0..n {
+                    let tid = (self.rr + step) % n;
+                    if self.fetchable(tid) && !self.threads[tid].masked {
+                        self.rr = (tid + 1) % n;
+                        return Some(tid);
+                    }
+                }
+                None
+            }
+            FetchPolicy::ConditionalSwitch => {
+                let must_switch =
+                    self.threads[self.active].switch_pending || !self.fetchable(self.active);
+                if must_switch {
+                    for step in 1..=n {
+                        let tid = (self.active + step) % n;
+                        if self.fetchable(tid) {
+                            self.threads[self.active].switch_pending = false;
+                            self.active = tid;
+                            return Some(tid);
+                        }
+                    }
+                    // Nowhere to switch; stay if the active thread can fetch.
+                    self.threads[self.active].switch_pending = false;
+                    self.fetchable(self.active).then_some(self.active)
+                } else {
+                    Some(self.active)
+                }
+            }
+        }
+    }
+
+    /// Fetches a block for `tid`, consulting `predictor` for control
+    /// transfers and advancing the thread's speculative PC. Returns `None`
+    /// if the PC has run off the text segment (wrong-path overrun — a squash
+    /// will redirect).
+    pub fn fetch_block(
+        &mut self,
+        tid: usize,
+        program: &Program,
+        predictor: &mut BranchPredictor,
+    ) -> Option<FetchedBlock> {
+        debug_assert!(self.fetchable(tid), "fetching for an unfetchable thread");
+        let mut pc = self.threads[tid].pc;
+        let mut insns = Vec::with_capacity(self.width);
+        // Aligned mode: the block spans [start, start + width); entering it
+        // mid-way forfeits the leading slots.
+        let block_end = if self.aligned {
+            (pc & !(self.width - 1)) + self.width
+        } else {
+            pc + self.width
+        };
+        while pc < block_end {
+            let Some(&insn) = program.fetch(pc) else { break };
+            let mut fetched = FetchedInsn {
+                pc,
+                insn,
+                predicted_taken: false,
+                predicted_target: 0,
+            };
+            match insn.op {
+                Opcode::Halt => {
+                    insns.push(fetched);
+                    self.threads[tid].fetch_halted = true;
+                    pc += 1;
+                    break;
+                }
+                op if op.is_control() => {
+                    let p = predictor.predict(pc);
+                    fetched.predicted_taken = p.taken;
+                    fetched.predicted_target = p.target;
+                    insns.push(fetched);
+                    if p.taken {
+                        pc = p.target;
+                        break;
+                    }
+                    pc += 1;
+                }
+                _ => {
+                    insns.push(fetched);
+                    pc += 1;
+                }
+            }
+        }
+        self.threads[tid].pc = pc;
+        if insns.is_empty() {
+            None
+        } else {
+            Some(FetchedBlock { tid, insns })
+        }
+    }
+
+    /// Squash recovery: redirect the thread to `pc` and clear speculative
+    /// fetch state (halt seen on the wrong path, wrong-path suspension).
+    pub fn redirect(&mut self, tid: usize, pc: usize) {
+        let t = &mut self.threads[tid];
+        t.pc = pc;
+        t.fetch_halted = false;
+        t.suspended_on = None;
+    }
+
+    /// Decode-time PC fix (unconditional jump resolved at decode). Keeps
+    /// halt/suspension state untouched.
+    pub fn set_pc(&mut self, tid: usize, pc: usize) {
+        self.threads[tid].pc = pc;
+    }
+
+    /// Suspends fetch for `tid` until `tag` (a decoded `WAIT`) writes back;
+    /// fetch will resume at `resume_pc`.
+    pub fn suspend(&mut self, tid: usize, tag: Tag, resume_pc: usize) {
+        let t = &mut self.threads[tid];
+        t.suspended_on = Some(tag);
+        t.resume_pc = resume_pc;
+    }
+
+    /// Lifts a suspension waiting on `tag`, if any. Call on `WAIT`
+    /// writeback.
+    pub fn resume_if(&mut self, tid: usize, tag: Tag) {
+        let t = &mut self.threads[tid];
+        if t.suspended_on == Some(tag) {
+            t.suspended_on = None;
+            t.pc = t.resume_pc;
+        }
+    }
+
+    /// Clears the fetched-a-halt flag. The decoder calls this when it
+    /// discards a `halt` that fetch ran into on a fall-through path the
+    /// program never takes (e.g. the instruction after an unconditional
+    /// jump) — the thread must keep fetching from the corrected PC.
+    pub fn clear_fetch_halted(&mut self, tid: usize) {
+        self.threads[tid].fetch_halted = false;
+    }
+
+    /// Marks the thread's `halt` as committed: it leaves the rotation for
+    /// good.
+    pub fn retire(&mut self, tid: usize) {
+        self.threads[tid].retired = true;
+    }
+
+    /// Whether the thread has retired.
+    #[must_use]
+    pub fn is_retired(&self, tid: usize) -> bool {
+        self.threads[tid].retired
+    }
+
+    /// Whether every thread has retired.
+    #[must_use]
+    pub fn all_retired(&self) -> bool {
+        self.threads.iter().all(|t| t.retired)
+    }
+
+    /// Updates the Masked Round-Robin mask from the bottom reorder-buffer
+    /// block: the thread owning a commit-blocked bottom block is masked;
+    /// all other threads are unmasked.
+    pub fn update_mask(&mut self, bottom: Option<(usize, bool)>) {
+        for (tid, t) in self.threads.iter_mut().enumerate() {
+            t.masked = matches!(bottom, Some((btid, true)) if btid == tid);
+        }
+    }
+
+    /// Conditional Switch: the decoder saw a long-latency trigger in `tid`'s
+    /// stream.
+    pub fn signal_switch(&mut self, tid: usize) {
+        self.threads[tid].switch_pending = true;
+    }
+
+    /// Current speculative fetch PC of `tid` (for tests/debugging).
+    #[must_use]
+    pub fn pc(&self, tid: usize) -> usize {
+        self.threads[tid].pc
+    }
+
+    /// Whether fetch for `tid` is suspended on a `WAIT` (debugging).
+    #[must_use]
+    pub fn is_suspended(&self, tid: usize) -> bool {
+        self.threads[tid].suspended_on.is_some()
+    }
+
+    /// Whether `tid` has fetched its `halt` (debugging).
+    #[must_use]
+    pub fn is_fetch_halted(&self, tid: usize) -> bool {
+        self.threads[tid].fetch_halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::builder::ProgramBuilder;
+    use smt_isa::Reg;
+
+    fn straightline_program(n: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        let r = b.reg();
+        for _ in 0..n {
+            b.addi(r, r, 1);
+        }
+        b.halt();
+        b.build(4).unwrap()
+    }
+
+    fn unit(n: usize, policy: FetchPolicy) -> InstructionUnit {
+        InstructionUnit::new(n, policy, 0, 4)
+    }
+
+    #[test]
+    fn true_rr_rotates_through_all_threads() {
+        let mut iu = unit(3, FetchPolicy::TrueRoundRobin);
+        let order: Vec<_> = (0..6).map(|_| iu.select()).collect();
+        assert_eq!(
+            order,
+            vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]
+        );
+    }
+
+    #[test]
+    fn true_rr_wastes_slot_of_suspended_thread() {
+        let mut iu = unit(3, FetchPolicy::TrueRoundRobin);
+        let tag = smt_uarch::TagAllocator::new(4).alloc().unwrap();
+        iu.suspend(1, tag, 7);
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), None, "thread 1's slot is wasted");
+        assert_eq!(iu.select(), Some(2));
+        iu.resume_if(1, tag);
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), Some(1), "resumed thread fetches again");
+        assert_eq!(iu.pc(1), 7, "resumes at the stored pc");
+    }
+
+    #[test]
+    fn masked_rr_skips_masked_and_suspended_threads() {
+        let mut iu = unit(3, FetchPolicy::MaskedRoundRobin);
+        iu.update_mask(Some((1, true)));
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), Some(2), "masked thread skipped, not wasted");
+        iu.update_mask(Some((1, false)));
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), Some(1), "unmasked once the bottom block commits");
+    }
+
+    #[test]
+    fn cswitch_stays_until_triggered() {
+        let mut iu = unit(3, FetchPolicy::ConditionalSwitch);
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), Some(0));
+        iu.signal_switch(0);
+        assert_eq!(iu.select(), Some(1));
+        assert_eq!(iu.select(), Some(1));
+    }
+
+    #[test]
+    fn cswitch_switches_away_from_halted_thread() {
+        let mut iu = unit(2, FetchPolicy::ConditionalSwitch);
+        assert_eq!(iu.select(), Some(0));
+        iu.retire(0);
+        assert_eq!(iu.select(), Some(1));
+    }
+
+    #[test]
+    fn retired_threads_leave_the_rotation() {
+        let mut iu = unit(2, FetchPolicy::TrueRoundRobin);
+        iu.retire(0);
+        assert_eq!(iu.select(), Some(1));
+        assert_eq!(iu.select(), Some(1), "no slot wasted on the dead thread");
+        iu.retire(1);
+        assert_eq!(iu.select(), None);
+        assert!(iu.all_retired());
+    }
+
+    #[test]
+    fn fetch_block_stops_at_halt() {
+        let program = straightline_program(2); // addi, addi, halt
+        let mut iu = unit(1, FetchPolicy::TrueRoundRobin);
+        let mut pred = BranchPredictor::new(16);
+        let block = iu.fetch_block(0, &program, &mut pred).unwrap();
+        assert_eq!(block.insns.len(), 3);
+        assert_eq!(block.insns[2].insn.op, Opcode::Halt);
+        // Fetch is now halted: thread no longer selected.
+        assert_eq!(iu.select(), None);
+    }
+
+    #[test]
+    fn fetch_block_truncates_at_predicted_taken_branch() {
+        let mut b = ProgramBuilder::new();
+        let r = b.reg();
+        let top = b.named_label("top");
+        b.addi(r, r, 1);
+        b.addi(r, r, 1);
+        let zero = Reg::TID; // tid 0 == 0 in single-thread tests
+        b.beq(zero, zero, top);
+        b.halt();
+        let program = b.build(1).unwrap();
+
+        let mut iu = unit(1, FetchPolicy::TrueRoundRobin);
+        let mut pred = BranchPredictor::new(16);
+        // Cold predictor: block runs through the branch into the halt.
+        let block = iu.fetch_block(0, &program, &mut pred).unwrap();
+        assert_eq!(block.insns.len(), 4);
+        assert!(!block.insns[2].predicted_taken);
+
+        // Train the predictor: the branch (pc 2) is taken to 0.
+        pred.update(2, true, 0);
+        iu.redirect(0, 0);
+        let block = iu.fetch_block(0, &program, &mut pred).unwrap();
+        assert_eq!(block.insns.len(), 3, "block ends at the predicted-taken branch");
+        assert!(block.insns[2].predicted_taken);
+        assert_eq!(iu.pc(0), 0, "speculative pc follows the prediction");
+    }
+
+    #[test]
+    fn fetch_past_text_end_returns_none() {
+        let program = straightline_program(0); // just halt at pc 0
+        let mut iu = unit(1, FetchPolicy::TrueRoundRobin);
+        let mut pred = BranchPredictor::new(16);
+        iu.set_pc(0, 99);
+        assert!(iu.fetch_block(0, &program, &mut pred).is_none());
+    }
+
+    #[test]
+    fn redirect_clears_wrong_path_halt_and_suspension() {
+        let mut iu = unit(1, FetchPolicy::TrueRoundRobin);
+        let tag = smt_uarch::TagAllocator::new(4).alloc().unwrap();
+        iu.suspend(0, tag, 5);
+        assert_eq!(iu.select(), None);
+        iu.redirect(0, 2);
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.pc(0), 2);
+    }
+}

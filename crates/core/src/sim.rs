@@ -1,0 +1,1021 @@
+//! The cycle-accurate simultaneous-multithreading superscalar simulator.
+//!
+//! Pipeline stages run in reverse order within a cycle (commit → store drain
+//! → writeback → issue → decode → fetch), so each stage observes the
+//! previous cycle's downstream state, and a result written back in cycle *c*
+//! can wake a dependant issuing in cycle *c* (bypassing) while newly decoded
+//! instructions wait until *c + 1* to issue.
+//!
+//! See the crate docs for the architecture overview and DESIGN.md for the
+//! paper mapping.
+
+use smt_isa::semantics::{alu_result, branch_taken, effective_addr};
+use smt_isa::{window_size, FuClass, Opcode, Program, Reg};
+use smt_mem::{CacheStats, DataCache, MainMemory, Outcome, StoreBuffer};
+use smt_uarch::{BranchPredictor, FuPool, TagAllocator};
+
+use crate::config::{FetchPolicy, RenamingMode, SimConfig};
+use crate::error::SimError;
+use crate::fetch::{FetchedBlock, FetchedInsn, InstructionUnit};
+use crate::stats::{FuUsage, SimStats};
+use crate::su::{EntryState, Lookup, Operand, SchedulingUnit, SuEntry};
+
+/// The simulator. Owns all machine state for one run of one program.
+///
+/// ```
+/// use smt_core::{SimConfig, Simulator};
+/// use smt_isa::builder::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let r = b.reg();
+/// b.li(r, 41);
+/// b.addi(r, r, 1);
+/// b.halt();
+/// let program = b.build(2)?;
+///
+/// let mut sim = Simulator::new(SimConfig::default().with_threads(2), &program);
+/// let stats = sim.run()?;
+/// assert_eq!(sim.reg(0, r), 42);
+/// assert_eq!(sim.reg(1, r), 42);
+/// assert!(stats.cycles > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator<'p> {
+    config: SimConfig,
+    program: &'p Program,
+    cycle: u64,
+    su: SchedulingUnit,
+    iu: InstructionUnit,
+    predictor: BranchPredictor,
+    fu: FuPool,
+    tags: TagAllocator,
+    regfile: Vec<u64>,
+    window: usize,
+    mem: MainMemory,
+    cache: DataCache,
+    sb: StoreBuffer,
+    fetch_buffer: Option<FetchedBlock>,
+    stats: SimStats,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the program does not fit
+    /// the register partition; use [`Simulator::try_new`] for a fallible
+    /// variant.
+    #[must_use]
+    pub fn new(config: SimConfig, program: &'p Program) -> Self {
+        Self::try_new(config, program).expect("valid configuration and compatible program")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Config`] if the configuration fails validation,
+    /// * [`SimError::Program`] if the program names a register outside the
+    ///   per-thread window implied by the thread count.
+    pub fn try_new(config: SimConfig, program: &'p Program) -> Result<Self, SimError> {
+        config.validate()?;
+        let window = window_size(config.threads);
+        for (pc, insn) in program.text().iter().enumerate() {
+            let regs = [insn.dest(), insn.sources()[0], insn.sources()[1]];
+            for reg in regs.into_iter().flatten() {
+                if reg.index() >= window {
+                    return Err(SimError::Program(format!(
+                        "instruction at pc {pc} uses {reg}, outside the \
+                         {window}-register window of a {}-thread partition",
+                        config.threads
+                    )));
+                }
+            }
+        }
+        let mut regfile = vec![0u64; window * config.threads];
+        for tid in 0..config.threads {
+            regfile[tid * window] = tid as u64;
+            regfile[tid * window + 1] = config.threads as u64;
+        }
+        Ok(Simulator {
+            su: SchedulingUnit::new(config.su_blocks(), config.block_size),
+            iu: InstructionUnit::with_alignment(
+                config.threads,
+                config.fetch_policy,
+                program.entry(),
+                config.block_size,
+                config.aligned_fetch,
+            ),
+            predictor: BranchPredictor::new(config.btb_entries),
+            fu: FuPool::new(config.fu),
+            tags: TagAllocator::new(config.su_depth),
+            regfile,
+            window,
+            mem: MainMemory::from_image(program.data()),
+            cache: DataCache::new(config.cache),
+            sb: StoreBuffer::new(config.store_buffer),
+            fetch_buffer: None,
+            stats: SimStats {
+                committed: vec![0; config.threads],
+                issue_histogram: vec![0; config.issue_width + 1],
+                ..SimStats::default()
+            },
+            cycle: 0,
+            config,
+            program,
+        })
+    }
+
+    /// The configuration of this run.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the machine has fully drained (all threads retired, pipeline
+    /// and store buffer empty).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.iu.all_retired()
+            && self.su.is_empty()
+            && self.sb.is_empty()
+            && self.fetch_buffer.is_none()
+    }
+
+    /// Architectural register `r` of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` or `r` is out of range for the partition.
+    #[must_use]
+    pub fn reg(&self, tid: usize, r: Reg) -> u64 {
+        assert!(tid < self.config.threads, "thread {tid} out of range");
+        assert!(r.index() < self.window, "register {r} outside the window");
+        self.regfile[tid * self.window + r.index()]
+    }
+
+    /// The whole physical register file (thread windows concatenated) —
+    /// layout-compatible with [`smt_isa::interp::Interp::reg_file`].
+    #[must_use]
+    pub fn reg_file(&self) -> &[u64] {
+        &self.regfile
+    }
+
+    /// Architectural memory word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-bounds addresses.
+    #[must_use]
+    pub fn mem_word(&self, addr: u64) -> u64 {
+        self.mem.read(addr).expect("valid address")
+    }
+
+    /// Architectural data memory.
+    #[must_use]
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Statistics accumulated so far (fully populated after [`run`]).
+    ///
+    /// [`run`]: Self::run
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Watchdog`] if `max_cycles` elapse first (deadlock),
+    /// * [`SimError::Mem`] on a non-speculative memory fault.
+    pub fn run(&mut self) -> Result<SimStats, SimError> {
+        while !self.finished() {
+            if self.cycle >= self.config.max_cycles {
+                return Err(SimError::Watchdog { cycles: self.config.max_cycles });
+            }
+            self.step()?;
+        }
+        self.finalize_stats();
+        Ok(self.stats.clone())
+    }
+
+    /// Advances the machine one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run), minus the watchdog.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.commit_stage()?;
+        self.drain_store_stage()?;
+        self.writeback_stage()?;
+        self.issue_stage()?;
+        self.decode_stage();
+        self.fetch_stage();
+        self.stats.su_occupancy_sum += self.su.num_entries() as u64;
+        self.cycle += 1;
+        Ok(())
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.cache = *self.cache.stats();
+        self.stats.fu = FuUsage {
+            busy_cycles: FuClass::ALL
+                .iter()
+                .map(|&class| {
+                    let count = self.fu.config().class(class).count;
+                    (class, (0..count).map(|i| self.fu.busy_cycles(class, i)).collect())
+                })
+                .collect(),
+        };
+    }
+
+    // ---- commit -------------------------------------------------------------
+
+    fn commit_stage(&mut self) -> Result<(), SimError> {
+        if let Some(i) = self
+            .su
+            .find_committable(self.config.commit_policy, self.config.commit_window_blocks)
+        {
+            if self.buffer_block_stores(i) {
+                let block = self.su.remove_block(i);
+                for e in block.entries {
+                    if let Some(err) = e.fault {
+                        return Err(SimError::Mem { err, tid: e.tid, pc: e.pc });
+                    }
+                    if let Some(rd) = e.insn.dest() {
+                        self.regfile[e.tid * self.window + rd.index()] = e.result;
+                    }
+                    let mut architectural = true;
+                    match e.insn.op {
+                        op if op.is_cond_branch() => {
+                            // Predictor history updates when the instruction
+                            // is shifted out, per the paper.
+                            self.predictor.update(e.pc, e.taken, e.target);
+                        }
+                        Opcode::J => self.predictor.update(e.pc, true, e.target),
+                        Opcode::Halt => self.iu.retire(e.tid),
+                        Opcode::Wait if !e.sync_satisfied => {
+                            // Spin retirement: discard the failed poll and
+                            // refetch the WAIT, like a software spin loop.
+                            self.iu.redirect(e.tid, e.pc);
+                            self.stats.wait_spin_cycles += 1;
+                            architectural = false;
+                        }
+                        _ => {}
+                    }
+                    if architectural {
+                        self.stats.committed[e.tid] += 1;
+                    }
+                    self.tags.free(e.tag);
+                }
+            } else {
+                // The paper's restricted store policy: a committing store
+                // needs a store-buffer slot; a full buffer stalls commit.
+                self.stats.store_buffer_full_stalls += 1;
+            }
+        }
+        // Masked Round Robin: mask the thread whose bottom block cannot
+        // commit; harmless under the other policies.
+        self.iu.update_mask(self.su.bottom_block_status());
+        Ok(())
+    }
+
+    /// Pushes the committing block's stores into the store buffer (released
+    /// immediately: commit *is* the release point). Returns whether every
+    /// store made it; progress is guaranteed because the buffer drains one
+    /// entry per cycle regardless of pipeline state.
+    fn buffer_block_stores(&mut self, bi: usize) -> bool {
+        for ei in 0..self.su.block(bi).entries.len() {
+            let (tag, tid, addr, value) = {
+                let e = &self.su.block(bi).entries[ei];
+                if e.insn.op != Opcode::Sd || e.store_buffered || e.fault.is_some() {
+                    continue;
+                }
+                (e.tag, e.tid, e.mem_addr, e.result)
+            };
+            if self.sb.insert(tag.raw(), tid, addr, value).is_err() {
+                return false;
+            }
+            self.sb.release(tag.raw());
+            self.su.block_mut(bi).entries[ei].store_buffered = true;
+        }
+        true
+    }
+
+    // ---- store drain ----------------------------------------------------------
+
+    fn drain_store_stage(&mut self) -> Result<(), SimError> {
+        let Some(entry) = self.sb.peek_drainable() else { return Ok(()) };
+        match self.cache.access(entry.addr, self.cycle) {
+            Outcome::Blocked { .. } => Ok(()), // cache port busy; retry next cycle
+            _ => {
+                self.mem.write(entry.addr, entry.value).map_err(|err| SimError::Mem {
+                    err,
+                    tid: entry.tid,
+                    pc: 0,
+                })?;
+                self.sb.remove_id(entry.id);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- writeback --------------------------------------------------------------
+
+    /// Finds the next completion: the `Executing` entry with the earliest
+    /// `done_at <= now`, oldest position breaking ties.
+    fn next_completion(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (bi, block) in self.su.blocks().enumerate() {
+            for (ei, e) in block.entries.iter().enumerate() {
+                if let EntryState::Executing { done_at } = e.state {
+                    if done_at <= self.cycle && best.is_none_or(|(_, _, d)| done_at < d) {
+                        best = Some((bi, ei, done_at));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn writeback_stage(&mut self) -> Result<(), SimError> {
+        for _ in 0..self.config.writeback_width {
+            let Some((bi, ei, _)) = self.next_completion() else { break };
+            self.complete_entry(bi, ei)?;
+        }
+        Ok(())
+    }
+
+    fn complete_entry(&mut self, bi: usize, ei: usize) -> Result<(), SimError> {
+        let now = self.cycle;
+        let (tag, tid, pc, insn, result) = {
+            let e = &mut self.su.block_mut(bi).entries[ei];
+            e.state = EntryState::Done;
+            (e.tag, e.tid, e.pc, e.insn, e.result)
+        };
+        if insn.dest().is_some() {
+            self.su.broadcast(tag, result, now);
+        }
+        match insn.op {
+            Opcode::Post => {
+                // Non-speculative by the issue gate; apply the increment.
+                // The stashed address lives in `result`.
+                self.mem
+                    .fetch_add(result)
+                    .map_err(|err| SimError::Mem { err, tid, pc })?;
+            }
+            Opcode::Wait
+                // A satisfied WAIT releases the thread's fetch suspension;
+                // an unsatisfied one keeps fetch parked and will retire as a
+                // spin (commit refetches the WAIT itself).
+                if self.su.block(bi).entries[ei].sync_satisfied => {
+                    self.iu.resume_if(tid, tag);
+                }
+            op if op.is_cond_branch() => {
+                let e = &self.su.block(bi).entries[ei];
+                let actual_next = if e.taken { e.target } else { pc + 1 };
+                let predicted_next =
+                    if e.predicted_taken { e.predicted_target } else { pc + 1 };
+                self.stats.branches.resolved += 1;
+                if actual_next != predicted_next {
+                    self.stats.branches.mispredicted += 1;
+                    self.su.block_mut(bi).entries[ei].mispredicted = true;
+                    self.squash_wrong_path(tid, bi, ei, actual_next);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Selective squash: discard every younger same-thread entry, reclaim
+    /// their tags, and redirect the thread's fetch. (Stores only enter the
+    /// store buffer at commit, so nothing speculative can be resident
+    /// there.)
+    fn squash_wrong_path(&mut self, tid: usize, bi: usize, ei: usize, correct_pc: usize) {
+        let removed = self.su.squash_after(tid, bi, ei);
+        self.stats.squashed += removed.len() as u64;
+        for r in &removed {
+            self.tags.free(r.tag);
+        }
+        self.iu.redirect(tid, correct_pc);
+        if self
+            .fetch_buffer
+            .as_ref()
+            .is_some_and(|b| b.tid == tid)
+        {
+            // The block waiting at decode is wrong-path too.
+            self.fetch_buffer = None;
+        }
+    }
+
+    // ---- issue ---------------------------------------------------------------------
+
+    fn issue_stage(&mut self) -> Result<(), SimError> {
+        let mut budget = self.config.issue_width;
+        let mut bi = 0;
+        while bi < self.su.num_blocks() && budget > 0 {
+            let mut ei = 0;
+            while ei < self.su.block(bi).entries.len() && budget > 0 {
+                if self.try_issue_entry(bi, ei)? {
+                    budget -= 1;
+                    self.stats.issued += 1;
+                }
+                ei += 1;
+            }
+            bi += 1;
+        }
+        let issued_now = self.config.issue_width - budget;
+        self.stats.issue_histogram[issued_now] += 1;
+        Ok(())
+    }
+
+    /// Attempts to issue the entry at `(bi, ei)`. Returns whether it issued.
+    fn try_issue_entry(&mut self, bi: usize, ei: usize) -> Result<bool, SimError> {
+        let now = self.cycle;
+        let bypass = self.config.bypass;
+        let (insn, tid, a, b) = {
+            let e = &self.su.block(bi).entries[ei];
+            if e.state != EntryState::Waiting {
+                return Ok(false);
+            }
+            let (Some(a), Some(b)) =
+                (e.ops[0].value_at(now, bypass), e.ops[1].value_at(now, bypass))
+            else {
+                return Ok(false);
+            };
+            (e.insn, e.tid, a, b)
+        };
+        let class = insn.op.fu_class();
+        match class {
+            FuClass::Load => {
+                // Restricted load policy: wait until every older same-thread
+                // store has its address (is in the store buffer) and no
+                // older sync is pending.
+                let blocked = self.su.any_older(tid, bi, ei, |o| {
+                    !o.is_done()
+                        && matches!(o.insn.op.fu_class(), FuClass::Store | FuClass::Sync)
+                });
+                if blocked || !self.fu.can_issue(class, now) {
+                    return Ok(false);
+                }
+                let addr = effective_addr(a, insn.imm);
+                let (result, fault, data_ready) = match self.mem.read(addr) {
+                    Err(err) => (0, Some(err), now), // speculative fault: defer
+                    Ok(mem_value) => match self.forward_value(tid, bi, ei, addr) {
+                        // Forwarded data bypasses the cache entirely.
+                        Some(v) => (v, None, now),
+                        None => match self.cache.access(addr, now) {
+                            Outcome::Blocked { .. } => return Ok(false),
+                            Outcome::Hit => (mem_value, None, now),
+                            Outcome::Miss { ready_at }
+                            | Outcome::PendingHit { ready_at } => (mem_value, None, ready_at),
+                        },
+                    },
+                };
+                let done_at =
+                    self.fu.try_issue(class, now).expect("can_issue checked").max(data_ready);
+                let e = &mut self.su.block_mut(bi).entries[ei];
+                e.state = EntryState::Executing { done_at };
+                e.result = result;
+                e.fault = fault;
+                e.mem_addr = addr;
+                Ok(true)
+            }
+            FuClass::Store => {
+                // Preserve per-thread store order (forwarding relies on it)
+                // and order around sync primitives.
+                let blocked = self.su.any_older(tid, bi, ei, |o| {
+                    !o.is_done()
+                        && matches!(o.insn.op.fu_class(), FuClass::Store | FuClass::Sync)
+                });
+                if blocked || !self.fu.can_issue(class, now) {
+                    return Ok(false);
+                }
+                let addr = effective_addr(a, insn.imm);
+                let fault = self.mem.read(addr).err();
+                let done_at = self.fu.try_issue(class, now).expect("can_issue checked");
+                let e = &mut self.su.block_mut(bi).entries[ei];
+                e.state = EntryState::Executing { done_at };
+                e.fault = fault;
+                e.mem_addr = addr;
+                e.result = b; // store data, held until commit pushes it out
+                Ok(true)
+            }
+            FuClass::Sync => {
+                // Non-speculative: only the thread's oldest unfinished
+                // instruction may execute a sync primitive.
+                if self.su.any_older(tid, bi, ei, |o| !o.is_done()) {
+                    return Ok(false);
+                }
+                let pc = self.su.block(bi).entries[ei].pc;
+                match insn.op {
+                    Opcode::Wait => {
+                        if !self.fu.can_issue(class, now) {
+                            return Ok(false);
+                        }
+                        let flag = self
+                            .mem
+                            .read(a)
+                            .map_err(|err| SimError::Mem { err, tid, pc })?;
+                        let satisfied = (flag as i64) >= (b as i64);
+                        let done_at = self.fu.try_issue(class, now).expect("checked");
+                        let e = &mut self.su.block_mut(bi).entries[ei];
+                        e.state = EntryState::Executing { done_at };
+                        e.sync_satisfied = satisfied;
+                        Ok(true)
+                    }
+                    Opcode::Post => {
+                        // Validate the address now; the increment itself is
+                        // applied at writeback.
+                        self.mem.read(a).map_err(|err| SimError::Mem { err, tid, pc })?;
+                        if !self.fu.can_issue(class, now) {
+                            return Ok(false);
+                        }
+                        let done_at = self.fu.try_issue(class, now).expect("checked");
+                        let e = &mut self.su.block_mut(bi).entries[ei];
+                        e.state = EntryState::Executing { done_at };
+                        e.result = a; // stash the address for writeback
+                        Ok(true)
+                    }
+                    other => unreachable!("non-sync opcode {other} in sync class"),
+                }
+            }
+            FuClass::Ctu => {
+                if !self.fu.can_issue(class, now) {
+                    return Ok(false);
+                }
+                let done_at = self.fu.try_issue(class, now).expect("checked");
+                let (taken, target) = match insn.op {
+                    Opcode::J => (true, insn.imm as usize),
+                    Opcode::Halt => (false, 0),
+                    op => (branch_taken(op, a, b), insn.imm as usize),
+                };
+                let e = &mut self.su.block_mut(bi).entries[ei];
+                e.state = EntryState::Executing { done_at };
+                e.taken = taken;
+                e.target = target;
+                Ok(true)
+            }
+            _ => {
+                if !self.fu.can_issue(class, now) {
+                    return Ok(false);
+                }
+                let done_at = self.fu.try_issue(class, now).expect("checked");
+                let e = &mut self.su.block_mut(bi).entries[ei];
+                e.state = EntryState::Executing { done_at };
+                e.result = alu_result(insn.op, a, b, insn.imm);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Store-to-load forwarding for a load at `(lbi, lei)`: the youngest
+    /// matching store among — in search order — the load's own thread's
+    /// *older* completed stores, other threads' completed **non-speculative**
+    /// stores (no unresolved older control transfer of their thread), and
+    /// the store buffer of committed stores. `None` falls through to the
+    /// cache/memory.
+    fn forward_value(&self, tid: usize, lbi: usize, lei: usize, addr: u64) -> Option<u64> {
+        for (bi, block) in self.su.blocks().enumerate().rev() {
+            for (ei, e) in block.entries.iter().enumerate().rev() {
+                if e.insn.op != Opcode::Sd
+                    || !e.is_done()
+                    || e.fault.is_some()
+                    || e.mem_addr != addr
+                {
+                    continue;
+                }
+                if e.tid == tid {
+                    if (bi, ei) < (lbi, lei) {
+                        return Some(e.result);
+                    }
+                    // A younger same-thread store cannot serve this load.
+                    continue;
+                }
+                let speculative = self
+                    .su
+                    .any_older(e.tid, bi, ei, |o| o.insn.op.is_control() && !o.is_done());
+                if !speculative {
+                    return Some(e.result);
+                }
+            }
+        }
+        self.sb.forward(addr)
+    }
+
+    // ---- decode ---------------------------------------------------------------------
+
+    fn decode_stage(&mut self) {
+        if self.fetch_buffer.is_none() {
+            return;
+        }
+        if !self.su.has_space() {
+            // The paper's "scheduling unit stall": entries cannot shift, so
+            // no new block enters.
+            self.stats.su_stall_cycles += 1;
+            return;
+        }
+        let block = self.fetch_buffer.take().expect("checked non-empty");
+        let tid = block.tid;
+        let now = self.cycle;
+        let mut entries: Vec<SuEntry> = Vec::with_capacity(block.insns.len());
+        let mut leftover: Vec<FetchedInsn> = Vec::new();
+        let cswitch = self.config.fetch_policy == FetchPolicy::ConditionalSwitch;
+
+        for (idx, f) in block.insns.iter().enumerate() {
+            // Resolve sources: in-group producers first (youngest), then the
+            // scheduling unit, then the committed register file.
+            let mut ops = [Operand::Unused, Operand::Unused];
+            let mut scoreboard_stall = false;
+            for (k, src) in f.insn.sources().into_iter().enumerate() {
+                let Some(reg) = src else { continue };
+                let in_group = entries
+                    .iter()
+                    .rev()
+                    .find(|p| p.insn.dest() == Some(reg))
+                    .map(|p| Lookup::Pending(p.tag));
+                let lookup = in_group.unwrap_or_else(|| self.su.lookup(tid, reg));
+                ops[k] = match lookup {
+                    Lookup::Available(v) => Operand::Ready { value: v, since: now },
+                    Lookup::NotFound => Operand::Ready {
+                        value: self.regfile[tid * self.window + reg.index()],
+                        since: now,
+                    },
+                    Lookup::Pending(t) => {
+                        if self.config.renaming == RenamingMode::Scoreboard {
+                            scoreboard_stall = true;
+                            break;
+                        }
+                        Operand::Waiting { tag: t }
+                    }
+                };
+            }
+            if scoreboard_stall {
+                leftover = block.insns[idx..].to_vec();
+                break;
+            }
+            let tag = self.tags.alloc().expect("tag pool sized to the scheduling unit");
+            let mut entry = SuEntry::new(tag, tid, f.pc, f.insn, ops);
+            entry.predicted_taken = f.predicted_taken;
+            entry.predicted_target = f.predicted_target;
+            match f.insn.op {
+                Opcode::J => {
+                    // Unconditional jumps resolve at decode: fix the fetch
+                    // PC if the predictor sent fetch the wrong way, and
+                    // record a perfect prediction so execute never squashes.
+                    let target = f.insn.imm as usize;
+                    let fetch_followed =
+                        f.predicted_taken && f.predicted_target == target;
+                    entry.predicted_taken = true;
+                    entry.predicted_target = target;
+                    entries.push(entry);
+                    if !fetch_followed {
+                        self.iu.set_pc(tid, target);
+                    }
+                    if cswitch && f.insn.op.triggers_cswitch() {
+                        self.iu.signal_switch(tid);
+                    }
+                    // Anything after the jump in this group is dead. If a
+                    // `halt` was among the dead slots, fetch saw it and
+                    // stopped — undo that: the program doesn't halt here.
+                    self.discard_tail(tid, &block.insns[idx + 1..]);
+                    break;
+                }
+                Opcode::Wait => {
+                    // A decoded WAIT suspends fetch for its thread until it
+                    // completes, preventing the spin from flooding the unit.
+                    self.iu.suspend(tid, tag, f.pc + 1);
+                    if cswitch {
+                        self.iu.signal_switch(tid);
+                    }
+                    entries.push(entry);
+                    self.discard_tail(tid, &block.insns[idx + 1..]);
+                    break;
+                }
+                Opcode::Halt => {
+                    entries.push(entry);
+                    break;
+                }
+                op => {
+                    if cswitch && op.triggers_cswitch() {
+                        self.iu.signal_switch(tid);
+                    }
+                    entries.push(entry);
+                }
+            }
+        }
+
+        if entries.is_empty() {
+            // Scoreboard stall on the very first instruction: retry the
+            // whole group next cycle.
+            self.fetch_buffer = Some(block);
+            return;
+        }
+        self.su.push_block(tid, entries);
+        if !leftover.is_empty() {
+            self.fetch_buffer = Some(FetchedBlock { tid, insns: leftover });
+        }
+    }
+
+    /// Discards the unreached tail of a decode group (instructions after a
+    /// jump or a suspending `WAIT`). If fetch had stopped on a `halt` in
+    /// that tail, the stop is revoked so the thread keeps fetching.
+    fn discard_tail(&mut self, tid: usize, tail: &[FetchedInsn]) {
+        if tail.iter().any(|f| f.insn.op == Opcode::Halt) {
+            self.iu.clear_fetch_halted(tid);
+        }
+    }
+
+    // ---- fetch ----------------------------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        if self.fetch_buffer.is_some() {
+            return; // decode is backed up; the buffer holds one block
+        }
+        let Some(tid) = self.iu.select() else {
+            self.stats.fetch_idle_cycles += 1;
+            return;
+        };
+        match self.iu.fetch_block(tid, self.program, &mut self.predictor) {
+            Some(block) => {
+                self.stats.fetched_blocks += 1;
+                self.fetch_buffer = Some(block);
+            }
+            None => self.stats.fetch_idle_cycles += 1,
+        }
+    }
+
+    /// Data-cache counters so far (convenience for tests).
+    #[must_use]
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Renders the full machine state for debugging (threads, fetch buffer,
+    /// every scheduling-unit entry, store buffer).
+    #[must_use]
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "cycle {}", self.cycle);
+        for tid in 0..self.config.threads {
+            let _ = writeln!(
+                out,
+                "  thread {tid}: pc={} retired={} fetch_halted={} suspended={}",
+                self.iu.pc(tid),
+                self.iu.is_retired(tid),
+                self.iu.is_fetch_halted(tid),
+                self.iu.is_suspended(tid),
+            );
+        }
+        match &self.fetch_buffer {
+            Some(b) => {
+                let _ =
+                    writeln!(out, "  fetch buffer: tid {} × {} insns @pc {}", b.tid, b.insns.len(), b.insns[0].pc);
+            }
+            None => {
+                let _ = writeln!(out, "  fetch buffer: empty");
+            }
+        }
+        for (bi, block) in self.su.blocks().enumerate() {
+            let _ = writeln!(out, "  block {bi} (id {}, tid {}):", block.id, block.tid);
+            for e in &block.entries {
+                let ready: Vec<bool> = e
+                    .ops
+                    .iter()
+                    .map(|o| o.value_at(self.cycle, true).is_some())
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "    {} pc={} `{}` state={:?} ops_ready={:?} fault={:?}",
+                    e.tag, e.pc, e.insn, e.state, ready, e.fault
+                );
+            }
+        }
+        let _ = writeln!(out, "  store buffer: {}/{} entries", self.sb.len(), self.sb.capacity());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CommitPolicy;
+    use smt_isa::builder::ProgramBuilder;
+    use smt_isa::interp::Interp;
+
+    fn run_and_check(program: &Program, config: SimConfig) -> SimStats {
+        let threads = config.threads;
+        let mut sim = Simulator::new(config, program);
+        let stats = sim.run().expect("run completes");
+        let mut interp = Interp::new(program, threads);
+        interp.run().expect("reference completes");
+        assert_eq!(
+            sim.memory().words(),
+            interp.mem_words(),
+            "architectural memory must match the reference interpreter"
+        );
+        assert_eq!(
+            sim.reg_file(),
+            interp.reg_file(),
+            "register file must match the reference interpreter"
+        );
+        stats
+    }
+
+    fn sum_program() -> Program {
+        // Each thread sums 1..=20 into out[tid].
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(6 * 8);
+        let [sum, i, limit, addr] = b.regs();
+        b.li(sum, 0);
+        b.li(i, 1);
+        b.li(limit, 21);
+        let top = b.label();
+        b.bind(top);
+        b.add(sum, sum, i);
+        b.addi(i, i, 1);
+        b.blt(i, limit, top);
+        b.slli(addr, b.tid_reg(), 3);
+        b.addi(addr, addr, out as i32);
+        b.sd(sum, addr, 0);
+        b.halt();
+        b.build(6).unwrap()
+    }
+
+    #[test]
+    fn single_thread_loop_matches_reference() {
+        let p = sum_program();
+        let stats = run_and_check(&p, SimConfig::default().with_threads(1));
+        assert!(stats.cycles > 0);
+        assert!(stats.committed_total() > 60, "loop body commits ~20×3 instructions");
+    }
+
+    #[test]
+    fn four_threads_match_reference_under_every_fetch_policy() {
+        let p = sum_program();
+        for policy in [
+            FetchPolicy::TrueRoundRobin,
+            FetchPolicy::MaskedRoundRobin,
+            FetchPolicy::ConditionalSwitch,
+        ] {
+            let stats = run_and_check(&p, SimConfig::default().with_fetch_policy(policy));
+            assert_eq!(stats.committed.len(), 4);
+            assert!(stats.committed.iter().all(|&c| c > 0), "{policy}: all threads commit");
+        }
+    }
+
+    #[test]
+    fn commit_policies_agree_architecturally() {
+        let p = sum_program();
+        let flexible = run_and_check(&p, SimConfig::default());
+        let lowest =
+            run_and_check(&p, SimConfig::default().with_commit_policy(CommitPolicy::LowestOnly));
+        assert_eq!(flexible.committed_total(), lowest.committed_total());
+    }
+
+    #[test]
+    fn multithreading_beats_single_thread_on_parallel_work() {
+        // A compute-heavy kernel with long-latency FP ops: four threads
+        // should clearly outperform one thread running the same per-thread
+        // work (each thread does identical work, so 4 threads do 4× the
+        // total work; per-unit-of-work cycles must drop).
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(6 * 8);
+        let [x, y, i, limit, addr] = b.regs();
+        b.lif(x, 1.0);
+        b.lif(y, 1.000001);
+        b.li(i, 0);
+        b.li(limit, 50);
+        let top = b.label();
+        b.bind(top);
+        b.fmul(x, x, y);
+        b.fadd(x, x, y);
+        b.fsub(x, x, y);
+        b.addi(i, i, 1);
+        b.blt(i, limit, top);
+        b.slli(addr, b.tid_reg(), 3);
+        b.addi(addr, addr, out as i32);
+        b.sd(x, addr, 0);
+        b.halt();
+        let p = b.build(4).unwrap();
+
+        let st = run_and_check(&p, SimConfig::default().with_threads(1));
+        let mt = run_and_check(&p, SimConfig::default().with_threads(4));
+        // 4 threads, ~4× the committed work, in well under 4× the cycles.
+        assert!(mt.committed_total() > 3 * st.committed_total());
+        let st_cpi = st.cycles as f64 / st.committed_total() as f64;
+        let mt_cpi = mt.cycles as f64 / mt.committed_total() as f64;
+        assert!(
+            mt_cpi < st_cpi * 0.9,
+            "expected ≥10% CPI gain from SMT: single {st_cpi:.3}, multi {mt_cpi:.3}"
+        );
+    }
+
+    #[test]
+    fn wait_post_synchronization_runs_to_completion() {
+        // tid 0 produces, others consume through a flag.
+        let mut b = ProgramBuilder::new();
+        let flag = b.alloc_zeroed(8);
+        let slot = b.alloc_zeroed(8);
+        let out = b.alloc_zeroed(6 * 8);
+        let [fl, sl, v, one, zero, addr] = b.regs();
+        b.li(fl, flag as i64);
+        b.li(sl, slot as i64);
+        b.li(one, 1);
+        b.li(zero, 0);
+        let consumer = b.label();
+        let store = b.label();
+        b.bne(b.tid_reg(), zero, consumer);
+        b.li(v, 777);
+        b.sd(v, sl, 0);
+        b.post(fl);
+        b.j(store);
+        b.bind(consumer);
+        b.wait(fl, one);
+        b.bind(store);
+        b.ld(v, sl, 0);
+        b.slli(addr, b.tid_reg(), 3);
+        b.addi(addr, addr, out as i32);
+        b.sd(v, addr, 0);
+        b.halt();
+        let p = b.build(3).unwrap();
+
+        let stats = run_and_check(&p, SimConfig::default().with_threads(3));
+        assert!(stats.wait_spin_cycles > 0 || stats.cycles > 0);
+    }
+
+    #[test]
+    fn watchdog_catches_deadlock() {
+        let mut b = ProgramBuilder::new();
+        let flag = b.alloc_zeroed(8);
+        let [fl, target] = b.regs();
+        b.li(fl, flag as i64);
+        b.li(target, 5);
+        b.wait(fl, target); // nobody posts
+        b.halt();
+        let p = b.build(2).unwrap();
+        let mut sim = Simulator::new(
+            SimConfig::default().with_threads(2).with_max_cycles(20_000),
+            &p,
+        );
+        assert_eq!(sim.run(), Err(SimError::Watchdog { cycles: 20_000 }));
+    }
+
+    #[test]
+    fn out_of_bounds_store_faults_at_commit() {
+        let mut b = ProgramBuilder::new();
+        let r = b.reg();
+        b.li(r, 1 << 40);
+        b.sd(r, r, 0);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut sim = Simulator::new(SimConfig::default().with_threads(1), &p);
+        assert!(matches!(sim.run(), Err(SimError::Mem { tid: 0, .. })));
+    }
+
+    #[test]
+    fn program_with_too_many_registers_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..29 {
+            let _ = b.reg();
+        }
+        let last = b.reg(); // 32nd register including the two seeded ones
+        b.addi(last, last, 1);
+        b.halt();
+        let p = b.build(4).unwrap(); // fits 4 threads (window 32)
+        assert!(Simulator::try_new(SimConfig::default().with_threads(6), &p).is_err());
+        assert!(Simulator::try_new(SimConfig::default().with_threads(4), &p).is_ok());
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let p = sum_program();
+        let mut sim = Simulator::new(SimConfig::default(), &p);
+        let stats = sim.run().unwrap();
+        let interp_count = {
+            let mut i = Interp::new(&p, 4);
+            i.run().unwrap().total_retired()
+        };
+        assert_eq!(
+            stats.committed_total(),
+            interp_count,
+            "cycle sim must commit exactly the architectural instruction count"
+        );
+        assert!(stats.issued >= stats.committed_total(), "wrong-path issues are extra");
+        assert_eq!(stats.cache.accesses, stats.cache.hits + stats.cache.misses);
+    }
+}

@@ -1,0 +1,548 @@
+//! The scheduling unit: the SDSP's combined reorder buffer and instruction
+//! window (Section 2.2), extended with a thread-ID field per entry
+//! (Section 3.2).
+//!
+//! The unit is organized in *blocks* — decode groups of up to four
+//! instructions from one thread. Capacity is counted in blocks, matching the
+//! hardware, where a partially valid fetch block still occupies a full row
+//! of the shifting structure. Entries hold renamed operands (value or
+//! producer tag), so the issue logic "does not have to concern itself with
+//! the thread that an instruction belongs to".
+
+use std::collections::VecDeque;
+
+use smt_isa::Instruction;
+use smt_uarch::Tag;
+
+use crate::config::CommitPolicy;
+
+/// A renamed source operand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// The instruction does not read this operand slot.
+    Unused,
+    /// Value known, available for issue from cycle `since` (same cycle with
+    /// bypassing, the next cycle without).
+    Ready {
+        /// The operand value.
+        value: u64,
+        /// Cycle the value became available.
+        since: u64,
+    },
+    /// Waiting for the producer with this renaming tag to write back.
+    Waiting {
+        /// Producer's tag.
+        tag: Tag,
+    },
+}
+
+impl Operand {
+    /// The value, if ready and usable at cycle `now` under the given
+    /// bypassing rule. `Unused` operands read as zero.
+    #[must_use]
+    pub fn value_at(&self, now: u64, bypass: bool) -> Option<u64> {
+        match *self {
+            Operand::Unused => Some(0),
+            Operand::Ready { value, since } => {
+                let usable = if bypass { since <= now } else { since < now };
+                usable.then_some(value)
+            }
+            Operand::Waiting { .. } => None,
+        }
+    }
+}
+
+/// Execution state of a scheduling-unit entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EntryState {
+    /// Not yet issued.
+    Waiting,
+    /// Issued; result arrives at `done_at`.
+    Executing {
+        /// Writeback cycle.
+        done_at: u64,
+    },
+    /// Result written back (or no result to produce).
+    Done,
+}
+
+/// One instruction resident in the scheduling unit.
+#[derive(Clone, Debug)]
+pub struct SuEntry {
+    /// Globally unique renaming tag.
+    pub tag: Tag,
+    /// Owning thread.
+    pub tid: usize,
+    /// Instruction index (for predictor updates and debugging).
+    pub pc: usize,
+    /// The decoded instruction.
+    pub insn: Instruction,
+    /// Renamed source operands.
+    pub ops: [Operand; 2],
+    /// Pipeline state.
+    pub state: EntryState,
+    /// Result value (valid once `Done` for register-writing instructions).
+    pub result: u64,
+    /// Fetch-time prediction: taken?
+    pub predicted_taken: bool,
+    /// Fetch-time prediction: target if taken.
+    pub predicted_target: usize,
+    /// Resolved control-transfer outcome: taken?
+    pub taken: bool,
+    /// Resolved target.
+    pub target: usize,
+    /// Whether this control transfer was found mispredicted at execute.
+    pub mispredicted: bool,
+    /// Deferred memory fault (speculative wrong-path accesses may fault
+    /// harmlessly; the fault becomes fatal only if the entry commits).
+    pub fault: Option<smt_mem::MemError>,
+    /// Effective address of an executed load/store (for store-to-load
+    /// forwarding).
+    pub mem_addr: u64,
+    /// Whether a committed store has been pushed into the store buffer
+    /// (commit may take several cycles when the buffer is tight).
+    pub store_buffered: bool,
+    /// For `WAIT`: whether the poll found the condition satisfied. An
+    /// unsatisfied `WAIT` retires as a *spin* — it is discarded at commit
+    /// and the thread refetches it, exactly like a software spin loop —
+    /// so a waiting thread can never clog the commit window.
+    pub sync_satisfied: bool,
+}
+
+impl SuEntry {
+    /// A fresh entry in the `Waiting` state.
+    #[must_use]
+    pub fn new(tag: Tag, tid: usize, pc: usize, insn: Instruction, ops: [Operand; 2]) -> Self {
+        SuEntry {
+            tag,
+            tid,
+            pc,
+            insn,
+            ops,
+            state: EntryState::Waiting,
+            result: 0,
+            predicted_taken: false,
+            predicted_target: 0,
+            taken: false,
+            target: 0,
+            mispredicted: false,
+            fault: None,
+            mem_addr: 0,
+            store_buffered: false,
+            sync_satisfied: false,
+        }
+    }
+
+    /// Whether the entry has completed execution.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == EntryState::Done
+    }
+
+    /// Whether both operands are usable at `now`.
+    #[must_use]
+    pub fn operands_ready(&self, now: u64, bypass: bool) -> bool {
+        self.ops.iter().all(|o| o.value_at(now, bypass).is_some())
+    }
+}
+
+/// A decode group resident in the unit.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Monotonic block id (decode order).
+    pub id: u64,
+    /// Owning thread (blocks are single-threaded by construction).
+    pub tid: usize,
+    /// The 1..=block_size instructions of the group.
+    pub entries: Vec<SuEntry>,
+}
+
+/// Result of a decode-time operand lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Lookup {
+    /// No in-flight producer: read the committed register file.
+    NotFound,
+    /// Producer still executing: wait on its tag.
+    Pending(Tag),
+    /// Producer has written back: take the value directly.
+    Available(u64),
+}
+
+/// The scheduling unit proper.
+#[derive(Clone, Debug)]
+pub struct SchedulingUnit {
+    blocks: VecDeque<Block>,
+    capacity_blocks: usize,
+    block_size: usize,
+    next_block_id: u64,
+}
+
+impl SchedulingUnit {
+    /// Creates an empty unit holding `capacity_blocks` blocks of
+    /// `block_size` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(capacity_blocks: usize, block_size: usize) -> Self {
+        assert!(capacity_blocks > 0 && block_size > 0, "degenerate scheduling unit");
+        SchedulingUnit {
+            blocks: VecDeque::with_capacity(capacity_blocks),
+            capacity_blocks,
+            block_size,
+            next_block_id: 0,
+        }
+    }
+
+    /// Whether a new block can enter.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.blocks.len() < self.capacity_blocks
+    }
+
+    /// Number of resident blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of resident instructions (valid entries, not padded slots).
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.blocks.iter().map(|b| b.entries.len()).sum()
+    }
+
+    /// Whether the unit is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Inserts a decode group at the top. Returns the block id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is full, the group is empty or oversized, or the
+    /// group mixes threads.
+    pub fn push_block(&mut self, tid: usize, entries: Vec<SuEntry>) -> u64 {
+        assert!(self.has_space(), "scheduling unit full");
+        assert!(
+            !entries.is_empty() && entries.len() <= self.block_size,
+            "block of {} entries (block size {})",
+            entries.len(),
+            self.block_size
+        );
+        assert!(entries.iter().all(|e| e.tid == tid), "block mixes threads");
+        let id = self.next_block_id;
+        self.next_block_id += 1;
+        self.blocks.push_back(Block { id, tid, entries });
+        id
+    }
+
+    /// The block at position `i` (0 = oldest).
+    #[must_use]
+    pub fn block(&self, i: usize) -> &Block {
+        &self.blocks[i]
+    }
+
+    /// Mutable block access.
+    pub fn block_mut(&mut self, i: usize) -> &mut Block {
+        &mut self.blocks[i]
+    }
+
+    /// Iterates blocks oldest → youngest (reversible for youngest-first
+    /// scans such as store-to-load forwarding).
+    pub fn blocks(&self) -> impl DoubleEndedIterator<Item = &Block> + ExactSizeIterator {
+        self.blocks.iter()
+    }
+
+    /// Decode-time operand lookup: the *youngest* in-flight producer of
+    /// `(tid, reg)`, per the paper's associative search "modified … to
+    /// succeed only if the thread number and the register number match".
+    #[must_use]
+    pub fn lookup(&self, tid: usize, reg: smt_isa::Reg) -> Lookup {
+        for block in self.blocks.iter().rev() {
+            if block.tid != tid {
+                continue;
+            }
+            for e in block.entries.iter().rev() {
+                if e.insn.dest() == Some(reg) {
+                    return if e.is_done() {
+                        Lookup::Available(e.result)
+                    } else {
+                        Lookup::Pending(e.tag)
+                    };
+                }
+            }
+        }
+        Lookup::NotFound
+    }
+
+    /// Broadcasts a writeback: every operand waiting on `tag` becomes ready
+    /// with `value` at cycle `now`.
+    pub fn broadcast(&mut self, tag: Tag, value: u64, now: u64) {
+        for block in &mut self.blocks {
+            for e in &mut block.entries {
+                for op in &mut e.ops {
+                    if matches!(op, Operand::Waiting { tag: t } if *t == tag) {
+                        *op = Operand::Ready { value, since: now };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether any entry *older* than position `(bi, ei)` and belonging to
+    /// `tid` satisfies `pred`. Used for load/store/sync ordering gates.
+    #[must_use]
+    pub fn any_older(
+        &self,
+        tid: usize,
+        bi: usize,
+        ei: usize,
+        mut pred: impl FnMut(&SuEntry) -> bool,
+    ) -> bool {
+        for (b, block) in self.blocks.iter().enumerate().take(bi + 1) {
+            if block.tid != tid {
+                continue;
+            }
+            let limit = if b == bi { ei } else { block.entries.len() };
+            if block.entries[..limit].iter().any(&mut pred) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Selectively squashes the wrong path after a mispredicted control
+    /// transfer: every entry of `tid` *younger* than `(bi, ei)` is removed
+    /// ("all entries above the mispredicted one, and with a matching thread
+    /// ID, are discarded"). Blocks of other threads are untouched. Returns
+    /// the removed entries (caller frees tags and store-buffer slots).
+    pub fn squash_after(&mut self, tid: usize, bi: usize, ei: usize) -> Vec<SuEntry> {
+        let mut removed = Vec::new();
+        // Younger entries within the same block.
+        removed.extend(self.blocks[bi].entries.drain(ei + 1..));
+        // Younger blocks of the same thread (whole blocks, by construction).
+        let mut i = bi + 1;
+        while i < self.blocks.len() {
+            if self.blocks[i].tid == tid {
+                let block = self.blocks.remove(i).expect("index in range");
+                removed.extend(block.entries);
+            } else {
+                i += 1;
+            }
+        }
+        removed
+    }
+
+    /// Finds the committable block under `policy`: the lowest block among
+    /// the bottom `window` whose entries are all done, and below which no
+    /// block of the same thread remains (per-thread in-order commit).
+    #[must_use]
+    pub fn find_committable(&self, policy: CommitPolicy, window: usize) -> Option<usize> {
+        let window = match policy {
+            CommitPolicy::LowestOnly => 1,
+            CommitPolicy::Flexible => window,
+        };
+        for i in 0..self.blocks.len().min(window) {
+            let block = &self.blocks[i];
+            let ready = block.entries.iter().all(SuEntry::is_done);
+            if !ready {
+                continue;
+            }
+            let blocked_by_older =
+                self.blocks.iter().take(i).any(|older| older.tid == block.tid);
+            if !blocked_by_older {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the block at position `i` (after commit).
+    pub fn remove_block(&mut self, i: usize) -> Block {
+        self.blocks.remove(i).expect("block index in range")
+    }
+
+    /// The thread owning the lower-most block, and whether that block could
+    /// commit this cycle — drives the Masked Round-Robin fetch mask.
+    #[must_use]
+    pub fn bottom_block_status(&self) -> Option<(usize, bool)> {
+        self.blocks.front().map(|b| {
+            let ready = b.entries.iter().all(SuEntry::is_done);
+            let blocked = !ready;
+            (b.tid, blocked)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::{FuClass, Opcode, Reg};
+    use smt_uarch::TagAllocator;
+
+    fn entry(tags: &mut TagAllocator, tid: usize, dest: u8) -> SuEntry {
+        let insn = Instruction::i2(Opcode::Addi, Reg::new(dest), Reg::new(2), 1);
+        SuEntry::new(
+            tags.alloc().unwrap(),
+            tid,
+            0,
+            insn,
+            [Operand::Ready { value: 0, since: 0 }, Operand::Unused],
+        )
+    }
+
+    #[test]
+    fn capacity_is_counted_in_blocks() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(2, 4);
+        su.push_block(0, vec![entry(&mut tags, 0, 3)]); // partial block
+        su.push_block(1, vec![entry(&mut tags, 1, 3)]);
+        assert!(!su.has_space(), "two blocks fill a two-block unit even when partial");
+        assert_eq!(su.num_entries(), 2);
+    }
+
+    #[test]
+    fn lookup_finds_youngest_same_thread_producer() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(4, 4);
+        let mut older = entry(&mut tags, 0, 5);
+        older.result = 11;
+        older.state = EntryState::Done;
+        let younger = entry(&mut tags, 0, 5);
+        let other_thread = entry(&mut tags, 1, 5);
+        let ytag = younger.tag;
+        su.push_block(0, vec![older]);
+        su.push_block(0, vec![younger]);
+        su.push_block(1, vec![other_thread]);
+        assert_eq!(su.lookup(0, Reg::new(5)), Lookup::Pending(ytag));
+        assert_eq!(su.lookup(0, Reg::new(9)), Lookup::NotFound);
+        // Thread 1's producer is independent.
+        assert!(matches!(su.lookup(1, Reg::new(5)), Lookup::Pending(_)));
+    }
+
+    #[test]
+    fn lookup_returns_value_once_done() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(4, 4);
+        let mut e = entry(&mut tags, 0, 7);
+        e.state = EntryState::Done;
+        e.result = 99;
+        su.push_block(0, vec![e]);
+        assert_eq!(su.lookup(0, Reg::new(7)), Lookup::Available(99));
+    }
+
+    #[test]
+    fn broadcast_wakes_waiters() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(4, 4);
+        let producer = entry(&mut tags, 0, 5);
+        let ptag = producer.tag;
+        let mut consumer = entry(&mut tags, 0, 6);
+        consumer.ops[0] = Operand::Waiting { tag: ptag };
+        su.push_block(0, vec![producer]);
+        su.push_block(0, vec![consumer]);
+        su.broadcast(ptag, 123, 7);
+        let op = su.block(1).entries[0].ops[0];
+        assert_eq!(op, Operand::Ready { value: 123, since: 7 });
+        assert_eq!(op.value_at(7, true), Some(123), "bypassing: usable same cycle");
+        assert_eq!(op.value_at(7, false), None, "no bypassing: next cycle");
+        assert_eq!(op.value_at(8, false), Some(123));
+    }
+
+    #[test]
+    fn squash_removes_younger_same_thread_only() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        let branch = entry(&mut tags, 0, 3);
+        let same_block_younger = entry(&mut tags, 0, 4);
+        su.push_block(0, vec![branch, same_block_younger]);
+        su.push_block(1, vec![entry(&mut tags, 1, 3)]);
+        su.push_block(0, vec![entry(&mut tags, 0, 5), entry(&mut tags, 0, 6)]);
+        let removed = su.squash_after(0, 0, 0);
+        assert_eq!(removed.len(), 3, "one in-block + one 2-entry block");
+        assert_eq!(su.num_blocks(), 2);
+        assert_eq!(su.block(1).tid, 1, "other thread untouched");
+    }
+
+    #[test]
+    fn flexible_commit_skips_blocked_thread() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        // Bottom block (thread 0): not done.
+        su.push_block(0, vec![entry(&mut tags, 0, 3)]);
+        // Next (thread 1): done.
+        let mut done = entry(&mut tags, 1, 3);
+        done.state = EntryState::Done;
+        su.push_block(1, vec![done]);
+        // Thread 0 again, done — but blocked by its own older block.
+        let mut done0 = entry(&mut tags, 0, 4);
+        done0.state = EntryState::Done;
+        su.push_block(0, vec![done0]);
+
+        assert_eq!(su.find_committable(CommitPolicy::LowestOnly, 4), None);
+        assert_eq!(su.find_committable(CommitPolicy::Flexible, 4), Some(1));
+        // Window of 1 behaves like lowest-only.
+        assert_eq!(su.find_committable(CommitPolicy::Flexible, 1), None);
+    }
+
+    #[test]
+    fn commit_window_is_bounded() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        su.push_block(0, vec![entry(&mut tags, 0, 3)]); // not done
+        for tid in [1, 2, 3] {
+            su.push_block(tid, vec![entry(&mut tags, tid, 3)]); // not done
+        }
+        let mut done = entry(&mut tags, 4, 3);
+        done.state = EntryState::Done;
+        su.push_block(4, vec![done]); // 5th block: outside the 4-block window
+        assert_eq!(su.find_committable(CommitPolicy::Flexible, 4), None);
+    }
+
+    #[test]
+    fn any_older_scans_only_same_thread() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        let store = SuEntry::new(
+            tags.alloc().unwrap(),
+            0,
+            0,
+            Instruction::store(Reg::new(3), Reg::new(2), 0),
+            [Operand::Unused, Operand::Unused],
+        );
+        su.push_block(0, vec![store]);
+        su.push_block(1, vec![entry(&mut tags, 1, 3)]);
+        su.push_block(0, vec![entry(&mut tags, 0, 4)]);
+        // From thread 0's youngest entry, an older same-thread store exists.
+        assert!(su.any_older(0, 2, 0, |e| e.insn.op.fu_class() == FuClass::Store));
+        // From thread 1's entry, no older thread-1 store exists.
+        assert!(!su.any_older(1, 1, 0, |e| e.insn.op.fu_class() == FuClass::Store));
+        // The store cannot see itself.
+        assert!(!su.any_older(0, 0, 0, |e| e.insn.op.fu_class() == FuClass::Store));
+    }
+
+    #[test]
+    fn bottom_block_status_reports_commit_failure() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        assert_eq!(su.bottom_block_status(), None);
+        su.push_block(2, vec![entry(&mut tags, 2, 3)]);
+        assert_eq!(su.bottom_block_status(), Some((2, true)));
+        su.block_mut(0).entries[0].state = EntryState::Done;
+        assert_eq!(su.bottom_block_status(), Some((2, false)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixes threads")]
+    fn mixed_thread_block_rejected() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(2, 4);
+        let a = entry(&mut tags, 0, 3);
+        let b = entry(&mut tags, 1, 3);
+        su.push_block(0, vec![a, b]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Internal debugging aid: run a workload for N cycles and dump state.
+use smt_core::{SimConfig, Simulator};
+use smt_workloads::{workload, Scale, WorkloadKind};
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("ll3") => WorkloadKind::Ll3,
+        Some("ll5") => WorkloadKind::Ll5,
+        Some("laplace") => WorkloadKind::Laplace,
+        _ => WorkloadKind::Sieve,
+    };
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let w = workload(kind, Scale::Test);
+    let program = w.build(threads).unwrap();
+    let mut sim = Simulator::new(SimConfig::default().with_threads(threads), &program);
+    for _ in 0..200_000u64 {
+        if sim.finished() {
+            println!("finished at cycle {}", sim.cycle());
+            return;
+        }
+        sim.step().unwrap();
+    }
+    println!("STUCK:\n{}", sim.dump());
+}

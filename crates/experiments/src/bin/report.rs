@@ -1,0 +1,47 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p smt-experiments --bin report            # paper scale
+//! cargo run --release -p smt-experiments --bin report -- --test  # tiny inputs
+//! cargo run --release -p smt-experiments --bin report -- --json results.json
+//! ```
+
+use std::io::Write as _;
+
+use smt_experiments::figures;
+use smt_experiments::runner::Runner;
+use smt_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--test") { Scale::Test } else { Scale::Paper };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut runner = Runner::new(scale);
+    let mut tables = Vec::new();
+    for (name, generator) in figures::all() {
+        eprintln!("[report] generating {name} …");
+        let start = std::time::Instant::now();
+        let table = generator(&mut runner);
+        eprintln!(
+            "[report]   {name} done in {:.1}s ({} simulations so far)",
+            start.elapsed().as_secs_f64(),
+            runner.runs()
+        );
+        println!("{table}");
+        tables.push(table);
+    }
+    eprintln!("[report] total verified simulations: {}", runner.runs());
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&tables).expect("tables serialize");
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        f.write_all(json.as_bytes()).expect("write JSON");
+        eprintln!("[report] wrote {path}");
+    }
+}

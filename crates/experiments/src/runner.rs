@@ -1,0 +1,226 @@
+//! Memoizing simulation runner used by the figure generators.
+//!
+//! The paper's figures share many configuration points (the 4-thread
+//! True-RR default appears in nearly every one), so the runner caches
+//! results keyed by the swept dimensions. Every run is *verified* against
+//! the workload's reference checker before being cached — a figure can
+//! never be generated from a wrong-answer simulation.
+
+use std::collections::HashMap;
+
+use smt_core::{CommitPolicy, FetchPolicy, SimConfig, SimStats, Simulator};
+use smt_isa::FuClass;
+use smt_mem::CacheKind;
+use smt_uarch::FuConfig;
+use smt_workloads::{workload, Scale, WorkloadKind};
+
+/// The dimensions the paper sweeps, as a hashable cache key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RunKey {
+    /// Benchmark.
+    pub kind: WorkloadKind,
+    /// Resident threads.
+    pub threads: usize,
+    /// Fetch policy.
+    pub fetch: FetchPolicy,
+    /// Commit policy.
+    pub commit: CommitPolicy,
+    /// Cache organization.
+    pub cache: CacheKind,
+    /// Scheduling-unit depth in entries.
+    pub su_depth: usize,
+    /// Whether the enhanced ("++") functional-unit complement is used.
+    pub enhanced_fu: bool,
+}
+
+impl RunKey {
+    /// The paper's default configuration point for `kind`: 4 threads,
+    /// True Round Robin, flexible commit, 4-way cache, 32-entry SU,
+    /// default functional units.
+    #[must_use]
+    pub fn default_point(kind: WorkloadKind) -> Self {
+        RunKey {
+            kind,
+            threads: 4,
+            fetch: FetchPolicy::TrueRoundRobin,
+            commit: CommitPolicy::Flexible,
+            cache: CacheKind::SetAssociative,
+            su_depth: 32,
+            enhanced_fu: false,
+        }
+    }
+
+    /// The single-threaded base case of the same benchmark.
+    #[must_use]
+    pub fn base_case(kind: WorkloadKind) -> Self {
+        RunKey { threads: 1, ..Self::default_point(kind) }
+    }
+
+    /// Lowers the key to a full simulator configuration.
+    #[must_use]
+    pub fn to_config(self) -> SimConfig {
+        let fu = if self.enhanced_fu {
+            FuConfig::paper_enhanced()
+        } else {
+            FuConfig::paper_default()
+        };
+        SimConfig::default()
+            .with_threads(self.threads)
+            .with_fetch_policy(self.fetch)
+            .with_commit_policy(self.commit)
+            .with_cache_kind(self.cache)
+            .with_su_depth(self.su_depth)
+            .with_fu(fu)
+    }
+}
+
+/// Measurements kept from one verified run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Data-cache hit rate in percent.
+    pub hit_rate: f64,
+    /// Branch-prediction accuracy in percent.
+    pub branch_accuracy: f64,
+    /// Scheduling-unit stall cycles.
+    pub su_stalls: u64,
+    /// Full statistics (for Table 3's functional-unit usage etc.).
+    pub stats: SimStats,
+}
+
+/// Memoizing, self-verifying runner.
+pub struct Runner {
+    scale: Scale,
+    cache: HashMap<RunKey, RunOutcome>,
+    runs: u64,
+}
+
+impl Runner {
+    /// Creates a runner at the given problem scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        Runner { scale, cache: HashMap::new(), runs: 0 }
+    }
+
+    /// The problem scale in use.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Number of actual (non-memoized) simulations performed.
+    #[must_use]
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Runs (or recalls) the simulation at `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation errors or its architectural result fails the
+    /// workload checker — a figure must never be built from a broken run.
+    pub fn run(&mut self, key: RunKey) -> RunOutcome {
+        if let Some(hit) = self.cache.get(&key) {
+            return hit.clone();
+        }
+        let w = workload(key.kind, self.scale);
+        let program = w.build(key.threads).expect("kernel fits the partition");
+        let mut sim = Simulator::new(key.to_config(), &program);
+        let stats = sim
+            .run()
+            .unwrap_or_else(|e| panic!("{} at {key:?}: {e}", w.name()));
+        w.check(sim.memory().words())
+            .unwrap_or_else(|e| panic!("{} at {key:?}: wrong answer: {e}", w.name()));
+        let outcome = RunOutcome {
+            cycles: stats.cycles,
+            hit_rate: stats.cache.hit_rate(),
+            branch_accuracy: stats.branches.accuracy(),
+            su_stalls: stats.su_stall_cycles,
+            stats,
+        };
+        self.runs += 1;
+        self.cache.insert(key, outcome.clone());
+        outcome
+    }
+
+    /// Cycles at `key` (convenience).
+    pub fn cycles(&mut self, key: RunKey) -> u64 {
+        self.run(key).cycles
+    }
+
+    /// The paper's Table 3 metric at `key`: percentage of cycles the *extra*
+    /// unit of `class` was occupied.
+    pub fn extra_fu_usage(&mut self, key: RunKey, class: FuClass) -> f64 {
+        let o = self.run(key);
+        o.stats.fu.extra_unit_pct(class, o.cycles)
+    }
+
+    /// Runs a benchmark under an arbitrary configuration (for the ablation
+    /// and extension tables whose knobs lie outside [`RunKey`]). Not
+    /// memoized, but verified like every other run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation errors or fails its result check.
+    pub fn run_config(&mut self, kind: WorkloadKind, config: SimConfig) -> RunOutcome {
+        let w = workload(kind, self.scale);
+        let program = w.build(config.threads).expect("kernel fits the partition");
+        let mut sim = Simulator::new(config, &program);
+        let stats = sim.run().unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        w.check(sim.memory().words())
+            .unwrap_or_else(|e| panic!("{}: wrong answer: {e}", w.name()));
+        self.runs += 1;
+        RunOutcome {
+            cycles: stats.cycles,
+            hit_rate: stats.cache.hit_rate(),
+            branch_accuracy: stats.branches.accuracy(),
+            su_stalls: stats.su_stall_cycles,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_avoids_reruns() {
+        let mut r = Runner::new(Scale::Test);
+        let key = RunKey::default_point(WorkloadKind::Sieve);
+        let first = r.run(key);
+        let again = r.run(key);
+        assert_eq!(first.cycles, again.cycles);
+        assert_eq!(r.runs(), 1);
+    }
+
+    #[test]
+    fn default_and_base_points_differ_only_in_threads() {
+        let d = RunKey::default_point(WorkloadKind::Ll1);
+        let b = RunKey::base_case(WorkloadKind::Ll1);
+        assert_eq!(d.threads, 4);
+        assert_eq!(b.threads, 1);
+        assert_eq!(d.fetch, b.fetch);
+        assert_eq!(d.su_depth, b.su_depth);
+    }
+
+    #[test]
+    fn key_lowers_to_validated_config() {
+        let key = RunKey {
+            kind: WorkloadKind::Matrix,
+            threads: 6,
+            fetch: FetchPolicy::ConditionalSwitch,
+            commit: CommitPolicy::LowestOnly,
+            cache: CacheKind::DirectMapped,
+            su_depth: 48,
+            enhanced_fu: true,
+        };
+        let cfg = key.to_config();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.threads, 6);
+        assert_eq!(cfg.cache.ways, 1);
+        assert_eq!(cfg.fu.class(FuClass::Alu).count, 6);
+    }
+}

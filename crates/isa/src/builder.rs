@@ -1,0 +1,577 @@
+//! A program-construction DSL standing in for the paper's SDSP C compiler.
+//!
+//! The builder allocates thread-relative registers, lays out a data segment,
+//! resolves forward branch labels, and enforces the static register
+//! partition: [`ProgramBuilder::build`] fails if the kernel uses more
+//! registers than one thread's window of the 128-entry file provides.
+//!
+//! Kernels written against this builder follow the paper's *homogeneous
+//! multitasking* model: all threads run the same text, distinguishing
+//! themselves through the `tid` register ([`Reg::TID`]) seeded at reset.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::insn::Instruction;
+use crate::op::Opcode;
+use crate::program::{DataImage, Program, DATA_BASE};
+use crate::reg::Reg;
+use crate::semantics::from_f64;
+use crate::{window_size, MAX_THREADS, WORD_BYTES};
+
+/// A forward-referenceable code label.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Error produced by [`ProgramBuilder::build`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// The kernel allocated more registers than one thread's window holds.
+    RegisterBudget {
+        /// Registers the kernel allocated (including the two seeded ones).
+        used: usize,
+        /// Window size for the requested thread count.
+        window: usize,
+        /// Requested thread count.
+        threads: usize,
+    },
+    /// A label was referenced but never bound.
+    UnboundLabel(usize),
+    /// The program contains no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::RegisterBudget { used, window, threads } => write!(
+                f,
+                "kernel uses {used} registers but a {threads}-thread partition provides only {window}"
+            ),
+            BuildError::UnboundLabel(id) => write!(f, "label L{id} referenced but never bound"),
+            BuildError::EmptyProgram => f.write_str("program contains no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[derive(Clone, Debug)]
+enum Pending {
+    Ready(Instruction),
+    Branch { op: Opcode, rs1: Reg, rs2: Reg, label: Label },
+    Jump { label: Label },
+}
+
+/// Incrementally builds a [`Program`].
+///
+/// ```
+/// use smt_isa::builder::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let x = b.reg();
+/// let zero = b.reg();
+/// let loop_top = b.label();
+/// b.li(x, 3);
+/// b.li(zero, 0);
+/// b.bind(loop_top);
+/// b.addi(x, x, -1);
+/// b.bne(x, zero, loop_top);
+/// b.halt();
+/// let program = b.build(4)?;
+/// assert_eq!(program.entry(), 0);
+/// # Ok::<(), smt_isa::builder::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    code: Vec<Pending>,
+    next_reg: u8,
+    labels: Vec<Option<usize>>,
+    named: BTreeMap<String, usize>,
+    data_len: u64,
+    data_words: Vec<(u64, u64)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder. Registers [`Reg::TID`] and
+    /// [`Reg::NTHREADS`] are pre-allocated.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder { next_reg: Reg::FIRST_FREE.raw(), ..Default::default() }
+    }
+
+    // ---- registers ---------------------------------------------------------
+
+    /// Allocates a fresh thread-relative register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the full 128-register file is exhausted (the per-thread
+    /// budget is checked later, in [`build`](Self::build)).
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg::new(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates `n` fresh registers.
+    pub fn regs<const N: usize>(&mut self) -> [Reg; N] {
+        std::array::from_fn(|_| self.reg())
+    }
+
+    /// The register holding this thread's id at entry.
+    #[must_use]
+    pub fn tid_reg(&self) -> Reg {
+        Reg::TID
+    }
+
+    /// The register holding the thread count at entry.
+    #[must_use]
+    pub fn nthreads_reg(&self) -> Reg {
+        Reg::NTHREADS
+    }
+
+    /// Number of registers allocated so far (including the seeded two).
+    #[must_use]
+    pub fn regs_used(&self) -> usize {
+        self.next_reg as usize
+    }
+
+    // ---- labels ------------------------------------------------------------
+
+    /// Creates a new, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label L{} bound twice", label.0);
+        *slot = Some(self.code.len());
+    }
+
+    /// Creates and immediately binds a label, recording `name` for
+    /// disassembly.
+    pub fn named_label(&mut self, name: &str) -> Label {
+        let l = self.label();
+        self.bind(l);
+        self.named.insert(name.to_string(), self.code.len());
+        l
+    }
+
+    /// Current instruction index (where the next instruction will land).
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    // ---- data segment ------------------------------------------------------
+
+    /// Reserves `bytes` of zeroed data memory; returns its byte address
+    /// (8-byte aligned, at or above [`DATA_BASE`]).
+    pub fn alloc_zeroed(&mut self, bytes: u64) -> u64 {
+        let addr = DATA_BASE + self.data_len;
+        self.data_len += bytes.div_ceil(WORD_BYTES) * WORD_BYTES;
+        addr
+    }
+
+    /// Pads the data segment so the next allocation starts at a multiple of
+    /// `align` bytes — e.g. page-aligned arrays, as real allocators produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `align` is a power of two ≥ 8.
+    pub fn align_to(&mut self, align: u64) {
+        assert!(align.is_power_of_two() && align >= WORD_BYTES, "bad alignment {align}");
+        let next = DATA_BASE + self.data_len;
+        let aligned = next.div_ceil(align) * align;
+        self.data_len += aligned - next;
+    }
+
+    /// Places `values` in data memory as 64-bit words; returns the base
+    /// address.
+    pub fn data_u64(&mut self, values: &[u64]) -> u64 {
+        let base = self.alloc_zeroed(values.len() as u64 * WORD_BYTES);
+        for (i, &v) in values.iter().enumerate() {
+            if v != 0 {
+                self.data_words.push((base + i as u64 * WORD_BYTES, v));
+            }
+        }
+        base
+    }
+
+    /// Places `values` in data memory as IEEE-754 binary64 words.
+    pub fn data_f64(&mut self, values: &[f64]) -> u64 {
+        let words: Vec<u64> = values.iter().copied().map(from_f64).collect();
+        self.data_u64(&words)
+    }
+
+    /// Total bytes of data memory laid out so far.
+    #[must_use]
+    pub fn data_len(&self) -> u64 {
+        self.data_len
+    }
+
+    // ---- raw emission ------------------------------------------------------
+
+    /// Appends an already-formed instruction.
+    pub fn push(&mut self, insn: Instruction) {
+        self.code.push(Pending::Ready(insn));
+    }
+
+    fn r3(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Instruction::r3(op, rd, rs1, rs2));
+    }
+
+    fn i2(&mut self, op: Opcode, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Instruction::i2(op, rd, rs1, imm));
+    }
+
+    // ---- integer ALU -------------------------------------------------------
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Add, rd, rs1, rs2); }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Sub, rd, rs1, rs2); }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::And, rd, rs1, rs2); }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Or, rd, rs1, rs2); }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Xor, rd, rs1, rs2); }
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Sll, rd, rs1, rs2); }
+    /// `rd = rs1 >> rs2` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Srl, rd, rs1, rs2); }
+    /// `rd = rs1 >> rs2` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Sra, rd, rs1, rs2); }
+    /// `rd = (rs1 < rs2)` signed
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Slt, rd, rs1, rs2); }
+    /// `rd = (rs1 < rs2)` unsigned
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Sltu, rd, rs1, rs2); }
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Addi, rd, rs1, imm); }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Andi, rd, rs1, imm); }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Ori, rd, rs1, imm); }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Xori, rd, rs1, imm); }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Slli, rd, rs1, imm); }
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Srli, rd, rs1, imm); }
+    /// `rd = rs1 >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Srai, rd, rs1, imm); }
+    /// `rd = (rs1 < imm)` signed
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Slti, rd, rs1, imm); }
+    /// `rd = imm << 12` (sign-extended)
+    pub fn lui(&mut self, rd: Reg, imm: i32) { self.push(Instruction::i1(Opcode::Lui, rd, imm)); }
+    /// No-operation.
+    pub fn nop(&mut self) { self.push(Instruction::NOP); }
+    /// `rd = rs` (pseudo: `addi rd, rs, 0`)
+    pub fn mov(&mut self, rd: Reg, rs: Reg) { self.addi(rd, rs, 0); }
+
+    /// Materializes an arbitrary 64-bit constant into `rd`
+    /// (pseudo-instruction; expands to 1 + O(64/12) real instructions).
+    pub fn li(&mut self, rd: Reg, value: i64) {
+        self.li_rec(rd, value);
+    }
+
+    fn li_rec(&mut self, rd: Reg, v: i64) {
+        let lo12 = (v << 52) >> 52;
+        let hi = v.wrapping_sub(lo12) >> 12;
+        let hi_fits = (-(1 << 18)..(1 << 18)).contains(&hi);
+        if hi_fits {
+            self.lui(rd, hi as i32);
+        } else {
+            self.li_rec(rd, hi);
+            self.slli(rd, rd, 12);
+        }
+        if lo12 != 0 || (hi_fits && hi == 0) {
+            self.addi(rd, rd, lo12 as i32);
+        }
+    }
+
+    /// Materializes a floating-point constant's bit pattern into `rd`.
+    pub fn lif(&mut self, rd: Reg, value: f64) {
+        self.li(rd, from_f64(value) as i64);
+    }
+
+    // ---- multiply / divide ---------------------------------------------------
+
+    /// `rd = rs1 * rs2` (integer)
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Mul, rd, rs1, rs2); }
+    /// `rd = rs1 / rs2` (integer)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Div, rd, rs1, rs2); }
+    /// `rd = rs1 % rs2` (integer)
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Rem, rd, rs1, rs2); }
+
+    // ---- memory ----------------------------------------------------------------
+
+    /// `rd = mem[rs1 + disp]`
+    pub fn ld(&mut self, rd: Reg, base: Reg, disp: i32) {
+        self.push(Instruction::load(rd, base, disp));
+    }
+
+    /// `mem[rs1 + disp] = src`
+    pub fn sd(&mut self, src: Reg, base: Reg, disp: i32) {
+        self.push(Instruction::store(src, base, disp));
+    }
+
+    // ---- control transfer -------------------------------------------------------
+
+    fn branch(&mut self, op: Opcode, rs1: Reg, rs2: Reg, label: Label) {
+        self.code.push(Pending::Branch { op, rs1, rs2, label });
+    }
+
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) { self.branch(Opcode::Beq, rs1, rs2, label); }
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) { self.branch(Opcode::Bne, rs1, rs2, label); }
+    /// Branch to `label` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) { self.branch(Opcode::Blt, rs1, rs2, label); }
+    /// Branch to `label` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) { self.branch(Opcode::Bge, rs1, rs2, label); }
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: Label) {
+        self.code.push(Pending::Jump { label });
+    }
+
+    /// Retire this thread.
+    pub fn halt(&mut self) {
+        self.push(Instruction::halt());
+    }
+
+    // ---- floating point ----------------------------------------------------------
+
+    /// `rd = rs1 + rs2` (f64)
+    pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FAdd, rd, rs1, rs2); }
+    /// `rd = rs1 - rs2` (f64)
+    pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FSub, rd, rs1, rs2); }
+    /// `rd = rs1 * rs2` (f64)
+    pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FMul, rd, rs1, rs2); }
+    /// `rd = rs1 / rs2` (f64)
+    pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FDiv, rd, rs1, rs2); }
+    /// `rd = -rs1` (f64)
+    pub fn fneg(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::FNeg, rd, rs1)); }
+    /// `rd = |rs1|` (f64)
+    pub fn fabs(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::FAbs, rd, rs1)); }
+    /// `rd = sqrt(rs1)` (f64)
+    pub fn fsqrt(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::FSqrt, rd, rs1)); }
+    /// `rd = (rs1 < rs2)` (f64 compare, integer 0/1 result)
+    pub fn flt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FLt, rd, rs1, rs2); }
+    /// `rd = (rs1 <= rs2)` (f64 compare)
+    pub fn fle(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FLe, rd, rs1, rs2); }
+    /// `rd = (rs1 == rs2)` (f64 compare)
+    pub fn feq(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FEq, rd, rs1, rs2); }
+    /// `rd = f64(rs1 as i64)`
+    pub fn i2f(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::I2F, rd, rs1)); }
+    /// `rd = rs1 as i64` (truncating f64→int)
+    pub fn f2i(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::F2I, rd, rs1)); }
+
+    // ---- synchronization ------------------------------------------------------------
+
+    /// Spin until `mem[addr] >= value`.
+    pub fn wait(&mut self, addr: Reg, value: Reg) {
+        self.push(Instruction::wait(addr, value));
+    }
+
+    /// Atomically `mem[addr] += 1`.
+    pub fn post(&mut self, addr: Reg) {
+        self.push(Instruction::post(addr));
+    }
+
+    // ---- finalization -----------------------------------------------------------------
+
+    /// Resolves labels and produces the linked [`Program`] for an
+    /// `n_threads`-way register partition.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::RegisterBudget`] if the kernel does not fit one
+    ///   thread's register window,
+    /// * [`BuildError::UnboundLabel`] if a referenced label was never bound,
+    /// * [`BuildError::EmptyProgram`] if nothing was emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is outside `1..=`[`MAX_THREADS`].
+    pub fn build(&self, n_threads: usize) -> Result<Program, BuildError> {
+        assert!(
+            (1..=MAX_THREADS).contains(&n_threads),
+            "thread count {n_threads} out of range 1..={MAX_THREADS}"
+        );
+        if self.code.is_empty() {
+            return Err(BuildError::EmptyProgram);
+        }
+        let window = window_size(n_threads);
+        let used = self.regs_used();
+        if used > window {
+            return Err(BuildError::RegisterBudget { used, window, threads: n_threads });
+        }
+        let resolve = |label: Label| -> Result<i32, BuildError> {
+            self.labels[label.0]
+                .map(|i| i as i32)
+                .ok_or(BuildError::UnboundLabel(label.0))
+        };
+        let mut text = Vec::with_capacity(self.code.len());
+        for pending in &self.code {
+            let insn = match *pending {
+                Pending::Ready(insn) => insn,
+                Pending::Branch { op, rs1, rs2, label } => {
+                    Instruction::branch(op, rs1, rs2, resolve(label)?)
+                }
+                Pending::Jump { label } => Instruction::jump(resolve(label)?),
+            };
+            text.push(insn);
+        }
+        Ok(Program::new(text, 0, self.data_image()).with_labels(self.named.clone()))
+    }
+
+    fn data_image(&self) -> DataImage {
+        DataImage { size: DATA_BASE + self.data_len, words: self.data_words.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::semantics::as_f64;
+
+    #[test]
+    fn register_budget_enforced() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..30 {
+            let _ = b.reg();
+        }
+        b.halt();
+        // 32 registers used (2 seeded + 30): fits 4 threads (window 32)…
+        assert!(b.build(4).is_ok());
+        // …but not 6 threads (window 21).
+        match b.build(6) {
+            Err(BuildError::RegisterBudget { used, window, threads }) => {
+                assert_eq!((used, window, threads), (32, 21, 6));
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.j(l);
+        assert_eq!(b.build(1), Err(BuildError::UnboundLabel(0)));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let b = ProgramBuilder::new();
+        assert_eq!(b.build(1), Err(BuildError::EmptyProgram));
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let x = b.reg();
+        let end = b.label();
+        b.li(x, 0);
+        let top = b.named_label("top");
+        b.addi(x, x, 1);
+        let limit = b.reg();
+        b.li(limit, 3);
+        b.beq(x, limit, end);
+        b.j(top);
+        b.bind(end);
+        b.halt();
+        let p = b.build(2).unwrap();
+        // The `beq` target must be the instruction before `halt`… i.e. the
+        // bound position of `end`.
+        let beq = p.text().iter().find(|i| i.op == Opcode::Beq).unwrap();
+        assert_eq!(beq.imm as usize, p.len() - 1);
+        assert!(p.labels().contains_key("top"));
+    }
+
+    #[test]
+    fn li_materializes_constants_of_all_sizes() {
+        let values: Vec<i64> = vec![
+            0,
+            1,
+            -1,
+            2047,
+            2048,
+            -2048,
+            -2049,
+            0xfff,
+            0x1000,
+            0x12345,
+            -0x12345,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x0005_dead_beef,
+            i64::MAX,
+            i64::MIN,
+            from_f64(3.14159) as i64,
+        ];
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(values.len() as u64 * WORD_BYTES);
+        let (tmp, addr) = (b.reg(), b.reg());
+        for (i, &v) in values.iter().enumerate() {
+            b.li(tmp, v);
+            b.li(addr, (out + i as u64 * WORD_BYTES) as i64);
+            b.sd(tmp, addr, 0);
+        }
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        interp.run().unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(
+                interp.load_word(out + i as u64 * WORD_BYTES) as i64,
+                v,
+                "value #{i} = {v:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn lif_round_trips_floats() {
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(8);
+        let (v, a) = (b.reg(), b.reg());
+        b.lif(v, -2.5e-3);
+        b.li(a, out as i64);
+        b.sd(v, a, 0);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        interp.run().unwrap();
+        assert_eq!(as_f64(interp.load_word(out)), -2.5e-3);
+    }
+
+    #[test]
+    fn data_layout_is_sequential_and_aligned() {
+        let mut b = ProgramBuilder::new();
+        let a = b.data_u64(&[1, 2, 3]);
+        let c = b.data_f64(&[1.0]);
+        let z = b.alloc_zeroed(12); // rounds up to 16
+        let w = b.alloc_zeroed(8);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(c, DATA_BASE + 24);
+        assert_eq!(z, DATA_BASE + 32);
+        assert_eq!(w, DATA_BASE + 48);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let words = p.data().to_words();
+        assert_eq!(words[(a / 8) as usize + 1], 2);
+        assert_eq!(as_f64(words[(c / 8) as usize]), 1.0);
+    }
+}

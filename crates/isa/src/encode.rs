@@ -1,0 +1,315 @@
+//! Fixed 32-bit binary instruction encodings.
+//!
+//! The SDSP fetches blocks of four 32-bit instructions; this module defines
+//! a concrete encoding so programs can be stored, hashed, and round-tripped.
+//! The cycle simulator operates on decoded [`Instruction`]s for speed, but
+//! `Program::encode`/`decode` and the assembler exercise this layer, and the
+//! test-suite proves the round-trip is lossless.
+//!
+//! Layout (bit 31 is the MSB):
+//!
+//! | format    | `[31:26]` | `[25:19]` | `[18:12]` | `[11:5]` | `[11:0]` / other |
+//! |-----------|-----------|-----------|-----------|----------|------------------|
+//! | R3        | opcode    | rd        | rs1       | rs2      | —                |
+//! | U         | opcode    | rd        | rs1       | —        | —                |
+//! | I2 / Mem  | opcode    | rd        | rs1       | —        | imm12 (signed)   |
+//! | MemStore  | opcode    | rs2       | rs1       | —        | imm12 (signed)   |
+//! | Branch    | opcode    | rs1       | rs2       | —        | imm12 (signed, PC-relative) |
+//! | I1 (lui)  | opcode    | rd        | imm19 (signed, `[18:0]`)                 |
+//! | Jump      | opcode    | imm26 (signed, `[25:0]`, PC-relative)               |
+//! | S2 (wait) | opcode    | —         | rs1       | rs2      | —                |
+//! | S1 / None | opcode    | —         | rs1       | —        | —                |
+
+use std::fmt;
+
+use crate::insn::Instruction;
+use crate::op::{Format, Opcode};
+use crate::reg::Reg;
+
+/// Error produced when an instruction cannot be encoded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// An immediate or PC-relative offset does not fit its field.
+    ImmOutOfRange {
+        /// The opcode being encoded.
+        op: Opcode,
+        /// The offending (possibly PC-relative) immediate.
+        imm: i64,
+        /// Width of the destination field in bits.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { op, imm, bits } => {
+                write!(f, "immediate {imm} of `{op}` does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced when a 32-bit word is not a valid instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The opcode field does not name an instruction.
+    BadOpcode(u32),
+    /// A register field exceeds the register-file size.
+    BadRegister(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(v) => write!(f, "invalid opcode field {v:#x}"),
+            DecodeError::BadRegister(v) => write!(f, "invalid register field {v}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_SHIFT: u32 = 26;
+const RD_SHIFT: u32 = 19;
+const RS1_SHIFT: u32 = 12;
+const RS2_SHIFT: u32 = 5;
+const REG_MASK: u32 = 0x7f;
+
+fn fit_signed(op: Opcode, value: i64, bits: u32) -> Result<u32, EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(EncodeError::ImmOutOfRange { op, imm: value, bits });
+    }
+    Ok((value as u32) & ((1u32 << bits) - 1))
+}
+
+fn sext(field: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((field << shift) as i32) >> shift
+}
+
+/// Encodes `insn`, located at instruction index `pc`, into a 32-bit word.
+///
+/// `pc` is needed because branch/jump targets are stored PC-relative in the
+/// binary form but held as absolute indices in [`Instruction::imm`].
+///
+/// # Errors
+///
+/// Returns [`EncodeError::ImmOutOfRange`] if an immediate or branch offset
+/// does not fit its field.
+pub fn encode(insn: &Instruction, pc: u32) -> Result<u32, EncodeError> {
+    let op = insn.op;
+    let opbits = (op as u32) << OP_SHIFT;
+    let rd = u32::from(insn.rd.raw()) << RD_SHIFT;
+    let rs1 = u32::from(insn.rs1.raw()) << RS1_SHIFT;
+    let rs2 = u32::from(insn.rs2.raw()) << RS2_SHIFT;
+    let word = match op.format() {
+        Format::R3 => opbits | rd | rs1 | rs2,
+        Format::U => opbits | rd | rs1,
+        Format::I2 | Format::Mem => opbits | rd | rs1 | fit_signed(op, i64::from(insn.imm), 12)?,
+        Format::MemStore => {
+            opbits
+                | (u32::from(insn.rs2.raw()) << RD_SHIFT)
+                | rs1
+                | fit_signed(op, i64::from(insn.imm), 12)?
+        }
+        Format::Branch => {
+            let rel = i64::from(insn.imm) - i64::from(pc);
+            opbits
+                | (u32::from(insn.rs1.raw()) << RD_SHIFT)
+                | (u32::from(insn.rs2.raw()) << RS1_SHIFT)
+                | fit_signed(op, rel, 12)?
+        }
+        Format::I1 => opbits | rd | fit_signed(op, i64::from(insn.imm), 19)?,
+        Format::Jump => {
+            let rel = i64::from(insn.imm) - i64::from(pc);
+            opbits | fit_signed(op, rel, 26)?
+        }
+        Format::S2 => opbits | rs1 | rs2,
+        Format::S1 => opbits | rs1,
+        Format::None => opbits,
+    };
+    Ok(word)
+}
+
+fn reg_field(word: u32, shift: u32) -> Result<Reg, DecodeError> {
+    let v = (word >> shift) & REG_MASK;
+    if (v as usize) < crate::REG_FILE_SIZE {
+        Ok(Reg::new(v as u8))
+    } else {
+        Err(DecodeError::BadRegister(v))
+    }
+}
+
+/// Decodes the 32-bit word at instruction index `pc`.
+///
+/// # Errors
+///
+/// Returns an error if the opcode field is unassigned or a register field is
+/// out of range.
+pub fn decode(word: u32, pc: u32) -> Result<Instruction, DecodeError> {
+    let opidx = (word >> OP_SHIFT) as usize;
+    let op = *Opcode::ALL.get(opidx).ok_or(DecodeError::BadOpcode(opidx as u32))?;
+    let insn = match op.format() {
+        Format::R3 => Instruction {
+            op,
+            rd: reg_field(word, RD_SHIFT)?,
+            rs1: reg_field(word, RS1_SHIFT)?,
+            rs2: reg_field(word, RS2_SHIFT)?,
+            imm: 0,
+        },
+        Format::U => Instruction {
+            op,
+            rd: reg_field(word, RD_SHIFT)?,
+            rs1: reg_field(word, RS1_SHIFT)?,
+            rs2: Reg::default(),
+            imm: 0,
+        },
+        Format::I2 | Format::Mem => Instruction {
+            op,
+            rd: reg_field(word, RD_SHIFT)?,
+            rs1: reg_field(word, RS1_SHIFT)?,
+            rs2: Reg::default(),
+            imm: sext(word & 0xfff, 12),
+        },
+        Format::MemStore => Instruction {
+            op,
+            rd: Reg::default(),
+            rs1: reg_field(word, RS1_SHIFT)?,
+            rs2: reg_field(word, RD_SHIFT)?,
+            imm: sext(word & 0xfff, 12),
+        },
+        Format::Branch => Instruction {
+            op,
+            rd: Reg::default(),
+            rs1: reg_field(word, RD_SHIFT)?,
+            rs2: reg_field(word, RS1_SHIFT)?,
+            imm: sext(word & 0xfff, 12).wrapping_add(pc as i32),
+        },
+        Format::I1 => Instruction {
+            op,
+            rd: reg_field(word, RD_SHIFT)?,
+            rs1: Reg::default(),
+            rs2: Reg::default(),
+            imm: sext(word & 0x7ffff, 19),
+        },
+        Format::Jump => Instruction {
+            op,
+            rd: Reg::default(),
+            rs1: Reg::default(),
+            rs2: Reg::default(),
+            imm: sext(word & 0x3ff_ffff, 26).wrapping_add(pc as i32),
+        },
+        Format::S2 => Instruction {
+            op,
+            rd: Reg::default(),
+            rs1: reg_field(word, RS1_SHIFT)?,
+            rs2: reg_field(word, RS2_SHIFT)?,
+            imm: 0,
+        },
+        Format::S1 => Instruction {
+            op,
+            rd: Reg::default(),
+            rs1: reg_field(word, RS1_SHIFT)?,
+            rs2: Reg::default(),
+            imm: 0,
+        },
+        Format::None => Instruction { op, ..Instruction::NOP },
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Format;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        let cases = [
+            (Instruction::r3(Opcode::Add, r(3), r(1), r(2)), 0),
+            (Instruction::r3(Opcode::FMul, r(20), r(19), r(18)), 5),
+            (Instruction::i2(Opcode::Addi, r(4), r(4), -2048), 0),
+            (Instruction::i2(Opcode::Slli, r(4), r(5), 63), 0),
+            (Instruction::i1(Opcode::Lui, r(6), -262144), 0),
+            (Instruction::load(r(7), r(8), 2047), 9),
+            (Instruction::store(r(9), r(10), -1), 9),
+            (Instruction::branch(Opcode::Bne, r(1), r(2), 100), 102),
+            (Instruction::jump(0), 33_000_000),
+            (Instruction::unary(Opcode::FNeg, r(11), r(12)), 1),
+            (Instruction::wait(r(13), r(14)), 2),
+            (Instruction::post(r(15)), 3),
+            (Instruction::halt(), 4),
+            (Instruction::NOP, 0),
+        ];
+        for (insn, pc) in cases {
+            let word = encode(&insn, pc).unwrap_or_else(|e| panic!("{insn}: {e}"));
+            let back = decode(word, pc).unwrap_or_else(|e| panic!("{insn}: {e}"));
+            assert_eq!(back, insn, "round trip of `{insn}` at pc {pc}");
+        }
+    }
+
+    #[test]
+    fn branch_offset_limits() {
+        let near = Instruction::branch(Opcode::Beq, r(0), r(0), 2047);
+        assert!(encode(&near, 0).is_ok());
+        let far = Instruction::branch(Opcode::Beq, r(0), r(0), 2048);
+        assert_eq!(
+            encode(&far, 0),
+            Err(EncodeError::ImmOutOfRange { op: Opcode::Beq, imm: 2048, bits: 12 })
+        );
+        // Backwards from a large PC is fine as long as the *relative* offset fits.
+        let back = Instruction::branch(Opcode::Beq, r(0), r(0), 10_000);
+        assert!(encode(&back, 10_100).is_ok());
+    }
+
+    #[test]
+    fn immediate_limits() {
+        assert!(encode(&Instruction::i2(Opcode::Addi, r(0), r(0), 2047), 0).is_ok());
+        assert!(encode(&Instruction::i2(Opcode::Addi, r(0), r(0), 2048), 0).is_err());
+        assert!(encode(&Instruction::i2(Opcode::Addi, r(0), r(0), -2048), 0).is_ok());
+        assert!(encode(&Instruction::i2(Opcode::Addi, r(0), r(0), -2049), 0).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let word = 63u32 << 26;
+        assert_eq!(decode(word, 0), Err(DecodeError::BadOpcode(63)));
+    }
+
+    #[test]
+    fn every_opcode_round_trips_with_default_operands() {
+        for &op in Opcode::ALL {
+            let insn = match op.format() {
+                Format::R3 => Instruction::r3(op, r(1), r(2), r(3)),
+                Format::I2 => Instruction::i2(op, r(1), r(2), 5),
+                Format::I1 => Instruction::i1(op, r(1), 5),
+                Format::Mem => Instruction::load(r(1), r(2), 8),
+                Format::MemStore => Instruction::store(r(1), r(2), 8),
+                Format::Branch => Instruction::branch(op, r(1), r(2), 12),
+                Format::Jump => Instruction::jump(12),
+                Format::S2 => Instruction::wait(r(1), r(2)),
+                Format::S1 => Instruction::post(r(1)),
+                Format::U => Instruction::unary(op, r(1), r(2)),
+                Format::None => Instruction { op, ..Instruction::NOP },
+            };
+            let word = encode(&insn, 10).unwrap();
+            assert_eq!(decode(word, 10).unwrap(), insn, "{op}");
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = EncodeError::ImmOutOfRange { op: Opcode::Addi, imm: 9999, bits: 12 };
+        assert_eq!(err.to_string(), "immediate 9999 of `addi` does not fit in 12 bits");
+        assert_eq!(DecodeError::BadOpcode(63).to_string(), "invalid opcode field 0x3f");
+    }
+}

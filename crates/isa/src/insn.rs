@@ -1,0 +1,182 @@
+//! The decoded instruction representation the simulators operate on.
+
+use std::fmt;
+
+use crate::op::{Format, Opcode};
+use crate::reg::Reg;
+
+/// A decoded instruction.
+///
+/// Fields that an opcode's [`Format`] does not use are ignored (and kept at
+/// their `Default` values by the constructors). Branch and jump targets are
+/// stored as *absolute* instruction indices in `imm` — the
+/// [`encoder`](crate::encode) converts to PC-relative offsets and back, and
+/// the [`ProgramBuilder`](crate::builder::ProgramBuilder) resolves labels to
+/// absolute indices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register (if [`Opcode::has_dest`]).
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Immediate: ALU immediate, memory displacement in bytes, or absolute
+    /// branch/jump target (instruction index).
+    pub imm: i32,
+}
+
+impl Default for Opcode {
+    fn default() -> Self {
+        Opcode::Nop
+    }
+}
+
+impl Instruction {
+    /// A no-operation.
+    pub const NOP: Instruction = Instruction {
+        op: Opcode::Nop,
+        rd: Reg::TID,
+        rs1: Reg::TID,
+        rs2: Reg::TID,
+        imm: 0,
+    };
+
+    /// Three-register instruction (`op rd, rs1, rs2`).
+    #[must_use]
+    pub fn r3(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Self {
+        debug_assert_eq!(op.format(), Format::R3);
+        Instruction { op, rd, rs1, rs2, imm: 0 }
+    }
+
+    /// Register-immediate instruction (`op rd, rs1, imm`).
+    #[must_use]
+    pub fn i2(op: Opcode, rd: Reg, rs1: Reg, imm: i32) -> Self {
+        debug_assert_eq!(op.format(), Format::I2);
+        Instruction { op, rd, rs1, rs2: Reg::default(), imm }
+    }
+
+    /// Destination-immediate instruction (`lui rd, imm`).
+    #[must_use]
+    pub fn i1(op: Opcode, rd: Reg, imm: i32) -> Self {
+        debug_assert_eq!(op.format(), Format::I1);
+        Instruction { op, rd, rs1: Reg::default(), rs2: Reg::default(), imm }
+    }
+
+    /// Load (`ld rd, imm(rs1)`).
+    #[must_use]
+    pub fn load(rd: Reg, base: Reg, disp: i32) -> Self {
+        Instruction { op: Opcode::Ld, rd, rs1: base, rs2: Reg::default(), imm: disp }
+    }
+
+    /// Store (`sd rs2, imm(rs1)`).
+    #[must_use]
+    pub fn store(src: Reg, base: Reg, disp: i32) -> Self {
+        Instruction { op: Opcode::Sd, rd: Reg::default(), rs1: base, rs2: src, imm: disp }
+    }
+
+    /// Conditional branch to absolute instruction index `target`.
+    #[must_use]
+    pub fn branch(op: Opcode, rs1: Reg, rs2: Reg, target: i32) -> Self {
+        debug_assert_eq!(op.format(), Format::Branch);
+        Instruction { op, rd: Reg::default(), rs1, rs2, imm: target }
+    }
+
+    /// Unconditional jump to absolute instruction index `target`.
+    #[must_use]
+    pub fn jump(target: i32) -> Self {
+        Instruction { op: Opcode::J, rd: Reg::default(), rs1: Reg::default(), rs2: Reg::default(), imm: target }
+    }
+
+    /// Unary register instruction (`op rd, rs1`).
+    #[must_use]
+    pub fn unary(op: Opcode, rd: Reg, rs1: Reg) -> Self {
+        debug_assert_eq!(op.format(), Format::U);
+        Instruction { op, rd, rs1, rs2: Reg::default(), imm: 0 }
+    }
+
+    /// `wait rs1, rs2` — spin until `mem[rs1] >= rs2`.
+    #[must_use]
+    pub fn wait(addr: Reg, value: Reg) -> Self {
+        Instruction { op: Opcode::Wait, rd: Reg::default(), rs1: addr, rs2: value, imm: 0 }
+    }
+
+    /// `post rs1` — atomic `mem[rs1] += 1`.
+    #[must_use]
+    pub fn post(addr: Reg) -> Self {
+        Instruction { op: Opcode::Post, rd: Reg::default(), rs1: addr, rs2: Reg::default(), imm: 0 }
+    }
+
+    /// `halt` — retire this thread.
+    #[must_use]
+    pub fn halt() -> Self {
+        Instruction { op: Opcode::Halt, ..Instruction::NOP }
+    }
+
+    /// The destination register, if the opcode writes one.
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        self.op.has_dest().then_some(self.rd)
+    }
+
+    /// Source registers actually read by this instruction (0, 1, or 2).
+    #[must_use]
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        [
+            self.op.reads_rs1().then_some(self.rs1),
+            self.op.reads_rs2().then_some(self.rs2),
+        ]
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op.format() {
+            Format::R3 => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            Format::I2 => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+            Format::I1 => write!(f, "{m} {}, {}", self.rd, self.imm),
+            Format::Mem => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            Format::MemStore => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            Format::Branch => write!(f, "{m} {}, {}, {}", self.rs1, self.rs2, self.imm),
+            Format::Jump => write!(f, "{m} {}", self.imm),
+            Format::S2 => write!(f, "{m} {}, {}", self.rs1, self.rs2),
+            Format::S1 => write!(f, "{m} {}", self.rs1),
+            Format::U => write!(f, "{m} {}, {}", self.rd, self.rs1),
+            Format::None => f.write_str(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let r = |i| Reg::new(i);
+        assert_eq!(Instruction::r3(Opcode::Add, r(3), r(1), r(2)).to_string(), "add r3, r1, r2");
+        assert_eq!(Instruction::load(r(4), r(2), 8).to_string(), "ld r4, 8(r2)");
+        assert_eq!(Instruction::store(r(4), r(2), -8).to_string(), "sd r4, -8(r2)");
+        assert_eq!(Instruction::branch(Opcode::Beq, r(1), r(2), 7).to_string(), "beq r1, r2, 7");
+        assert_eq!(Instruction::halt().to_string(), "halt");
+        assert_eq!(Instruction::NOP.to_string(), "nop");
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let r = |i| Reg::new(i);
+        let add = Instruction::r3(Opcode::Add, r(3), r(1), r(2));
+        assert_eq!(add.dest(), Some(r(3)));
+        assert_eq!(add.sources(), [Some(r(1)), Some(r(2))]);
+
+        let st = Instruction::store(r(4), r(2), 0);
+        assert_eq!(st.dest(), None);
+        assert_eq!(st.sources(), [Some(r(2)), Some(r(4))]);
+
+        let lui = Instruction::i1(Opcode::Lui, r(5), 10);
+        assert_eq!(lui.sources(), [None, None]);
+    }
+}

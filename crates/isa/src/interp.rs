@@ -1,0 +1,482 @@
+//! Functional (instruction-at-a-time) reference interpreter.
+//!
+//! This is the correctness oracle for the cycle-accurate simulator in
+//! `smt-core`: both consume the same [`Program`] and the same
+//! [`semantics`](crate::semantics), so any divergence in final architectural
+//! state indicates a pipeline bug (lost writeback, bad forwarding, squash
+//! leak, …). The interpreter steps threads round-robin, which is a legal
+//! interleaving of the paper's parallel model because kernels only
+//! communicate through the explicit `WAIT`/`POST` primitives.
+
+use std::fmt;
+
+use crate::insn::Instruction;
+use crate::op::Opcode;
+use crate::program::Program;
+use crate::semantics::{alu_result, branch_taken, effective_addr, Value};
+use crate::{window_size, WORD_BYTES};
+
+/// Error raised during functional execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// A load/store touched memory outside the data image.
+    OutOfBounds {
+        /// Faulting byte address.
+        addr: u64,
+        /// Thread that faulted.
+        tid: usize,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// A load/store address was not 8-byte aligned.
+    Unaligned {
+        /// Faulting byte address.
+        addr: u64,
+        /// Thread that faulted.
+        tid: usize,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Control flow left the text segment.
+    PcOutOfRange {
+        /// Thread whose PC escaped.
+        tid: usize,
+        /// The bad PC.
+        pc: usize,
+    },
+    /// Every live thread is blocked on `WAIT` — the program can never finish.
+    Deadlock,
+    /// The step budget was exhausted before all threads halted.
+    FuelExhausted {
+        /// Steps executed before giving up.
+        steps: u64,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfBounds { addr, tid, pc } => {
+                write!(f, "thread {tid} at pc {pc}: access to {addr:#x} outside data memory")
+            }
+            InterpError::Unaligned { addr, tid, pc } => {
+                write!(f, "thread {tid} at pc {pc}: unaligned access to {addr:#x}")
+            }
+            InterpError::PcOutOfRange { tid, pc } => {
+                write!(f, "thread {tid}: pc {pc} outside text segment")
+            }
+            InterpError::Deadlock => f.write_str("all live threads blocked on wait"),
+            InterpError::FuelExhausted { steps } => {
+                write!(f, "step budget exhausted after {steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Outcome of stepping one thread once.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Progress {
+    /// An instruction retired.
+    Stepped,
+    /// The thread is blocked on an unsatisfied `WAIT`.
+    Blocked,
+    /// The thread has halted.
+    Halted,
+}
+
+/// Summary statistics of a completed functional run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct InterpStats {
+    /// Instructions retired per thread (`WAIT` counted once, on success).
+    pub retired: Vec<u64>,
+    /// Total round-robin steps taken, including blocked polls.
+    pub steps: u64,
+}
+
+impl InterpStats {
+    /// Total instructions retired across all threads.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.retired.iter().sum()
+    }
+}
+
+/// The functional interpreter.
+///
+/// See the [crate docs](crate) for a worked example.
+#[derive(Clone, Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    mem: Vec<u64>,
+    regs: Vec<Value>,
+    window: usize,
+    pcs: Vec<usize>,
+    halted: Vec<bool>,
+    retired: Vec<u64>,
+    fuel: u64,
+}
+
+/// Default step budget: generous for every workload in the suite while still
+/// catching runaway programs in well under a second.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with `n_threads` resident threads, all entering
+    /// at [`Program::entry`] with `tid`/`nthreads` seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is outside `1..=`[`crate::MAX_THREADS`].
+    #[must_use]
+    pub fn new(program: &'p Program, n_threads: usize) -> Self {
+        let window = window_size(n_threads);
+        let mut regs = vec![0u64; window * n_threads];
+        for tid in 0..n_threads {
+            regs[tid * window] = tid as u64;
+            regs[tid * window + 1] = n_threads as u64;
+        }
+        Interp {
+            program,
+            mem: program.data().to_words(),
+            regs,
+            window,
+            pcs: vec![program.entry(); n_threads],
+            halted: vec![false; n_threads],
+            retired: vec![0; n_threads],
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Replaces the step budget used by [`run`](Self::run).
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Number of resident threads.
+    #[must_use]
+    pub fn n_threads(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Register `r` of thread `tid`.
+    #[must_use]
+    pub fn reg(&self, tid: usize, r: crate::Reg) -> Value {
+        assert!(r.index() < self.window, "register {r} outside the thread window");
+        self.regs[tid * self.window + r.index()]
+    }
+
+    /// The entire physical register file (thread windows concatenated).
+    #[must_use]
+    pub fn reg_file(&self) -> &[Value] {
+        &self.regs
+    }
+
+    /// Data memory as words.
+    #[must_use]
+    pub fn mem_words(&self) -> &[u64] {
+        &self.mem
+    }
+
+    /// Reads the word at byte address `addr` (test convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-bounds addresses.
+    #[must_use]
+    pub fn load_word(&self, addr: u64) -> u64 {
+        assert_eq!(addr % WORD_BYTES, 0, "unaligned address {addr:#x}");
+        self.mem[(addr / WORD_BYTES) as usize]
+    }
+
+    /// Whether thread `tid` has executed `halt`.
+    #[must_use]
+    pub fn is_halted(&self, tid: usize) -> bool {
+        self.halted[tid]
+    }
+
+    /// Whether all threads have halted.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.halted.iter().all(|&h| h)
+    }
+
+    fn mem_index(&self, addr: u64, tid: usize, pc: usize) -> Result<usize, InterpError> {
+        if !addr.is_multiple_of(WORD_BYTES) {
+            return Err(InterpError::Unaligned { addr, tid, pc });
+        }
+        let idx = (addr / WORD_BYTES) as usize;
+        if idx >= self.mem.len() {
+            return Err(InterpError::OutOfBounds { addr, tid, pc });
+        }
+        Ok(idx)
+    }
+
+    fn read_reg(&self, tid: usize, r: crate::Reg) -> Value {
+        self.regs[tid * self.window + r.index()]
+    }
+
+    fn write_reg(&mut self, tid: usize, r: crate::Reg, v: Value) {
+        self.regs[tid * self.window + r.index()] = v;
+    }
+
+    /// Executes one instruction (or poll) on thread `tid`.
+    ///
+    /// # Errors
+    ///
+    /// Memory faults and PC escapes; see [`InterpError`].
+    pub fn step_thread(&mut self, tid: usize) -> Result<Progress, InterpError> {
+        if self.halted[tid] {
+            return Ok(Progress::Halted);
+        }
+        let pc = self.pcs[tid];
+        let insn: Instruction = *self
+            .program
+            .fetch(pc)
+            .ok_or(InterpError::PcOutOfRange { tid, pc })?;
+        let a = if insn.op.reads_rs1() { self.read_reg(tid, insn.rs1) } else { 0 };
+        let b = if insn.op.reads_rs2() { self.read_reg(tid, insn.rs2) } else { 0 };
+        match insn.op {
+            Opcode::Ld => {
+                let addr = effective_addr(a, insn.imm);
+                let idx = self.mem_index(addr, tid, pc)?;
+                let v = self.mem[idx];
+                self.write_reg(tid, insn.rd, v);
+                self.pcs[tid] = pc + 1;
+            }
+            Opcode::Sd => {
+                let addr = effective_addr(a, insn.imm);
+                let idx = self.mem_index(addr, tid, pc)?;
+                self.mem[idx] = b;
+                self.pcs[tid] = pc + 1;
+            }
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => {
+                self.pcs[tid] = if branch_taken(insn.op, a, b) {
+                    insn.imm as usize
+                } else {
+                    pc + 1
+                };
+            }
+            Opcode::J => {
+                self.pcs[tid] = insn.imm as usize;
+            }
+            Opcode::Halt => {
+                self.halted[tid] = true;
+                self.retired[tid] += 1;
+                return Ok(Progress::Halted);
+            }
+            Opcode::Wait => {
+                let idx = self.mem_index(a, tid, pc)?;
+                if (self.mem[idx] as i64) >= (b as i64) {
+                    self.pcs[tid] = pc + 1;
+                } else {
+                    return Ok(Progress::Blocked);
+                }
+            }
+            Opcode::Post => {
+                let idx = self.mem_index(a, tid, pc)?;
+                self.mem[idx] = self.mem[idx].wrapping_add(1);
+                self.pcs[tid] = pc + 1;
+            }
+            _ => {
+                let v = alu_result(insn.op, a, b, insn.imm);
+                if let Some(rd) = insn.dest() {
+                    self.write_reg(tid, rd, v);
+                }
+                self.pcs[tid] = pc + 1;
+            }
+        }
+        self.retired[tid] += 1;
+        Ok(Progress::Stepped)
+    }
+
+    /// Runs all threads round-robin to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults, and reports [`InterpError::Deadlock`] if
+    /// every live thread is simultaneously blocked, or
+    /// [`InterpError::FuelExhausted`] if the budget runs out.
+    pub fn run(&mut self) -> Result<InterpStats, InterpError> {
+        let n = self.n_threads();
+        let mut steps: u64 = 0;
+        while !self.finished() {
+            let mut any_progress = false;
+            let mut any_live = false;
+            for tid in 0..n {
+                if self.halted[tid] {
+                    continue;
+                }
+                any_live = true;
+                steps += 1;
+                if steps > self.fuel {
+                    return Err(InterpError::FuelExhausted { steps });
+                }
+                match self.step_thread(tid)? {
+                    Progress::Stepped | Progress::Halted => any_progress = true,
+                    Progress::Blocked => {}
+                }
+            }
+            if any_live && !any_progress {
+                return Err(InterpError::Deadlock);
+            }
+        }
+        Ok(InterpStats { retired: self.retired.clone(), steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn run(program: &Program, n: usize) -> Interp<'_> {
+        let mut i = Interp::new(program, n);
+        i.run().unwrap();
+        i
+    }
+
+    #[test]
+    fn threads_see_their_own_tid() {
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(6 * 8);
+        let addr = b.reg();
+        b.slli(addr, b.tid_reg(), 3);
+        b.addi(addr, addr, out as i32);
+        b.sd(b.tid_reg(), addr, 0);
+        b.halt();
+        let p = b.build(3).unwrap();
+        let i = run(&p, 3);
+        for tid in 0..3 {
+            assert_eq!(i.load_word(out + tid * 8), tid);
+        }
+    }
+
+    #[test]
+    fn loop_sums_integers() {
+        // sum = 1 + 2 + … + 10, single thread
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(8);
+        let [sum, i, limit, addr] = b.regs();
+        b.li(sum, 0);
+        b.li(i, 1);
+        b.li(limit, 11);
+        let top = b.label();
+        b.bind(top);
+        b.add(sum, sum, i);
+        b.addi(i, i, 1);
+        b.blt(i, limit, top);
+        b.li(addr, out as i64);
+        b.sd(sum, addr, 0);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let interp = run(&p, 1);
+        assert_eq!(interp.load_word(out), 55);
+    }
+
+    #[test]
+    fn wait_post_synchronize_two_threads() {
+        // Thread 0 writes 42 then posts; thread 1 waits then copies.
+        let mut b = ProgramBuilder::new();
+        let flag = b.alloc_zeroed(8);
+        let slot = b.alloc_zeroed(8);
+        let out = b.alloc_zeroed(8);
+        let [fl, sl, ou, v, one, zero] = b.regs();
+        b.li(fl, flag as i64);
+        b.li(sl, slot as i64);
+        b.li(ou, out as i64);
+        b.li(one, 1);
+        b.li(zero, 0);
+        let reader = b.label();
+        b.bne(b.tid_reg(), zero, reader);
+        // writer (tid 0)
+        b.li(v, 42);
+        b.sd(v, sl, 0);
+        b.post(fl);
+        b.halt();
+        // reader (tid 1)
+        b.bind(reader);
+        b.wait(fl, one);
+        b.ld(v, sl, 0);
+        b.sd(v, ou, 0);
+        b.halt();
+        let p = b.build(2).unwrap();
+        let interp = run(&p, 2);
+        assert_eq!(interp.load_word(out), 42);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut b = ProgramBuilder::new();
+        let flag = b.alloc_zeroed(8);
+        let [fl, target] = b.regs();
+        b.li(fl, flag as i64);
+        b.li(target, 1);
+        b.wait(fl, target); // nobody ever posts
+        b.halt();
+        let p = b.build(2).unwrap();
+        let mut interp = Interp::new(&p, 2);
+        assert_eq!(interp.run(), Err(InterpError::Deadlock));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_detected() {
+        let mut b = ProgramBuilder::new();
+        let top = b.named_label("spin");
+        b.j(top);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1).with_fuel(1000);
+        assert!(matches!(interp.run(), Err(InterpError::FuelExhausted { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_store_faults() {
+        let mut b = ProgramBuilder::new();
+        let r = b.reg();
+        b.li(r, 1 << 40);
+        b.sd(r, r, 0);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        assert!(matches!(interp.run(), Err(InterpError::OutOfBounds { tid: 0, .. })));
+    }
+
+    #[test]
+    fn unaligned_load_faults() {
+        let mut b = ProgramBuilder::new();
+        let _buf = b.alloc_zeroed(16);
+        let r = b.reg();
+        b.li(r, (crate::program::DATA_BASE + 4) as i64);
+        b.ld(r, r, 0);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        assert!(matches!(interp.run(), Err(InterpError::Unaligned { .. })));
+    }
+
+    #[test]
+    fn retired_counts_are_tracked_per_thread() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.nop();
+        b.halt();
+        let p = b.build(2).unwrap();
+        let mut interp = Interp::new(&p, 2);
+        let stats = interp.run().unwrap();
+        assert_eq!(stats.retired, vec![3, 3]);
+        assert_eq!(stats.total_retired(), 6);
+    }
+
+    #[test]
+    fn pc_escape_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.nop(); // falls off the end
+        let p = b.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        assert_eq!(interp.run(), Err(InterpError::PcOutOfRange { tid: 0, pc: 1 }));
+    }
+}

@@ -1,0 +1,324 @@
+//! Opcodes and the functional-unit classes that execute them.
+
+use std::fmt;
+
+/// The class of functional unit an instruction executes on.
+///
+/// These are exactly the rows of the paper's Table 1 (functional-unit
+/// configuration), plus a dedicated synchronization unit for the explicit
+/// `WAIT`/`POST` primitives of the homogeneous-multitasking model (the paper
+/// treats those as a special instruction class that can trigger a context
+/// switch under the Conditional Switch fetch policy).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FuClass {
+    /// Single-cycle integer ALU.
+    Alu,
+    /// Integer multiplier.
+    IntMul,
+    /// Iterative integer divider (unpipelined).
+    IntDiv,
+    /// Load unit (address generation + data-cache access).
+    Load,
+    /// Store unit (address generation + store-buffer entry).
+    Store,
+    /// Control-transfer unit (branches, jumps, halt).
+    Ctu,
+    /// Floating-point adder (also comparisons and conversions).
+    FpAdd,
+    /// Floating-point multiplier.
+    FpMul,
+    /// Iterative floating-point divider / square root (unpipelined).
+    FpDiv,
+    /// Synchronization unit for `WAIT`/`POST`.
+    Sync,
+}
+
+impl FuClass {
+    /// All classes, in Table 1 order followed by the sync unit.
+    pub const ALL: [FuClass; 10] = [
+        FuClass::Alu,
+        FuClass::IntMul,
+        FuClass::IntDiv,
+        FuClass::Load,
+        FuClass::Store,
+        FuClass::Ctu,
+        FuClass::FpAdd,
+        FuClass::FpMul,
+        FuClass::FpDiv,
+        FuClass::Sync,
+    ];
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FuClass::Alu => "Integer ALU",
+            FuClass::IntMul => "Integer Multiply",
+            FuClass::IntDiv => "Integer Divide",
+            FuClass::Load => "Load Unit",
+            FuClass::Store => "Store Unit",
+            FuClass::Ctu => "Control Transfer",
+            FuClass::FpAdd => "FP Add",
+            FuClass::FpMul => "FP Multiply",
+            FuClass::FpDiv => "FP Divide",
+            FuClass::Sync => "Sync Unit",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Instruction operand format, used by the encoder and assembler.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Format {
+    /// `op rd, rs1, rs2`
+    R3,
+    /// `op rd, rs1, imm`
+    I2,
+    /// `op rd, imm` (e.g. `lui`)
+    I1,
+    /// `op rd, imm(rs1)` — loads
+    Mem,
+    /// `op rs2, imm(rs1)` — stores (no destination)
+    MemStore,
+    /// `op rs1, rs2, target` — conditional branches
+    Branch,
+    /// `op target` — unconditional jump
+    Jump,
+    /// `op rs1, rs2` — two sources, no destination (`wait`)
+    S2,
+    /// `op rs1` — one source, no destination (`post`)
+    S1,
+    /// `op rd, rs1` — one source, one destination (unary ops)
+    U,
+    /// `op` — no operands (`nop`, `halt`)
+    None,
+}
+
+macro_rules! opcodes {
+    ($( $variant:ident => ($mnemonic:literal, $class:expr, $format:expr) ),+ $(,)?) => {
+        /// Every instruction of the SDSP-like ISA.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $( $variant ),+
+        }
+
+        impl Opcode {
+            /// All opcodes, in encoding order.
+            pub const ALL: &'static [Opcode] = &[ $( Opcode::$variant ),+ ];
+
+            /// Assembler mnemonic.
+            #[must_use]
+            pub fn mnemonic(self) -> &'static str {
+                match self { $( Opcode::$variant => $mnemonic ),+ }
+            }
+
+            /// Functional-unit class this opcode executes on.
+            #[must_use]
+            pub fn fu_class(self) -> FuClass {
+                match self { $( Opcode::$variant => $class ),+ }
+            }
+
+            /// Operand format of this opcode.
+            #[must_use]
+            pub fn format(self) -> Format {
+                match self { $( Opcode::$variant => $format ),+ }
+            }
+
+            /// Looks an opcode up by its assembler mnemonic.
+            #[must_use]
+            pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+                match s { $( $mnemonic => Some(Opcode::$variant), )+ _ => None }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // Integer ALU -----------------------------------------------------------
+    Add  => ("add",  FuClass::Alu, Format::R3),
+    Sub  => ("sub",  FuClass::Alu, Format::R3),
+    And  => ("and",  FuClass::Alu, Format::R3),
+    Or   => ("or",   FuClass::Alu, Format::R3),
+    Xor  => ("xor",  FuClass::Alu, Format::R3),
+    Sll  => ("sll",  FuClass::Alu, Format::R3),
+    Srl  => ("srl",  FuClass::Alu, Format::R3),
+    Sra  => ("sra",  FuClass::Alu, Format::R3),
+    Slt  => ("slt",  FuClass::Alu, Format::R3),
+    Sltu => ("sltu", FuClass::Alu, Format::R3),
+    Addi => ("addi", FuClass::Alu, Format::I2),
+    Andi => ("andi", FuClass::Alu, Format::I2),
+    Ori  => ("ori",  FuClass::Alu, Format::I2),
+    Xori => ("xori", FuClass::Alu, Format::I2),
+    Slli => ("slli", FuClass::Alu, Format::I2),
+    Srli => ("srli", FuClass::Alu, Format::I2),
+    Srai => ("srai", FuClass::Alu, Format::I2),
+    Slti => ("slti", FuClass::Alu, Format::I2),
+    Lui  => ("lui",  FuClass::Alu, Format::I1),
+    Nop  => ("nop",  FuClass::Alu, Format::None),
+    // Integer multiply / divide ----------------------------------------------
+    Mul  => ("mul",  FuClass::IntMul, Format::R3),
+    Div  => ("div",  FuClass::IntDiv, Format::R3),
+    Rem  => ("rem",  FuClass::IntDiv, Format::R3),
+    // Memory ------------------------------------------------------------------
+    Ld   => ("ld",   FuClass::Load,  Format::Mem),
+    Sd   => ("sd",   FuClass::Store, Format::MemStore),
+    // Control transfer ----------------------------------------------------------
+    Beq  => ("beq",  FuClass::Ctu, Format::Branch),
+    Bne  => ("bne",  FuClass::Ctu, Format::Branch),
+    Blt  => ("blt",  FuClass::Ctu, Format::Branch),
+    Bge  => ("bge",  FuClass::Ctu, Format::Branch),
+    J    => ("j",    FuClass::Ctu, Format::Jump),
+    Halt => ("halt", FuClass::Ctu, Format::None),
+    // Floating point ------------------------------------------------------------
+    FAdd => ("fadd", FuClass::FpAdd, Format::R3),
+    FSub => ("fsub", FuClass::FpAdd, Format::R3),
+    FNeg => ("fneg", FuClass::FpAdd, Format::U),
+    FAbs => ("fabs", FuClass::FpAdd, Format::U),
+    FLt  => ("flt",  FuClass::FpAdd, Format::R3),
+    FLe  => ("fle",  FuClass::FpAdd, Format::R3),
+    FEq  => ("feq",  FuClass::FpAdd, Format::R3),
+    I2F  => ("i2f",  FuClass::FpAdd, Format::U),
+    F2I  => ("f2i",  FuClass::FpAdd, Format::U),
+    FMul => ("fmul", FuClass::FpMul, Format::R3),
+    FDiv => ("fdiv", FuClass::FpDiv, Format::R3),
+    FSqrt => ("fsqrt", FuClass::FpDiv, Format::U),
+    // Synchronization ------------------------------------------------------------
+    Wait => ("wait", FuClass::Sync, Format::S2),
+    Post => ("post", FuClass::Sync, Format::S1),
+}
+
+impl Opcode {
+    /// Whether this opcode writes a destination register.
+    #[must_use]
+    pub fn has_dest(self) -> bool {
+        matches!(
+            self.format(),
+            Format::R3 | Format::I2 | Format::I1 | Format::Mem | Format::U
+        )
+    }
+
+    /// Whether this opcode reads `rs1`.
+    #[must_use]
+    pub fn reads_rs1(self) -> bool {
+        !matches!(self.format(), Format::I1 | Format::Jump | Format::None)
+    }
+
+    /// Whether this opcode reads `rs2`.
+    #[must_use]
+    pub fn reads_rs2(self) -> bool {
+        matches!(
+            self.format(),
+            Format::R3 | Format::MemStore | Format::Branch | Format::S2
+        )
+    }
+
+    /// Whether this is a control-transfer operation (executes on the CTU).
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        self.fu_class() == FuClass::Ctu
+    }
+
+    /// Whether this is a conditional branch (needs prediction).
+    #[must_use]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// Whether decoding this opcode triggers a context switch under the
+    /// Conditional Switch fetch policy (Section 5.1: integer divide, floating
+    /// point multiply or divide, a synchronization primitive).
+    #[must_use]
+    pub fn triggers_cswitch(self) -> bool {
+        matches!(
+            self.fu_class(),
+            FuClass::IntDiv | FuClass::FpMul | FuClass::FpDiv | FuClass::Sync
+        )
+    }
+
+    /// Whether the opcode touches data memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self.fu_class(), FuClass::Load | FuClass::Store)
+    }
+
+    /// Whether the opcode is a synchronization primitive.
+    #[must_use]
+    pub fn is_sync(self) -> bool {
+        self.fu_class() == FuClass::Sync
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_round_trips() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op);
+        }
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(Opcode::J.is_control());
+        assert!(!Opcode::J.is_cond_branch());
+        assert!(Opcode::Halt.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn cswitch_triggers_match_paper_list() {
+        // "integer divide, floating point multiply or divide, a
+        // synchronization primitive" — and nothing else.
+        for &op in Opcode::ALL {
+            let expected = matches!(
+                op,
+                Opcode::Div
+                    | Opcode::Rem
+                    | Opcode::FMul
+                    | Opcode::FDiv
+                    | Opcode::FSqrt
+                    | Opcode::Wait
+                    | Opcode::Post
+            );
+            assert_eq!(op.triggers_cswitch(), expected, "{op}");
+        }
+    }
+
+    #[test]
+    fn dest_and_source_flags_are_consistent_with_format() {
+        assert!(Opcode::Ld.has_dest());
+        assert!(!Opcode::Sd.has_dest());
+        assert!(Opcode::Sd.reads_rs2());
+        assert!(!Opcode::Lui.reads_rs1());
+        assert!(Opcode::Wait.reads_rs2());
+        assert!(!Opcode::Post.reads_rs2());
+        assert!(!Opcode::Halt.has_dest());
+    }
+
+    #[test]
+    fn fu_classes_cover_table1() {
+        use std::collections::HashSet;
+        let used: HashSet<FuClass> = Opcode::ALL.iter().map(|o| o.fu_class()).collect();
+        for class in FuClass::ALL {
+            assert!(used.contains(&class), "no opcode uses {class}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Thread-relative architectural register names.
+
+use std::fmt;
+
+/// A thread-relative architectural register.
+///
+/// Instructions name registers inside the executing thread's static window of
+/// the 128-entry shared register file; the hardware adds `tid * window_size`
+/// to form the physical index. Two conventional registers are seeded by the
+/// reset sequence (mirroring the paper's runtime start-up code):
+///
+/// * [`Reg::TID`] holds the thread's own id (`0..n_threads`),
+/// * [`Reg::NTHREADS`] holds the number of resident threads.
+///
+/// ```
+/// use smt_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Register seeded with the executing thread's id at reset.
+    pub const TID: Reg = Reg(0);
+    /// Register seeded with the thread count at reset.
+    pub const NTHREADS: Reg = Reg(1);
+    /// First register free for allocation by the program builder.
+    pub const FIRST_FREE: Reg = Reg(2);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not below [`crate::REG_FILE_SIZE`] (a register
+    /// name can never exceed the physical file even in a 1-thread partition).
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < crate::REG_FILE_SIZE,
+            "register index {index} exceeds file size {}",
+            crate::REG_FILE_SIZE
+        );
+        Reg(index)
+    }
+
+    /// The thread-relative index of this register.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw `u8` index, for encoders.
+    #[must_use]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_registers() {
+        assert_eq!(Reg::TID.index(), 0);
+        assert_eq!(Reg::NTHREADS.index(), 1);
+        assert_eq!(Reg::FIRST_FREE.index(), 2);
+    }
+
+    #[test]
+    fn display_is_r_prefixed() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds file size")]
+    fn rejects_out_of_file_index() {
+        let _ = Reg::new(200);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Reg::new(3) < Reg::new(4));
+    }
+}

@@ -1,0 +1,187 @@
+//! Architectural semantics shared by the functional interpreter and the
+//! cycle-accurate simulator.
+//!
+//! Keeping evaluation in one place guarantees the two simulators can never
+//! disagree about *what* an instruction computes — only about *when*.
+
+use crate::op::Opcode;
+
+/// Register value. Integers are two's-complement `i64` stored as `u64`;
+/// floating point is IEEE-754 binary64 stored by bit pattern.
+pub type Value = u64;
+
+/// Reinterprets a register value as `f64`.
+#[must_use]
+pub fn as_f64(v: Value) -> f64 {
+    f64::from_bits(v)
+}
+
+/// Reinterprets an `f64` as a register value.
+#[must_use]
+pub fn from_f64(x: f64) -> Value {
+    x.to_bits()
+}
+
+/// Computes the result of a register-writing, non-memory instruction.
+///
+/// `a` and `b` are the (renamed) source operand values; `imm` is the
+/// instruction immediate. Memory, control, and sync opcodes are *not*
+/// evaluated here.
+///
+/// Shift amounts are taken modulo 64. Integer division by zero yields
+/// all-ones (`u64::MAX`), and remainder by zero yields the dividend,
+/// mirroring common RISC behaviour so no architectural exception model is
+/// needed for the paper's workloads.
+///
+/// # Panics
+///
+/// Panics if called with a memory, control-transfer, or sync opcode.
+#[must_use]
+pub fn alu_result(op: Opcode, a: Value, b: Value, imm: i32) -> Value {
+    let ia = a as i64;
+    let ib = b as i64;
+    let im = i64::from(imm);
+    let fa = as_f64(a);
+    let fb = as_f64(b);
+    match op {
+        Opcode::Add => ia.wrapping_add(ib) as u64,
+        Opcode::Sub => ia.wrapping_sub(ib) as u64,
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Sll => a.wrapping_shl(b as u32 & 63),
+        Opcode::Srl => a.wrapping_shr(b as u32 & 63),
+        Opcode::Sra => (ia.wrapping_shr(b as u32 & 63)) as u64,
+        Opcode::Slt => u64::from(ia < ib),
+        Opcode::Sltu => u64::from(a < b),
+        Opcode::Addi => ia.wrapping_add(im) as u64,
+        Opcode::Andi => a & (im as u64),
+        Opcode::Ori => a | (im as u64),
+        Opcode::Xori => a ^ (im as u64),
+        Opcode::Slli => a.wrapping_shl(imm as u32 & 63),
+        Opcode::Srli => a.wrapping_shr(imm as u32 & 63),
+        Opcode::Srai => (ia.wrapping_shr(imm as u32 & 63)) as u64,
+        Opcode::Slti => u64::from(ia < im),
+        Opcode::Lui => im.wrapping_shl(12) as u64,
+        Opcode::Nop => 0,
+        Opcode::Mul => ia.wrapping_mul(ib) as u64,
+        Opcode::Div => {
+            if ib == 0 {
+                u64::MAX
+            } else {
+                ia.wrapping_div(ib) as u64
+            }
+        }
+        Opcode::Rem => {
+            if ib == 0 {
+                a
+            } else {
+                ia.wrapping_rem(ib) as u64
+            }
+        }
+        Opcode::FAdd => from_f64(fa + fb),
+        Opcode::FSub => from_f64(fa - fb),
+        Opcode::FNeg => from_f64(-fa),
+        Opcode::FAbs => from_f64(fa.abs()),
+        Opcode::FLt => u64::from(fa < fb),
+        Opcode::FLe => u64::from(fa <= fb),
+        Opcode::FEq => u64::from(fa == fb),
+        Opcode::I2F => from_f64(ia as f64),
+        Opcode::F2I => (fa as i64) as u64,
+        Opcode::FMul => from_f64(fa * fb),
+        Opcode::FDiv => from_f64(fa / fb),
+        Opcode::FSqrt => from_f64(fa.sqrt()),
+        other => panic!("alu_result called with non-computational opcode {other}"),
+    }
+}
+
+/// Whether a conditional branch is taken given its source operand values.
+///
+/// # Panics
+///
+/// Panics if `op` is not a conditional branch.
+#[must_use]
+pub fn branch_taken(op: Opcode, a: Value, b: Value) -> bool {
+    let ia = a as i64;
+    let ib = b as i64;
+    match op {
+        Opcode::Beq => a == b,
+        Opcode::Bne => a != b,
+        Opcode::Blt => ia < ib,
+        Opcode::Bge => ia >= ib,
+        other => panic!("branch_taken called with non-branch opcode {other}"),
+    }
+}
+
+/// Effective byte address of a load/store: `base + displacement`.
+#[must_use]
+pub fn effective_addr(base: Value, disp: i32) -> u64 {
+    (base as i64).wrapping_add(i64::from(disp)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops() {
+        assert_eq!(alu_result(Opcode::Add, 2, 3, 0), 5);
+        assert_eq!(alu_result(Opcode::Sub, 2, 3, 0) as i64, -1);
+        assert_eq!(alu_result(Opcode::Addi, 10, 0, -4), 6);
+        assert_eq!(alu_result(Opcode::Slt, (-1i64) as u64, 0, 0), 1);
+        assert_eq!(alu_result(Opcode::Sltu, (-1i64) as u64, 0, 0), 0);
+        assert_eq!(alu_result(Opcode::Slli, 3, 0, 4), 48);
+        assert_eq!(alu_result(Opcode::Srai, (-16i64) as u64, 0, 2) as i64, -4);
+        assert_eq!(alu_result(Opcode::Mul, 7, 6, 0), 42);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        assert_eq!(alu_result(Opcode::Div, 7, 2, 0), 3);
+        assert_eq!(alu_result(Opcode::Div, 7, 0, 0), u64::MAX);
+        assert_eq!(alu_result(Opcode::Rem, 7, 0, 0), 7);
+        assert_eq!(alu_result(Opcode::Rem, 7, 2, 0), 1);
+        // i64::MIN / -1 must not trap.
+        let min = i64::MIN as u64;
+        assert_eq!(alu_result(Opcode::Div, min, (-1i64) as u64, 0), min);
+    }
+
+    #[test]
+    fn lui_shifts_by_12_and_sign_extends() {
+        assert_eq!(alu_result(Opcode::Lui, 0, 0, 1), 0x1000);
+        assert_eq!(alu_result(Opcode::Lui, 0, 0, -1) as i64, -0x1000);
+    }
+
+    #[test]
+    fn float_ops_round_trip_bits() {
+        let a = from_f64(1.5);
+        let b = from_f64(2.25);
+        assert_eq!(as_f64(alu_result(Opcode::FAdd, a, b, 0)), 3.75);
+        assert_eq!(as_f64(alu_result(Opcode::FMul, a, b, 0)), 3.375);
+        assert_eq!(as_f64(alu_result(Opcode::FDiv, b, a, 0)), 1.5);
+        assert_eq!(as_f64(alu_result(Opcode::FSqrt, from_f64(9.0), 0, 0)), 3.0);
+        assert_eq!(alu_result(Opcode::FLt, a, b, 0), 1);
+        assert_eq!(alu_result(Opcode::F2I, from_f64(-2.7), 0, 0) as i64, -2);
+        assert_eq!(as_f64(alu_result(Opcode::I2F, (-3i64) as u64, 0, 0)), -3.0);
+    }
+
+    #[test]
+    fn branches() {
+        assert!(branch_taken(Opcode::Beq, 4, 4));
+        assert!(!branch_taken(Opcode::Bne, 4, 4));
+        assert!(branch_taken(Opcode::Blt, (-1i64) as u64, 0));
+        assert!(branch_taken(Opcode::Bge, 0, (-1i64) as u64));
+    }
+
+    #[test]
+    fn effective_addr_wraps_signed() {
+        assert_eq!(effective_addr(100, -8), 92);
+        assert_eq!(effective_addr(0, 16), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-computational")]
+    fn alu_rejects_loads() {
+        let _ = alu_result(Opcode::Ld, 0, 0, 0);
+    }
+}

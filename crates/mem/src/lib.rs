@@ -1,0 +1,26 @@
+//! Memory-subsystem models for the SMT superscalar simulator.
+//!
+//! Three pieces, matching the paper's hardware configuration (Table 2):
+//!
+//! * [`memory::MainMemory`] — flat, word-granular backing store holding the
+//!   *architectural* contents of data memory.
+//! * [`cache::DataCache`] — an 8 KB LRU cache (4-way set-associative or
+//!   direct-mapped) used purely as a *timing* model: tags and replacement
+//!   state are tracked exactly, but data always flows through to
+//!   [`memory::MainMemory`], so a timing-model bug can never corrupt
+//!   architectural state. The cache services one line refill while
+//!   continuing to provide data, and a second miss blocks requests until the
+//!   outstanding refill completes — the paper's exact design point
+//!   (Section 5.3).
+//! * [`store_buffer::StoreBuffer`] — the 8-entry buffer between the
+//!   scheduling unit and the cache; stores sit here from execute until their
+//!   scheduling-unit entry is shifted out (the paper's "restricted
+//!   load/store policy"), with load forwarding.
+
+pub mod cache;
+pub mod memory;
+pub mod store_buffer;
+
+pub use cache::{CacheConfig, CacheKind, CacheStats, DataCache, Outcome};
+pub use memory::{MainMemory, MemError};
+pub use store_buffer::{StoreBuffer, StoreEntry};

@@ -1,0 +1,21 @@
+//! Microarchitecture building blocks shared by the SMT pipeline.
+//!
+//! * [`predictor::BranchPredictor`] — the paper's 2-bit hardware predictor
+//!   with a *single* BTB shared by all threads ("only one BTB is maintained,
+//!   regardless of the number of threads … it yielded prediction accuracies
+//!   upwards of 85% for all applications").
+//! * [`fu::FuPool`] — the functional-unit complement of Table 1, with the
+//!   default and "enhanced" configurations and per-unit occupancy counters
+//!   used to regenerate Table 3.
+//! * [`tags::TagAllocator`] — globally unique renaming tags: "the renaming
+//!   hardware continues to allocate tags as if all instructions belonged to
+//!   the same thread, and does not reuse one until its previous occurrence is
+//!   no longer in use."
+
+pub mod fu;
+pub mod predictor;
+pub mod tags;
+
+pub use fu::{FuConfig, FuPool};
+pub use predictor::{BranchPredictor, Prediction};
+pub use tags::{Tag, TagAllocator};

@@ -1,0 +1,156 @@
+//! Globally unique renaming tags.
+//!
+//! The decoder "assigns a unique tag to each and every valid instruction
+//! decoded, irrespective of the thread … and does not reuse one until its
+//! previous occurrence is no longer in use." Uniqueness across threads is
+//! what lets the scheduling unit's wakeup logic ignore thread IDs entirely
+//! (Section 3.3) — the key hardware-economy argument of the paper.
+//!
+//! The allocator hands out identifiers from a bounded pool (hardware has
+//! finitely many tag encodings) and checks the no-reuse-while-live invariant
+//! in debug builds.
+
+use std::fmt;
+
+/// A renaming tag. Values are opaque; only equality matters to the pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tag(u64);
+
+impl Tag {
+    /// The raw identifier (stable for the lifetime of the allocation).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Bounded allocator of unique tags.
+///
+/// ```
+/// use smt_uarch::TagAllocator;
+///
+/// let mut tags = TagAllocator::new(2);
+/// let a = tags.alloc().unwrap();
+/// let b = tags.alloc().unwrap();
+/// assert_ne!(a, b);
+/// assert!(tags.alloc().is_none(), "pool exhausted");
+/// tags.free(a);
+/// assert!(tags.alloc().is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TagAllocator {
+    capacity: usize,
+    live: usize,
+    next: u64,
+    #[cfg(debug_assertions)]
+    outstanding: std::collections::HashSet<u64>,
+}
+
+impl TagAllocator {
+    /// Creates an allocator with `capacity` simultaneously live tags
+    /// (typically the scheduling-unit depth — one tag per resident entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tag capacity must be positive");
+        TagAllocator {
+            capacity,
+            live: 0,
+            next: 0,
+            #[cfg(debug_assertions)]
+            outstanding: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Allocates a tag, or `None` if `capacity` tags are already live.
+    pub fn alloc(&mut self) -> Option<Tag> {
+        if self.live == self.capacity {
+            return None;
+        }
+        let tag = Tag(self.next);
+        self.next = self.next.wrapping_add(1);
+        self.live += 1;
+        #[cfg(debug_assertions)]
+        debug_assert!(self.outstanding.insert(tag.0), "tag {tag} reused while live");
+        Some(tag)
+    }
+
+    /// Returns `tag` to the pool.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics on double-free or foreign tags.
+    pub fn free(&mut self, tag: Tag) {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.outstanding.remove(&tag.0), "freeing unallocated tag {tag}");
+        #[cfg(not(debug_assertions))]
+        let _ = tag;
+        self.live -= 1;
+    }
+
+    /// Number of live tags.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Maximum simultaneously live tags.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique_across_free_boundaries() {
+        let mut t = TagAllocator::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let tag = t.alloc().unwrap();
+            assert!(seen.insert(tag), "tag {tag} repeated");
+            t.free(tag);
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_live_tags() {
+        let mut t = TagAllocator::new(3);
+        let a = t.alloc().unwrap();
+        let _b = t.alloc().unwrap();
+        let _c = t.alloc().unwrap();
+        assert_eq!(t.live(), 3);
+        assert!(t.alloc().is_none());
+        t.free(a);
+        assert_eq!(t.live(), 2);
+        assert!(t.alloc().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    #[cfg(debug_assertions)]
+    fn double_free_caught_in_debug() {
+        let mut t = TagAllocator::new(2);
+        let a = t.alloc().unwrap();
+        t.free(a);
+        t.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = TagAllocator::new(0);
+    }
+}

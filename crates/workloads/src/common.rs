@@ -1,0 +1,285 @@
+//! Shared code-generation helpers and result checking.
+
+use std::fmt;
+
+use smt_isa::builder::ProgramBuilder;
+use smt_isa::semantics::as_f64;
+use smt_isa::{Reg, WORD_BYTES};
+
+/// Error produced by a workload checker.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CheckError {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// What differed.
+    pub detail: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.benchmark, self.detail)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Read-only view over architectural memory words.
+#[derive(Clone, Copy, Debug)]
+pub struct MemView<'a> {
+    words: &'a [u64],
+}
+
+impl<'a> MemView<'a> {
+    /// Wraps a word array (index = byte address / 8).
+    #[must_use]
+    pub fn new(words: &'a [u64]) -> Self {
+        MemView { words }
+    }
+
+    /// The word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses.
+    #[must_use]
+    pub fn word(&self, addr: u64) -> u64 {
+        assert_eq!(addr % WORD_BYTES, 0, "unaligned address {addr:#x}");
+        self.words[(addr / WORD_BYTES) as usize]
+    }
+
+    /// The `f64` at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses.
+    #[must_use]
+    pub fn f64(&self, addr: u64) -> f64 {
+        as_f64(self.word(addr))
+    }
+}
+
+/// Relative/absolute floating-point comparison. Kernels and references
+/// perform identical IEEE-754 operations in identical order, so results are
+/// bit-equal in practice; the tolerance only guards against benign
+/// reassociation if a kernel is ever optimized.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+/// Compares an `f64` output array against its reference.
+///
+/// # Errors
+///
+/// Reports the first mismatching element.
+pub fn check_f64_array(
+    benchmark: &'static str,
+    label: &str,
+    mem: MemView<'_>,
+    base: u64,
+    expected: &[f64],
+) -> Result<(), CheckError> {
+    for (i, &want) in expected.iter().enumerate() {
+        let got = mem.f64(base + i as u64 * WORD_BYTES);
+        if !approx_eq(got, want) {
+            return Err(CheckError {
+                benchmark,
+                detail: format!("{label}[{i}] = {got}, expected {want}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Compares a `u64` output array against its reference.
+///
+/// # Errors
+///
+/// Reports the first mismatching element.
+pub fn check_u64_array(
+    benchmark: &'static str,
+    label: &str,
+    mem: MemView<'_>,
+    base: u64,
+    expected: &[u64],
+) -> Result<(), CheckError> {
+    for (i, &want) in expected.iter().enumerate() {
+        let got = mem.word(base + i as u64 * WORD_BYTES);
+        if got != want {
+            return Err(CheckError {
+                benchmark,
+                detail: format!("{label}[{i}] = {got}, expected {want}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic pseudo-random data in roughly `[0.1, 1.1)` — stands in for
+/// the benchmark input sets without pulling in an RNG.
+#[must_use]
+pub fn synth(i: usize) -> f64 {
+    0.1 + ((i.wrapping_mul(37) + 11) % 101) as f64 * 0.01
+}
+
+/// Emits a counted loop: `for (; i < limit; i += 1) body`, with one branch
+/// per iteration (bottom-tested, top-guarded). `i` and `limit` must be
+/// live registers; `i` advances by 1 per iteration.
+pub fn for_range(
+    b: &mut ProgramBuilder,
+    i: Reg,
+    limit: Reg,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    let end = b.label();
+    let top = b.label();
+    b.bge(i, limit, end);
+    b.bind(top);
+    body(b);
+    b.addi(i, i, 1);
+    b.blt(i, limit, top);
+    b.bind(end);
+}
+
+/// Emits the block partition of `[0, n)` for this thread:
+/// `lo = tid * (n / nthreads)`, `hi = lo + chunk`, with the last thread
+/// absorbing the remainder. Clobbers `scratch`.
+pub fn emit_partition(b: &mut ProgramBuilder, n: Reg, lo: Reg, hi: Reg, scratch: Reg) {
+    let keep = b.label();
+    b.div(scratch, n, b.nthreads_reg()); // chunk
+    b.mul(lo, b.tid_reg(), scratch);
+    b.add(hi, lo, scratch);
+    b.addi(scratch, b.tid_reg(), 1);
+    b.bne(scratch, b.nthreads_reg(), keep);
+    b.mov(hi, n); // last thread takes the remainder
+    b.bind(keep);
+}
+
+/// Emits a one-shot barrier: arrive (`post`) then wait until all
+/// `target` arrivals are visible. `bar` holds the barrier counter's address
+/// and `target` the arrival count to wait for (typically `nthreads`).
+pub fn emit_barrier(b: &mut ProgramBuilder, bar: Reg, target: Reg) {
+    b.post(bar);
+    b.wait(bar, target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::interp::Interp;
+
+    #[test]
+    fn for_range_executes_exact_count() {
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(8);
+        let [i, limit, acc, addr] = b.regs();
+        b.li(i, 3);
+        b.li(limit, 10);
+        b.li(acc, 0);
+        for_range(&mut b, i, limit, |b| b.addi(acc, acc, 1));
+        b.li(addr, out as i64);
+        b.sd(acc, addr, 0);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        interp.run().unwrap();
+        assert_eq!(interp.load_word(out), 7);
+    }
+
+    #[test]
+    fn for_range_skips_empty_ranges() {
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(8);
+        let [i, limit, acc, addr] = b.regs();
+        b.li(i, 5);
+        b.li(limit, 5);
+        b.li(acc, 0);
+        for_range(&mut b, i, limit, |b| b.addi(acc, acc, 1));
+        b.li(addr, out as i64);
+        b.sd(acc, addr, 0);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        interp.run().unwrap();
+        assert_eq!(interp.load_word(out), 0);
+    }
+
+    #[test]
+    fn partition_covers_range_without_overlap() {
+        // Each thread marks its [lo, hi) slice; afterwards every element
+        // must be marked exactly once.
+        for threads in [1usize, 2, 3, 5, 6] {
+            let n = 23u64;
+            let mut b = ProgramBuilder::new();
+            let marks = b.alloc_zeroed(n * 8);
+            let [nreg, lo, hi, scratch, addr, v] = b.regs();
+            b.li(nreg, n as i64);
+            emit_partition(&mut b, nreg, lo, hi, scratch);
+            for_range(&mut b, lo, hi, |b| {
+                b.slli(addr, lo, 3);
+                b.addi(addr, addr, marks as i32);
+                b.ld(v, addr, 0);
+                b.addi(v, v, 1);
+                b.sd(v, addr, 0);
+            });
+            b.halt();
+            let p = b.build(threads).unwrap();
+            let mut interp = Interp::new(&p, threads);
+            interp.run().unwrap();
+            for k in 0..n {
+                assert_eq!(
+                    interp.load_word(marks + k * 8),
+                    1,
+                    "element {k} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_threads() {
+        // Each thread adds 1 to a counter before the barrier; after the
+        // barrier every thread reads the full count.
+        let threads = 4;
+        let mut b = ProgramBuilder::new();
+        let bar = b.alloc_zeroed(8);
+        let out = b.alloc_zeroed(6 * 8);
+        let [barr, target, v, addr] = b.regs();
+        b.li(barr, bar as i64);
+        b.mov(target, b.nthreads_reg());
+        emit_barrier(&mut b, barr, target);
+        b.ld(v, barr, 0);
+        b.slli(addr, b.tid_reg(), 3);
+        b.addi(addr, addr, out as i32);
+        b.sd(v, addr, 0);
+        b.halt();
+        let p = b.build(threads).unwrap();
+        let mut interp = Interp::new(&p, threads);
+        interp.run().unwrap();
+        for tid in 0..threads as u64 {
+            assert_eq!(interp.load_word(out + tid * 8), threads as u64);
+        }
+    }
+
+    #[test]
+    fn approx_eq_behaviour() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.001));
+        assert!(approx_eq(0.0, 0.0));
+        assert!(approx_eq(1e20, 1e20 * (1.0 + 1e-12)));
+    }
+
+    #[test]
+    fn synth_is_deterministic_and_bounded() {
+        for i in 0..1000 {
+            let v = synth(i);
+            assert!((0.1..1.11).contains(&v));
+            assert_eq!(v, synth(i));
+        }
+    }
+}

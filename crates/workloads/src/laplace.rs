@@ -1,0 +1,152 @@
+//! Laplace — Jacobi relaxation on a 2-D grid with per-iteration barriers.
+//!
+//! Interior rows are block-partitioned across threads; each iteration
+//! updates `dst` from `src` with the 4-point stencil, synchronizes on a
+//! phase-counting barrier, and swaps the buffers. The per-iteration barrier
+//! traffic and the row-boundary sharing give this benchmark the larger
+//! working set and synchronization cost characteristic of Group II.
+
+use smt_isa::builder::ProgramBuilder;
+
+use crate::common::{check_f64_array, emit_partition, for_range, synth, MemView};
+use crate::{Scale, Workload, WorkloadKind};
+
+/// Builds the Laplace workload at the given scale.
+///
+/// # Panics
+///
+/// Panics if the internal grid constant exceeds the displacement encoding
+/// (cannot happen for the built-in scales).
+#[must_use]
+pub fn laplace(scale: Scale) -> Workload {
+    let (g, iters) = match scale {
+        Scale::Test => (8usize, 2usize),
+        Scale::Paper => (32, 4),
+    };
+    let w = g + 2; // grid width including boundary
+    let stride = (w * 8) as i32;
+    assert!(stride <= 2047, "grid too wide for the 12-bit displacement");
+
+    // Initial grid: fixed boundary, zero interior. Both buffers share the
+    // boundary so reads of the swapped buffer's edge are correct.
+    let mut init = vec![0.0f64; w * w];
+    for r in 0..w {
+        for c in 0..w {
+            if r == 0 || c == 0 || r == w - 1 || c == w - 1 {
+                init[r * w + c] = synth(r * w + c);
+            }
+        }
+    }
+
+    let mut b = ProgramBuilder::new();
+    // Page-aligned grid buffers (as a real allocator would hand out): in
+    // the direct-mapped cache the two buffers' corresponding rows collide,
+    // which is what separates the cache organizations in Figure 8.
+    b.align_to(8192);
+    let buf_a = b.data_f64(&init);
+    b.align_to(8192);
+    let buf_b = b.data_f64(&init);
+    let bar = b.alloc_zeroed(8);
+    let [srcb, dstb, tmp, quarter, lo_s, hi, i, j, jlim, addr, v1, v2, barr, phase, it, iters_r, greg] =
+        b.regs();
+    let nt = b.nthreads_reg();
+    b.li(greg, g as i64);
+    b.li(srcb, buf_a as i64);
+    b.li(dstb, buf_b as i64);
+    b.lif(quarter, 0.25);
+    b.li(barr, bar as i64);
+    b.li(phase, 0);
+    b.li(it, 0);
+    b.li(iters_r, iters as i64);
+    b.li(jlim, (g + 1) as i64);
+    emit_partition(&mut b, greg, lo_s, hi, tmp);
+    b.addi(lo_s, lo_s, 1); // interior rows are 1..=g
+    b.addi(hi, hi, 1);
+    for_range(&mut b, it, iters_r, |b| {
+        b.mov(i, lo_s);
+        for_range(b, i, hi, |b| {
+            // src row base
+            b.li(v1, stride as i64);
+            b.mul(tmp, i, v1);
+            b.add(tmp, tmp, srcb);
+            b.li(j, 1);
+            for_range(b, j, jlim, |b| {
+                b.slli(addr, j, 3);
+                b.add(addr, addr, tmp);
+                b.ld(v1, addr, -stride); // up
+                b.ld(v2, addr, stride); // down
+                b.fadd(v1, v1, v2);
+                b.ld(v2, addr, -8); // left
+                b.fadd(v1, v1, v2);
+                b.ld(v2, addr, 8); // right
+                b.fadd(v1, v1, v2);
+                b.fmul(v1, v1, quarter);
+                b.sub(v2, addr, srcb);
+                b.add(v2, v2, dstb);
+                b.sd(v1, v2, 0);
+            });
+        });
+        // Phase-counting barrier: wait for (it+1) * nthreads arrivals.
+        b.add(phase, phase, nt);
+        b.post(barr);
+        b.wait(barr, phase);
+        // Swap buffers.
+        b.mov(tmp, srcb);
+        b.mov(srcb, dstb);
+        b.mov(dstb, tmp);
+    });
+    b.halt();
+
+    // Reference: the same Jacobi dance with identical FP ordering.
+    let mut a = init.clone();
+    let mut c = init;
+    for _ in 0..iters {
+        for r in 1..=g {
+            for col in 1..=g {
+                let v = (((a[(r - 1) * w + col] + a[(r + 1) * w + col])
+                    + a[r * w + col - 1])
+                    + a[r * w + col + 1])
+                    * 0.25;
+                c[r * w + col] = v;
+            }
+        }
+        std::mem::swap(&mut a, &mut c);
+    }
+    // After the swaps, `a` mirrors the kernel's final `srcb` buffer, which
+    // is buf_a for even iteration counts and buf_b for odd.
+    let (expect_a, expect_b) = if iters % 2 == 0 { (a, c) } else { (c, a) };
+
+    Workload::from_parts(
+        WorkloadKind::Laplace,
+        b,
+        Box::new(move |words| {
+            let mem = MemView::new(words);
+            check_f64_array("Laplace", "bufA", mem, buf_a, &expect_a)?;
+            check_f64_array("Laplace", "bufB", mem, buf_b, &expect_b)
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::interp::Interp;
+
+    #[test]
+    fn laplace_correct_for_several_thread_counts() {
+        let w = laplace(Scale::Test);
+        for threads in [1, 2, 4] {
+            let p = w.build(threads).unwrap();
+            let mut interp = Interp::new(&p, threads);
+            interp.run().unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+            w.check(interp.mem_words())
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        }
+    }
+
+    #[test]
+    fn laplace_encodes() {
+        let w = laplace(Scale::Test);
+        w.build(4).unwrap().encode_text().unwrap();
+    }
+}

@@ -1,0 +1,528 @@
+//! The six Livermore loops of Group I.
+//!
+//! Each kernel follows the homogeneous-multitasking template: materialize
+//! the array base addresses into registers, compute the thread's partition
+//! of the index space from `tid`/`nthreads`, run the loop body over it, and
+//! halt. LL3 adds a parallel-reduction combine and LL5 a cross-iteration
+//! hand-off chain with explicit `WAIT`/`POST` synchronization — the
+//! structure the paper highlights when discussing why one loop consistently
+//! loses from multithreading.
+
+use smt_isa::builder::ProgramBuilder;
+
+use crate::common::{
+    check_f64_array, emit_barrier, emit_partition, for_range, synth, CheckError, MemView,
+};
+use crate::{Scale, Workload, WorkloadKind};
+
+fn size(scale: Scale, test: usize, paper: usize) -> usize {
+    match scale {
+        Scale::Test => test,
+        Scale::Paper => paper,
+    }
+}
+
+/// Passes over the data. The Livermore kernels are benchmarked as repeated
+/// sweeps over arrays sized near the cache capacity (the paper: "the
+/// working sets of most threads can be accommodated" at low thread counts),
+/// which is what gives the cache study of Section 5.3 its signal.
+fn passes(scale: Scale) -> i64 {
+    match scale {
+        Scale::Test => 2,
+        Scale::Paper => 3,
+    }
+}
+
+/// Emits `reps` repetitions of the partitioned loop `[lo_s, hi)`, copying
+/// `lo_s` into the loop counter `lo` before each sweep.
+fn repeat_sweep(
+    b: &mut ProgramBuilder,
+    reps: i64,
+    pass: smt_isa::Reg,
+    npass: smt_isa::Reg,
+    lo: smt_isa::Reg,
+    lo_s: smt_isa::Reg,
+    hi: smt_isa::Reg,
+    body: impl Fn(&mut ProgramBuilder, smt_isa::Reg) + Copy,
+) {
+    b.li(pass, 0);
+    b.li(npass, reps);
+    for_range(b, pass, npass, |b| {
+        b.mov(lo, lo_s);
+        for_range(b, lo, hi, |b| body(b, lo));
+    });
+}
+
+/// LL1 — hydro fragment: `x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])`.
+#[must_use]
+pub fn ll1(scale: Scale) -> Workload {
+    let n = size(scale, 40, 301);
+    let (q, r, t) = (0.5, 0.25, 0.125);
+    let y: Vec<f64> = (0..n).map(synth).collect();
+    let z: Vec<f64> = (0..n + 11).map(|i| synth(i + 7)).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.align_to(4096);
+    let yb = b.data_f64(&y);
+    b.align_to(4096);
+    let zb = b.data_f64(&z);
+    b.align_to(4096);
+    let xb = b.alloc_zeroed((n * 8) as u64);
+    let [nreg, lo, lo_s, hi, pass, npass, addr, v1, v2, qr, rr, tr, ybr, zbr, xbr] = b.regs();
+    b.li(nreg, n as i64);
+    b.lif(qr, q);
+    b.lif(rr, r);
+    b.lif(tr, t);
+    b.li(ybr, yb as i64);
+    b.li(zbr, zb as i64);
+    b.li(xbr, xb as i64);
+    emit_partition(&mut b, nreg, lo_s, hi, addr);
+    repeat_sweep(&mut b, passes(scale), pass, npass, lo, lo_s, hi, |b, k| {
+        b.slli(addr, k, 3);
+        b.add(addr, addr, zbr);
+        b.ld(v1, addr, 80); // z[k+10]
+        b.ld(v2, addr, 88); // z[k+11]
+        b.fmul(v1, rr, v1);
+        b.fmul(v2, tr, v2);
+        b.fadd(v1, v1, v2);
+        b.slli(addr, k, 3);
+        b.add(addr, addr, ybr);
+        b.ld(v2, addr, 0);
+        b.fmul(v1, v2, v1);
+        b.fadd(v1, qr, v1);
+        b.slli(addr, k, 3);
+        b.add(addr, addr, xbr);
+        b.sd(v1, addr, 0);
+    });
+    b.halt();
+
+    let expected: Vec<f64> =
+        (0..n).map(|k| q + y[k] * (r * z[k + 10] + t * z[k + 11])).collect();
+    Workload::from_parts(
+        WorkloadKind::Ll1,
+        b,
+        Box::new(move |words| check_f64_array("LL1", "x", MemView::new(words), xb, &expected)),
+    )
+}
+
+/// LL2 — ICCG-style strided gather (simplified; see crate docs):
+/// `x[i] = z[2i]*y[i] + z[2i+1]`.
+#[must_use]
+pub fn ll2(scale: Scale) -> Workload {
+    let n = size(scale, 40, 201);
+    let y: Vec<f64> = (0..n).map(|i| synth(i + 3)).collect();
+    let z: Vec<f64> = (0..2 * n).map(|i| synth(i + 19)).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.align_to(4096);
+    let yb = b.data_f64(&y);
+    b.align_to(4096);
+    let zb = b.data_f64(&z);
+    b.align_to(4096);
+    let xb = b.alloc_zeroed((n * 8) as u64);
+    let [nreg, lo, lo_s, hi, pass, npass, scratch, addr, v1, v2, ybr, zbr, xbr] = b.regs();
+    b.li(nreg, n as i64);
+    b.li(ybr, yb as i64);
+    b.li(zbr, zb as i64);
+    b.li(xbr, xb as i64);
+    emit_partition(&mut b, nreg, lo_s, hi, scratch);
+    repeat_sweep(&mut b, passes(scale), pass, npass, lo, lo_s, hi, |b, i| {
+        b.slli(addr, i, 4); // 2i words = 16i bytes
+        b.add(addr, addr, zbr);
+        b.ld(v1, addr, 0); // z[2i]
+        b.ld(v2, addr, 8); // z[2i+1]
+        b.slli(addr, i, 3);
+        b.add(addr, addr, ybr);
+        b.ld(scratch, addr, 0); // y[i] (scratch reused as a value reg)
+        b.fmul(v1, v1, scratch);
+        b.fadd(v1, v1, v2);
+        b.slli(addr, i, 3);
+        b.add(addr, addr, xbr);
+        b.sd(v1, addr, 0);
+    });
+    b.halt();
+
+    let expected: Vec<f64> = (0..n).map(|i| z[2 * i] * y[i] + z[2 * i + 1]).collect();
+    Workload::from_parts(
+        WorkloadKind::Ll2,
+        b,
+        Box::new(move |words| check_f64_array("LL2", "x", MemView::new(words), xb, &expected)),
+    )
+}
+
+/// LL3 — inner product: per-thread partial sums, a barrier, then thread 0
+/// combines the partials into a single scalar.
+#[must_use]
+pub fn ll3(scale: Scale) -> Workload {
+    let n = size(scale, 64, 451);
+    let x: Vec<f64> = (0..n).map(|i| synth(i + 5)).collect();
+    let z: Vec<f64> = (0..n).map(|i| synth(i + 31)).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.align_to(4096);
+    let xbase = b.data_f64(&x);
+    b.align_to(4096);
+    let zbase = b.data_f64(&z);
+    let partial = b.alloc_zeroed(6 * 8);
+    let bar = b.alloc_zeroed(8);
+    let out = b.alloc_zeroed(8);
+    let [nreg, lo, lo_s, hi, pass, npass, addr, v1, v2, acc, barr, zero, xbr, zbr, pbr] =
+        b.regs();
+    let nt = b.nthreads_reg();
+    let tid = b.tid_reg();
+    b.li(nreg, n as i64);
+    b.li(zero, 0);
+    b.li(xbr, xbase as i64);
+    b.li(zbr, zbase as i64);
+    b.li(pbr, partial as i64);
+    emit_partition(&mut b, nreg, lo_s, hi, addr);
+    // Each pass recomputes the partial sum from scratch (idempotent), so
+    // repeated sweeps exercise cache reuse without changing the answer.
+    b.li(pass, 0);
+    b.li(npass, passes(scale));
+    for_range(&mut b, pass, npass, |b| {
+        b.li(acc, 0); // 0.0 bits
+        b.mov(lo, lo_s);
+        for_range(b, lo, hi, |b| {
+            b.slli(addr, lo, 3);
+            b.add(addr, addr, zbr);
+            b.ld(v1, addr, 0);
+            b.slli(addr, lo, 3);
+            b.add(addr, addr, xbr);
+            b.ld(v2, addr, 0);
+            b.fmul(v1, v1, v2);
+            b.fadd(acc, acc, v1);
+        });
+    });
+    // partial[tid] = acc
+    b.slli(addr, tid, 3);
+    b.add(addr, addr, pbr);
+    b.sd(acc, addr, 0);
+    // barrier, then thread 0 combines in thread order
+    b.li(barr, bar as i64);
+    emit_barrier(&mut b, barr, nt);
+    let done = b.label();
+    b.bne(tid, zero, done);
+    b.li(acc, 0);
+    b.li(lo, 0);
+    for_range(&mut b, lo, nt, |b| {
+        b.slli(addr, lo, 3);
+        b.add(addr, addr, pbr);
+        b.ld(v1, addr, 0);
+        b.fadd(acc, acc, v1);
+    });
+    b.li(addr, out as i64);
+    b.sd(acc, addr, 0);
+    b.bind(done);
+    b.halt();
+
+    // The checker cannot know the thread count, so it accepts the combined
+    // sum for any partition 1..=6 (all are reassociations of the same
+    // inner product).
+    Workload::from_parts(
+        WorkloadKind::Ll3,
+        b,
+        Box::new(move |words| {
+            let mem = MemView::new(words);
+            let got = mem.f64(out);
+            for threads in 1..=6usize {
+                let chunk = n / threads;
+                let mut total = 0.0f64;
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = if t + 1 == threads { n } else { lo + chunk };
+                    let mut p = 0.0f64;
+                    for i in lo..hi {
+                        p += z[i] * x[i];
+                    }
+                    total += p;
+                }
+                if crate::common::approx_eq(got, total) {
+                    return Ok(());
+                }
+            }
+            Err(CheckError {
+                benchmark: "LL3",
+                detail: format!("inner product {got} matches no thread count's reference"),
+            })
+        }),
+    )
+}
+
+/// LL5 — tri-diagonal elimination: `x[i] = z[i]*(y[i] - x[i-1])`, a serial
+/// chain. Iterations are dealt cyclically and hand off through a `done[]`
+/// flag array with `WAIT`/`POST` — heavy synchronization that makes this
+/// the benchmark multithreading *hurts*, as in the paper.
+#[must_use]
+pub fn ll5(scale: Scale) -> Workload {
+    let n = size(scale, 24, 501);
+    let x0 = 0.3;
+    let y: Vec<f64> = (0..n).map(|i| synth(i + 13)).collect();
+    let z: Vec<f64> = (0..n).map(|i| synth(i + 41).min(0.9)).collect();
+
+    let mut b = ProgramBuilder::new();
+    let mut xinit = vec![0.0; n];
+    xinit[0] = x0;
+    let xb = b.data_f64(&xinit);
+    let yb = b.data_f64(&y);
+    let zb = b.data_f64(&z);
+    // done[0] = 1 so the chain can start.
+    let mut done_init = vec![0u64; n];
+    done_init[0] = 1;
+    let db = b.data_u64(&done_init);
+    let [nreg, one, i, a1, a2, vx, vy, xbr, ybr, zbr, dbr] = b.regs();
+    let nt = b.nthreads_reg();
+    let tid = b.tid_reg();
+    b.li(nreg, n as i64);
+    b.li(one, 1);
+    b.li(xbr, xb as i64);
+    b.li(ybr, yb as i64);
+    b.li(zbr, zb as i64);
+    b.li(dbr, db as i64);
+    b.addi(i, tid, 1); // first owned index
+    let end = b.label();
+    let top = b.label();
+    b.bge(i, nreg, end);
+    b.bind(top);
+    // wait for done[i-1]
+    b.slli(a1, i, 3);
+    b.add(a1, a1, dbr);
+    b.addi(a1, a1, -8); // &done[i-1]
+    b.wait(a1, one);
+    b.addi(a1, a1, 8); // &done[i]
+    // x[i] = z[i]*(y[i] - x[i-1])
+    b.slli(a2, i, 3);
+    b.add(a2, a2, xbr);
+    b.ld(vx, a2, -8); // x[i-1]
+    b.slli(vy, i, 3);
+    b.add(vy, vy, ybr);
+    b.ld(vy, vy, 0); // y[i]
+    b.fsub(vy, vy, vx);
+    b.slli(vx, i, 3);
+    b.add(vx, vx, zbr);
+    b.ld(vx, vx, 0); // z[i]
+    b.fmul(vx, vx, vy);
+    b.sd(vx, a2, 0);
+    b.post(a1); // publish done[i]
+    b.add(i, i, nt);
+    b.blt(i, nreg, top);
+    b.bind(end);
+    b.halt();
+
+    let mut expected = vec![0.0f64; n];
+    expected[0] = x0;
+    for k in 1..n {
+        expected[k] = z[k] * (y[k] - expected[k - 1]);
+    }
+    Workload::from_parts(
+        WorkloadKind::Ll5,
+        b,
+        Box::new(move |words| check_f64_array("LL5", "x", MemView::new(words), xb, &expected)),
+    )
+}
+
+/// LL7 — equation-of-state fragment, the FLOP-dense fully parallel loop:
+///
+/// ```text
+/// x[k] = u[k] + r*(z[k] + r*y[k])
+///       + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+///       + t*(u[k+6] + q*(u[k+5] + q*u[k+4])))
+/// ```
+#[must_use]
+pub fn ll7(scale: Scale) -> Workload {
+    let n = size(scale, 32, 201);
+    let (q, r, t) = (0.5, 0.25, 0.125);
+    let u: Vec<f64> = (0..n + 6).map(|i| synth(i + 23)).collect();
+    let y: Vec<f64> = (0..n).map(|i| synth(i + 3)).collect();
+    let z: Vec<f64> = (0..n).map(|i| synth(i + 59)).collect();
+
+    let mut b = ProgramBuilder::new();
+    let ub = b.data_f64(&u);
+    b.align_to(4096);
+    let yb = b.data_f64(&y);
+    b.align_to(4096);
+    let zb = b.data_f64(&z);
+    b.align_to(4096);
+    let xb = b.alloc_zeroed((n * 8) as u64);
+    let [nreg, lo, lo_s, hi, pass, npass, addr, v1, v2, v3, qr, rr, tr, ubr, ybr, zbr, xbr] =
+        b.regs();
+    b.li(nreg, n as i64);
+    b.lif(qr, q);
+    b.lif(rr, r);
+    b.lif(tr, t);
+    b.li(ubr, ub as i64);
+    b.li(ybr, yb as i64);
+    b.li(zbr, zb as i64);
+    b.li(xbr, xb as i64);
+    emit_partition(&mut b, nreg, lo_s, hi, addr);
+    repeat_sweep(&mut b, passes(scale), pass, npass, lo, lo_s, hi, |b, lo| {
+        b.slli(addr, lo, 3);
+        b.add(addr, addr, ubr); // &u[k]
+        // inner t-term: u[k+6] + q*(u[k+5] + q*u[k+4])
+        b.ld(v1, addr, 32); // u[k+4]
+        b.fmul(v1, qr, v1);
+        b.ld(v2, addr, 40); // u[k+5]
+        b.fadd(v1, v2, v1);
+        b.fmul(v1, qr, v1);
+        b.ld(v2, addr, 48); // u[k+6]
+        b.fadd(v1, v2, v1);
+        b.fmul(v1, tr, v1);
+        // middle r-term: u[k+3] + r*(u[k+2] + r*u[k+1])
+        b.ld(v2, addr, 8); // u[k+1]
+        b.fmul(v2, rr, v2);
+        b.ld(v3, addr, 16); // u[k+2]
+        b.fadd(v2, v3, v2);
+        b.fmul(v2, rr, v2);
+        b.ld(v3, addr, 24); // u[k+3]
+        b.fadd(v2, v3, v2);
+        b.fadd(v1, v2, v1);
+        b.fmul(v1, tr, v1);
+        // leading term: u[k] + r*(z[k] + r*y[k])
+        b.slli(v2, lo, 3);
+        b.add(v2, v2, ybr);
+        b.ld(v2, v2, 0); // y[k]
+        b.fmul(v2, rr, v2);
+        b.slli(v3, lo, 3);
+        b.add(v3, v3, zbr);
+        b.ld(v3, v3, 0); // z[k]
+        b.fadd(v2, v3, v2);
+        b.fmul(v2, rr, v2);
+        b.ld(v3, addr, 0); // u[k]
+        b.fadd(v2, v3, v2);
+        b.fadd(v1, v2, v1);
+        b.slli(addr, lo, 3);
+        b.add(addr, addr, xbr);
+        b.sd(v1, addr, 0);
+    });
+    b.halt();
+
+    let expected: Vec<f64> = (0..n)
+        .map(|k| {
+            let inner = t * (q * ((q * u[k + 4]) + u[k + 5]) + u[k + 6]);
+            let middle = r * ((r * u[k + 1]) + u[k + 2]) + u[k + 3];
+            let lead = r * ((r * y[k]) + z[k]) + u[k];
+            lead + t * (middle + inner)
+        })
+        .collect();
+    Workload::from_parts(
+        WorkloadKind::Ll7,
+        b,
+        Box::new(move |words| check_f64_array("LL7", "x", MemView::new(words), xb, &expected)),
+    )
+}
+
+/// LL12 — first difference: `x[k] = y[k+1] - y[k]`. One FLOP per two loads:
+/// the memory-bound member of the set.
+#[must_use]
+pub fn ll12(scale: Scale) -> Workload {
+    let n = size(scale, 64, 451);
+    let y: Vec<f64> = (0..n + 1).map(|i| synth(i + 17)).collect();
+
+    let mut b = ProgramBuilder::new();
+    b.align_to(4096);
+    let yb = b.data_f64(&y);
+    b.align_to(4096);
+    let xb = b.alloc_zeroed((n * 8) as u64);
+    let [nreg, lo, lo_s, hi, pass, npass, addr, v1, v2, ybr, xbr] = b.regs();
+    b.li(nreg, n as i64);
+    b.li(ybr, yb as i64);
+    b.li(xbr, xb as i64);
+    emit_partition(&mut b, nreg, lo_s, hi, addr);
+    repeat_sweep(&mut b, passes(scale), pass, npass, lo, lo_s, hi, |b, k| {
+        b.slli(addr, k, 3);
+        b.add(addr, addr, ybr);
+        b.ld(v1, addr, 8); // y[k+1]
+        b.ld(v2, addr, 0); // y[k]
+        b.fsub(v1, v1, v2);
+        b.slli(addr, k, 3);
+        b.add(addr, addr, xbr);
+        b.sd(v1, addr, 0);
+    });
+    b.halt();
+
+    let expected: Vec<f64> = (0..n).map(|k| y[k + 1] - y[k]).collect();
+    Workload::from_parts(
+        WorkloadKind::Ll12,
+        b,
+        Box::new(move |words| check_f64_array("LL12", "x", MemView::new(words), xb, &expected)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::interp::Interp;
+
+    fn run_kernel(w: &Workload, threads: usize) -> Vec<u64> {
+        let p = w.build(threads).unwrap();
+        let mut interp = Interp::new(&p, threads);
+        interp.run().unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        interp.mem_words().to_vec()
+    }
+
+    #[test]
+    fn ll1_correct_across_thread_counts() {
+        let w = ll1(Scale::Test);
+        for threads in [1, 2, 4, 5] {
+            w.check(&run_kernel(&w, threads)).unwrap();
+        }
+    }
+
+    #[test]
+    fn ll3_reduction_correct() {
+        let w = ll3(Scale::Test);
+        for threads in [1, 3, 6] {
+            w.check(&run_kernel(&w, threads)).unwrap();
+        }
+    }
+
+    #[test]
+    fn ll5_serial_chain_correct_under_cyclic_distribution() {
+        let w = ll5(Scale::Test);
+        for threads in [1, 2, 4, 6] {
+            w.check(&run_kernel(&w, threads)).unwrap();
+        }
+    }
+
+    #[test]
+    fn ll7_and_ll12_correct() {
+        for w in [ll7(Scale::Test), ll12(Scale::Test)] {
+            for threads in [1, 4] {
+                w.check(&run_kernel(&w, threads)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn checkers_reject_corrupted_memory() {
+        // These three lay their checked output array out *last* in memory,
+        // so the corrupted word is guaranteed to be inside it.
+        for w in [ll1(Scale::Test), ll2(Scale::Test), ll12(Scale::Test)] {
+            let mut words = run_kernel(&w, 2);
+            let idx = (words.len() / 2..words.len())
+                .rev()
+                .find(|&i| words[i] != 0)
+                .expect("output exists");
+            words[idx] ^= 1 << 40;
+            assert!(w.check(&words).is_err(), "{}: corruption must be detected", w.name());
+        }
+    }
+
+    #[test]
+    fn kernels_encode_to_valid_machine_words() {
+        // Every emitted instruction must fit the 32-bit encoding (no
+        // oversized immediates sneak in through the builder).
+        for w in [
+            ll1(Scale::Test),
+            ll2(Scale::Test),
+            ll3(Scale::Test),
+            ll5(Scale::Test),
+            ll7(Scale::Test),
+            ll12(Scale::Test),
+        ] {
+            let p = w.build(4).unwrap();
+            let words = p.encode_text().unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert_eq!(words.len(), p.len());
+        }
+    }
+}

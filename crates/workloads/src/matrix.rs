@@ -1,0 +1,113 @@
+//! Matrix — dense `C = A × B` multiply, rows block-partitioned.
+//!
+//! The classic data-parallel benchmark of the paper's Group II: regular
+//! strided access (row-major A, column walks of B) and an FP
+//! multiply/accumulate inner loop.
+
+use smt_isa::builder::ProgramBuilder;
+
+use crate::common::{check_f64_array, emit_partition, for_range, synth, MemView};
+use crate::{Scale, Workload, WorkloadKind};
+
+/// Builds the matrix-multiply workload at the given scale.
+///
+/// # Panics
+///
+/// Panics if the matrix is too large for the column-walk displacement
+/// (cannot happen for the built-in scales).
+#[must_use]
+pub fn matrix(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Test => 6usize,
+        Scale::Paper => 24,
+    };
+    let row_bytes = (n * 8) as i32;
+    assert!(row_bytes <= 2047, "matrix too large for the 12-bit immediate");
+
+    let a: Vec<f64> = (0..n * n).map(|i| synth(i + 29)).collect();
+    let bm: Vec<f64> = (0..n * n).map(|i| synth(i + 71)).collect();
+
+    let mut b = ProgramBuilder::new();
+    let ab = b.data_f64(&a);
+    let bb = b.data_f64(&bm);
+    let cb = b.alloc_zeroed((n * n * 8) as u64);
+    let [abr, bbr, cbr, nreg, lo, hi, j, k, acc, v1, v2, addr_a, addr_b, rowa, rowc] = b.regs();
+    b.li(abr, ab as i64);
+    b.li(bbr, bb as i64);
+    b.li(cbr, cb as i64);
+    b.li(nreg, n as i64);
+    emit_partition(&mut b, nreg, lo, hi, v1);
+    for_range(&mut b, lo, hi, |b| {
+        b.li(v2, i64::from(row_bytes));
+        b.mul(rowa, lo, v2);
+        b.add(rowa, rowa, abr);
+        b.sub(rowc, rowa, abr);
+        b.add(rowc, rowc, cbr);
+        b.li(j, 0);
+        for_range(b, j, nreg, |b| {
+            b.li(acc, 0); // 0.0
+            b.slli(addr_b, j, 3);
+            b.add(addr_b, addr_b, bbr);
+            b.mov(addr_a, rowa);
+            b.li(k, 0);
+            for_range(b, k, nreg, |b| {
+                b.ld(v1, addr_a, 0); // A[i][k]
+                b.ld(v2, addr_b, 0); // B[k][j]
+                b.fmul(v1, v1, v2);
+                b.fadd(acc, acc, v1);
+                b.addi(addr_a, addr_a, 8);
+                b.addi(addr_b, addr_b, row_bytes);
+            });
+            b.slli(v1, j, 3);
+            b.add(v1, v1, rowc);
+            b.sd(acc, v1, 0);
+        });
+    });
+    b.halt();
+
+    let mut expected = vec![0.0f64; n * n];
+    for i in 0..n {
+        for jj in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..n {
+                acc += a[i * n + kk] * bm[kk * n + jj];
+            }
+            expected[i * n + jj] = acc;
+        }
+    }
+    Workload::from_parts(
+        WorkloadKind::Matrix,
+        b,
+        Box::new(move |words| check_f64_array("Matrix", "C", MemView::new(words), cb, &expected)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::interp::Interp;
+
+    #[test]
+    fn matrix_correct_for_several_thread_counts() {
+        let w = matrix(Scale::Test);
+        for threads in [1, 2, 3, 6] {
+            let p = w.build(threads).unwrap();
+            let mut interp = Interp::new(&p, threads);
+            interp.run().unwrap();
+            w.check(interp.mem_words())
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        }
+    }
+
+    #[test]
+    fn matrix_detects_corruption() {
+        let w = matrix(Scale::Test);
+        let p = w.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        interp.run().unwrap();
+        let mut words = interp.mem_words().to_vec();
+        let last_nonzero = (0..words.len()).rev().find(|&i| words[i] != 0).unwrap();
+        words[last_nonzero] = 0;
+        assert!(w.check(&words).is_err());
+    }
+}

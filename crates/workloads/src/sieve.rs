@@ -1,0 +1,114 @@
+//! Sieve of Eratosthenes with the outer (prime-candidate) loop dealt
+//! cyclically across threads.
+//!
+//! Threads race benignly: a thread may see a candidate's flag before
+//! another thread has cleared it and then sieve a composite's multiples —
+//! but every such multiple is itself composite, so the final flag array is
+//! deterministic regardless of interleaving. (Integer-only: the paper notes
+//! the SDSP targets integer processing; Sieve is its classic integer
+//! benchmark.)
+
+use smt_isa::builder::ProgramBuilder;
+
+use crate::common::check_u64_array;
+use crate::{Scale, Workload, WorkloadKind};
+
+/// Builds the sieve workload at the given scale.
+#[must_use]
+pub fn sieve(scale: Scale) -> Workload {
+    let m = match scale {
+        Scale::Test => 128usize,
+        Scale::Paper => 4096,
+    };
+    let mut flags = vec![1u64; m];
+    flags[0] = 0;
+    flags[1] = 0;
+
+    let mut b = ProgramBuilder::new();
+    let fb = b.data_u64(&flags);
+    let [fbr, mreg, p, k, zv, addr, v1] = b.regs();
+    let nt = b.nthreads_reg();
+    let tid = b.tid_reg();
+    b.li(fbr, fb as i64);
+    b.li(mreg, m as i64);
+    b.li(zv, 0);
+    b.addi(p, tid, 2);
+    let outer = b.label();
+    let end = b.label();
+    let next = b.label();
+    b.bind(outer);
+    b.mul(v1, p, p);
+    b.bge(v1, mreg, end); // p*p >= m: no multiples left for any larger p
+    b.slli(addr, p, 3);
+    b.add(addr, addr, fbr);
+    b.ld(v1, addr, 0); // flag[p]
+    b.beq(v1, zv, next); // composite candidate: skip
+    b.mul(k, p, p);
+    let inner = b.label();
+    b.bind(inner);
+    b.slli(addr, k, 3);
+    b.add(addr, addr, fbr);
+    b.sd(zv, addr, 0); // flag[k] = 0
+    b.add(k, k, p);
+    b.blt(k, mreg, inner);
+    b.bind(next);
+    b.add(p, p, nt);
+    b.j(outer);
+    b.bind(end);
+    b.halt();
+
+    let mut expected = flags;
+    let mut p = 2usize;
+    while p * p < m {
+        if expected[p] == 1 {
+            let mut k = p * p;
+            while k < m {
+                expected[k] = 0;
+                k += p;
+            }
+        }
+        p += 1;
+    }
+    Workload::from_parts(
+        WorkloadKind::Sieve,
+        b,
+        Box::new(move |words| {
+            check_u64_array("Sieve", "flags", crate::MemView::new(words), fb, &expected)
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::MemView;
+    use smt_isa::interp::Interp;
+
+    #[test]
+    fn sieve_finds_the_primes() {
+        let w = sieve(Scale::Test);
+        for threads in [1, 2, 4, 6] {
+            let p = w.build(threads).unwrap();
+            let mut interp = Interp::new(&p, threads);
+            interp.run().unwrap();
+            w.check(interp.mem_words())
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        }
+    }
+
+    #[test]
+    fn known_primes_are_flagged() {
+        let w = sieve(Scale::Test);
+        let p = w.build(1).unwrap();
+        let mut interp = Interp::new(&p, 1);
+        interp.run().unwrap();
+        let mem = MemView::new(interp.mem_words());
+        let base = smt_isa::program::DATA_BASE;
+        for prime in [2u64, 3, 5, 7, 11, 13, 127] {
+            assert_eq!(mem.word(base + prime * 8), 1, "{prime} is prime");
+        }
+        for composite in [4u64, 9, 25, 121, 126] {
+            assert_eq!(mem.word(base + composite * 8), 0, "{composite} is composite");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Reproduces the cache-contention effect of Section 5.3 in miniature:
+//! as more threads share the uniform 8 KB cache, the hit rate first holds
+//! (working sets fit) and then degrades (threads evict each other), and
+//! the direct-mapped organization suffers more than the 4-way one.
+//!
+//! ```text
+//! cargo run --release --example cache_contention
+//! ```
+
+use smt_superscalar::core::{SimConfig, Simulator};
+use smt_superscalar::mem::CacheKind;
+use smt_superscalar::workloads::{workload, Scale, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // LL1's page-aligned arrays fit the 8 KB cache but collide in the
+    // direct-mapped organization — the paper's Section 5.3 working-set
+    // scenario.
+    let w = workload(WorkloadKind::Ll1, Scale::Paper);
+
+    println!("{:<8} {:>16} {:>16} {:>12} {:>12}", "threads", "direct cycles", "assoc cycles", "direct hit%", "assoc hit%");
+    for threads in 1..=6usize {
+        let program = w.build(threads)?;
+        let mut row = Vec::new();
+        for kind in [CacheKind::DirectMapped, CacheKind::SetAssociative] {
+            let config = SimConfig::default().with_threads(threads).with_cache_kind(kind);
+            let mut sim = Simulator::new(config, &program);
+            let stats = sim.run()?;
+            w.check(sim.memory().words())?;
+            row.push((stats.cycles, stats.cache.hit_rate()));
+        }
+        println!(
+            "{:<8} {:>16} {:>16} {:>11.1}% {:>11.1}%",
+            threads, row[0].0, row[1].0, row[0].1, row[1].1
+        );
+    }
+    println!("\nThe associative cache holds its hit rate longer as thread count grows —\nthe paper's Figure 7/8 and Table 2 shape.");
+    Ok(())
+}

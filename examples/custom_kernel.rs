@@ -1,0 +1,62 @@
+//! Writes a kernel in textual assembly, assembles it, runs it on both the
+//! functional interpreter and the cycle simulator, and cross-checks them —
+//! the workflow for experimenting with hand-written code.
+//!
+//! ```text
+//! cargo run --example custom_kernel
+//! ```
+
+use smt_superscalar::core::{SimConfig, Simulator};
+use smt_superscalar::isa::asm::assemble;
+use smt_superscalar::isa::interp::Interp;
+use smt_superscalar::isa::program::{DataImage, DATA_BASE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Each thread (r0 = tid, r1 = nthreads) computes fib(10+tid) by
+    // iteration and stores it to out[tid] at the start of data memory.
+    let source = r"
+        # registers: r2=a r3=b r4=i r5=limit r6=tmp r7=addr
+        li   r2, 0          # a = fib(0)
+        li   r3, 1          # b = fib(1)
+        li   r4, 0
+        addi r5, r0, 10     # limit = 10 + tid
+    loop:
+        add  r6, r2, r3     # tmp = a + b
+        addi r2, r3, 0      # a = b
+        addi r3, r6, 0      # b = tmp
+        addi r4, r4, 1
+        blt  r4, r5, loop
+        slli r7, r0, 3      # out slot = DATA_BASE + 8*tid
+        li   r6, 4096       # DATA_BASE
+        add  r7, r7, r6
+        sd   r2, (r7)
+        halt
+    ";
+    let data = DataImage { size: DATA_BASE + 6 * 8, words: vec![] };
+    let program = assemble(source, data)?;
+    println!("assembled {} instructions:\n{}", program.len(), program.disassemble());
+
+    let threads = 3;
+
+    // Functional reference.
+    let mut interp = Interp::new(&program, threads);
+    interp.run()?;
+
+    // Cycle-accurate run.
+    let mut sim = Simulator::new(SimConfig::default().with_threads(threads), &program);
+    let stats = sim.run()?;
+
+    assert_eq!(sim.memory().words(), interp.mem_words(), "simulators agree");
+    for tid in 0..threads as u64 {
+        let fib = sim.mem_word(DATA_BASE + tid * 8);
+        println!("thread {tid}: fib(10+{tid}) = {fib}");
+    }
+    println!(
+        "\n{} cycles, IPC {:.2}, branch accuracy {:.1}% — and the cycle simulator \
+         matched the functional interpreter word for word.",
+        stats.cycles,
+        stats.ipc(),
+        stats.branches.accuracy()
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Facade crate re-exporting the whole SMT-superscalar simulator stack.
+//!
+//! See [`smt_core`] for the cycle-accurate simulator, [`smt_isa`] for the
+//! instruction set and program builder, and [`smt_workloads`] for the paper's
+//! eleven benchmarks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smt_superscalar::prelude::*;
+//! use smt_superscalar::workloads::{workload, Scale};
+//!
+//! let w = workload(WorkloadKind::Matrix, Scale::Test);
+//! let program = w.build(2).expect("kernel fits the register split");
+//! let mut sim = Simulator::new(SimConfig::default().with_threads(2), &program);
+//! let stats = sim.run().expect("program terminates");
+//! w.check(sim.memory().words()).expect("reference result matches");
+//! assert!(stats.cycles > 0);
+//! ```
+pub use smt_core as core;
+pub use smt_experiments as experiments;
+pub use smt_isa as isa;
+pub use smt_mem as mem;
+pub use smt_uarch as uarch;
+pub use smt_workloads as workloads;
+
+/// Commonly used types, importable in one line.
+pub mod prelude {
+    pub use smt_core::{
+        CommitPolicy, FetchPolicy, SimConfig, SimStats, Simulator,
+    };
+    pub use smt_isa::{
+        builder::ProgramBuilder,
+        program::Program,
+    };
+    pub use smt_workloads::{Workload, WorkloadKind};
+}

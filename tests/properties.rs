@@ -1,0 +1,224 @@
+//! Differential property tests: random (but structured and terminating)
+//! programs must produce identical architectural state on the functional
+//! interpreter and on the cycle-accurate simulator, under randomly drawn
+//! hardware configurations.
+//!
+//! This is the strongest correctness net in the repository: any lost
+//! writeback, stale forwarding, bad squash, mis-renamed operand, or commit
+//! reordering shows up as a register-file or memory divergence.
+
+use proptest::prelude::*;
+
+use smt_superscalar::core::{CommitPolicy, FetchPolicy, RenamingMode, SimConfig, Simulator};
+use smt_superscalar::isa::builder::ProgramBuilder;
+use smt_superscalar::isa::interp::Interp;
+use smt_superscalar::isa::{Opcode, Program, Reg};
+use smt_superscalar::mem::CacheKind;
+
+/// Per-thread private slots (each 8 bytes) for random loads/stores.
+const SLOTS: u64 = 8;
+const MAX_THREADS: u64 = 6;
+
+/// One statement of a random kernel.
+#[derive(Clone, Debug)]
+enum Stmt {
+    /// Three-register computation.
+    Alu(Opcode, u8, u8, u8),
+    /// Register-immediate computation.
+    AluImm(Opcode, u8, u8, i32),
+    /// Load from a private slot.
+    Load(u8, u8),
+    /// Store to a private slot.
+    Store(u8, u8),
+    /// Bounded counted loop.
+    Loop(u8, Vec<Stmt>),
+}
+
+/// Value registers available to random code: r4..r11.
+const VREGS: u8 = 8;
+const VBASE: u8 = 4;
+
+fn r3_op() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::FAdd,
+        Opcode::FSub,
+        Opcode::FMul,
+        Opcode::FDiv,
+        Opcode::FLt,
+    ])
+}
+
+fn i2_op() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Slti,
+    ])
+}
+
+fn leaf_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (r3_op(), 0..VREGS, 0..VREGS, 0..VREGS)
+            .prop_map(|(op, d, a, b)| Stmt::Alu(op, d, a, b)),
+        (i2_op(), 0..VREGS, 0..VREGS, -64..64i32)
+            .prop_map(|(op, d, a, i)| Stmt::AluImm(op, d, a, i)),
+        (0..VREGS, 0..SLOTS as u8).prop_map(|(d, s)| Stmt::Load(d, s)),
+        (0..VREGS, 0..SLOTS as u8).prop_map(|(v, s)| Stmt::Store(v, s)),
+    ]
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    if depth == 0 {
+        leaf_stmt().boxed()
+    } else {
+        prop_oneof![
+            4 => leaf_stmt(),
+            1 => (1..4u8, prop::collection::vec(stmt(depth - 1), 1..5))
+                .prop_map(|(n, body)| Stmt::Loop(n, body)),
+        ]
+        .boxed()
+    }
+}
+
+fn program_spec() -> impl Strategy<Value = (Vec<i64>, Vec<Stmt>)> {
+    (
+        prop::collection::vec(-1000i64..1000, VREGS as usize),
+        prop::collection::vec(stmt(2), 1..20),
+    )
+}
+
+/// Lowers a spec into a real program. Register map: r2 = private base
+/// address, r3 = loop-counter stack (reused per nest level via extra
+/// registers r12..r14), r4..r11 = values.
+fn lower(seeds: &[i64], stmts: &[Stmt]) -> Program {
+    let mut b = ProgramBuilder::new();
+    // Reserve the registers the generator refers to by number.
+    for _ in 0..(2 + VREGS + 3) {
+        let _ = b.reg();
+    }
+    let base = Reg::new(2);
+    let vreg = |i: u8| Reg::new(VBASE + i);
+    // Private region: DATA_BASE + tid * SLOTS*8. The data segment spans
+    // MAX_THREADS regions so any thread count works.
+    let region = b.alloc_zeroed(MAX_THREADS * SLOTS * 8);
+    let scratch = Reg::new(3);
+    b.slli(base, b.tid_reg(), (SLOTS * 8).trailing_zeros() as i32);
+    b.li(scratch, region as i64);
+    b.add(base, base, scratch);
+    for (i, &seed) in seeds.iter().enumerate() {
+        b.li(vreg(i as u8), seed);
+    }
+    fn emit(b: &mut ProgramBuilder, stmts: &[Stmt], depth: u8) {
+        let base = Reg::new(2);
+        let vreg = |i: u8| Reg::new(VBASE + i);
+        for s in stmts {
+            match *s {
+                Stmt::Alu(op, d, a, bb) => {
+                    b.push(smt_superscalar::isa::Instruction::r3(op, vreg(d), vreg(a), vreg(bb)));
+                }
+                Stmt::AluImm(op, d, a, imm) => {
+                    b.push(smt_superscalar::isa::Instruction::i2(op, vreg(d), vreg(a), imm));
+                }
+                Stmt::Load(d, slot) => b.ld(vreg(d), base, i32::from(slot) * 8),
+                Stmt::Store(v, slot) => b.sd(vreg(v), base, i32::from(slot) * 8),
+                Stmt::Loop(n, ref body) => {
+                    let counter = Reg::new(2 + 2 + VREGS + depth); // r12..r14
+                    b.li(counter, i64::from(n));
+                    let top = b.label();
+                    b.bind(top);
+                    emit(b, body, depth + 1);
+                    b.addi(counter, counter, -1);
+                    let zero_probe = counter; // counter > 0 check via blt on 0
+                    // branch while counter > 0: use slti into... simpler:
+                    // compare against an always-zero? We keep a dedicated
+                    // zero in no register; instead loop down to 0 with bne
+                    // against itself is impossible — so count down and use
+                    // `blt 0 < counter` via subtraction: emit `blt` with
+                    // tid? Cleanest: branch if counter != sentinel, where
+                    // sentinel register r15... we instead use bge/blt with
+                    // an immediate-free idiom: slti tmp,counter,1 …
+                    // To stay simple: loop while counter >= 1 using blt of
+                    // a constant-zero register is required — allocate one
+                    // lazily below.
+                    let _ = zero_probe;
+                    b.bge(counter, Reg::new(15), top); // r15 holds 1 (see below)
+                }
+            }
+        }
+    }
+    // r15 = 1 — loop lower bound (bge counter, 1 ⇔ counter >= 1).
+    let one = b.reg();
+    debug_assert_eq!(one, Reg::new(15));
+    b.li(one, 1);
+    emit(&mut b, stmts, 0);
+    b.halt();
+    b.build(6).expect("random kernel fits the 6-thread window")
+}
+
+fn config_strategy() -> impl Strategy<Value = SimConfig> {
+    (
+        1..=4usize,
+        prop::sample::select(vec![
+            FetchPolicy::TrueRoundRobin,
+            FetchPolicy::MaskedRoundRobin,
+            FetchPolicy::ConditionalSwitch,
+        ]),
+        prop::sample::select(vec![CommitPolicy::Flexible, CommitPolicy::LowestOnly]),
+        prop::sample::select(vec![CacheKind::SetAssociative, CacheKind::DirectMapped]),
+        prop::sample::select(vec![16usize, 32, 64]),
+        any::<bool>(),
+        prop::sample::select(vec![RenamingMode::Full, RenamingMode::Scoreboard]),
+    )
+        .prop_map(|(threads, fetch, commit, cache, su, bypass, renaming)| {
+            SimConfig::default()
+                .with_threads(threads)
+                .with_fetch_policy(fetch)
+                .with_commit_policy(commit)
+                .with_cache_kind(cache)
+                .with_su_depth(su)
+                .with_bypass(bypass)
+                .with_renaming(renaming)
+                .with_max_cycles(5_000_000)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cycle_simulator_matches_functional_interpreter(
+        (seeds, stmts) in program_spec(),
+        config in config_strategy(),
+    ) {
+        let program = lower(&seeds, &stmts);
+        let threads = config.threads;
+
+        let mut interp = Interp::new(&program, threads);
+        interp.run().expect("random programs terminate");
+
+        let mut sim = Simulator::new(config, &program);
+        let stats = sim.run().expect("cycle simulator terminates");
+
+        prop_assert_eq!(sim.memory().words(), interp.mem_words(), "memory diverged");
+        prop_assert_eq!(sim.reg_file(), interp.reg_file(), "registers diverged");
+        prop_assert!(stats.cycles > 0);
+    }
+}

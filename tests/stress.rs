@@ -1,0 +1,315 @@
+//! Failure-injection and stress tests: pathological kernels that saturate
+//! individual structures (store buffer, branch predictor, scheduling unit,
+//! sync unit) while still requiring architecturally correct results.
+
+use smt_superscalar::core::{CommitPolicy, FetchPolicy, SimConfig, SimError, Simulator};
+use smt_superscalar::isa::builder::ProgramBuilder;
+use smt_superscalar::isa::interp::Interp;
+use smt_superscalar::isa::Program;
+
+fn check_against_interp(program: &Program, config: SimConfig) {
+    let threads = config.threads;
+    let mut sim = Simulator::new(config, program);
+    sim.run().expect("simulation completes");
+    let mut interp = Interp::new(program, threads);
+    interp.run().expect("reference completes");
+    assert_eq!(sim.memory().words(), interp.mem_words(), "memory diverged");
+    assert_eq!(sim.reg_file(), interp.reg_file(), "registers diverged");
+}
+
+/// A burst of dependent stores larger than the 8-entry store buffer, then
+/// loads that must see every one of them (forwarding + drain ordering).
+#[test]
+fn store_buffer_saturation_preserves_ordering() {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_zeroed(64 * 8);
+    let out = b.alloc_zeroed(8);
+    let [base, v, acc, i, limit, addr, obr] = b.regs();
+    b.li(base, buf as i64);
+    b.li(obr, out as i64);
+    b.li(acc, 0);
+    // 24 stores back-to-back, including repeated addresses.
+    for k in 0..24i32 {
+        b.li(v, i64::from(k * k + 1));
+        b.sd(v, base, (k % 16) * 8);
+    }
+    // Read them all back and accumulate.
+    b.li(i, 0);
+    b.li(limit, 16);
+    let top = b.label();
+    b.bind(top);
+    b.slli(addr, i, 3);
+    b.add(addr, addr, base);
+    b.ld(v, addr, 0);
+    b.add(acc, acc, v);
+    b.addi(i, i, 1);
+    b.blt(i, limit, top);
+    b.sd(acc, obr, 0);
+    b.halt();
+    let p = b.build(2).unwrap();
+
+    for store_buffer in [1usize, 2, 8] {
+        check_against_interp(
+            &p,
+            SimConfig::default().with_threads(2).with_store_buffer(store_buffer),
+        );
+    }
+}
+
+/// A data-dependent branch pattern the 2-bit predictor mispredicts heavily:
+/// correctness must survive constant squashing, across commit policies.
+#[test]
+fn mispredict_storm_is_architecturally_clean() {
+    let mut b = ProgramBuilder::new();
+    let out = b.alloc_zeroed(6 * 8);
+    let [i, limit, acc, bit, zero, addr, obr] = b.regs();
+    b.li(obr, out as i64);
+    b.li(i, 0);
+    b.li(limit, 200);
+    b.li(acc, 0);
+    b.li(zero, 0);
+    let top = b.label();
+    let even = b.label();
+    let next = b.label();
+    b.bind(top);
+    b.andi(bit, i, 1);
+    b.beq(bit, zero, even); // alternates taken/not-taken every iteration
+    b.addi(acc, acc, 3);
+    b.j(next);
+    b.bind(even);
+    b.addi(acc, acc, 5);
+    b.bind(next);
+    b.addi(i, i, 1);
+    b.blt(i, limit, top);
+    b.slli(addr, b.tid_reg(), 3);
+    b.add(addr, addr, obr);
+    b.sd(acc, addr, 0);
+    b.halt();
+    let p = b.build(4).unwrap();
+
+    for commit in [CommitPolicy::Flexible, CommitPolicy::LowestOnly] {
+        let config = SimConfig::default().with_commit_policy(commit);
+        let mut sim = Simulator::new(config.clone(), &p);
+        let stats = sim.run().unwrap();
+        assert!(
+            stats.branches.mispredicted > 50,
+            "the alternating branch must actually stress the predictor \
+             (got {} mispredicts)",
+            stats.branches.mispredicted
+        );
+        assert!(stats.squashed > 0, "squashes must occur");
+        check_against_interp(&p, config);
+    }
+}
+
+/// A one-entry scheduling unit (one block) still executes correctly — the
+/// degenerate in-order machine.
+#[test]
+fn minimal_scheduling_unit_works() {
+    let mut b = ProgramBuilder::new();
+    let out = b.alloc_zeroed(6 * 8);
+    let [x, y, addr, obr] = b.regs();
+    b.li(obr, out as i64);
+    b.li(x, 7);
+    b.li(y, 9);
+    b.mul(x, x, y);
+    b.addi(x, x, -3);
+    b.slli(addr, b.tid_reg(), 3);
+    b.add(addr, addr, obr);
+    b.sd(x, addr, 0);
+    b.halt();
+    let p = b.build(2).unwrap();
+    let mut cfg = SimConfig::default().with_threads(2);
+    cfg.su_depth = 4; // a single block
+    check_against_interp(&p, cfg);
+}
+
+/// Cross-thread producer/consumer chains through WAIT/POST under every
+/// fetch policy, including the non-default commit policy.
+#[test]
+fn sync_chain_under_all_policies() {
+    // Thread t waits for flag >= t, adds its tid to the accumulator slot,
+    // posts flag — a strict serialization of all threads.
+    let mut b = ProgramBuilder::new();
+    let flag = b.alloc_zeroed(8);
+    let slot = b.alloc_zeroed(8);
+    let [fl, sl, v] = b.regs();
+    b.li(fl, flag as i64);
+    b.li(sl, slot as i64);
+    b.wait(fl, b.tid_reg());
+    b.ld(v, sl, 0);
+    b.add(v, v, b.tid_reg());
+    b.addi(v, v, 1);
+    b.sd(v, sl, 0);
+    b.post(fl);
+    b.halt();
+    let p = b.build(6).unwrap();
+
+    for fetch in [
+        FetchPolicy::TrueRoundRobin,
+        FetchPolicy::MaskedRoundRobin,
+        FetchPolicy::ConditionalSwitch,
+    ] {
+        for commit in [CommitPolicy::Flexible, CommitPolicy::LowestOnly] {
+            for threads in [2usize, 4, 6] {
+                let config = SimConfig::default()
+                    .with_threads(threads)
+                    .with_fetch_policy(fetch)
+                    .with_commit_policy(commit);
+                let mut sim = Simulator::new(config, &p);
+                sim.run().unwrap_or_else(|e| {
+                    panic!("{fetch:?}/{commit:?}/{threads}: {e}")
+                });
+                let total: u64 = (0..threads as u64).map(|t| t + 1).sum();
+                assert_eq!(
+                    sim.mem_word(slot),
+                    total,
+                    "{fetch:?}/{commit:?}/{threads}: serialization broken"
+                );
+            }
+        }
+    }
+}
+
+/// The watchdog fires on a genuine deadlock instead of hanging.
+#[test]
+fn deadlocked_program_hits_watchdog_under_every_policy() {
+    let mut b = ProgramBuilder::new();
+    let flag = b.alloc_zeroed(8);
+    let [fl, target] = b.regs();
+    b.li(fl, flag as i64);
+    b.li(target, 99);
+    b.wait(fl, target);
+    b.halt();
+    let p = b.build(2).unwrap();
+    for fetch in [
+        FetchPolicy::TrueRoundRobin,
+        FetchPolicy::MaskedRoundRobin,
+        FetchPolicy::ConditionalSwitch,
+    ] {
+        let config = SimConfig::default()
+            .with_threads(2)
+            .with_fetch_policy(fetch)
+            .with_max_cycles(50_000);
+        let mut sim = Simulator::new(config, &p);
+        assert_eq!(sim.run(), Err(SimError::Watchdog { cycles: 50_000 }), "{fetch:?}");
+    }
+}
+
+/// Regression: a `halt` that fetch runs into on the fall-through of an
+/// unconditional jump must not permanently stop the thread's fetch
+/// (this deadlocked the sieve benchmark at one point).
+#[test]
+fn halt_after_jump_does_not_kill_fetch() {
+    // loop: counter-- ; j loop_check; halt  — fetch sees the halt right
+    // after the unconditional jump every time the jump misses in the BTB.
+    let mut b = ProgramBuilder::new();
+    let out = b.alloc_zeroed(6 * 8);
+    let [i, limit, addr, obr] = b.regs();
+    b.li(obr, out as i64);
+    b.li(i, 0);
+    b.li(limit, 10);
+    let top = b.label();
+    let check = b.label();
+    let end = b.label();
+    b.bind(top);
+    b.addi(i, i, 1);
+    b.j(check); // halt sits directly after this jump in fetch order
+    b.bind(end);
+    b.slli(addr, b.tid_reg(), 3);
+    b.add(addr, addr, obr);
+    b.sd(i, addr, 0);
+    b.halt();
+    b.bind(check);
+    b.blt(i, limit, top);
+    b.j(end);
+    b.halt(); // dead halt straight after another jump, for good measure
+    let p = b.build(3).unwrap();
+    check_against_interp(&p, SimConfig::default().with_threads(3));
+}
+
+/// Regression: ≥5 threads parked at a barrier must not clog the bottom-four
+/// commit window (unsatisfied WAITs retire as spins and refetch).
+#[test]
+fn six_thread_barrier_does_not_clog_commit_window() {
+    let mut b = ProgramBuilder::new();
+    let bar = b.alloc_zeroed(8);
+    let out = b.alloc_zeroed(6 * 8);
+    let [barr, v, addr, obr] = b.regs();
+    b.li(barr, bar as i64);
+    b.li(obr, out as i64);
+    b.post(barr);
+    b.wait(barr, b.nthreads_reg());
+    b.ld(v, barr, 0);
+    b.slli(addr, b.tid_reg(), 3);
+    b.add(addr, addr, obr);
+    b.sd(v, addr, 0);
+    b.halt();
+    let p = b.build(6).unwrap();
+    for commit in [CommitPolicy::Flexible, CommitPolicy::LowestOnly] {
+        for threads in [5usize, 6] {
+            let config = SimConfig::default()
+                .with_threads(threads)
+                .with_commit_policy(commit)
+                .with_max_cycles(2_000_000);
+            let mut sim = Simulator::new(config, &p);
+            sim.run().unwrap_or_else(|e| panic!("{commit:?}/{threads}: {e}"));
+            for t in 0..threads as u64 {
+                assert_eq!(sim.mem_word(out + t * 8), threads as u64, "{commit:?}/{threads}");
+            }
+        }
+    }
+}
+
+/// Cross-thread store visibility: a load must see another thread's
+/// completed-but-uncommitted store via forwarding (not stale memory).
+#[test]
+fn cross_thread_forwarding_after_sync() {
+    let mut b = ProgramBuilder::new();
+    let flag = b.alloc_zeroed(8);
+    let data = b.alloc_zeroed(8);
+    let out = b.alloc_zeroed(8);
+    let [fl, dt, ob, v, one, zero] = b.regs();
+    b.li(fl, flag as i64);
+    b.li(dt, data as i64);
+    b.li(ob, out as i64);
+    b.li(one, 1);
+    b.li(zero, 0);
+    let reader = b.label();
+    b.bne(b.tid_reg(), zero, reader);
+    b.li(v, 4242);
+    b.sd(v, dt, 0); // may still be in the SU or store buffer when read
+    b.post(fl);
+    b.halt();
+    b.bind(reader);
+    b.wait(fl, one);
+    b.ld(v, dt, 0);
+    b.sd(v, ob, 0);
+    b.halt();
+    let p = b.build(2).unwrap();
+    for _ in 0..4 {
+        let mut sim = Simulator::new(SimConfig::default().with_threads(2), &p);
+        sim.run().unwrap();
+        assert_eq!(sim.mem_word(out), 4242, "reader saw a stale value");
+    }
+}
+
+/// Tiny caches (heavy miss traffic, constant refill-port contention) must
+/// not change architectural results.
+#[test]
+fn pathological_cache_geometries_are_sound() {
+    use smt_superscalar::mem::CacheConfig;
+    let w = smt_superscalar::workloads::workload(
+        smt_superscalar::workloads::WorkloadKind::Ll12,
+        smt_superscalar::workloads::Scale::Test,
+    );
+    let p = w.build(4).unwrap();
+    for (size, ways, penalty) in [(64u64, 1usize, 40u64), (128, 2, 3), (256, 4, 100)] {
+        let cache = CacheConfig { size_bytes: size, line_bytes: 32, ways, miss_penalty: penalty, mshrs: 1 };
+        let config = SimConfig::default().with_cache(cache);
+        let mut sim = Simulator::new(config, &p);
+        let stats = sim.run().unwrap();
+        w.check(sim.memory().words()).unwrap();
+        assert!(stats.cache.misses > 0, "tiny cache must miss");
+    }
+}

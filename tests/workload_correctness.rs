@@ -1,0 +1,79 @@
+//! End-to-end correctness: every benchmark, run on the cycle-accurate
+//! simulator, must produce the reference memory image and commit exactly
+//! the architectural instruction count.
+
+use smt_superscalar::core::{SimConfig, Simulator};
+use smt_superscalar::isa::interp::Interp;
+use smt_superscalar::workloads::{suite, Scale};
+
+#[test]
+fn every_workload_is_correct_on_the_cycle_simulator() {
+    for w in suite(Scale::Test) {
+        for threads in [1usize, 4] {
+            let program = w.build(threads).expect("kernel fits");
+            let mut sim =
+                Simulator::new(SimConfig::default().with_threads(threads), &program);
+            let stats = sim
+                .run()
+                .unwrap_or_else(|e| panic!("{} × {threads}: {e}", w.name()));
+            w.check(sim.memory().words())
+                .unwrap_or_else(|e| panic!("{} × {threads}: {e}", w.name()));
+
+            let mut interp = Interp::new(&program, threads);
+            let ref_stats = interp.run().unwrap();
+            assert_eq!(
+                stats.committed_total(),
+                ref_stats.total_retired(),
+                "{} × {threads}: committed instruction count must be architectural",
+                w.name()
+            );
+            assert_eq!(
+                sim.reg_file(),
+                interp.reg_file(),
+                "{} × {threads}: register file mismatch",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn six_threads_run_the_full_suite() {
+    for w in suite(Scale::Test) {
+        let program = w.build(6).expect("kernel fits the 6-thread window");
+        let mut sim = Simulator::new(SimConfig::default().with_threads(6), &program);
+        sim.run().unwrap_or_else(|e| panic!("{} × 6: {e}", w.name()));
+        w.check(sim.memory().words()).unwrap_or_else(|e| panic!("{} × 6: {e}", w.name()));
+    }
+}
+
+#[test]
+fn committed_counts_are_microarchitecture_independent() {
+    // The committed instruction count is architectural: it must not change
+    // with cache organization, SU depth, or commit policy.
+    use smt_superscalar::core::CommitPolicy;
+    use smt_superscalar::mem::CacheKind;
+
+    let w = smt_superscalar::workloads::workload(
+        smt_superscalar::workloads::WorkloadKind::Matrix,
+        Scale::Test,
+    );
+    let program = w.build(4).unwrap();
+    let baseline = {
+        let mut sim = Simulator::new(SimConfig::default(), &program);
+        sim.run().unwrap().committed_total()
+    };
+    let variants = [
+        SimConfig::default().with_cache_kind(CacheKind::DirectMapped),
+        SimConfig::default().with_su_depth(16),
+        SimConfig::default().with_su_depth(64),
+        SimConfig::default().with_commit_policy(CommitPolicy::LowestOnly),
+        SimConfig::default().with_bypass(false),
+    ];
+    for config in variants {
+        let mut sim = Simulator::new(config.clone(), &program);
+        let got = sim.run().unwrap().committed_total();
+        assert_eq!(got, baseline, "config {config:?} changed architectural work");
+        w.check(sim.memory().words()).unwrap();
+    }
+}
