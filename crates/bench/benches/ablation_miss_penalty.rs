@@ -1,5 +1,8 @@
 //! Bench target regenerating the ablation_miss_penalty table.
 
 fn main() {
-    smt_bench::run_figure("ablation_miss_penalty", smt_experiments::figures::ablation_miss_penalty);
+    smt_bench::run_figure(
+        "ablation_miss_penalty",
+        smt_experiments::figures::ablation_miss_penalty,
+    );
 }

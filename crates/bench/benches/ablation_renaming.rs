@@ -1,5 +1,8 @@
 //! Bench target regenerating the ablation_renaming table.
 
 fn main() {
-    smt_bench::run_figure("ablation_renaming", smt_experiments::figures::ablation_renaming);
+    smt_bench::run_figure(
+        "ablation_renaming",
+        smt_experiments::figures::ablation_renaming,
+    );
 }

@@ -1,5 +1,8 @@
 //! Bench target regenerating the ablation_store_buffer table.
 
 fn main() {
-    smt_bench::run_figure("ablation_store_buffer", smt_experiments::figures::ablation_store_buffer);
+    smt_bench::run_figure(
+        "ablation_store_buffer",
+        smt_experiments::figures::ablation_store_buffer,
+    );
 }

@@ -1,5 +1,8 @@
 //! Bench target regenerating the ext_fetch_alignment table.
 
 fn main() {
-    smt_bench::run_figure("ext_fetch_alignment", smt_experiments::figures::ext_fetch_alignment);
+    smt_bench::run_figure(
+        "ext_fetch_alignment",
+        smt_experiments::figures::ext_fetch_alignment,
+    );
 }

@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig03_fetch_policy_group1.
 
 fn main() {
-    smt_bench::run_figure("fig03_fetch_policy_group1", smt_experiments::figures::fig03_fetch_policy_group1);
+    smt_bench::run_figure(
+        "fig03_fetch_policy_group1",
+        smt_experiments::figures::fig03_fetch_policy_group1,
+    );
 }

@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig04_fetch_policy_group2.
 
 fn main() {
-    smt_bench::run_figure("fig04_fetch_policy_group2", smt_experiments::figures::fig04_fetch_policy_group2);
+    smt_bench::run_figure(
+        "fig04_fetch_policy_group2",
+        smt_experiments::figures::fig04_fetch_policy_group2,
+    );
 }

@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig05_threads_group1.
 
 fn main() {
-    smt_bench::run_figure("fig05_threads_group1", smt_experiments::figures::fig05_threads_group1);
+    smt_bench::run_figure(
+        "fig05_threads_group1",
+        smt_experiments::figures::fig05_threads_group1,
+    );
 }

@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig07_cache_group1.
 
 fn main() {
-    smt_bench::run_figure("fig07_cache_group1", smt_experiments::figures::fig07_cache_group1);
+    smt_bench::run_figure(
+        "fig07_cache_group1",
+        smt_experiments::figures::fig07_cache_group1,
+    );
 }

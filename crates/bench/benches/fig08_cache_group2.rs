@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig08_cache_group2.
 
 fn main() {
-    smt_bench::run_figure("fig08_cache_group2", smt_experiments::figures::fig08_cache_group2);
+    smt_bench::run_figure(
+        "fig08_cache_group2",
+        smt_experiments::figures::fig08_cache_group2,
+    );
 }

@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig09_su_depth_group1.
 
 fn main() {
-    smt_bench::run_figure("fig09_su_depth_group1", smt_experiments::figures::fig09_su_depth_group1);
+    smt_bench::run_figure(
+        "fig09_su_depth_group1",
+        smt_experiments::figures::fig09_su_depth_group1,
+    );
 }

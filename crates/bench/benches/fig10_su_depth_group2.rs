@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig10_su_depth_group2.
 
 fn main() {
-    smt_bench::run_figure("fig10_su_depth_group2", smt_experiments::figures::fig10_su_depth_group2);
+    smt_bench::run_figure(
+        "fig10_su_depth_group2",
+        smt_experiments::figures::fig10_su_depth_group2,
+    );
 }

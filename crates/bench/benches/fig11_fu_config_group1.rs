@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig11_fu_config_group1.
 
 fn main() {
-    smt_bench::run_figure("fig11_fu_config_group1", smt_experiments::figures::fig11_fu_config_group1);
+    smt_bench::run_figure(
+        "fig11_fu_config_group1",
+        smt_experiments::figures::fig11_fu_config_group1,
+    );
 }

@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig12_fu_config_group2.
 
 fn main() {
-    smt_bench::run_figure("fig12_fu_config_group2", smt_experiments::figures::fig12_fu_config_group2);
+    smt_bench::run_figure(
+        "fig12_fu_config_group2",
+        smt_experiments::figures::fig12_fu_config_group2,
+    );
 }

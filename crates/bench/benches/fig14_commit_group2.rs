@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's fig14_commit_group2.
 
 fn main() {
-    smt_bench::run_figure("fig14_commit_group2", smt_experiments::figures::fig14_commit_group2);
+    smt_bench::run_figure(
+        "fig14_commit_group2",
+        smt_experiments::figures::fig14_commit_group2,
+    );
 }

@@ -1,36 +1,60 @@
-//! Criterion benchmarks of the simulator itself: simulated cycles per
+//! Throughput benchmarks of the simulator itself: simulated cycles per
 //! wall-clock second on representative workloads and configurations.
 //!
 //! These measure the *tool*, not the paper's results — regressions here
-//! make the experiment harness slower without changing any figure.
+//! make the experiment harness slower without changing any figure. The
+//! harness is hand-rolled (the build container has no crates.io access, so
+//! Criterion is unavailable): each case runs a warmup iteration, then
+//! enough timed iterations to cover a minimum wall-clock window, and
+//! reports the best iteration plus simulated-cycles-per-second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
+
 use smt_core::{FetchPolicy, SimConfig, Simulator};
 use smt_workloads::{workload, Scale, WorkloadKind};
 
-fn bench_workload_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate");
+/// Minimum total measured time per case; iterations repeat until reached.
+const MIN_WINDOW: Duration = Duration::from_millis(500);
+const MAX_ITERS: usize = 20;
+
+/// Times `body` (which returns a simulated-cycle count) and prints a
+/// criterion-style line: best-iteration wall time and simulated throughput.
+fn bench_case(name: &str, mut body: impl FnMut() -> u64) {
+    let cycles = body(); // warmup; also captures the workload's cycle count
+    let mut best = Duration::MAX;
+    let mut spent = Duration::ZERO;
+    let mut iters = 0usize;
+    while (spent < MIN_WINDOW || iters < 3) && iters < MAX_ITERS {
+        let start = Instant::now();
+        let got = body();
+        let elapsed = start.elapsed();
+        assert_eq!(got, cycles, "simulation must be deterministic");
+        best = best.min(elapsed);
+        spent += elapsed;
+        iters += 1;
+    }
+    let secs = best.as_secs_f64();
+    let mcps = cycles as f64 / secs / 1.0e6;
+    println!(
+        "{name:<44} {:>10.3} ms/iter   {cycles:>9} cycles   {mcps:>8.2} Mcycles/s   ({iters} iters)",
+        secs * 1e3,
+    );
+}
+
+fn bench_workload_simulation() {
+    println!("# simulate: default config, 4 threads, Scale::Test");
     for kind in [WorkloadKind::Matrix, WorkloadKind::Ll7, WorkloadKind::Sieve] {
         let w = workload(kind, Scale::Test);
         let program = w.build(4).expect("kernel fits");
-        // Measure throughput in simulated cycles.
-        let cycles = {
+        bench_case(&format!("simulate/4thr/{}", w.name()), || {
             let mut sim = Simulator::new(SimConfig::default(), &program);
             sim.run().expect("runs").cycles
-        };
-        group.throughput(Throughput::Elements(cycles));
-        group.bench_with_input(BenchmarkId::new("4thr", w.name()), &program, |b, p| {
-            b.iter(|| {
-                let mut sim = Simulator::new(SimConfig::default(), p);
-                sim.run().expect("runs").cycles
-            });
         });
     }
-    group.finish();
 }
 
-fn bench_fetch_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fetch_policy_overhead");
+fn bench_fetch_policies() {
+    println!("# fetch_policy_overhead: LL1, 4 threads");
     let w = workload(WorkloadKind::Ll1, Scale::Test);
     let program = w.build(4).expect("kernel fits");
     for policy in [
@@ -38,37 +62,26 @@ fn bench_fetch_policies(c: &mut Criterion) {
         FetchPolicy::MaskedRoundRobin,
         FetchPolicy::ConditionalSwitch,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut sim = Simulator::new(
-                        SimConfig::default().with_fetch_policy(policy),
-                        &program,
-                    );
-                    sim.run().expect("runs").cycles
-                });
-            },
-        );
+        bench_case(&format!("fetch_policy_overhead/{policy:?}"), || {
+            let mut sim = Simulator::new(SimConfig::default().with_fetch_policy(policy), &program);
+            sim.run().expect("runs").cycles
+        });
     }
-    group.finish();
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
+    println!("# functional interpreter");
     let w = workload(WorkloadKind::Matrix, Scale::Test);
     let program = w.build(4).expect("kernel fits");
-    c.bench_function("functional_interpreter/matrix", |b| {
-        b.iter(|| {
-            let mut interp = smt_isa::interp::Interp::new(&program, 4);
-            interp.run().expect("runs").steps
-        });
+    bench_case("functional_interpreter/matrix", || {
+        let mut interp = smt_isa::interp::Interp::new(&program, 4);
+        interp.run().expect("runs").steps
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_workload_simulation, bench_fetch_policies, bench_interpreter
+fn main() {
+    // `cargo bench` passes `--bench` (and possibly filters); ignore them.
+    bench_workload_simulation();
+    bench_fetch_policies();
+    bench_interpreter();
 }
-criterion_main!(benches);

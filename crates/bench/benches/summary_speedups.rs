@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's summary_speedups.
 
 fn main() {
-    smt_bench::run_figure("summary_speedups", smt_experiments::figures::summary_speedups);
+    smt_bench::run_figure(
+        "summary_speedups",
+        smt_experiments::figures::summary_speedups,
+    );
 }

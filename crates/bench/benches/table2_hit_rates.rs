@@ -1,5 +1,8 @@
 //! Bench target regenerating the paper's table2_hit_rates.
 
 fn main() {
-    smt_bench::run_figure("table2_hit_rates", smt_experiments::figures::table2_hit_rates);
+    smt_bench::run_figure(
+        "table2_hit_rates",
+        smt_experiments::figures::table2_hit_rates,
+    );
 }

@@ -117,7 +117,7 @@ pub mod defaults {
 /// assert_eq!(cfg.threads, 2);
 /// cfg.validate().expect("consistent configuration");
 /// ```
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct SimConfig {
     /// Number of simultaneously resident threads (1–6).
     pub threads: usize,
@@ -310,13 +310,19 @@ impl SimConfig {
             )));
         }
         if self.issue_width == 0 || self.writeback_width == 0 {
-            return Err(ConfigError("issue and writeback widths must be positive".into()));
+            return Err(ConfigError(
+                "issue and writeback widths must be positive".into(),
+            ));
         }
         if self.commit_window_blocks == 0 {
-            return Err(ConfigError("commit window must examine at least one block".into()));
+            return Err(ConfigError(
+                "commit window must examine at least one block".into(),
+            ));
         }
         if self.store_buffer == 0 {
-            return Err(ConfigError("store buffer must have at least one entry".into()));
+            return Err(ConfigError(
+                "store buffer must have at least one entry".into(),
+            ));
         }
         if !self.btb_entries.is_power_of_two() {
             return Err(ConfigError(format!(
@@ -372,7 +378,10 @@ mod tests {
         assert!(SimConfig::default().with_threads(0).validate().is_err());
         assert!(SimConfig::default().with_threads(7).validate().is_err());
         assert!(SimConfig::default().with_su_depth(30).validate().is_err());
-        assert!(SimConfig::default().with_store_buffer(0).validate().is_err());
+        assert!(SimConfig::default()
+            .with_store_buffer(0)
+            .validate()
+            .is_err());
         let mut cfg = SimConfig::default();
         cfg.btb_entries = 300;
         assert!(cfg.validate().is_err());
@@ -381,7 +390,10 @@ mod tests {
     #[test]
     fn display_strings() {
         assert_eq!(FetchPolicy::TrueRoundRobin.to_string(), "True Round Robin");
-        assert_eq!(CommitPolicy::LowestOnly.to_string(), "Lower-most block only");
+        assert_eq!(
+            CommitPolicy::LowestOnly.to_string(),
+            "Lower-most block only"
+        );
         assert_eq!(RenamingMode::Scoreboard.to_string(), "scoreboarding");
     }
 }

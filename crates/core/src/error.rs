@@ -38,7 +38,10 @@ impl fmt::Display for SimError {
             SimError::Config(e) => write!(f, "{e}"),
             SimError::Program(msg) => write!(f, "program incompatible: {msg}"),
             SimError::Watchdog { cycles } => {
-                write!(f, "watchdog: run exceeded {cycles} cycles (deadlock or runaway program)")
+                write!(
+                    f,
+                    "watchdog: run exceeded {cycles} cycles (deadlock or runaway program)"
+                )
             }
             SimError::Mem { err, tid, pc } => {
                 write!(f, "thread {tid} at pc {pc}: {err}")

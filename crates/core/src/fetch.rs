@@ -64,6 +64,9 @@ pub struct InstructionUnit {
     rr: usize,
     /// Conditional Switch active thread.
     active: usize,
+    /// Recycled fetch-group storage (one group is in flight at a time, so a
+    /// single spare keeps the fetch path allocation-free in steady state).
+    spare: Vec<FetchedInsn>,
 }
 
 impl InstructionUnit {
@@ -108,6 +111,7 @@ impl InstructionUnit {
             aligned,
             rr: 0,
             active: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -162,7 +166,7 @@ impl InstructionUnit {
                 let must_switch =
                     self.threads[self.active].switch_pending || !self.fetchable(self.active);
                 if must_switch {
-                    for step in 1..=n {
+                    for step in 1..n {
                         let tid = (self.active + step) % n;
                         if self.fetchable(tid) {
                             self.threads[self.active].switch_pending = false;
@@ -170,8 +174,12 @@ impl InstructionUnit {
                             return Some(tid);
                         }
                     }
-                    // Nowhere to switch; stay if the active thread can fetch.
-                    self.threads[self.active].switch_pending = false;
+                    // No *sibling* to switch to; stay if the active thread
+                    // can fetch. The pending switch signal stays armed so
+                    // the switch happens as soon as a sibling becomes
+                    // fetchable — the old code let the search fall through
+                    // to the active thread itself and consumed the signal,
+                    // dropping the request entirely.
                     self.fetchable(self.active).then_some(self.active)
                 } else {
                     Some(self.active)
@@ -192,7 +200,8 @@ impl InstructionUnit {
     ) -> Option<FetchedBlock> {
         debug_assert!(self.fetchable(tid), "fetching for an unfetchable thread");
         let mut pc = self.threads[tid].pc;
-        let mut insns = Vec::with_capacity(self.width);
+        let mut insns = std::mem::take(&mut self.spare);
+        insns.reserve(self.width);
         // Aligned mode: the block spans [start, start + width); entering it
         // mid-way forfeits the leading slots.
         let block_end = if self.aligned {
@@ -201,7 +210,9 @@ impl InstructionUnit {
             pc + self.width
         };
         while pc < block_end {
-            let Some(&insn) = program.fetch(pc) else { break };
+            let Some(&insn) = program.fetch(pc) else {
+                break;
+            };
             let mut fetched = FetchedInsn {
                 pc,
                 insn,
@@ -234,10 +245,18 @@ impl InstructionUnit {
         }
         self.threads[tid].pc = pc;
         if insns.is_empty() {
+            self.spare = insns;
             None
         } else {
             Some(FetchedBlock { tid, insns })
         }
+    }
+
+    /// Returns a consumed fetch group's storage for reuse by the next
+    /// [`fetch_block`](Self::fetch_block).
+    pub fn recycle(&mut self, mut storage: Vec<FetchedInsn>) {
+        storage.clear();
+        self.spare = storage;
     }
 
     /// Squash recovery: redirect the thread to `pc` and clear speculative
@@ -385,7 +404,11 @@ mod tests {
         assert_eq!(iu.select(), Some(2), "masked thread skipped, not wasted");
         iu.update_mask(Some((1, false)));
         assert_eq!(iu.select(), Some(0));
-        assert_eq!(iu.select(), Some(1), "unmasked once the bottom block commits");
+        assert_eq!(
+            iu.select(),
+            Some(1),
+            "unmasked once the bottom block commits"
+        );
     }
 
     #[test]
@@ -396,6 +419,26 @@ mod tests {
         iu.signal_switch(0);
         assert_eq!(iu.select(), Some(1));
         assert_eq!(iu.select(), Some(1));
+    }
+
+    #[test]
+    fn cswitch_pending_switch_survives_until_a_sibling_is_fetchable() {
+        let mut iu = unit(2, FetchPolicy::ConditionalSwitch);
+        let tag = smt_uarch::TagAllocator::new(4).alloc().unwrap();
+        // Thread 1 is suspended: a triggered switch has nowhere to go.
+        iu.suspend(1, tag, 0);
+        iu.signal_switch(0);
+        assert_eq!(iu.select(), Some(0), "stays on the active thread for now");
+        // The sibling wakes up. The switch signal must still be armed —
+        // the old code cleared it in the nowhere-to-switch fallback and
+        // stuck with thread 0 forever.
+        iu.resume_if(1, tag);
+        assert_eq!(iu.select(), Some(1), "pending switch fires once possible");
+        assert_eq!(
+            iu.select(),
+            Some(1),
+            "and the signal is consumed by the switch"
+        );
     }
 
     #[test]
@@ -452,7 +495,11 @@ mod tests {
         pred.update(2, true, 0);
         iu.redirect(0, 0);
         let block = iu.fetch_block(0, &program, &mut pred).unwrap();
-        assert_eq!(block.insns.len(), 3, "block ends at the predicted-taken branch");
+        assert_eq!(
+            block.insns.len(),
+            3,
+            "block ends at the predicted-taken branch"
+        );
         assert!(block.insns[2].predicted_taken);
         assert_eq!(iu.pc(0), 0, "speculative pc follows the prediction");
     }

@@ -54,6 +54,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fasthash;
 pub mod fetch;
 pub mod sim;
 pub mod stats;

@@ -9,6 +9,8 @@
 //! See the crate docs for the architecture overview and DESIGN.md for the
 //! paper mapping.
 
+use std::collections::VecDeque;
+
 use smt_isa::semantics::{alu_result, branch_taken, effective_addr};
 use smt_isa::{window_size, FuClass, Opcode, Program, Reg};
 use smt_mem::{CacheStats, DataCache, MainMemory, Outcome, StoreBuffer};
@@ -56,6 +58,15 @@ pub struct Simulator<'p> {
     cache: DataCache,
     sb: StoreBuffer,
     fetch_buffer: Option<FetchedBlock>,
+    /// Per-thread age-ordered positions `(block id, entry idx)` of resident
+    /// store/sync entries that are not yet done. Mirrors the scheduling
+    /// unit so the load/store ordering gates are a front peek instead of a
+    /// window scan: an access at `(bid, ei)` is blocked iff the thread's
+    /// oldest outstanding store/sync sits at a strictly older position.
+    memsync: Vec<VecDeque<(u64, usize)>>,
+    /// Resident completed `Sd` entries (any thread). Store-to-load
+    /// forwarding only needs to scan the window while this is non-zero.
+    resident_done_stores: usize,
     stats: SimStats,
 }
 
@@ -99,8 +110,10 @@ impl<'p> Simulator<'p> {
             regfile[tid * window] = tid as u64;
             regfile[tid * window + 1] = config.threads as u64;
         }
+        let mut su = SchedulingUnit::new(config.su_blocks(), config.block_size);
+        su.reserve_threads(config.threads);
         Ok(Simulator {
-            su: SchedulingUnit::new(config.su_blocks(), config.block_size),
+            su,
             iu: InstructionUnit::with_alignment(
                 config.threads,
                 config.fetch_policy,
@@ -117,6 +130,8 @@ impl<'p> Simulator<'p> {
             cache: DataCache::new(config.cache),
             sb: StoreBuffer::new(config.store_buffer),
             fetch_buffer: None,
+            memsync: vec![VecDeque::with_capacity(config.su_depth); config.threads],
+            resident_done_stores: 0,
             stats: SimStats {
                 committed: vec![0; config.threads],
                 issue_histogram: vec![0; config.issue_width + 1],
@@ -202,7 +217,9 @@ impl<'p> Simulator<'p> {
     pub fn run(&mut self) -> Result<SimStats, SimError> {
         while !self.finished() {
             if self.cycle >= self.config.max_cycles {
-                return Err(SimError::Watchdog { cycles: self.config.max_cycles });
+                return Err(SimError::Watchdog {
+                    cycles: self.config.max_cycles,
+                });
             }
             self.step()?;
         }
@@ -235,7 +252,10 @@ impl<'p> Simulator<'p> {
                 .iter()
                 .map(|&class| {
                     let count = self.fu.config().class(class).count;
-                    (class, (0..count).map(|i| self.fu.busy_cycles(class, i)).collect())
+                    (
+                        class,
+                        (0..count).map(|i| self.fu.busy_cycles(class, i)).collect(),
+                    )
                 })
                 .collect(),
         };
@@ -248,12 +268,21 @@ impl<'p> Simulator<'p> {
             .su
             .find_committable(self.config.commit_policy, self.config.commit_window_blocks)
         {
+            // Faults must be precise at block granularity: if any entry in
+            // the committing block faulted, raise the (oldest) fault before
+            // a single architectural side effect — no register writes, no
+            // store buffering, no predictor updates, no retirement.
+            if let Some(e) = self.su.block(i).entries.iter().find(|e| e.fault.is_some()) {
+                let err = e.fault.expect("find predicate guarantees a fault");
+                return Err(SimError::Mem {
+                    err,
+                    tid: e.tid,
+                    pc: e.pc,
+                });
+            }
             if self.buffer_block_stores(i) {
-                let block = self.su.remove_block(i);
-                for e in block.entries {
-                    if let Some(err) = e.fault {
-                        return Err(SimError::Mem { err, tid: e.tid, pc: e.pc });
-                    }
+                let mut block = self.su.remove_block(i);
+                for e in block.entries.drain(..) {
                     if let Some(rd) = e.insn.dest() {
                         self.regfile[e.tid * self.window + rd.index()] = e.result;
                     }
@@ -278,8 +307,12 @@ impl<'p> Simulator<'p> {
                     if architectural {
                         self.stats.committed[e.tid] += 1;
                     }
+                    if e.insn.op == Opcode::Sd {
+                        self.resident_done_stores -= 1;
+                    }
                     self.tags.free(e.tag);
                 }
+                self.su.recycle_storage(block.entries);
             } else {
                 // The paper's restricted store policy: a committing store
                 // needs a store-buffer slot; a full buffer stalls commit.
@@ -298,14 +331,16 @@ impl<'p> Simulator<'p> {
     /// entry per cycle regardless of pipeline state.
     fn buffer_block_stores(&mut self, bi: usize) -> bool {
         for ei in 0..self.su.block(bi).entries.len() {
-            let (tag, tid, addr, value) = {
+            let (tag, tid, addr, value, pc) = {
                 let e = &self.su.block(bi).entries[ei];
-                if e.insn.op != Opcode::Sd || e.store_buffered || e.fault.is_some() {
+                // Faulting blocks never reach here: commit pre-scans for
+                // faults before buffering any of the block's stores.
+                if e.insn.op != Opcode::Sd || e.store_buffered {
                     continue;
                 }
-                (e.tag, e.tid, e.mem_addr, e.result)
+                (e.tag, e.tid, e.mem_addr, e.result, e.pc)
             };
-            if self.sb.insert(tag.raw(), tid, addr, value).is_err() {
+            if self.sb.insert(tag.raw(), tid, addr, value, pc).is_err() {
                 return false;
             }
             self.sb.release(tag.raw());
@@ -317,15 +352,19 @@ impl<'p> Simulator<'p> {
     // ---- store drain ----------------------------------------------------------
 
     fn drain_store_stage(&mut self) -> Result<(), SimError> {
-        let Some(entry) = self.sb.peek_drainable() else { return Ok(()) };
+        let Some(entry) = self.sb.peek_drainable() else {
+            return Ok(());
+        };
         match self.cache.access(entry.addr, self.cycle) {
             Outcome::Blocked { .. } => Ok(()), // cache port busy; retry next cycle
             _ => {
-                self.mem.write(entry.addr, entry.value).map_err(|err| SimError::Mem {
-                    err,
-                    tid: entry.tid,
-                    pc: 0,
-                })?;
+                self.mem
+                    .write(entry.addr, entry.value)
+                    .map_err(|err| SimError::Mem {
+                        err,
+                        tid: entry.tid,
+                        pc: entry.pc,
+                    })?;
                 self.sb.remove_id(entry.id);
                 Ok(())
             }
@@ -334,25 +373,14 @@ impl<'p> Simulator<'p> {
 
     // ---- writeback --------------------------------------------------------------
 
-    /// Finds the next completion: the `Executing` entry with the earliest
-    /// `done_at <= now`, oldest position breaking ties.
-    fn next_completion(&self) -> Option<(usize, usize, u64)> {
-        let mut best: Option<(usize, usize, u64)> = None;
-        for (bi, block) in self.su.blocks().enumerate() {
-            for (ei, e) in block.entries.iter().enumerate() {
-                if let EntryState::Executing { done_at } = e.state {
-                    if done_at <= self.cycle && best.is_none_or(|(_, _, d)| done_at < d) {
-                        best = Some((bi, ei, done_at));
-                    }
-                }
-            }
-        }
-        best
-    }
-
     fn writeback_stage(&mut self) -> Result<(), SimError> {
+        // The scheduling unit's completion heap hands out due completions
+        // in the reference order: earliest `done_at`, oldest position
+        // breaking ties.
         for _ in 0..self.config.writeback_width {
-            let Some((bi, ei, _)) = self.next_completion() else { break };
+            let Some((bi, ei)) = self.su.pop_completion(self.cycle) else {
+                break;
+            };
             self.complete_entry(bi, ei)?;
         }
         Ok(())
@@ -360,11 +388,23 @@ impl<'p> Simulator<'p> {
 
     fn complete_entry(&mut self, bi: usize, ei: usize) -> Result<(), SimError> {
         let now = self.cycle;
+        self.su.mark_done(bi, ei);
         let (tag, tid, pc, insn, result) = {
-            let e = &mut self.su.block_mut(bi).entries[ei];
-            e.state = EntryState::Done;
+            let e = &self.su.block(bi).entries[ei];
             (e.tag, e.tid, e.pc, e.insn, e.result)
         };
+        if matches!(insn.op.fu_class(), FuClass::Store | FuClass::Sync) {
+            let bid = self.su.block(bi).id;
+            let q = &mut self.memsync[tid];
+            let pos = q
+                .iter()
+                .position(|&p| p == (bid, ei))
+                .expect("completing store/sync is tracked in the ordering queue");
+            q.remove(pos);
+        }
+        if insn.op == Opcode::Sd {
+            self.resident_done_stores += 1;
+        }
         if insn.dest().is_some() {
             self.su.broadcast(tag, result, now);
         }
@@ -407,15 +447,27 @@ impl<'p> Simulator<'p> {
     fn squash_wrong_path(&mut self, tid: usize, bi: usize, ei: usize, correct_pc: usize) {
         let removed = self.su.squash_after(tid, bi, ei);
         self.stats.squashed += removed.len() as u64;
-        for r in &removed {
+        let mut squashed_memsync = 0;
+        let mut squashed_done_stores = 0;
+        for r in removed {
             self.tags.free(r.tag);
+            // Done store/sync entries already left the ordering queue when
+            // they completed; only outstanding ones are still tracked.
+            if !r.is_done() && matches!(r.insn.op.fu_class(), FuClass::Store | FuClass::Sync) {
+                squashed_memsync += 1;
+            }
+            if r.insn.op == Opcode::Sd && r.is_done() {
+                squashed_done_stores += 1;
+            }
+        }
+        self.resident_done_stores -= squashed_done_stores;
+        // Squashed entries are the thread's youngest, so its squashed
+        // store/sync positions are exactly the back of the ordering queue.
+        for _ in 0..squashed_memsync {
+            self.memsync[tid].pop_back();
         }
         self.iu.redirect(tid, correct_pc);
-        if self
-            .fetch_buffer
-            .as_ref()
-            .is_some_and(|b| b.tid == tid)
-        {
+        if self.fetch_buffer.as_ref().is_some_and(|b| b.tid == tid) {
             // The block waiting at decode is wrong-path too.
             self.fetch_buffer = None;
         }
@@ -427,6 +479,13 @@ impl<'p> Simulator<'p> {
         let mut budget = self.config.issue_width;
         let mut bi = 0;
         while bi < self.su.num_blocks() && budget > 0 {
+            // Fully-issued blocks have nothing to offer; skipping them is
+            // invisible (issue attempts on non-`Waiting` entries are pure
+            // no-ops) and makes the scan proportional to unissued work.
+            if !self.su.block(bi).has_unissued() {
+                bi += 1;
+                continue;
+            }
             let mut ei = 0;
             while ei < self.su.block(bi).entries.len() && budget > 0 {
                 if self.try_issue_entry(bi, ei)? {
@@ -451,9 +510,10 @@ impl<'p> Simulator<'p> {
             if e.state != EntryState::Waiting {
                 return Ok(false);
             }
-            let (Some(a), Some(b)) =
-                (e.ops[0].value_at(now, bypass), e.ops[1].value_at(now, bypass))
-            else {
+            let (Some(a), Some(b)) = (
+                e.ops[0].value_at(now, bypass),
+                e.ops[1].value_at(now, bypass),
+            ) else {
                 return Ok(false);
             };
             (e.insn, e.tid, a, b)
@@ -463,11 +523,11 @@ impl<'p> Simulator<'p> {
             FuClass::Load => {
                 // Restricted load policy: wait until every older same-thread
                 // store has its address (is in the store buffer) and no
-                // older sync is pending.
-                let blocked = self.su.any_older(tid, bi, ei, |o| {
-                    !o.is_done()
-                        && matches!(o.insn.op.fu_class(), FuClass::Store | FuClass::Sync)
-                });
+                // older sync is pending. The per-thread ordering queue holds
+                // outstanding store/sync positions oldest-first.
+                let blocked = self.memsync[tid]
+                    .front()
+                    .is_some_and(|&front| front < (self.su.block(bi).id, ei));
                 if blocked || !self.fu.can_issue(class, now) {
                     return Ok(false);
                 }
@@ -480,27 +540,31 @@ impl<'p> Simulator<'p> {
                         None => match self.cache.access(addr, now) {
                             Outcome::Blocked { .. } => return Ok(false),
                             Outcome::Hit => (mem_value, None, now),
-                            Outcome::Miss { ready_at }
-                            | Outcome::PendingHit { ready_at } => (mem_value, None, ready_at),
+                            Outcome::Miss { ready_at } | Outcome::PendingHit { ready_at } => {
+                                (mem_value, None, ready_at)
+                            }
                         },
                     },
                 };
-                let done_at =
-                    self.fu.try_issue(class, now).expect("can_issue checked").max(data_ready);
+                let done_at = self
+                    .fu
+                    .try_issue(class, now)
+                    .expect("can_issue checked")
+                    .max(data_ready);
                 let e = &mut self.su.block_mut(bi).entries[ei];
-                e.state = EntryState::Executing { done_at };
                 e.result = result;
                 e.fault = fault;
                 e.mem_addr = addr;
+                self.su.mark_executing(bi, ei, done_at);
                 Ok(true)
             }
             FuClass::Store => {
                 // Preserve per-thread store order (forwarding relies on it)
-                // and order around sync primitives.
-                let blocked = self.su.any_older(tid, bi, ei, |o| {
-                    !o.is_done()
-                        && matches!(o.insn.op.fu_class(), FuClass::Store | FuClass::Sync)
-                });
+                // and order around sync primitives. A store is in the queue
+                // itself, so the front is older only if it differs from us.
+                let blocked = self.memsync[tid]
+                    .front()
+                    .is_some_and(|&front| front < (self.su.block(bi).id, ei));
                 if blocked || !self.fu.can_issue(class, now) {
                     return Ok(false);
                 }
@@ -508,10 +572,10 @@ impl<'p> Simulator<'p> {
                 let fault = self.mem.read(addr).err();
                 let done_at = self.fu.try_issue(class, now).expect("can_issue checked");
                 let e = &mut self.su.block_mut(bi).entries[ei];
-                e.state = EntryState::Executing { done_at };
                 e.fault = fault;
                 e.mem_addr = addr;
                 e.result = b; // store data, held until commit pushes it out
+                self.su.mark_executing(bi, ei, done_at);
                 Ok(true)
             }
             FuClass::Sync => {
@@ -526,28 +590,29 @@ impl<'p> Simulator<'p> {
                         if !self.fu.can_issue(class, now) {
                             return Ok(false);
                         }
-                        let flag = self
-                            .mem
-                            .read(a)
-                            .map_err(|err| SimError::Mem { err, tid, pc })?;
+                        let flag =
+                            self.mem
+                                .read(a)
+                                .map_err(|err| SimError::Mem { err, tid, pc })?;
                         let satisfied = (flag as i64) >= (b as i64);
                         let done_at = self.fu.try_issue(class, now).expect("checked");
-                        let e = &mut self.su.block_mut(bi).entries[ei];
-                        e.state = EntryState::Executing { done_at };
-                        e.sync_satisfied = satisfied;
+                        self.su.block_mut(bi).entries[ei].sync_satisfied = satisfied;
+                        self.su.mark_executing(bi, ei, done_at);
                         Ok(true)
                     }
                     Opcode::Post => {
                         // Validate the address now; the increment itself is
                         // applied at writeback.
-                        self.mem.read(a).map_err(|err| SimError::Mem { err, tid, pc })?;
+                        self.mem
+                            .read(a)
+                            .map_err(|err| SimError::Mem { err, tid, pc })?;
                         if !self.fu.can_issue(class, now) {
                             return Ok(false);
                         }
                         let done_at = self.fu.try_issue(class, now).expect("checked");
-                        let e = &mut self.su.block_mut(bi).entries[ei];
-                        e.state = EntryState::Executing { done_at };
-                        e.result = a; // stash the address for writeback
+                        // Stash the address in `result` for writeback.
+                        self.su.block_mut(bi).entries[ei].result = a;
+                        self.su.mark_executing(bi, ei, done_at);
                         Ok(true)
                     }
                     other => unreachable!("non-sync opcode {other} in sync class"),
@@ -564,9 +629,9 @@ impl<'p> Simulator<'p> {
                     op => (branch_taken(op, a, b), insn.imm as usize),
                 };
                 let e = &mut self.su.block_mut(bi).entries[ei];
-                e.state = EntryState::Executing { done_at };
                 e.taken = taken;
                 e.target = target;
+                self.su.mark_executing(bi, ei, done_at);
                 Ok(true)
             }
             _ => {
@@ -574,9 +639,8 @@ impl<'p> Simulator<'p> {
                     return Ok(false);
                 }
                 let done_at = self.fu.try_issue(class, now).expect("checked");
-                let e = &mut self.su.block_mut(bi).entries[ei];
-                e.state = EntryState::Executing { done_at };
-                e.result = alu_result(insn.op, a, b, insn.imm);
+                self.su.block_mut(bi).entries[ei].result = alu_result(insn.op, a, b, insn.imm);
+                self.su.mark_executing(bi, ei, done_at);
                 Ok(true)
             }
         }
@@ -589,6 +653,11 @@ impl<'p> Simulator<'p> {
     /// the store buffer of committed stores. `None` falls through to the
     /// cache/memory.
     fn forward_value(&self, tid: usize, lbi: usize, lei: usize, addr: u64) -> Option<u64> {
+        if self.resident_done_stores == 0 {
+            // No completed store resident anywhere in the window: the only
+            // possible forwarding source is the committed store buffer.
+            return self.sb.forward(addr);
+        }
         for (bi, block) in self.su.blocks().enumerate().rev() {
             for (ei, e) in block.entries.iter().enumerate().rev() {
                 if e.insn.op != Opcode::Sd
@@ -631,7 +700,7 @@ impl<'p> Simulator<'p> {
         let block = self.fetch_buffer.take().expect("checked non-empty");
         let tid = block.tid;
         let now = self.cycle;
-        let mut entries: Vec<SuEntry> = Vec::with_capacity(block.insns.len());
+        let mut entries: Vec<SuEntry> = self.su.take_storage();
         let mut leftover: Vec<FetchedInsn> = Vec::new();
         let cswitch = self.config.fetch_policy == FetchPolicy::ConditionalSwitch;
 
@@ -649,7 +718,10 @@ impl<'p> Simulator<'p> {
                     .map(|p| Lookup::Pending(p.tag));
                 let lookup = in_group.unwrap_or_else(|| self.su.lookup(tid, reg));
                 ops[k] = match lookup {
-                    Lookup::Available(v) => Operand::Ready { value: v, since: now },
+                    Lookup::Available(v) => Operand::Ready {
+                        value: v,
+                        since: now,
+                    },
                     Lookup::NotFound => Operand::Ready {
                         value: self.regfile[tid * self.window + reg.index()],
                         since: now,
@@ -667,7 +739,10 @@ impl<'p> Simulator<'p> {
                 leftover = block.insns[idx..].to_vec();
                 break;
             }
-            let tag = self.tags.alloc().expect("tag pool sized to the scheduling unit");
+            let tag = self
+                .tags
+                .alloc()
+                .expect("tag pool sized to the scheduling unit");
             let mut entry = SuEntry::new(tag, tid, f.pc, f.insn, ops);
             entry.predicted_taken = f.predicted_taken;
             entry.predicted_target = f.predicted_target;
@@ -677,8 +752,7 @@ impl<'p> Simulator<'p> {
                     // PC if the predictor sent fetch the wrong way, and
                     // record a perfect prediction so execute never squashes.
                     let target = f.insn.imm as usize;
-                    let fetch_followed =
-                        f.predicted_taken && f.predicted_target == target;
+                    let fetch_followed = f.predicted_taken && f.predicted_target == target;
                     entry.predicted_taken = true;
                     entry.predicted_target = target;
                     entries.push(entry);
@@ -721,12 +795,25 @@ impl<'p> Simulator<'p> {
         if entries.is_empty() {
             // Scoreboard stall on the very first instruction: retry the
             // whole group next cycle.
+            self.su.recycle_storage(entries);
             self.fetch_buffer = Some(block);
             return;
         }
-        self.su.push_block(tid, entries);
+        let bid = self.su.push_block(tid, entries);
+        let bi = self.su.num_blocks() - 1;
+        for (ei, e) in self.su.block(bi).entries.iter().enumerate() {
+            if matches!(e.insn.op.fu_class(), FuClass::Store | FuClass::Sync) {
+                self.memsync[tid].push_back((bid, ei));
+            }
+        }
         if !leftover.is_empty() {
-            self.fetch_buffer = Some(FetchedBlock { tid, insns: leftover });
+            self.fetch_buffer = Some(FetchedBlock {
+                tid,
+                insns: leftover,
+            });
+        } else {
+            // The consumed fetch group's storage goes back to the fetcher.
+            self.iu.recycle(block.insns);
         }
     }
 
@@ -783,8 +870,13 @@ impl<'p> Simulator<'p> {
         }
         match &self.fetch_buffer {
             Some(b) => {
-                let _ =
-                    writeln!(out, "  fetch buffer: tid {} × {} insns @pc {}", b.tid, b.insns.len(), b.insns[0].pc);
+                let _ = writeln!(
+                    out,
+                    "  fetch buffer: tid {} × {} insns @pc {}",
+                    b.tid,
+                    b.insns.len(),
+                    b.insns[0].pc
+                );
             }
             None => {
                 let _ = writeln!(out, "  fetch buffer: empty");
@@ -805,7 +897,12 @@ impl<'p> Simulator<'p> {
                 );
             }
         }
-        let _ = writeln!(out, "  store buffer: {}/{} entries", self.sb.len(), self.sb.capacity());
+        let _ = writeln!(
+            out,
+            "  store buffer: {}/{} entries",
+            self.sb.len(),
+            self.sb.capacity()
+        );
         out
     }
 }
@@ -861,7 +958,10 @@ mod tests {
         let p = sum_program();
         let stats = run_and_check(&p, SimConfig::default().with_threads(1));
         assert!(stats.cycles > 0);
-        assert!(stats.committed_total() > 60, "loop body commits ~20×3 instructions");
+        assert!(
+            stats.committed_total() > 60,
+            "loop body commits ~20×3 instructions"
+        );
     }
 
     #[test]
@@ -874,7 +974,10 @@ mod tests {
         ] {
             let stats = run_and_check(&p, SimConfig::default().with_fetch_policy(policy));
             assert_eq!(stats.committed.len(), 4);
-            assert!(stats.committed.iter().all(|&c| c > 0), "{policy}: all threads commit");
+            assert!(
+                stats.committed.iter().all(|&c| c > 0),
+                "{policy}: all threads commit"
+            );
         }
     }
 
@@ -882,8 +985,10 @@ mod tests {
     fn commit_policies_agree_architecturally() {
         let p = sum_program();
         let flexible = run_and_check(&p, SimConfig::default());
-        let lowest =
-            run_and_check(&p, SimConfig::default().with_commit_policy(CommitPolicy::LowestOnly));
+        let lowest = run_and_check(
+            &p,
+            SimConfig::default().with_commit_policy(CommitPolicy::LowestOnly),
+        );
         assert_eq!(flexible.committed_total(), lowest.committed_total());
     }
 
@@ -988,6 +1093,68 @@ mod tests {
     }
 
     #[test]
+    fn faulting_block_commits_no_architectural_state() {
+        // Block 2 (pcs 4..8) holds a register write, a healthy store, and a
+        // faulting store. The fault must be precise at block granularity:
+        // none of the block's side effects may land — not the register
+        // write, not the healthy store.
+        let mut b = ProgramBuilder::new();
+        let [bad, ok, vaddr] = b.regs();
+        let slot = b.alloc_zeroed(8);
+        b.addi(bad, b.tid_reg(), 1); // pc 0: bad = 1
+        b.slli(bad, bad, 40); //        pc 1: bad = 1 << 40 (out of bounds)
+        b.addi(vaddr, b.tid_reg(), slot as i32); // pc 2: valid slot address
+        b.addi(ok, b.tid_reg(), 0); //  pc 3: pad to the block boundary
+        b.addi(ok, ok, 42); //          pc 4: register write in faulting block
+        b.sd(ok, vaddr, 0); //          pc 5: healthy store in faulting block
+        b.sd(ok, bad, 0); //            pc 6: faulting store
+        b.halt(); //                    pc 7
+        let p = b.build(1).unwrap();
+
+        let mut sim = Simulator::new(SimConfig::default().with_threads(1), &p);
+        let err = sim.run().expect_err("out-of-bounds store faults");
+        assert!(
+            matches!(err, SimError::Mem { tid: 0, pc: 6, .. }),
+            "fault attributed to the faulting store, got {err:?}"
+        );
+        assert_eq!(
+            sim.reg_file()[ok.index()],
+            0,
+            "register write from the faulting block must not commit"
+        );
+        assert!(
+            sim.memory().words().iter().all(|&w| w == 0),
+            "healthy store from the faulting block must not reach memory"
+        );
+        assert!(
+            sim.sb.is_empty(),
+            "no store from the faulting block is buffered"
+        );
+    }
+
+    #[test]
+    fn store_drain_fault_reports_the_store_pc() {
+        // A fault detected when a buffered store drains to memory must be
+        // attributed to the store's own pc (it used to report pc 0). The
+        // drain path is driven directly: with a symmetric read/write
+        // validity check, issue-time reads catch bad addresses first, so
+        // the public API cannot reach a drain-time fault today.
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut sim = Simulator::new(SimConfig::default().with_threads(1), &p);
+        sim.sb.insert(1, 0, 1 << 40, 5, 77).unwrap();
+        sim.sb.release(1);
+        let err = sim
+            .drain_store_stage()
+            .expect_err("out-of-bounds drain faults");
+        assert!(
+            matches!(err, SimError::Mem { tid: 0, pc: 77, .. }),
+            "drain fault carries the store's pc, got {err:?}"
+        );
+    }
+
+    #[test]
     fn program_with_too_many_registers_is_rejected() {
         let mut b = ProgramBuilder::new();
         for _ in 0..29 {
@@ -1015,7 +1182,10 @@ mod tests {
             interp_count,
             "cycle sim must commit exactly the architectural instruction count"
         );
-        assert!(stats.issued >= stats.committed_total(), "wrong-path issues are extra");
+        assert!(
+            stats.issued >= stats.committed_total(),
+            "wrong-path issues are extra"
+        );
         assert_eq!(stats.cache.accesses, stats.cache.hits + stats.cache.misses);
     }
 }

@@ -148,7 +148,10 @@ impl SimStats {
 /// Panics if either cycle count is zero.
 #[must_use]
 pub fn speedup(single_thread_cycles: u64, multi_thread_cycles: u64) -> f64 {
-    assert!(single_thread_cycles > 0 && multi_thread_cycles > 0, "cycle counts must be positive");
+    assert!(
+        single_thread_cycles > 0 && multi_thread_cycles > 0,
+        "cycle counts must be positive"
+    );
     let st = 1.0 / single_thread_cycles as f64;
     let mt = 1.0 / multi_thread_cycles as f64;
     (mt - st) / st
@@ -180,19 +183,27 @@ mod tests {
     #[test]
     fn speedup_formula() {
         assert!((speedup(100, 100)).abs() < 1e-12);
-        assert!(speedup(100, 150) < 0.0, "slower run is a negative improvement");
+        assert!(
+            speedup(100, 150) < 0.0,
+            "slower run is a negative improvement"
+        );
         assert!((speedup(150, 100) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn branch_accuracy() {
-        let b = BranchStats { resolved: 200, mispredicted: 30 };
+        let b = BranchStats {
+            resolved: 200,
+            mispredicted: 30,
+        };
         assert!((b.accuracy() - 85.0).abs() < 1e-12);
     }
 
     #[test]
     fn fu_usage_lookup() {
-        let usage = FuUsage { busy_cycles: vec![(FuClass::Load, vec![90, 45])] };
+        let usage = FuUsage {
+            busy_cycles: vec![(FuClass::Load, vec![90, 45])],
+        };
         assert!((usage.extra_unit_pct(FuClass::Load, 100) - 45.0).abs() < 1e-12);
         assert_eq!(usage.extra_unit_pct(FuClass::FpMul, 100), 0.0);
     }

@@ -8,13 +8,47 @@
 //! of the shifting structure. Entries hold renamed operands (value or
 //! producer tag), so the issue logic "does not have to concern itself with
 //! the thread that an instruction belongs to".
+//!
+//! # Event-driven hot paths
+//!
+//! The hardware's associative searches (wakeup broadcast, writeback
+//! selection, commit readiness, decode rename lookup) are modelled here with
+//! index structures instead of full-window scans, without changing a single
+//! observable outcome (the cycle-exactness goldens in `tests/` pin this
+//! down):
+//!
+//! * **Waiter lists** — each in-flight tag maps to the operand slots
+//!   waiting on it, so [`broadcast`](SchedulingUnit::broadcast) touches
+//!   exactly the consumers instead of every resident operand. Tags are
+//!   globally unique and never reused, so a raw tag value is a safe key.
+//! * **Completion heap** — issued entries enter a min-heap keyed by
+//!   `(done_at, block id, entry index)`;
+//!   [`pop_completion`](SchedulingUnit::pop_completion) pops the earliest.
+//!   Block ids grow monotonically along the block deque, so the heap order
+//!   reproduces the reference scan's tie-break (earliest `done_at`, oldest
+//!   position first) exactly. Squashed entries are invalidated lazily: a
+//!   popped record is discarded unless it still names a resident entry in
+//!   the `Executing` state with the recorded `done_at`.
+//! * **Per-block done counters** — commit readiness
+//!   ([`find_committable`](SchedulingUnit::find_committable),
+//!   [`bottom_block_status`](SchedulingUnit::bottom_block_status)) is a
+//!   counter comparison, not an entry scan.
+//! * **Producer map** — decode rename lookup resolves `(tid, reg)` to the
+//!   youngest in-flight producer through an age-ordered list per register
+//!   instead of walking the window backwards.
+//!
+//! The invariant making the index structures sound: `(block id, entry
+//! index)` identifies an entry *forever*. Entries are never appended to a
+//! resident block, and squashes only drain from the young end, so a stale
+//! reference can dangle but never alias a different instruction.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use smt_isa::Instruction;
+use smt_isa::{Instruction, REG_FILE_SIZE};
 use smt_uarch::Tag;
 
 use crate::config::CommitPolicy;
+use crate::fasthash::MixState;
 
 /// A renamed source operand.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -155,6 +189,20 @@ pub struct Block {
     pub tid: usize,
     /// The 1..=block_size instructions of the group.
     pub entries: Vec<SuEntry>,
+    /// How many of `entries` are `Done` — maintained by
+    /// [`SchedulingUnit::mark_done`]; lets commit readiness be O(1).
+    done: usize,
+    /// How many of `entries` are still `Waiting` (unissued) — lets the
+    /// issue stage skip fully-issued blocks without touching their entries.
+    pending: usize,
+}
+
+impl Block {
+    /// Whether any entry is still waiting to issue.
+    #[must_use]
+    pub fn has_unissued(&self) -> bool {
+        self.pending > 0
+    }
 }
 
 /// Result of a decode-time operand lookup.
@@ -168,6 +216,58 @@ pub enum Lookup {
     Available(u64),
 }
 
+/// An operand slot waiting on a tag: `(block id, entry index, op index)`.
+type WaiterSlot = (u64, usize, usize);
+
+/// The consumers of one in-flight tag. Values rarely have more than a
+/// couple of waiting consumers at decode time, so the first few slots live
+/// inline — the common case never touches the allocator (which profiling
+/// shows is the simulator's main tax).
+#[derive(Clone, Debug, Default)]
+struct WaiterList {
+    inline: [WaiterSlot; WaiterList::INLINE],
+    len: usize,
+    spill: Vec<WaiterSlot>,
+}
+
+impl WaiterList {
+    const INLINE: usize = 4;
+
+    fn push(&mut self, slot: WaiterSlot) {
+        if self.len < Self::INLINE {
+            self.inline[self.len] = slot;
+            self.len += 1;
+        } else {
+            self.spill.push(slot);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = WaiterSlot> + '_ {
+        self.inline[..self.len]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+
+    /// Removes one occurrence of `slot`, keeping relative order.
+    fn remove(&mut self, slot: WaiterSlot) {
+        if let Some(pos) = self.inline[..self.len].iter().position(|&s| s == slot) {
+            self.inline.copy_within(pos + 1..self.len, pos);
+            self.len -= 1;
+            if let Some(promoted) = (!self.spill.is_empty()).then(|| self.spill.remove(0)) {
+                self.inline[self.len] = promoted;
+                self.len += 1;
+            }
+        } else if let Some(pos) = self.spill.iter().position(|&s| s == slot) {
+            self.spill.remove(pos);
+        }
+    }
+}
+
 /// The scheduling unit proper.
 #[derive(Clone, Debug)]
 pub struct SchedulingUnit {
@@ -175,6 +275,27 @@ pub struct SchedulingUnit {
     capacity_blocks: usize,
     block_size: usize,
     next_block_id: u64,
+    /// Resident instruction count (kept so occupancy sampling is O(1)).
+    entries_count: usize,
+    /// Wakeup index: raw tag value → operand slots waiting on it. Raw tag
+    /// values are never reused, so no generation counter is needed.
+    waiters: HashMap<u64, WaiterList, MixState>,
+    /// Rename index: age-ordered in-flight producers as
+    /// `(block id, entry index)`, oldest at the front, in a flat table
+    /// indexed by `tid * REG_FILE_SIZE + reg` (grown on demand — the unit
+    /// does not know the thread count).
+    producers: Vec<VecDeque<(u64, usize)>>,
+    /// Writeback selection: issued entries as `(done_at, block id, entry
+    /// index)`, kept sorted ascending; the front is the next completion.
+    /// Issue deadlines mostly arrive in order, so sorted insertion beats a
+    /// binary heap here (and squashed records are discarded lazily on pop).
+    completions: VecDeque<(u64, u64, usize)>,
+    /// Recycled entry storage: blocks leave their `Vec` here on removal so
+    /// decode never has to touch the allocator in steady state.
+    spare: Vec<Vec<SuEntry>>,
+    /// Reusable buffer backing [`squash_after`](Self::squash_after)'s
+    /// return value.
+    squash_buf: Vec<SuEntry>,
 }
 
 impl SchedulingUnit {
@@ -186,12 +307,52 @@ impl SchedulingUnit {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(capacity_blocks: usize, block_size: usize) -> Self {
-        assert!(capacity_blocks > 0 && block_size > 0, "degenerate scheduling unit");
+        assert!(
+            capacity_blocks > 0 && block_size > 0,
+            "degenerate scheduling unit"
+        );
         SchedulingUnit {
             blocks: VecDeque::with_capacity(capacity_blocks),
             capacity_blocks,
             block_size,
             next_block_id: 0,
+            entries_count: 0,
+            // Pre-size to the window: at most one waiter list per resident
+            // producer, so the map never rehashes mid-run.
+            waiters: HashMap::with_capacity_and_hasher(
+                capacity_blocks * block_size,
+                MixState::default(),
+            ),
+            producers: Vec::new(),
+            completions: VecDeque::with_capacity(capacity_blocks * block_size),
+            spare: Vec::new(),
+            squash_buf: Vec::new(),
+        }
+    }
+
+    /// Pre-grows the rename index for `n` threads so the first decode of
+    /// each thread does not pay for table growth.
+    pub fn reserve_threads(&mut self, n: usize) {
+        if self.producers.len() < n * REG_FILE_SIZE {
+            self.producers.resize_with(n * REG_FILE_SIZE, VecDeque::new);
+        }
+    }
+
+    /// Hands out an empty entry `Vec` for the next decode group, reusing
+    /// storage recycled by [`recycle_storage`](Self::recycle_storage).
+    #[must_use]
+    pub fn take_storage(&mut self) -> Vec<SuEntry> {
+        self.spare
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.block_size))
+    }
+
+    /// Returns entry storage (e.g. a committed block's) to the reuse pool.
+    pub fn recycle_storage(&mut self, mut storage: Vec<SuEntry>) {
+        // One spare per block slot is all steady state can ever need.
+        if self.spare.len() < self.capacity_blocks {
+            storage.clear();
+            self.spare.push(storage);
         }
     }
 
@@ -210,7 +371,7 @@ impl SchedulingUnit {
     /// Number of resident instructions (valid entries, not padded slots).
     #[must_use]
     pub fn num_entries(&self) -> usize {
-        self.blocks.iter().map(|b| b.entries.len()).sum()
+        self.entries_count
     }
 
     /// Whether the unit is empty.
@@ -219,7 +380,42 @@ impl SchedulingUnit {
         self.blocks.is_empty()
     }
 
-    /// Inserts a decode group at the top. Returns the block id.
+    /// Position of the block with id `bid`, if still resident. The deque
+    /// holds at most a handful of blocks and most lookups (wakeups, rename
+    /// hits) land near the young end, so a reverse linear scan beats a
+    /// binary search here; ids are monotone, so the scan can stop early.
+    fn pos_of(&self, bid: u64) -> Option<usize> {
+        for (i, b) in self.blocks.iter().enumerate().rev() {
+            if b.id == bid {
+                return Some(i);
+            }
+            if b.id < bid {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Mutable producer list for `(tid, reg)`, growing the flat table on
+    /// first touch of a new thread.
+    fn producer_list(&mut self, tid: usize, reg: usize) -> &mut VecDeque<(u64, usize)> {
+        let idx = tid * REG_FILE_SIZE + reg;
+        if idx >= self.producers.len() {
+            self.producers
+                .resize_with((tid + 1) * REG_FILE_SIZE, VecDeque::new);
+        }
+        &mut self.producers[idx]
+    }
+
+    /// Sorted insertion into the completion queue (ascending by
+    /// `(done_at, block id, entry index)`).
+    fn insert_completion(completions: &mut VecDeque<(u64, u64, usize)>, key: (u64, u64, usize)) {
+        let pos = completions.partition_point(|&c| c < key);
+        completions.insert(pos, key);
+    }
+
+    /// Inserts a decode group at the top, indexing its producers and
+    /// waiting operands. Returns the block id.
     ///
     /// # Panics
     ///
@@ -236,7 +432,35 @@ impl SchedulingUnit {
         assert!(entries.iter().all(|e| e.tid == tid), "block mixes threads");
         let id = self.next_block_id;
         self.next_block_id += 1;
-        self.blocks.push_back(Block { id, tid, entries });
+        let mut done = 0;
+        let mut pending = 0;
+        for (ei, e) in entries.iter().enumerate() {
+            let dest = e.insn.dest();
+            let state = e.state;
+            for (k, op) in e.ops.iter().enumerate() {
+                if let Operand::Waiting { tag } = op {
+                    self.waiters.entry(tag.raw()).or_default().push((id, ei, k));
+                }
+            }
+            if let Some(reg) = dest {
+                self.producer_list(tid, reg.index()).push_back((id, ei));
+            }
+            match state {
+                EntryState::Done => done += 1,
+                EntryState::Executing { done_at } => {
+                    Self::insert_completion(&mut self.completions, (done_at, id, ei));
+                }
+                EntryState::Waiting => pending += 1,
+            }
+        }
+        self.entries_count += entries.len();
+        self.blocks.push_back(Block {
+            id,
+            tid,
+            entries,
+            done,
+            pending,
+        });
         id
     }
 
@@ -246,7 +470,10 @@ impl SchedulingUnit {
         &self.blocks[i]
     }
 
-    /// Mutable block access.
+    /// Mutable block access. Callers may freely edit entry payload fields
+    /// (results, faults, flags); state transitions must go through
+    /// [`mark_executing`](Self::mark_executing) and
+    /// [`mark_done`](Self::mark_done) so the event indexes stay coherent.
     pub fn block_mut(&mut self, i: usize) -> &mut Block {
         &mut self.blocks[i]
     }
@@ -262,35 +489,92 @@ impl SchedulingUnit {
     /// succeed only if the thread number and the register number match".
     #[must_use]
     pub fn lookup(&self, tid: usize, reg: smt_isa::Reg) -> Lookup {
-        for block in self.blocks.iter().rev() {
-            if block.tid != tid {
-                continue;
-            }
-            for e in block.entries.iter().rev() {
-                if e.insn.dest() == Some(reg) {
-                    return if e.is_done() {
-                        Lookup::Available(e.result)
-                    } else {
-                        Lookup::Pending(e.tag)
-                    };
-                }
-            }
+        let Some(&(bid, ei)) = self
+            .producers
+            .get(tid * REG_FILE_SIZE + reg.index())
+            .and_then(VecDeque::back)
+        else {
+            return Lookup::NotFound;
+        };
+        let bi = self
+            .pos_of(bid)
+            .expect("producer index only names resident blocks");
+        let e = &self.blocks[bi].entries[ei];
+        debug_assert_eq!(e.insn.dest(), Some(reg));
+        if e.is_done() {
+            Lookup::Available(e.result)
+        } else {
+            Lookup::Pending(e.tag)
         }
-        Lookup::NotFound
     }
 
     /// Broadcasts a writeback: every operand waiting on `tag` becomes ready
-    /// with `value` at cycle `now`.
+    /// with `value` at cycle `now`. Touches exactly the registered waiter
+    /// slots — O(consumers), not O(window).
     pub fn broadcast(&mut self, tag: Tag, value: u64, now: u64) {
-        for block in &mut self.blocks {
-            for e in &mut block.entries {
-                for op in &mut e.ops {
-                    if matches!(op, Operand::Waiting { tag: t } if *t == tag) {
-                        *op = Operand::Ready { value, since: now };
-                    }
-                }
+        let Some(slots) = self.waiters.remove(&tag.raw()) else {
+            return;
+        };
+        for (bid, ei, k) in slots.iter() {
+            let bi = self
+                .pos_of(bid)
+                .expect("waiter slots are deregistered on removal");
+            let op = &mut self.blocks[bi].entries[ei].ops[k];
+            debug_assert!(matches!(op, Operand::Waiting { tag: t } if *t == tag));
+            *op = Operand::Ready { value, since: now };
+        }
+    }
+
+    /// Records that the entry at `(bi, ei)` issued and completes at
+    /// `done_at`: the state becomes `Executing` and the completion heap
+    /// learns about the event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry has already issued.
+    pub fn mark_executing(&mut self, bi: usize, ei: usize, done_at: u64) {
+        let block = &mut self.blocks[bi];
+        let e = &mut block.entries[ei];
+        assert_eq!(e.state, EntryState::Waiting, "entry issues exactly once");
+        e.state = EntryState::Executing { done_at };
+        block.pending -= 1;
+        Self::insert_completion(&mut self.completions, (done_at, block.id, ei));
+    }
+
+    /// Marks the entry at `(bi, ei)` as written back (`Done`) and advances
+    /// its block's done counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is already `Done`.
+    pub fn mark_done(&mut self, bi: usize, ei: usize) {
+        let block = &mut self.blocks[bi];
+        assert!(!block.entries[ei].is_done(), "entry completes exactly once");
+        block.entries[ei].state = EntryState::Done;
+        block.done += 1;
+    }
+
+    /// Pops the next completion at or before cycle `now`: the `Executing`
+    /// entry with the earliest `done_at`, oldest position breaking ties
+    /// (block ids are monotone along the deque). Stale heap records —
+    /// squashed entries — are discarded on the way.
+    pub fn pop_completion(&mut self, now: u64) -> Option<(usize, usize)> {
+        while let Some(&(done_at, bid, ei)) = self.completions.front() {
+            if done_at > now {
+                return None;
+            }
+            self.completions.pop_front();
+            // Lazy invalidation: the record is live only if it still names
+            // a resident entry executing towards this very deadline.
+            let Some(bi) = self.pos_of(bid) else { continue };
+            let Some(e) = self.blocks[bi].entries.get(ei) else {
+                continue;
+            };
+            if e.state == (EntryState::Executing { done_at }) {
+                return Some((bi, ei));
             }
         }
+        None
     }
 
     /// Whether any entry *older* than position `(bi, ei)` and belonging to
@@ -315,31 +599,85 @@ impl SchedulingUnit {
         false
     }
 
+    /// Deregisters an entry (known to be leaving the unit) from the waiter
+    /// and producer indexes. A free function over the index fields so
+    /// callers can hold a simultaneous borrow of `blocks`.
+    fn deindex(
+        waiters: &mut HashMap<u64, WaiterList, MixState>,
+        producers: &mut [VecDeque<(u64, usize)>],
+        bid: u64,
+        ei: usize,
+        e: &SuEntry,
+    ) {
+        for (k, op) in e.ops.iter().enumerate() {
+            if let Operand::Waiting { tag } = op {
+                if let Some(slots) = waiters.get_mut(&tag.raw()) {
+                    slots.remove((bid, ei, k));
+                    if slots.is_empty() {
+                        waiters.remove(&tag.raw());
+                    }
+                }
+            }
+        }
+        if let Some(reg) = e.insn.dest() {
+            let list = &mut producers[e.tid * REG_FILE_SIZE + reg.index()];
+            let pos = list
+                .iter()
+                .rposition(|&p| p == (bid, ei))
+                .expect("producer was indexed");
+            list.remove(pos);
+        }
+    }
+
     /// Selectively squashes the wrong path after a mispredicted control
     /// transfer: every entry of `tid` *younger* than `(bi, ei)` is removed
     /// ("all entries above the mispredicted one, and with a matching thread
     /// ID, are discarded"). Blocks of other threads are untouched. Returns
-    /// the removed entries (caller frees tags and store-buffer slots).
-    pub fn squash_after(&mut self, tid: usize, bi: usize, ei: usize) -> Vec<SuEntry> {
-        let mut removed = Vec::new();
-        // Younger entries within the same block.
-        removed.extend(self.blocks[bi].entries.drain(ei + 1..));
+    /// the removed entries (caller frees tags); the slice borrows a buffer
+    /// reused across squashes, so nothing is allocated on this path.
+    ///
+    /// Removed entries leave the waiter/producer indexes eagerly (bounding
+    /// memory); their completion-queue records decay lazily.
+    pub fn squash_after(&mut self, tid: usize, bi: usize, ei: usize) -> &[SuEntry] {
+        self.squash_buf.clear();
+        // Younger entries within the same block: fix the counters and
+        // deindex in place, then drain into the scratch buffer.
+        let bid = self.blocks[bi].id;
+        let (mut done_removed, mut pending_removed) = (0, 0);
+        for (off, e) in self.blocks[bi].entries[ei + 1..].iter().enumerate() {
+            match e.state {
+                EntryState::Done => done_removed += 1,
+                EntryState::Waiting => pending_removed += 1,
+                EntryState::Executing { .. } => {}
+            }
+            Self::deindex(&mut self.waiters, &mut self.producers, bid, ei + 1 + off, e);
+        }
+        self.blocks[bi].done -= done_removed;
+        self.blocks[bi].pending -= pending_removed;
+        self.squash_buf
+            .extend(self.blocks[bi].entries.drain(ei + 1..));
         // Younger blocks of the same thread (whole blocks, by construction).
         let mut i = bi + 1;
         while i < self.blocks.len() {
             if self.blocks[i].tid == tid {
-                let block = self.blocks.remove(i).expect("index in range");
-                removed.extend(block.entries);
+                let mut block = self.blocks.remove(i).expect("index in range");
+                for (e_i, e) in block.entries.iter().enumerate() {
+                    Self::deindex(&mut self.waiters, &mut self.producers, block.id, e_i, e);
+                }
+                self.squash_buf.append(&mut block.entries);
+                self.recycle_storage(block.entries);
             } else {
                 i += 1;
             }
         }
-        removed
+        self.entries_count -= self.squash_buf.len();
+        &self.squash_buf
     }
 
     /// Finds the committable block under `policy`: the lowest block among
     /// the bottom `window` whose entries are all done, and below which no
     /// block of the same thread remains (per-thread in-order commit).
+    /// O(window), not O(window × block size): readiness is a counter check.
     #[must_use]
     pub fn find_committable(&self, policy: CommitPolicy, window: usize) -> Option<usize> {
         let window = match policy {
@@ -348,12 +686,14 @@ impl SchedulingUnit {
         };
         for i in 0..self.blocks.len().min(window) {
             let block = &self.blocks[i];
-            let ready = block.entries.iter().all(SuEntry::is_done);
-            if !ready {
+            if block.done < block.entries.len() {
                 continue;
             }
-            let blocked_by_older =
-                self.blocks.iter().take(i).any(|older| older.tid == block.tid);
+            let blocked_by_older = self
+                .blocks
+                .iter()
+                .take(i)
+                .any(|older| older.tid == block.tid);
             if !blocked_by_older {
                 return Some(i);
             }
@@ -361,9 +701,20 @@ impl SchedulingUnit {
         None
     }
 
-    /// Removes and returns the block at position `i` (after commit).
+    /// Removes and returns the block at position `i` (after commit),
+    /// deregistering its entries from the event indexes. Callers that
+    /// consume the block should hand its entry storage back through
+    /// [`recycle_storage`](Self::recycle_storage).
     pub fn remove_block(&mut self, i: usize) -> Block {
-        self.blocks.remove(i).expect("block index in range")
+        let block = self.blocks.remove(i).expect("block index in range");
+        self.entries_count -= block.entries.len();
+        // Committed entries are all Done, so they normally hold no Waiting
+        // operands; deindex defensively anyway (covers direct API use on
+        // partially-executed blocks in tests).
+        for (ei, e) in block.entries.iter().enumerate().rev() {
+            Self::deindex(&mut self.waiters, &mut self.producers, block.id, ei, e);
+        }
+        block
     }
 
     /// The thread owning the lower-most block, and whether that block could
@@ -371,8 +722,7 @@ impl SchedulingUnit {
     #[must_use]
     pub fn bottom_block_status(&self) -> Option<(usize, bool)> {
         self.blocks.front().map(|b| {
-            let ready = b.entries.iter().all(SuEntry::is_done);
-            let blocked = !ready;
+            let blocked = b.done < b.entries.len();
             (b.tid, blocked)
         })
     }
@@ -401,7 +751,10 @@ mod tests {
         let mut su = SchedulingUnit::new(2, 4);
         su.push_block(0, vec![entry(&mut tags, 0, 3)]); // partial block
         su.push_block(1, vec![entry(&mut tags, 1, 3)]);
-        assert!(!su.has_space(), "two blocks fill a two-block unit even when partial");
+        assert!(
+            !su.has_space(),
+            "two blocks fill a two-block unit even when partial"
+        );
         assert_eq!(su.num_entries(), 2);
     }
 
@@ -436,6 +789,23 @@ mod tests {
     }
 
     #[test]
+    fn lookup_falls_back_after_producer_leaves() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(4, 4);
+        let mut done = entry(&mut tags, 0, 5);
+        done.state = EntryState::Done;
+        su.push_block(0, vec![done]);
+        let pending = entry(&mut tags, 0, 5);
+        su.push_block(0, vec![pending]);
+        // Commit the old producer: the younger one still answers.
+        su.remove_block(0);
+        assert!(matches!(su.lookup(0, Reg::new(5)), Lookup::Pending(_)));
+        // Remove the younger one too: no producer remains.
+        su.remove_block(0);
+        assert_eq!(su.lookup(0, Reg::new(5)), Lookup::NotFound);
+    }
+
+    #[test]
     fn broadcast_wakes_waiters() {
         let mut tags = TagAllocator::new(64);
         let mut su = SchedulingUnit::new(4, 4);
@@ -447,10 +817,84 @@ mod tests {
         su.push_block(0, vec![consumer]);
         su.broadcast(ptag, 123, 7);
         let op = su.block(1).entries[0].ops[0];
-        assert_eq!(op, Operand::Ready { value: 123, since: 7 });
-        assert_eq!(op.value_at(7, true), Some(123), "bypassing: usable same cycle");
+        assert_eq!(
+            op,
+            Operand::Ready {
+                value: 123,
+                since: 7
+            }
+        );
+        assert_eq!(
+            op.value_at(7, true),
+            Some(123),
+            "bypassing: usable same cycle"
+        );
         assert_eq!(op.value_at(7, false), None, "no bypassing: next cycle");
         assert_eq!(op.value_at(8, false), Some(123));
+    }
+
+    #[test]
+    fn broadcast_after_squash_of_consumer_is_harmless() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        let producer = entry(&mut tags, 0, 5);
+        let ptag = producer.tag;
+        let branch = entry(&mut tags, 0, 6);
+        let mut consumer = entry(&mut tags, 0, 7);
+        consumer.ops[0] = Operand::Waiting { tag: ptag };
+        su.push_block(0, vec![producer]);
+        su.push_block(0, vec![branch, consumer]);
+        // Squash the consumer (younger than the branch at (1, 0)).
+        let removed = su.squash_after(0, 1, 0);
+        assert_eq!(removed.len(), 1);
+        // The producer's broadcast must not touch the dead slot.
+        su.broadcast(ptag, 99, 3);
+        assert_eq!(su.block(1).entries.len(), 1, "only the branch remains");
+    }
+
+    #[test]
+    fn completions_pop_in_deadline_then_age_order() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        su.push_block(0, vec![entry(&mut tags, 0, 3), entry(&mut tags, 0, 4)]);
+        su.push_block(1, vec![entry(&mut tags, 1, 3)]);
+        // Issue out of age order with equal and distinct deadlines.
+        su.mark_executing(1, 0, 5); // young block, early deadline
+        su.mark_executing(0, 1, 5); // old block, same deadline
+        su.mark_executing(0, 0, 7); // oldest entry, late deadline
+        assert_eq!(su.pop_completion(4), None, "nothing due yet");
+        assert_eq!(
+            su.pop_completion(5),
+            Some((0, 1)),
+            "tie goes to the older position"
+        );
+        su.mark_done(0, 1);
+        assert_eq!(su.pop_completion(5), Some((1, 0)));
+        su.mark_done(1, 0);
+        assert_eq!(su.pop_completion(5), None, "third entry not due");
+        assert_eq!(su.pop_completion(9), Some((0, 0)));
+    }
+
+    #[test]
+    fn stale_completions_of_squashed_entries_are_discarded() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        let branch = entry(&mut tags, 0, 3);
+        su.push_block(0, vec![branch, entry(&mut tags, 0, 4)]);
+        su.push_block(0, vec![entry(&mut tags, 0, 5)]);
+        su.mark_executing(0, 1, 2); // will be squashed
+        su.mark_executing(1, 0, 2); // will be squashed (whole block)
+        su.squash_after(0, 0, 0);
+        assert_eq!(
+            su.pop_completion(10),
+            None,
+            "squashed completions never surface"
+        );
+        // A new block reusing the same positions must not be confused with
+        // the squashed records (fresh block id).
+        su.push_block(0, vec![entry(&mut tags, 0, 6)]);
+        su.mark_executing(1, 0, 3);
+        assert_eq!(su.pop_completion(10), Some((1, 0)));
     }
 
     #[test]
@@ -465,6 +909,7 @@ mod tests {
         let removed = su.squash_after(0, 0, 0);
         assert_eq!(removed.len(), 3, "one in-block + one 2-entry block");
         assert_eq!(su.num_blocks(), 2);
+        assert_eq!(su.num_entries(), 2);
         assert_eq!(su.block(1).tid, 1, "other thread untouched");
     }
 
@@ -532,7 +977,8 @@ mod tests {
         assert_eq!(su.bottom_block_status(), None);
         su.push_block(2, vec![entry(&mut tags, 2, 3)]);
         assert_eq!(su.bottom_block_status(), Some((2, true)));
-        su.block_mut(0).entries[0].state = EntryState::Done;
+        su.mark_executing(0, 0, 1);
+        su.mark_done(0, 0);
         assert_eq!(su.bottom_block_status(), Some((2, false)));
     }
 

@@ -9,7 +9,10 @@ fn main() {
         Some("laplace") => WorkloadKind::Laplace,
         _ => WorkloadKind::Sieve,
     };
-    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
     let w = workload(kind, Scale::Test);
     let program = w.build(threads).unwrap();
     let mut sim = Simulator::new(SimConfig::default().with_threads(threads), &program);

@@ -15,7 +15,11 @@ use crate::{Cell, Table};
 /// Benchmarks of a group, in the paper's presentation order.
 #[must_use]
 pub fn group_kinds(group: Group) -> Vec<WorkloadKind> {
-    WorkloadKind::ALL.iter().copied().filter(|k| k.group() == group).collect()
+    WorkloadKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| k.group() == group)
+        .collect()
 }
 
 /// Thread counts swept by the paper.
@@ -37,7 +41,10 @@ fn fetch_policy_figure(runner: &mut Runner, group: Group, id: &str) -> Table {
             FetchPolicy::MaskedRoundRobin,
             FetchPolicy::ConditionalSwitch,
         ] {
-            let key = RunKey { fetch, ..RunKey::default_point(kind) };
+            let key = RunKey {
+                fetch,
+                ..RunKey::default_point(kind)
+            };
             row.push(Cell::Int(runner.cycles(key)));
         }
         row.push(Cell::Int(runner.cycles(RunKey::base_case(kind))));
@@ -66,7 +73,10 @@ fn thread_sweep_figure(runner: &mut Runner, group: Group, id: &str) -> Table {
         let row = THREAD_SWEEP
             .iter()
             .map(|&threads| {
-                Cell::Int(runner.cycles(RunKey { threads, ..RunKey::default_point(kind) }))
+                Cell::Int(runner.cycles(RunKey {
+                    threads,
+                    ..RunKey::default_point(kind)
+                }))
             })
             .collect();
         t.push_row(kind.name(), row);
@@ -97,7 +107,11 @@ fn cache_figure(runner: &mut Runner, group: Group, id: &str) -> Table {
             let total: u64 = kinds
                 .iter()
                 .map(|&kind| {
-                    runner.cycles(RunKey { threads, cache, ..RunKey::default_point(kind) })
+                    runner.cycles(RunKey {
+                        threads,
+                        cache,
+                        ..RunKey::default_point(kind)
+                    })
                 })
                 .sum();
             row.push(Cell::Int(total / kinds.len() as u64));
@@ -134,7 +148,11 @@ pub fn table2_hit_rates(runner: &mut Runner) -> Table {
                     .iter()
                     .map(|&kind| {
                         runner
-                            .run(RunKey { threads, cache, ..RunKey::default_point(kind) })
+                            .run(RunKey {
+                                threads,
+                                cache,
+                                ..RunKey::default_point(kind)
+                            })
                             .hit_rate
                     })
                     .sum();
@@ -153,9 +171,7 @@ pub fn table2_hit_rates(runner: &mut Runner) -> Table {
 fn su_depth_figure(runner: &mut Runner, group: Group, id: &str) -> Table {
     let columns: Vec<String> = [4, 1]
         .iter()
-        .flat_map(|&threads| {
-            SU_SWEEP.iter().map(move |&d| format!("{threads}T, SU{d}"))
-        })
+        .flat_map(|&threads| SU_SWEEP.iter().map(move |&d| format!("{threads}T, SU{d}")))
         .collect();
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut t = Table::new(
@@ -244,8 +260,10 @@ pub fn table3_fu_usage(runner: &mut Runner) -> Table {
             let sum: f64 = kinds
                 .iter()
                 .map(|&kind| {
-                    let key =
-                        RunKey { enhanced_fu: true, ..RunKey::default_point(kind) };
+                    let key = RunKey {
+                        enhanced_fu: true,
+                        ..RunKey::default_point(kind)
+                    };
                     runner.extra_fu_usage(key, class)
                 })
                 .sum();
@@ -263,10 +281,14 @@ fn commit_figure(runner: &mut Runner, group: Group, id: &str) -> Table {
         &["Multiple", "Lowest", "SU stalls (Multiple)", "SU stalls (Lowest)"],
     );
     for kind in group_kinds(group) {
-        let flexible =
-            runner.run(RunKey { commit: CommitPolicy::Flexible, ..RunKey::default_point(kind) });
-        let lowest = runner
-            .run(RunKey { commit: CommitPolicy::LowestOnly, ..RunKey::default_point(kind) });
+        let flexible = runner.run(RunKey {
+            commit: CommitPolicy::Flexible,
+            ..RunKey::default_point(kind)
+        });
+        let lowest = runner.run(RunKey {
+            commit: CommitPolicy::LowestOnly,
+            ..RunKey::default_point(kind)
+        });
         t.push_row(
             kind.name(),
             vec![
@@ -303,7 +325,10 @@ pub fn summary_speedups(runner: &mut Runner) -> Table {
         let base = runner.cycles(RunKey::base_case(kind));
         let (mut best_pct, mut best_threads) = (f64::NEG_INFINITY, 1);
         for &threads in &THREAD_SWEEP[1..] {
-            let cycles = runner.cycles(RunKey { threads, ..RunKey::default_point(kind) });
+            let cycles = runner.cycles(RunKey {
+                threads,
+                ..RunKey::default_point(kind)
+            });
             let pct = smt_core::stats::speedup(base, cycles) * 100.0;
             if pct > best_pct {
                 best_pct = pct;
@@ -333,8 +358,12 @@ pub fn summary_speedups(runner: &mut Runner) -> Table {
 
 /// Representative benchmarks for the ablation tables: one compute-dense
 /// loop, one memory-bound loop, one irregular Group II code, one sync-bound.
-const ABLATION_SET: [WorkloadKind; 4] =
-    [WorkloadKind::Ll7, WorkloadKind::Ll12, WorkloadKind::Mpd, WorkloadKind::Ll5];
+const ABLATION_SET: [WorkloadKind; 4] = [
+    WorkloadKind::Ll7,
+    WorkloadKind::Ll12,
+    WorkloadKind::Mpd,
+    WorkloadKind::Ll5,
+];
 
 /// Ablation A — result bypassing on/off (Table 2's "Bypassing of results"
 /// row), 4 threads and single-thread.
@@ -347,9 +376,12 @@ pub fn ablation_bypass(runner: &mut Runner) -> Table {
     for kind in ABLATION_SET {
         let mut row = Vec::new();
         for (threads, bypass) in [(4usize, true), (4, false), (1, true), (1, false)] {
-            let cfg = RunKey { threads, ..RunKey::default_point(kind) }
-                .to_config()
-                .with_bypass(bypass);
+            let cfg = RunKey {
+                threads,
+                ..RunKey::default_point(kind)
+            }
+            .to_config()
+            .with_bypass(bypass);
             row.push(Cell::Int(runner.run_config(kind, cfg).cycles));
         }
         t.push_row(kind.name(), row);
@@ -364,7 +396,12 @@ pub fn ablation_renaming(runner: &mut Runner) -> Table {
     let mut t = Table::new(
         "Ablation B",
         "execution cycles with full renaming vs scoreboarding (decode stalls on RAW hazards)",
-        &["4T renaming", "4T scoreboard", "1T renaming", "1T scoreboard"],
+        &[
+            "4T renaming",
+            "4T scoreboard",
+            "1T renaming",
+            "1T scoreboard",
+        ],
     );
     for kind in ABLATION_SET {
         let mut row = Vec::new();
@@ -374,9 +411,12 @@ pub fn ablation_renaming(runner: &mut Runner) -> Table {
             (1, RenamingMode::Full),
             (1, RenamingMode::Scoreboard),
         ] {
-            let cfg = RunKey { threads, ..RunKey::default_point(kind) }
-                .to_config()
-                .with_renaming(mode);
+            let cfg = RunKey {
+                threads,
+                ..RunKey::default_point(kind)
+            }
+            .to_config()
+            .with_renaming(mode);
             row.push(Cell::Int(runner.run_config(kind, cfg).cycles));
         }
         t.push_row(kind.name(), row);
@@ -394,7 +434,11 @@ pub fn ablation_store_buffer(runner: &mut Runner) -> Table {
         "execution cycles vs store-buffer depth (4 threads)",
         &col_refs,
     );
-    for kind in [WorkloadKind::Sieve, WorkloadKind::Matrix, WorkloadKind::Laplace] {
+    for kind in [
+        WorkloadKind::Sieve,
+        WorkloadKind::Matrix,
+        WorkloadKind::Laplace,
+    ] {
         let row = depths
             .iter()
             .map(|&d| {
@@ -478,21 +522,29 @@ pub fn ext_fetch_alignment(runner: &mut Runner) -> Table {
         let free = runner.run_config(kind, RunKey::default_point(kind).to_config());
         let aligned = runner.run_config(
             kind,
-            RunKey::default_point(kind).to_config().with_aligned_fetch(true),
+            RunKey::default_point(kind)
+                .to_config()
+                .with_aligned_fetch(true),
         );
-        let penalty =
-            100.0 * (aligned.cycles as f64 - free.cycles as f64) / free.cycles as f64;
+        let penalty = 100.0 * (aligned.cycles as f64 - free.cycles as f64) / free.cycles as f64;
         t.push_row(
             kind.name(),
-            vec![Cell::Int(free.cycles), Cell::Int(aligned.cycles), Cell::Float(penalty)],
+            vec![
+                Cell::Int(free.cycles),
+                Cell::Int(aligned.cycles),
+                Cell::Float(penalty),
+            ],
         );
     }
     t
 }
 
+/// A named table generator, as listed by [`all`].
+pub type Generator = fn(&mut Runner) -> Table;
+
 /// Every generator, in paper order, for the report binary and benches.
 #[must_use]
-pub fn all() -> Vec<(&'static str, fn(&mut Runner) -> Table)> {
+pub fn all() -> Vec<(&'static str, Generator)> {
     vec![
         ("fig03", fig03_fetch_policy_group1),
         ("fig04", fig04_fetch_policy_group2),
@@ -543,7 +595,9 @@ mod tests {
         assert_eq!(t.rows.len(), 12); // 6 thread counts × 2 groups
         for row in &t.rows {
             for cell in &row.values {
-                let Cell::Float(rate) = cell else { panic!("{cell:?}") };
+                let Cell::Float(rate) = cell else {
+                    panic!("{cell:?}")
+                };
                 assert!((0.0..=100.0).contains(rate));
             }
         }

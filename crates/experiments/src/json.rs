@@ -1,0 +1,176 @@
+//! Minimal JSON writer for the result tables.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the `--json` output of the `report` binary is serialized by hand. The
+//! format mirrors what `serde_json::to_string_pretty` produced for the same
+//! structures (two-space indent, `untagged` cells), keeping downstream
+//! consumers of `results/*.json` working.
+
+use std::fmt::Write as _;
+
+use crate::{Cell, Row, Table};
+
+/// Escapes a string per RFC 8259.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a float the way `serde_json` (ryu) does: shortest round-trip
+/// representation, with a trailing `.0` kept on integral values. Non-finite
+/// values serialize as `null`, matching `serde_json`'s lenient writers.
+fn float_into(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e16 {
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn cell_into(out: &mut String, cell: &Cell) {
+    match cell {
+        Cell::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Cell::Float(v) => float_into(out, *v),
+        Cell::Text(s) => escape_into(out, s),
+    }
+}
+
+fn row_into(out: &mut String, row: &Row, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    let _ = write!(out, "{pad}{{\n{inner}\"label\": ");
+    escape_into(out, &row.label);
+    let _ = write!(out, ",\n{inner}\"values\": [");
+    for (i, cell) in row.values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        cell_into(out, cell);
+    }
+    let _ = write!(out, "]\n{pad}}}");
+}
+
+fn table_into(out: &mut String, table: &Table, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    let _ = write!(out, "{pad}{{\n{inner}\"id\": ");
+    escape_into(out, &table.id);
+    let _ = write!(out, ",\n{inner}\"title\": ");
+    escape_into(out, &table.title);
+    let _ = write!(out, ",\n{inner}\"columns\": [");
+    for (i, c) in table.columns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        escape_into(out, c);
+    }
+    let _ = write!(out, "],\n{inner}\"rows\": [\n");
+    for (i, row) in table.rows.iter().enumerate() {
+        row_into(out, row, indent + 2);
+        out.push_str(if i + 1 < table.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = write!(out, "{inner}]\n{pad}}}");
+}
+
+/// Serializes one table as pretty-printed JSON.
+#[must_use]
+pub fn table_to_json(table: &Table) -> String {
+    let mut out = String::new();
+    table_into(&mut out, table, 0);
+    out
+}
+
+/// Serializes a slice of tables as a pretty-printed JSON array.
+#[must_use]
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[\n");
+    for (i, t) in tables.iter().enumerate() {
+        table_into(&mut out, t, 1);
+        out.push_str(if i + 1 < tables.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes a flat string → number map (for the perf trajectory file).
+#[must_use]
+pub fn object_to_json(fields: &[(&str, Cell)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        out.push_str("  ");
+        escape_into(&mut out, k);
+        out.push_str(": ");
+        cell_into(&mut out, v);
+        out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_serialize_flat() {
+        let row = Row {
+            label: "r".into(),
+            values: vec![Cell::Int(1), Cell::Float(0.5)],
+        };
+        let mut out = String::new();
+        row_into(&mut out, &row, 0);
+        assert!(out.contains("\"label\": \"r\""), "{out}");
+        assert!(out.contains("[1, 0.5]"), "{out}");
+    }
+
+    #[test]
+    fn floats_keep_trailing_zero() {
+        let mut out = String::new();
+        float_into(&mut out, 100.0);
+        assert_eq!(out, "100.0");
+        out.clear();
+        float_into(&mut out, 1.25);
+        assert_eq!(out, "1.25");
+        out.clear();
+        float_into(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn tables_form_a_json_array() {
+        let mut t = Table::new("Figure 0", "demo", &["a"]);
+        t.push_row("r1", vec![Cell::Int(3)]);
+        let json = tables_to_json(&[t.clone(), t]);
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.ends_with(']'), "{json}");
+        assert_eq!(json.matches("\"Figure 0\"").count(), 2);
+    }
+}

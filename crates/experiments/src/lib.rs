@@ -15,15 +15,13 @@
 //! ```
 
 pub mod figures;
+pub mod json;
 pub mod runner;
 
 use std::fmt;
 
-use serde::Serialize;
-
 /// One cell of a result table.
-#[derive(Clone, PartialEq, Debug, Serialize)]
-#[serde(untagged)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Cell {
     /// Cycle counts and other integers.
     Int(u64),
@@ -62,7 +60,7 @@ impl From<&str> for Cell {
 }
 
 /// A labelled row.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Row {
     /// Row label (benchmark or sweep point).
     pub label: String,
@@ -71,7 +69,7 @@ pub struct Row {
 }
 
 /// One regenerated table or figure.
-#[derive(Clone, PartialEq, Debug, Serialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Table {
     /// Identifier matching the paper ("Figure 5", "Table 2", …).
     pub id: String,
@@ -103,7 +101,10 @@ impl Table {
             "row width must match the {} columns",
             self.columns.len()
         );
-        self.rows.push(Row { label: label.into(), values });
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
     }
 
     /// Renders as a GitHub-flavoured Markdown table.
@@ -146,12 +147,5 @@ mod tests {
     fn row_width_is_enforced() {
         let mut t = Table::new("x", "y", &["a", "b"]);
         t.push_row("r", vec![Cell::Int(1)]);
-    }
-
-    #[test]
-    fn cells_serialize_flat() {
-        let row = Row { label: "r".into(), values: vec![Cell::Int(1), Cell::Float(0.5)] };
-        let json = serde_json::to_string(&row).unwrap();
-        assert_eq!(json, r#"{"label":"r","values":[1,0.5]}"#);
     }
 }

@@ -5,8 +5,25 @@
 //! results keyed by the swept dimensions. Every run is *verified* against
 //! the workload's reference checker before being cached — a figure can
 //! never be generated from a wrong-answer simulation.
+//!
+//! # Parallel prewarming
+//!
+//! Generating the full report serially means hundreds of independent
+//! simulations back to back. The runner therefore supports a three-step
+//! parallel mode used by the `report` binary:
+//!
+//! 1. **Record** — run every generator against a [`Runner::recorder`],
+//!    which executes nothing and instead collects the demanded [`Job`]s
+//!    (dummy outcomes keep the generators' arithmetic well-defined);
+//! 2. **Prewarm** — [`Runner::prewarm`] deduplicates the jobs and runs
+//!    them across `std::thread::scope` workers, merging the verified
+//!    outcomes into the memo caches;
+//! 3. **Generate** — rerun the generators serially against the warmed
+//!    runner. Every lookup hits the cache, so the emitted tables are
+//!    byte-identical to a fully serial run (simulations are
+//!    deterministic), only faster.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use smt_core::{CommitPolicy, FetchPolicy, SimConfig, SimStats, Simulator};
 use smt_isa::FuClass;
@@ -53,7 +70,10 @@ impl RunKey {
     /// The single-threaded base case of the same benchmark.
     #[must_use]
     pub fn base_case(kind: WorkloadKind) -> Self {
-        RunKey { threads: 1, ..Self::default_point(kind) }
+        RunKey {
+            threads: 1,
+            ..Self::default_point(kind)
+        }
     }
 
     /// Lowers the key to a full simulator configuration.
@@ -89,18 +109,94 @@ pub struct RunOutcome {
     pub stats: SimStats,
 }
 
+/// One simulation demanded by a figure generator, captured by the
+/// recording pass and replayed in parallel by [`Runner::prewarm`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Job {
+    /// A memoized sweep point ([`Runner::run`]).
+    Key(RunKey),
+    /// An arbitrary-configuration run ([`Runner::run_config`]). The
+    /// configuration is boxed to keep the enum small next to [`RunKey`].
+    Config(WorkloadKind, Box<SimConfig>),
+}
+
+/// Builds, runs, and verifies one simulation. Shared by the serial paths
+/// and the prewarm workers.
+///
+/// # Panics
+///
+/// Panics if the simulation errors or its architectural result fails the
+/// workload checker — a figure must never be built from a broken run.
+fn execute(scale: Scale, kind: WorkloadKind, config: &SimConfig) -> RunOutcome {
+    let w = workload(kind, scale);
+    let program = w.build(config.threads).expect("kernel fits the partition");
+    let mut sim = Simulator::new(config.clone(), &program);
+    let stats = sim
+        .run()
+        .unwrap_or_else(|e| panic!("{} under {config:?}: {e}", w.name()));
+    w.check(sim.memory().words())
+        .unwrap_or_else(|e| panic!("{} under {config:?}: wrong answer: {e}", w.name()));
+    RunOutcome {
+        cycles: stats.cycles,
+        hit_rate: stats.cache.hit_rate(),
+        branch_accuracy: stats.branches.accuracy(),
+        su_stalls: stats.su_stall_cycles,
+        stats,
+    }
+}
+
+/// A placeholder outcome handed out while recording. `cycles` is 1 so the
+/// generators' ratios and speedup formulas stay finite.
+fn dummy_outcome() -> RunOutcome {
+    RunOutcome {
+        cycles: 1,
+        hit_rate: 0.0,
+        branch_accuracy: 0.0,
+        su_stalls: 0,
+        stats: SimStats::default(),
+    }
+}
+
 /// Memoizing, self-verifying runner.
 pub struct Runner {
     scale: Scale,
     cache: HashMap<RunKey, RunOutcome>,
+    config_cache: HashMap<(WorkloadKind, SimConfig), RunOutcome>,
     runs: u64,
+    sim_cycles: u64,
+    recording: Option<Vec<Job>>,
 }
 
 impl Runner {
     /// Creates a runner at the given problem scale.
     #[must_use]
     pub fn new(scale: Scale) -> Self {
-        Runner { scale, cache: HashMap::new(), runs: 0 }
+        Runner {
+            scale,
+            cache: HashMap::new(),
+            config_cache: HashMap::new(),
+            runs: 0,
+            sim_cycles: 0,
+            recording: None,
+        }
+    }
+
+    /// Creates a *recording* runner: [`Runner::run`] and
+    /// [`Runner::run_config`] execute nothing, return dummy outcomes, and
+    /// log the demanded [`Job`]s for [`Runner::into_recorded`].
+    #[must_use]
+    pub fn recorder(scale: Scale) -> Self {
+        Runner {
+            recording: Some(Vec::new()),
+            ..Self::new(scale)
+        }
+    }
+
+    /// The jobs demanded of a [`Runner::recorder`], in demand order
+    /// (with duplicates; [`Runner::prewarm`] deduplicates).
+    #[must_use]
+    pub fn into_recorded(self) -> Vec<Job> {
+        self.recording.unwrap_or_default()
     }
 
     /// The problem scale in use.
@@ -115,6 +211,81 @@ impl Runner {
         self.runs
     }
 
+    /// Total simulated cycles across all actual runs (for throughput
+    /// reporting).
+    #[must_use]
+    pub fn sim_cycles(&self) -> u64 {
+        self.sim_cycles
+    }
+
+    /// Runs the deduplicated `jobs` across `workers` scoped threads and
+    /// merges the verified outcomes into the memo caches. Jobs already
+    /// cached are skipped. Subsequent [`Runner::run`]/[`Runner::run_config`]
+    /// calls for these points are cache hits, so a generation pass after a
+    /// prewarm emits exactly what a serial pass would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker's simulation errors or fails verification.
+    pub fn prewarm(&mut self, jobs: &[Job], workers: usize) {
+        let mut seen = HashSet::new();
+        let pending: Vec<&Job> = jobs
+            .iter()
+            .filter(|job| seen.insert(*job))
+            .filter(|job| match job {
+                Job::Key(key) => !self.cache.contains_key(key),
+                Job::Config(kind, cfg) => !self
+                    .config_cache
+                    .contains_key(&(*kind, cfg.as_ref().clone())),
+            })
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let workers = workers.clamp(1, pending.len());
+        let scale = self.scale;
+        // Shard round-robin: neighbouring jobs (same figure, similar cost)
+        // spread across workers, which balances better than contiguous
+        // chunks when one sweep's simulations dwarf another's.
+        let outcomes: Vec<Vec<(&Job, RunOutcome)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let shard: Vec<&Job> =
+                        pending.iter().skip(w).step_by(workers).copied().collect();
+                    s.spawn(move || {
+                        shard
+                            .into_iter()
+                            .map(|job| {
+                                let outcome = match job {
+                                    Job::Key(key) => execute(scale, key.kind, &key.to_config()),
+                                    Job::Config(kind, cfg) => execute(scale, *kind, cfg),
+                                };
+                                (job, outcome)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prewarm worker panicked"))
+                .collect()
+        });
+        for (job, outcome) in outcomes.into_iter().flatten() {
+            self.runs += 1;
+            self.sim_cycles += outcome.cycles;
+            match job {
+                Job::Key(key) => {
+                    self.cache.insert(*key, outcome);
+                }
+                Job::Config(kind, cfg) => {
+                    self.config_cache
+                        .insert((*kind, cfg.as_ref().clone()), outcome);
+                }
+            }
+        }
+    }
+
     /// Runs (or recalls) the simulation at `key`.
     ///
     /// # Panics
@@ -122,25 +293,16 @@ impl Runner {
     /// Panics if the simulation errors or its architectural result fails the
     /// workload checker — a figure must never be built from a broken run.
     pub fn run(&mut self, key: RunKey) -> RunOutcome {
+        if let Some(jobs) = &mut self.recording {
+            jobs.push(Job::Key(key));
+            return dummy_outcome();
+        }
         if let Some(hit) = self.cache.get(&key) {
             return hit.clone();
         }
-        let w = workload(key.kind, self.scale);
-        let program = w.build(key.threads).expect("kernel fits the partition");
-        let mut sim = Simulator::new(key.to_config(), &program);
-        let stats = sim
-            .run()
-            .unwrap_or_else(|e| panic!("{} at {key:?}: {e}", w.name()));
-        w.check(sim.memory().words())
-            .unwrap_or_else(|e| panic!("{} at {key:?}: wrong answer: {e}", w.name()));
-        let outcome = RunOutcome {
-            cycles: stats.cycles,
-            hit_rate: stats.cache.hit_rate(),
-            branch_accuracy: stats.branches.accuracy(),
-            su_stalls: stats.su_stall_cycles,
-            stats,
-        };
+        let outcome = execute(self.scale, key.kind, &key.to_config());
         self.runs += 1;
+        self.sim_cycles += outcome.cycles;
         self.cache.insert(key, outcome.clone());
         outcome
     }
@@ -158,27 +320,25 @@ impl Runner {
     }
 
     /// Runs a benchmark under an arbitrary configuration (for the ablation
-    /// and extension tables whose knobs lie outside [`RunKey`]). Not
-    /// memoized, but verified like every other run.
+    /// and extension tables whose knobs lie outside [`RunKey`]). Memoized
+    /// on the full configuration and verified like every other run.
     ///
     /// # Panics
     ///
     /// Panics if the simulation errors or fails its result check.
     pub fn run_config(&mut self, kind: WorkloadKind, config: SimConfig) -> RunOutcome {
-        let w = workload(kind, self.scale);
-        let program = w.build(config.threads).expect("kernel fits the partition");
-        let mut sim = Simulator::new(config, &program);
-        let stats = sim.run().unwrap_or_else(|e| panic!("{}: {e}", w.name()));
-        w.check(sim.memory().words())
-            .unwrap_or_else(|e| panic!("{}: wrong answer: {e}", w.name()));
-        self.runs += 1;
-        RunOutcome {
-            cycles: stats.cycles,
-            hit_rate: stats.cache.hit_rate(),
-            branch_accuracy: stats.branches.accuracy(),
-            su_stalls: stats.su_stall_cycles,
-            stats,
+        if let Some(jobs) = &mut self.recording {
+            jobs.push(Job::Config(kind, Box::new(config)));
+            return dummy_outcome();
         }
+        if let Some(hit) = self.config_cache.get(&(kind, config.clone())) {
+            return hit.clone();
+        }
+        let outcome = execute(self.scale, kind, &config);
+        self.runs += 1;
+        self.sim_cycles += outcome.cycles;
+        self.config_cache.insert((kind, config), outcome.clone());
+        outcome
     }
 }
 
@@ -222,5 +382,68 @@ mod tests {
         assert_eq!(cfg.threads, 6);
         assert_eq!(cfg.cache.ways, 1);
         assert_eq!(cfg.fu.class(FuClass::Alu).count, 6);
+    }
+
+    #[test]
+    fn recorder_collects_jobs_without_running() {
+        let mut r = Runner::recorder(Scale::Test);
+        let key = RunKey::default_point(WorkloadKind::Sieve);
+        let out = r.run(key);
+        assert_eq!(out.cycles, 1, "recording returns a dummy outcome");
+        let cfg = key.to_config().with_bypass(false);
+        r.run_config(WorkloadKind::Sieve, cfg.clone());
+        assert_eq!(r.runs(), 0);
+        let jobs = r.into_recorded();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0], Job::Key(key));
+        assert_eq!(jobs[1], Job::Config(WorkloadKind::Sieve, Box::new(cfg)));
+    }
+
+    #[test]
+    fn prewarm_matches_serial_results() {
+        let key = RunKey::default_point(WorkloadKind::Sieve);
+        let other = RunKey { threads: 2, ..key };
+        let cfg = key.to_config().with_bypass(false);
+
+        let mut serial = Runner::new(Scale::Test);
+        let expected = [
+            serial.run(key).cycles,
+            serial.run(other).cycles,
+            serial.run_config(WorkloadKind::Sieve, cfg.clone()).cycles,
+        ];
+
+        let mut warmed = Runner::new(Scale::Test);
+        let jobs = vec![
+            Job::Key(key),
+            Job::Key(key), // duplicate: deduplicated before sharding
+            Job::Key(other),
+            Job::Config(WorkloadKind::Sieve, Box::new(cfg.clone())),
+        ];
+        warmed.prewarm(&jobs, 3);
+        assert_eq!(warmed.runs(), 3, "duplicates are not rerun");
+        let runs_after_warm = warmed.runs();
+        let got = [
+            warmed.run(key).cycles,
+            warmed.run(other).cycles,
+            warmed.run_config(WorkloadKind::Sieve, cfg).cycles,
+        ];
+        assert_eq!(got, expected);
+        assert_eq!(
+            warmed.runs(),
+            runs_after_warm,
+            "generation pass is all cache hits"
+        );
+    }
+
+    #[test]
+    fn run_config_memoizes_on_the_full_configuration() {
+        let mut r = Runner::new(Scale::Test);
+        let cfg = RunKey::default_point(WorkloadKind::Sieve).to_config();
+        let first = r.run_config(WorkloadKind::Sieve, cfg.clone());
+        let again = r.run_config(WorkloadKind::Sieve, cfg.clone());
+        assert_eq!(first.cycles, again.cycles);
+        assert_eq!(r.runs(), 1);
+        r.run_config(WorkloadKind::Sieve, cfg.with_bypass(false));
+        assert_eq!(r.runs(), 2, "a different configuration is a real run");
     }
 }

@@ -109,7 +109,11 @@ enum Target {
 }
 
 fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
-    if tok.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+    if tok
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
         Ok(Target::Abs(parse_imm(tok, line)? as i32))
     } else {
         Ok(Target::Label(tok.to_string()))
@@ -123,7 +127,11 @@ fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i32), AsmError> {
     let (Some(open), true) = (open, close) else {
         return Err(err(line, AsmErrorKind::BadOperand(tok.to_string())));
     };
-    let disp = if open == 0 { 0 } else { parse_imm(&tok[..open], line)? as i32 };
+    let disp = if open == 0 {
+        0
+    } else {
+        parse_imm(&tok[..open], line)? as i32
+    };
     let base = parse_reg(&tok[open + 1..tok.len() - 1], line)?;
     Ok((base, disp))
 }
@@ -177,10 +185,19 @@ pub fn assemble(source: &str, data: DataImage) -> Result<Program, AsmError> {
         };
         // `li` pseudo-instruction: expand immediately.
         if mnemonic == "li" {
-            let ops: Vec<&str> =
-                operands_text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            let ops: Vec<&str> = operands_text
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
             if ops.len() != 2 {
-                return Err(err(line, AsmErrorKind::WrongArity { expected: 2, found: ops.len() }));
+                return Err(err(
+                    line,
+                    AsmErrorKind::WrongArity {
+                        expected: 2,
+                        found: ops.len(),
+                    },
+                ));
             }
             let rd = parse_reg(ops[0], line)?;
             let value = parse_imm(ops[1], line)?;
@@ -204,13 +221,22 @@ pub fn assemble(source: &str, data: DataImage) -> Result<Program, AsmError> {
         }
         let op = Opcode::from_mnemonic(mnemonic)
             .ok_or_else(|| err(line, AsmErrorKind::UnknownMnemonic(mnemonic.to_string())))?;
-        let ops: Vec<&str> =
-            operands_text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let ops: Vec<&str> = operands_text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
         let arity = |n: usize| -> Result<(), AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(err(line, AsmErrorKind::WrongArity { expected: n, found: ops.len() }))
+                Err(err(
+                    line,
+                    AsmErrorKind::WrongArity {
+                        expected: n,
+                        found: ops.len(),
+                    },
+                ))
             }
         };
         let mut insn = PendingInsn {
@@ -298,7 +324,13 @@ pub fn assemble(source: &str, data: DataImage) -> Result<Program, AsmError> {
                     .ok_or_else(|| err(p.line, AsmErrorKind::UndefinedLabel(name.clone())))?
                     as i32,
             };
-            Ok(Instruction { op: p.op, rd: p.rd, rs1: p.rs1, rs2: p.rs2, imm })
+            Ok(Instruction {
+                op: p.op,
+                rd: p.rd,
+                rs1: p.rs1,
+                rs2: p.rs2,
+                imm,
+            })
         })
         .collect::<Result<Vec<_>, AsmError>>()?;
 
@@ -323,7 +355,14 @@ mod tests {
             bne  r2, r3, loop
             halt
         ";
-        let p = assemble(src, DataImage { size: 64, words: vec![] }).unwrap();
+        let p = assemble(
+            src,
+            DataImage {
+                size: 64,
+                words: vec![],
+            },
+        )
+        .unwrap();
         let mut i = Interp::new(&p, 1);
         i.run().unwrap();
         assert_eq!(i.reg(0, Reg::new(4)), 120);
@@ -339,7 +378,10 @@ mod tests {
         ";
         let p = assemble(src, DataImage::default()).unwrap();
         assert_eq!(p.text()[0], Instruction::load(Reg::new(2), Reg::new(3), 8));
-        assert_eq!(p.text()[1], Instruction::store(Reg::new(2), Reg::new(3), -16));
+        assert_eq!(
+            p.text()[1],
+            Instruction::store(Reg::new(2), Reg::new(3), -16)
+        );
         assert_eq!(p.text()[2], Instruction::store(Reg::new(2), Reg::new(3), 0));
     }
 
@@ -373,7 +415,13 @@ mod tests {
     #[test]
     fn arity_and_operand_errors() {
         let e = assemble("add r1, r2\nhalt\n", DataImage::default()).unwrap_err();
-        assert_eq!(e.kind, AsmErrorKind::WrongArity { expected: 3, found: 2 });
+        assert_eq!(
+            e.kind,
+            AsmErrorKind::WrongArity {
+                expected: 3,
+                found: 2
+            }
+        );
         let e = assemble("add r1, r2, r999\n", DataImage::default()).unwrap_err();
         assert!(matches!(e.kind, AsmErrorKind::BadOperand(_)));
         let e = assemble("beq r1, r2, nowhere\nhalt\n", DataImage::default()).unwrap_err();
@@ -394,8 +442,11 @@ mod tests {
 
     #[test]
     fn hex_immediates() {
-        let p = assemble("addi r2, r3, 0x7f\naddi r2, r3, -0x10\nhalt\n", DataImage::default())
-            .unwrap();
+        let p = assemble(
+            "addi r2, r3, 0x7f\naddi r2, r3, -0x10\nhalt\n",
+            DataImage::default(),
+        )
+        .unwrap();
         assert_eq!(p.text()[0].imm, 127);
         assert_eq!(p.text()[1].imm, -16);
     }

@@ -59,8 +59,15 @@ impl std::error::Error for BuildError {}
 #[derive(Clone, Debug)]
 enum Pending {
     Ready(Instruction),
-    Branch { op: Opcode, rs1: Reg, rs2: Reg, label: Label },
-    Jump { label: Label },
+    Branch {
+        op: Opcode,
+        rs1: Reg,
+        rs2: Reg,
+        label: Label,
+    },
+    Jump {
+        label: Label,
+    },
 }
 
 /// Incrementally builds a [`Program`].
@@ -97,7 +104,10 @@ impl ProgramBuilder {
     /// [`Reg::NTHREADS`] are pre-allocated.
     #[must_use]
     pub fn new() -> Self {
-        ProgramBuilder { next_reg: Reg::FIRST_FREE.raw(), ..Default::default() }
+        ProgramBuilder {
+            next_reg: Reg::FIRST_FREE.raw(),
+            ..Default::default()
+        }
     }
 
     // ---- registers ---------------------------------------------------------
@@ -188,7 +198,10 @@ impl ProgramBuilder {
     ///
     /// Panics unless `align` is a power of two ≥ 8.
     pub fn align_to(&mut self, align: u64) {
-        assert!(align.is_power_of_two() && align >= WORD_BYTES, "bad alignment {align}");
+        assert!(
+            align.is_power_of_two() && align >= WORD_BYTES,
+            "bad alignment {align}"
+        );
         let next = DATA_BASE + self.data_len;
         let aligned = next.div_ceil(align) * align;
         self.data_len += aligned - next;
@@ -236,47 +249,89 @@ impl ProgramBuilder {
     // ---- integer ALU -------------------------------------------------------
 
     /// `rd = rs1 + rs2`
-    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Add, rd, rs1, rs2); }
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Add, rd, rs1, rs2);
+    }
     /// `rd = rs1 - rs2`
-    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Sub, rd, rs1, rs2); }
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Sub, rd, rs1, rs2);
+    }
     /// `rd = rs1 & rs2`
-    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::And, rd, rs1, rs2); }
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::And, rd, rs1, rs2);
+    }
     /// `rd = rs1 | rs2`
-    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Or, rd, rs1, rs2); }
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Or, rd, rs1, rs2);
+    }
     /// `rd = rs1 ^ rs2`
-    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Xor, rd, rs1, rs2); }
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Xor, rd, rs1, rs2);
+    }
     /// `rd = rs1 << rs2`
-    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Sll, rd, rs1, rs2); }
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Sll, rd, rs1, rs2);
+    }
     /// `rd = rs1 >> rs2` (logical)
-    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Srl, rd, rs1, rs2); }
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Srl, rd, rs1, rs2);
+    }
     /// `rd = rs1 >> rs2` (arithmetic)
-    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Sra, rd, rs1, rs2); }
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Sra, rd, rs1, rs2);
+    }
     /// `rd = (rs1 < rs2)` signed
-    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Slt, rd, rs1, rs2); }
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Slt, rd, rs1, rs2);
+    }
     /// `rd = (rs1 < rs2)` unsigned
-    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Sltu, rd, rs1, rs2); }
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Sltu, rd, rs1, rs2);
+    }
     /// `rd = rs1 + imm`
-    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Addi, rd, rs1, imm); }
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.i2(Opcode::Addi, rd, rs1, imm);
+    }
     /// `rd = rs1 & imm`
-    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Andi, rd, rs1, imm); }
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.i2(Opcode::Andi, rd, rs1, imm);
+    }
     /// `rd = rs1 | imm`
-    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Ori, rd, rs1, imm); }
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.i2(Opcode::Ori, rd, rs1, imm);
+    }
     /// `rd = rs1 ^ imm`
-    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Xori, rd, rs1, imm); }
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.i2(Opcode::Xori, rd, rs1, imm);
+    }
     /// `rd = rs1 << imm`
-    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Slli, rd, rs1, imm); }
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.i2(Opcode::Slli, rd, rs1, imm);
+    }
     /// `rd = rs1 >> imm` (logical)
-    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Srli, rd, rs1, imm); }
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.i2(Opcode::Srli, rd, rs1, imm);
+    }
     /// `rd = rs1 >> imm` (arithmetic)
-    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Srai, rd, rs1, imm); }
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.i2(Opcode::Srai, rd, rs1, imm);
+    }
     /// `rd = (rs1 < imm)` signed
-    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) { self.i2(Opcode::Slti, rd, rs1, imm); }
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.i2(Opcode::Slti, rd, rs1, imm);
+    }
     /// `rd = imm << 12` (sign-extended)
-    pub fn lui(&mut self, rd: Reg, imm: i32) { self.push(Instruction::i1(Opcode::Lui, rd, imm)); }
+    pub fn lui(&mut self, rd: Reg, imm: i32) {
+        self.push(Instruction::i1(Opcode::Lui, rd, imm));
+    }
     /// No-operation.
-    pub fn nop(&mut self) { self.push(Instruction::NOP); }
+    pub fn nop(&mut self) {
+        self.push(Instruction::NOP);
+    }
     /// `rd = rs` (pseudo: `addi rd, rs, 0`)
-    pub fn mov(&mut self, rd: Reg, rs: Reg) { self.addi(rd, rs, 0); }
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
 
     /// Materializes an arbitrary 64-bit constant into `rd`
     /// (pseudo-instruction; expands to 1 + O(64/12) real instructions).
@@ -307,11 +362,17 @@ impl ProgramBuilder {
     // ---- multiply / divide ---------------------------------------------------
 
     /// `rd = rs1 * rs2` (integer)
-    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Mul, rd, rs1, rs2); }
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Mul, rd, rs1, rs2);
+    }
     /// `rd = rs1 / rs2` (integer)
-    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Div, rd, rs1, rs2); }
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Div, rd, rs1, rs2);
+    }
     /// `rd = rs1 % rs2` (integer)
-    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::Rem, rd, rs1, rs2); }
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::Rem, rd, rs1, rs2);
+    }
 
     // ---- memory ----------------------------------------------------------------
 
@@ -328,17 +389,30 @@ impl ProgramBuilder {
     // ---- control transfer -------------------------------------------------------
 
     fn branch(&mut self, op: Opcode, rs1: Reg, rs2: Reg, label: Label) {
-        self.code.push(Pending::Branch { op, rs1, rs2, label });
+        self.code.push(Pending::Branch {
+            op,
+            rs1,
+            rs2,
+            label,
+        });
     }
 
     /// Branch to `label` if `rs1 == rs2`.
-    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) { self.branch(Opcode::Beq, rs1, rs2, label); }
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(Opcode::Beq, rs1, rs2, label);
+    }
     /// Branch to `label` if `rs1 != rs2`.
-    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) { self.branch(Opcode::Bne, rs1, rs2, label); }
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(Opcode::Bne, rs1, rs2, label);
+    }
     /// Branch to `label` if `rs1 < rs2` (signed).
-    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) { self.branch(Opcode::Blt, rs1, rs2, label); }
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(Opcode::Blt, rs1, rs2, label);
+    }
     /// Branch to `label` if `rs1 >= rs2` (signed).
-    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) { self.branch(Opcode::Bge, rs1, rs2, label); }
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) {
+        self.branch(Opcode::Bge, rs1, rs2, label);
+    }
     /// Unconditional jump to `label`.
     pub fn j(&mut self, label: Label) {
         self.code.push(Pending::Jump { label });
@@ -352,29 +426,53 @@ impl ProgramBuilder {
     // ---- floating point ----------------------------------------------------------
 
     /// `rd = rs1 + rs2` (f64)
-    pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FAdd, rd, rs1, rs2); }
+    pub fn fadd(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::FAdd, rd, rs1, rs2);
+    }
     /// `rd = rs1 - rs2` (f64)
-    pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FSub, rd, rs1, rs2); }
+    pub fn fsub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::FSub, rd, rs1, rs2);
+    }
     /// `rd = rs1 * rs2` (f64)
-    pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FMul, rd, rs1, rs2); }
+    pub fn fmul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::FMul, rd, rs1, rs2);
+    }
     /// `rd = rs1 / rs2` (f64)
-    pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FDiv, rd, rs1, rs2); }
+    pub fn fdiv(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::FDiv, rd, rs1, rs2);
+    }
     /// `rd = -rs1` (f64)
-    pub fn fneg(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::FNeg, rd, rs1)); }
+    pub fn fneg(&mut self, rd: Reg, rs1: Reg) {
+        self.push(Instruction::unary(Opcode::FNeg, rd, rs1));
+    }
     /// `rd = |rs1|` (f64)
-    pub fn fabs(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::FAbs, rd, rs1)); }
+    pub fn fabs(&mut self, rd: Reg, rs1: Reg) {
+        self.push(Instruction::unary(Opcode::FAbs, rd, rs1));
+    }
     /// `rd = sqrt(rs1)` (f64)
-    pub fn fsqrt(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::FSqrt, rd, rs1)); }
+    pub fn fsqrt(&mut self, rd: Reg, rs1: Reg) {
+        self.push(Instruction::unary(Opcode::FSqrt, rd, rs1));
+    }
     /// `rd = (rs1 < rs2)` (f64 compare, integer 0/1 result)
-    pub fn flt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FLt, rd, rs1, rs2); }
+    pub fn flt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::FLt, rd, rs1, rs2);
+    }
     /// `rd = (rs1 <= rs2)` (f64 compare)
-    pub fn fle(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FLe, rd, rs1, rs2); }
+    pub fn fle(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::FLe, rd, rs1, rs2);
+    }
     /// `rd = (rs1 == rs2)` (f64 compare)
-    pub fn feq(&mut self, rd: Reg, rs1: Reg, rs2: Reg) { self.r3(Opcode::FEq, rd, rs1, rs2); }
+    pub fn feq(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.r3(Opcode::FEq, rd, rs1, rs2);
+    }
     /// `rd = f64(rs1 as i64)`
-    pub fn i2f(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::I2F, rd, rs1)); }
+    pub fn i2f(&mut self, rd: Reg, rs1: Reg) {
+        self.push(Instruction::unary(Opcode::I2F, rd, rs1));
+    }
     /// `rd = rs1 as i64` (truncating f64→int)
-    pub fn f2i(&mut self, rd: Reg, rs1: Reg) { self.push(Instruction::unary(Opcode::F2I, rd, rs1)); }
+    pub fn f2i(&mut self, rd: Reg, rs1: Reg) {
+        self.push(Instruction::unary(Opcode::F2I, rd, rs1));
+    }
 
     // ---- synchronization ------------------------------------------------------------
 
@@ -414,7 +512,11 @@ impl ProgramBuilder {
         let window = window_size(n_threads);
         let used = self.regs_used();
         if used > window {
-            return Err(BuildError::RegisterBudget { used, window, threads: n_threads });
+            return Err(BuildError::RegisterBudget {
+                used,
+                window,
+                threads: n_threads,
+            });
         }
         let resolve = |label: Label| -> Result<i32, BuildError> {
             self.labels[label.0]
@@ -425,9 +527,12 @@ impl ProgramBuilder {
         for pending in &self.code {
             let insn = match *pending {
                 Pending::Ready(insn) => insn,
-                Pending::Branch { op, rs1, rs2, label } => {
-                    Instruction::branch(op, rs1, rs2, resolve(label)?)
-                }
+                Pending::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    label,
+                } => Instruction::branch(op, rs1, rs2, resolve(label)?),
                 Pending::Jump { label } => Instruction::jump(resolve(label)?),
             };
             text.push(insn);
@@ -436,7 +541,10 @@ impl ProgramBuilder {
     }
 
     fn data_image(&self) -> DataImage {
-        DataImage { size: DATA_BASE + self.data_len, words: self.data_words.clone() }
+        DataImage {
+            size: DATA_BASE + self.data_len,
+            words: self.data_words.clone(),
+        }
     }
 }
 
@@ -457,7 +565,11 @@ mod tests {
         assert!(b.build(4).is_ok());
         // …but not 6 threads (window 21).
         match b.build(6) {
-            Err(BuildError::RegisterBudget { used, window, threads }) => {
+            Err(BuildError::RegisterBudget {
+                used,
+                window,
+                threads,
+            }) => {
                 assert_eq!((used, window, threads), (32, 21, 6));
             }
             other => panic!("expected budget error, got {other:?}"),

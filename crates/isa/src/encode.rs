@@ -82,7 +82,11 @@ fn fit_signed(op: Opcode, value: i64, bits: u32) -> Result<u32, EncodeError> {
     let min = -(1i64 << (bits - 1));
     let max = (1i64 << (bits - 1)) - 1;
     if value < min || value > max {
-        return Err(EncodeError::ImmOutOfRange { op, imm: value, bits });
+        return Err(EncodeError::ImmOutOfRange {
+            op,
+            imm: value,
+            bits,
+        });
     }
     Ok((value as u32) & ((1u32 << bits) - 1))
 }
@@ -153,7 +157,9 @@ fn reg_field(word: u32, shift: u32) -> Result<Reg, DecodeError> {
 /// out of range.
 pub fn decode(word: u32, pc: u32) -> Result<Instruction, DecodeError> {
     let opidx = (word >> OP_SHIFT) as usize;
-    let op = *Opcode::ALL.get(opidx).ok_or(DecodeError::BadOpcode(opidx as u32))?;
+    let op = *Opcode::ALL
+        .get(opidx)
+        .ok_or(DecodeError::BadOpcode(opidx as u32))?;
     let insn = match op.format() {
         Format::R3 => Instruction {
             op,
@@ -218,7 +224,10 @@ pub fn decode(word: u32, pc: u32) -> Result<Instruction, DecodeError> {
             rs2: Reg::default(),
             imm: 0,
         },
-        Format::None => Instruction { op, ..Instruction::NOP },
+        Format::None => Instruction {
+            op,
+            ..Instruction::NOP
+        },
     };
     Ok(insn)
 }
@@ -264,7 +273,11 @@ mod tests {
         let far = Instruction::branch(Opcode::Beq, r(0), r(0), 2048);
         assert_eq!(
             encode(&far, 0),
-            Err(EncodeError::ImmOutOfRange { op: Opcode::Beq, imm: 2048, bits: 12 })
+            Err(EncodeError::ImmOutOfRange {
+                op: Opcode::Beq,
+                imm: 2048,
+                bits: 12
+            })
         );
         // Backwards from a large PC is fine as long as the *relative* offset fits.
         let back = Instruction::branch(Opcode::Beq, r(0), r(0), 10_000);
@@ -299,7 +312,10 @@ mod tests {
                 Format::S2 => Instruction::wait(r(1), r(2)),
                 Format::S1 => Instruction::post(r(1)),
                 Format::U => Instruction::unary(op, r(1), r(2)),
-                Format::None => Instruction { op, ..Instruction::NOP },
+                Format::None => Instruction {
+                    op,
+                    ..Instruction::NOP
+                },
             };
             let word = encode(&insn, 10).unwrap();
             assert_eq!(decode(word, 10).unwrap(), insn, "{op}");
@@ -308,8 +324,18 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let err = EncodeError::ImmOutOfRange { op: Opcode::Addi, imm: 9999, bits: 12 };
-        assert_eq!(err.to_string(), "immediate 9999 of `addi` does not fit in 12 bits");
-        assert_eq!(DecodeError::BadOpcode(63).to_string(), "invalid opcode field 0x3f");
+        let err = EncodeError::ImmOutOfRange {
+            op: Opcode::Addi,
+            imm: 9999,
+            bits: 12,
+        };
+        assert_eq!(
+            err.to_string(),
+            "immediate 9999 of `addi` does not fit in 12 bits"
+        );
+        assert_eq!(
+            DecodeError::BadOpcode(63).to_string(),
+            "invalid opcode field 0x3f"
+        );
     }
 }

@@ -57,7 +57,10 @@ impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterpError::OutOfBounds { addr, tid, pc } => {
-                write!(f, "thread {tid} at pc {pc}: access to {addr:#x} outside data memory")
+                write!(
+                    f,
+                    "thread {tid} at pc {pc}: access to {addr:#x} outside data memory"
+                )
             }
             InterpError::Unaligned { addr, tid, pc } => {
                 write!(f, "thread {tid} at pc {pc}: unaligned access to {addr:#x}")
@@ -165,7 +168,10 @@ impl<'p> Interp<'p> {
     /// Register `r` of thread `tid`.
     #[must_use]
     pub fn reg(&self, tid: usize, r: crate::Reg) -> Value {
-        assert!(r.index() < self.window, "register {r} outside the thread window");
+        assert!(
+            r.index() < self.window,
+            "register {r} outside the thread window"
+        );
         self.regs[tid * self.window + r.index()]
     }
 
@@ -237,8 +243,16 @@ impl<'p> Interp<'p> {
             .program
             .fetch(pc)
             .ok_or(InterpError::PcOutOfRange { tid, pc })?;
-        let a = if insn.op.reads_rs1() { self.read_reg(tid, insn.rs1) } else { 0 };
-        let b = if insn.op.reads_rs2() { self.read_reg(tid, insn.rs2) } else { 0 };
+        let a = if insn.op.reads_rs1() {
+            self.read_reg(tid, insn.rs1)
+        } else {
+            0
+        };
+        let b = if insn.op.reads_rs2() {
+            self.read_reg(tid, insn.rs2)
+        } else {
+            0
+        };
         match insn.op {
             Opcode::Ld => {
                 let addr = effective_addr(a, insn.imm);
@@ -324,7 +338,10 @@ impl<'p> Interp<'p> {
                 return Err(InterpError::Deadlock);
             }
         }
-        Ok(InterpStats { retired: self.retired.clone(), steps })
+        Ok(InterpStats {
+            retired: self.retired.clone(),
+            steps,
+        })
     }
 }
 
@@ -430,7 +447,10 @@ mod tests {
         b.halt();
         let p = b.build(1).unwrap();
         let mut interp = Interp::new(&p, 1).with_fuel(1000);
-        assert!(matches!(interp.run(), Err(InterpError::FuelExhausted { .. })));
+        assert!(matches!(
+            interp.run(),
+            Err(InterpError::FuelExhausted { .. })
+        ));
     }
 
     #[test]
@@ -442,7 +462,10 @@ mod tests {
         b.halt();
         let p = b.build(1).unwrap();
         let mut interp = Interp::new(&p, 1);
-        assert!(matches!(interp.run(), Err(InterpError::OutOfBounds { tid: 0, .. })));
+        assert!(matches!(
+            interp.run(),
+            Err(InterpError::OutOfBounds { tid: 0, .. })
+        ));
     }
 
     #[test]
@@ -477,6 +500,9 @@ mod tests {
         b.nop(); // falls off the end
         let p = b.build(1).unwrap();
         let mut interp = Interp::new(&p, 1);
-        assert_eq!(interp.run(), Err(InterpError::PcOutOfRange { tid: 0, pc: 1 }));
+        assert_eq!(
+            interp.run(),
+            Err(InterpError::PcOutOfRange { tid: 0, pc: 1 })
+        );
     }
 }

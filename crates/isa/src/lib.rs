@@ -79,7 +79,10 @@ pub const MAX_THREADS: usize = 6;
 /// Panics if `n` is zero or greater than [`MAX_THREADS`].
 #[must_use]
 pub fn window_size(n: usize) -> usize {
-    assert!((1..=MAX_THREADS).contains(&n), "thread count {n} out of range 1..={MAX_THREADS}");
+    assert!(
+        (1..=MAX_THREADS).contains(&n),
+        "thread count {n} out of range 1..={MAX_THREADS}"
+    );
     REG_FILE_SIZE / n
 }
 

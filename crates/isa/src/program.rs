@@ -35,9 +35,17 @@ impl DataImage {
         let n = (self.size / WORD_BYTES) as usize;
         let mut mem = vec![0u64; n];
         for &(addr, value) in &self.words {
-            assert_eq!(addr % WORD_BYTES, 0, "unaligned data initializer at {addr:#x}");
+            assert_eq!(
+                addr % WORD_BYTES,
+                0,
+                "unaligned data initializer at {addr:#x}"
+            );
             let idx = (addr / WORD_BYTES) as usize;
-            assert!(idx < n, "data initializer at {addr:#x} outside image of {} bytes", self.size);
+            assert!(
+                idx < n,
+                "data initializer at {addr:#x} outside image of {} bytes",
+                self.size
+            );
             mem[idx] = value;
         }
         mem
@@ -69,8 +77,17 @@ impl Program {
     #[must_use]
     pub fn new(text: Vec<Instruction>, entry: usize, data: DataImage) -> Self {
         assert!(!text.is_empty(), "program text is empty");
-        assert!(entry < text.len(), "entry {entry} outside text of {} instructions", text.len());
-        Program { text, entry, data, labels: BTreeMap::new() }
+        assert!(
+            entry < text.len(),
+            "entry {entry} outside text of {} instructions",
+            text.len()
+        );
+        Program {
+            text,
+            entry,
+            data,
+            labels: BTreeMap::new(),
+        }
     }
 
     /// Attaches debug labels (`name -> instruction index`).
@@ -158,8 +175,11 @@ impl Program {
     #[must_use]
     pub fn disassemble(&self) -> String {
         use std::fmt::Write as _;
-        let by_index: BTreeMap<usize, &str> =
-            self.labels.iter().map(|(name, &i)| (i, name.as_str())).collect();
+        let by_index: BTreeMap<usize, &str> = self
+            .labels
+            .iter()
+            .map(|(name, &i)| (i, name.as_str()))
+            .collect();
         let mut out = String::new();
         for (i, insn) in self.text.iter().enumerate() {
             if let Some(name) = by_index.get(&i) {
@@ -198,7 +218,10 @@ mod tests {
                 Instruction::halt(),
             ],
             0,
-            DataImage { size: 64, words: vec![(8, 42)] },
+            DataImage {
+                size: 64,
+                words: vec![(8, 42)],
+            },
         )
     }
 
@@ -214,14 +237,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside image")]
     fn data_image_rejects_out_of_range() {
-        let img = DataImage { size: 8, words: vec![(8, 1)] };
+        let img = DataImage {
+            size: 8,
+            words: vec![(8, 1)],
+        };
         let _ = img.to_words();
     }
 
     #[test]
     #[should_panic(expected = "unaligned")]
     fn data_image_rejects_unaligned() {
-        let img = DataImage { size: 16, words: vec![(4, 1)] };
+        let img = DataImage {
+            size: 16,
+            words: vec![(4, 1)],
+        };
         let _ = img.to_words();
     }
 

@@ -1,104 +1,96 @@
 //! Property tests for the ISA layer: binary encode/decode is lossless for
 //! every representable instruction, and the assembler round-trips through
-//! the disassembler.
-
-use proptest::prelude::*;
-use proptest::strategy::ValueTree as _;
+//! the disassembler. Randomized via the repo-local deterministic generator
+//! (`smt-testkit`) — every failure reproduces from the printed seed.
 
 use smt_isa::encode::{decode, encode};
 use smt_isa::op::Format;
 use smt_isa::program::{DataImage, Program};
 use smt_isa::{Instruction, Opcode, Reg};
-
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    (0u8..128).prop_map(Reg::new)
-}
-
-fn opcode_strategy() -> impl Strategy<Value = Opcode> {
-    prop::sample::select(Opcode::ALL.to_vec())
-}
+use smt_testkit::{cases, Rng};
 
 /// An arbitrary instruction whose immediate is valid for its format at the
 /// given PC.
-fn insn_strategy(pc: u32) -> impl Strategy<Value = Instruction> {
-    (opcode_strategy(), reg_strategy(), reg_strategy(), reg_strategy(), any::<i32>()).prop_map(
-        move |(op, rd, rs1, rs2, raw_imm)| {
-            let clamp = |bits: u32, rel_to_pc: bool| {
-                let min = -(1i64 << (bits - 1));
-                let max = (1i64 << (bits - 1)) - 1;
-                let v = i64::from(raw_imm).rem_euclid(max - min + 1) + min;
-                if rel_to_pc {
-                    // Keep the absolute target representable after the
-                    // PC-relative conversion.
-                    (v + i64::from(pc)) as i32
-                } else {
-                    v as i32
-                }
-            };
-            let imm = match op.format() {
-                Format::R3 | Format::U | Format::S2 | Format::S1 | Format::None => 0,
-                Format::I2 | Format::Mem | Format::MemStore => clamp(12, false),
-                Format::Branch => clamp(12, true),
-                Format::I1 => clamp(19, false),
-                Format::Jump => clamp(26, true),
-            };
-            Instruction { op, rd, rs1, rs2, imm }
-        },
-    )
+fn random_insn(rng: &mut Rng, pc: u32) -> Instruction {
+    let op = rng.pick_copy(&Opcode::ALL);
+    let rd = Reg::new(rng.below(128) as u8);
+    let rs1 = Reg::new(rng.below(128) as u8);
+    let rs2 = Reg::new(rng.below(128) as u8);
+    let mut clamp = |bits: u32, rel_to_pc: bool| {
+        let min = -(1i64 << (bits - 1));
+        let max = (1i64 << (bits - 1)) - 1;
+        let v = rng.range_i64(min, max + 1);
+        if rel_to_pc {
+            // Keep the absolute target representable after the PC-relative
+            // conversion.
+            (v + i64::from(pc)) as i32
+        } else {
+            v as i32
+        }
+    };
+    let imm = match op.format() {
+        Format::R3 | Format::U | Format::S2 | Format::S1 | Format::None => 0,
+        Format::I2 | Format::Mem | Format::MemStore => clamp(12, false),
+        Format::Branch => clamp(12, true),
+        Format::I1 => clamp(19, false),
+        Format::Jump => clamp(26, true),
+    };
+    Instruction {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    }
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_is_lossless(pc in 0u32..100_000, seed in any::<i32>()) {
-        let strategy = insn_strategy(pc);
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        // Derive a concrete instruction from the seed for reproducibility.
-        let _ = seed;
-        let insn = strategy.new_tree(&mut runner).unwrap().current();
-        let word = encode(&insn, pc).expect("strategy produces encodable instructions");
+#[test]
+fn encode_decode_is_lossless() {
+    cases(512, |rng| {
+        let pc = rng.below(100_000) as u32;
+        let insn = random_insn(rng, pc);
+        let word = encode(&insn, pc).expect("generator produces encodable instructions");
         let back = decode(word, pc).expect("encoded words decode");
         // Fields unused by the format are normalized by decode; compare the
         // semantically meaningful projection.
-        prop_assert_eq!(back.op, insn.op);
+        assert_eq!(back.op, insn.op);
         if insn.op.has_dest() {
-            prop_assert_eq!(back.rd, insn.rd);
+            assert_eq!(back.rd, insn.rd);
         }
         if insn.op.reads_rs1() {
-            prop_assert_eq!(back.rs1, insn.rs1);
+            assert_eq!(back.rs1, insn.rs1);
         }
         if insn.op.reads_rs2() {
-            prop_assert_eq!(back.rs2, insn.rs2);
+            assert_eq!(back.rs2, insn.rs2);
         }
-        prop_assert_eq!(back.imm, insn.imm);
-    }
+        assert_eq!(back.imm, insn.imm, "{insn:?}");
+    });
+}
 
-    #[test]
-    fn random_instruction_streams_roundtrip_as_programs(
-        len in 1usize..64,
-        pcs in any::<u64>(),
-    ) {
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let _ = pcs;
-        let text: Vec<Instruction> = (0..len)
-            .map(|pc| insn_strategy(pc as u32).new_tree(&mut runner).unwrap().current())
-            .collect();
+#[test]
+fn random_instruction_streams_roundtrip_as_programs() {
+    cases(128, |rng| {
+        let len = rng.range_usize(1, 64);
+        let text: Vec<Instruction> = (0..len).map(|pc| random_insn(rng, pc as u32)).collect();
         let program = Program::new(text, 0, DataImage::default());
         let words = program.encode_text().expect("encodable");
         let back = Program::decode_text(&words, 0, DataImage::default()).expect("decodable");
         for (a, b) in program.text().iter().zip(back.text()) {
-            prop_assert_eq!(a.op, b.op);
-            prop_assert_eq!(a.imm, b.imm);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.imm, b.imm);
         }
-    }
+    });
+}
 
-    #[test]
-    fn disassembly_reassembles_identically(len in 1usize..40) {
+#[test]
+fn disassembly_reassembles_identically() {
+    cases(128, |rng| {
         // Restrict to a stream the assembler can print and re-parse
         // (every opcode, default-ish operands, in-range targets).
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let len = rng.range_usize(1, 40);
         let text: Vec<Instruction> = (0..len)
             .map(|pc| {
-                let insn = insn_strategy(pc as u32).new_tree(&mut runner).unwrap().current();
+                let insn = random_insn(rng, pc as u32);
                 let insn = match insn.op.format() {
                     // Branch/jump targets must stay inside the program for
                     // reassembly of absolute indices.
@@ -117,6 +109,6 @@ proptest! {
         let dis = program.disassemble();
         let back = smt_isa::asm::assemble(&dis, DataImage::default())
             .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{dis}"));
-        prop_assert_eq!(program.text(), back.text());
-    }
+        assert_eq!(program.text(), back.text());
+    });
 }

@@ -36,7 +36,7 @@ impl fmt::Display for CacheKind {
 }
 
 /// Geometry and timing of a data cache.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -86,7 +86,10 @@ impl CacheConfig {
     /// capacity not divisible into `ways` lines per set, or zero anywhere).
     #[must_use]
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0, "bad line size");
+        assert!(
+            self.line_bytes.is_power_of_two() && self.line_bytes > 0,
+            "bad line size"
+        );
         assert!(self.ways > 0, "zero ways");
         let lines = self.size_bytes / self.line_bytes;
         assert!(
@@ -97,7 +100,10 @@ impl CacheConfig {
             self.line_bytes
         );
         let sets = (lines / self.ways as u64) as usize;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         sets
     }
 }
@@ -198,7 +204,12 @@ impl DataCache {
         assert!(config.mshrs > 0, "cache needs at least one refill slot");
         DataCache {
             config,
-            sets: vec![Set { lru: Vec::with_capacity(config.ways) }; sets],
+            sets: vec![
+                Set {
+                    lru: Vec::with_capacity(config.ways)
+                };
+                sets
+            ],
             set_shift: config.line_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
             refills: Vec::with_capacity(config.mshrs),
@@ -220,7 +231,10 @@ impl DataCache {
 
     fn split(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.set_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Lands completed refills, installing their lines as MRU.
@@ -269,7 +283,12 @@ impl DataCache {
         // Miss: start a refill if an MSHR is free, otherwise reject until
         // the earliest outstanding refill lands.
         if self.refills.len() == self.config.mshrs {
-            let retry_at = self.refills.iter().map(|r| r.done).min().expect("non-empty");
+            let retry_at = self
+                .refills
+                .iter()
+                .map(|r| r.done)
+                .min()
+                .expect("non-empty");
             self.stats.blocked += 1;
             return Outcome::Blocked { retry_at };
         }
@@ -381,7 +400,10 @@ mod tests {
         t += 1;
         assert_eq!(c.access(line(2), t), Outcome::Hit);
         t += 1;
-        assert!(matches!(c.access(line(1), t), Outcome::Miss { .. }), "line 1 was evicted");
+        assert!(
+            matches!(c.access(line(1), t), Outcome::Miss { .. }),
+            "line 1 was evicted"
+        );
     }
 
     #[test]
@@ -449,7 +471,12 @@ mod tests {
 
     #[test]
     fn hit_rate_formula() {
-        let s = CacheStats { accesses: 200, hits: 150, misses: 50, blocked: 3 };
+        let s = CacheStats {
+            accesses: 200,
+            hits: 150,
+            misses: 50,
+            blocked: 3,
+        };
         assert!((s.hit_rate() - 75.0).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }

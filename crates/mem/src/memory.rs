@@ -54,13 +54,17 @@ impl MainMemory {
     /// Creates zeroed memory of `bytes` bytes (rounded up to a whole word).
     #[must_use]
     pub fn new(bytes: u64) -> Self {
-        MainMemory { words: vec![0; bytes.div_ceil(WORD_BYTES) as usize] }
+        MainMemory {
+            words: vec![0; bytes.div_ceil(WORD_BYTES) as usize],
+        }
     }
 
     /// Initializes memory from a program's data image.
     #[must_use]
     pub fn from_image(image: &DataImage) -> Self {
-        MainMemory { words: image.to_words() }
+        MainMemory {
+            words: image.to_words(),
+        }
     }
 
     /// Memory size in bytes.
@@ -75,7 +79,10 @@ impl MainMemory {
         }
         let idx = (addr / WORD_BYTES) as usize;
         if idx >= self.words.len() {
-            return Err(MemError::OutOfBounds { addr, size: self.size() });
+            return Err(MemError::OutOfBounds {
+                addr,
+                size: self.size(),
+            });
         }
         Ok(idx)
     }
@@ -136,7 +143,10 @@ mod tests {
     #[test]
     fn bounds_and_alignment() {
         let mut m = MainMemory::new(16);
-        assert_eq!(m.read(16), Err(MemError::OutOfBounds { addr: 16, size: 16 }));
+        assert_eq!(
+            m.read(16),
+            Err(MemError::OutOfBounds { addr: 16, size: 16 })
+        );
         assert_eq!(m.write(3, 1), Err(MemError::Unaligned { addr: 3 }));
         assert_eq!(m.size(), 16);
     }
@@ -157,7 +167,10 @@ mod tests {
 
     #[test]
     fn from_image_places_words() {
-        let img = DataImage { size: 32, words: vec![(16, 5)] };
+        let img = DataImage {
+            size: 32,
+            words: vec![(16, 5)],
+        };
         let m = MainMemory::from_image(&img);
         assert_eq!(m.read(16).unwrap(), 5);
         assert_eq!(m.read(24).unwrap(), 0);

@@ -25,6 +25,10 @@ pub struct StoreEntry {
     pub addr: u64,
     /// Data word.
     pub value: u64,
+    /// Program counter of the store instruction, carried so that a fault
+    /// detected at drain time can be attributed to the faulting store
+    /// rather than a placeholder pc.
+    pub pc: usize,
     /// Whether the store's SU entry has been shifted out (commit reached),
     /// making the entry eligible to drain to the cache.
     pub released: bool,
@@ -48,7 +52,7 @@ impl std::error::Error for StoreBufferFull {}
 /// use smt_mem::StoreBuffer;
 ///
 /// let mut sb = StoreBuffer::new(8);
-/// sb.insert(1, 0, 0x1000, 7).unwrap();
+/// sb.insert(1, 0, 0x1000, 7, 0x40).unwrap();
 /// assert_eq!(sb.forward(0x1000), Some(7));
 /// sb.release(1);
 /// let drained = sb.take_drainable().unwrap();
@@ -70,7 +74,10 @@ impl StoreBuffer {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "store buffer capacity must be positive");
-        StoreBuffer { entries: VecDeque::with_capacity(capacity), capacity }
+        StoreBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Configured capacity.
@@ -103,11 +110,25 @@ impl StoreBuffer {
     /// # Errors
     ///
     /// [`StoreBufferFull`] when at capacity — the store unit must retry.
-    pub fn insert(&mut self, id: u64, tid: usize, addr: u64, value: u64) -> Result<(), StoreBufferFull> {
+    pub fn insert(
+        &mut self,
+        id: u64,
+        tid: usize,
+        addr: u64,
+        value: u64,
+        pc: usize,
+    ) -> Result<(), StoreBufferFull> {
         if self.is_full() {
             return Err(StoreBufferFull);
         }
-        self.entries.push_back(StoreEntry { id, tid, addr, value, released: false });
+        self.entries.push_back(StoreEntry {
+            id,
+            tid,
+            addr,
+            value,
+            pc,
+            released: false,
+        });
         Ok(())
     }
 
@@ -126,12 +147,21 @@ impl StoreBuffer {
     /// Forwards the value of the *youngest* store to `addr`, if any.
     #[must_use]
     pub fn forward(&self, addr: u64) -> Option<u64> {
-        self.entries.iter().rev().find(|e| e.addr == addr).map(|e| e.value)
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .map(|e| e.value)
     }
 
     fn drainable_pos(&self) -> Option<usize> {
         self.entries.iter().enumerate().position(|(i, e)| {
-            e.released && !self.entries.iter().take(i).any(|older| older.addr == e.addr)
+            e.released
+                && !self
+                    .entries
+                    .iter()
+                    .take(i)
+                    .any(|older| older.addr == e.addr)
         })
     }
 
@@ -193,19 +223,19 @@ mod tests {
     #[test]
     fn fills_to_capacity() {
         let mut sb = StoreBuffer::new(2);
-        sb.insert(1, 0, 0, 1).unwrap();
-        sb.insert(2, 0, 8, 2).unwrap();
+        sb.insert(1, 0, 0, 1, 0).unwrap();
+        sb.insert(2, 0, 8, 2, 0).unwrap();
         assert!(sb.is_full());
-        assert_eq!(sb.insert(3, 0, 16, 3), Err(StoreBufferFull));
+        assert_eq!(sb.insert(3, 0, 16, 3, 0), Err(StoreBufferFull));
         assert_eq!(sb.len(), 2);
     }
 
     #[test]
     fn forwards_youngest_match() {
         let mut sb = StoreBuffer::new(4);
-        sb.insert(1, 0, 0x10, 1).unwrap();
-        sb.insert(2, 1, 0x10, 2).unwrap();
-        sb.insert(3, 0, 0x20, 3).unwrap();
+        sb.insert(1, 0, 0x10, 1, 0).unwrap();
+        sb.insert(2, 1, 0x10, 2, 0).unwrap();
+        sb.insert(3, 0, 0x20, 3, 0).unwrap();
         assert_eq!(sb.forward(0x10), Some(2));
         assert_eq!(sb.forward(0x20), Some(3));
         assert_eq!(sb.forward(0x30), None);
@@ -214,8 +244,8 @@ mod tests {
     #[test]
     fn drains_only_released_entries_in_order() {
         let mut sb = StoreBuffer::new(4);
-        sb.insert(1, 0, 0x10, 1).unwrap();
-        sb.insert(2, 0, 0x20, 2).unwrap();
+        sb.insert(1, 0, 0x10, 1, 0).unwrap();
+        sb.insert(2, 0, 0x20, 2, 0).unwrap();
         assert!(sb.take_drainable().is_none());
         assert!(sb.release(2));
         let e = sb.take_drainable().unwrap();
@@ -229,10 +259,10 @@ mod tests {
     #[test]
     fn same_address_drains_strictly_in_order() {
         let mut sb = StoreBuffer::new(4);
-        sb.insert(1, 0, 0x10, 1).unwrap();
-        sb.insert(2, 1, 0x10, 2).unwrap();
+        sb.insert(1, 0, 0x10, 1, 0).unwrap();
+        sb.insert(2, 1, 0x10, 2, 0).unwrap();
         sb.release(2); // younger store released first (different thread)
-        // Must not drain entry 2 past entry 1 (same address).
+                       // Must not drain entry 2 past entry 1 (same address).
         assert!(sb.take_drainable().is_none());
         sb.release(1);
         assert_eq!(sb.take_drainable().unwrap().id, 1);
@@ -248,8 +278,8 @@ mod tests {
     #[test]
     fn peek_matches_take() {
         let mut sb = StoreBuffer::new(4);
-        sb.insert(1, 0, 0x10, 1).unwrap();
-        sb.insert(2, 0, 0x20, 2).unwrap();
+        sb.insert(1, 0, 0x10, 1, 0).unwrap();
+        sb.insert(2, 0, 0x20, 2, 0).unwrap();
         sb.release(2);
         let peeked = sb.peek_drainable().unwrap();
         assert_eq!(sb.len(), 2, "peek does not remove");
@@ -259,8 +289,8 @@ mod tests {
     #[test]
     fn remove_id_drops_specific_entry() {
         let mut sb = StoreBuffer::new(4);
-        sb.insert(1, 0, 0x10, 1).unwrap();
-        sb.insert(2, 0, 0x20, 2).unwrap();
+        sb.insert(1, 0, 0x10, 1, 0).unwrap();
+        sb.insert(2, 0, 0x20, 2, 0).unwrap();
         assert!(sb.remove_id(1));
         assert!(!sb.remove_id(1));
         assert_eq!(sb.len(), 1);
@@ -270,9 +300,9 @@ mod tests {
     #[test]
     fn squash_removes_doomed_entries() {
         let mut sb = StoreBuffer::new(4);
-        sb.insert(1, 0, 0, 1).unwrap();
-        sb.insert(2, 0, 8, 2).unwrap();
-        sb.insert(3, 1, 16, 3).unwrap();
+        sb.insert(1, 0, 0, 1, 0).unwrap();
+        sb.insert(2, 0, 8, 2, 0).unwrap();
+        sb.insert(3, 1, 16, 3, 0).unwrap();
         let removed = sb.squash(|id| id >= 2 && id != 3);
         assert_eq!(removed, 1);
         assert_eq!(sb.len(), 2);
@@ -282,7 +312,7 @@ mod tests {
     #[test]
     fn thread_occupancy_query() {
         let mut sb = StoreBuffer::new(4);
-        sb.insert(1, 0, 0, 1).unwrap();
+        sb.insert(1, 0, 0, 1, 0).unwrap();
         assert!(sb.has_thread_entries(0));
         assert!(!sb.has_thread_entries(1));
         sb.release(1);

@@ -1,12 +1,12 @@
 //! Model-based property tests for the memory subsystem: the LRU cache's
 //! hit/miss decisions must match a brute-force reference model, and the
-//! store buffer must behave like a simple ordered list.
+//! store buffer must behave like a simple ordered list. Randomized via the
+//! repo-local deterministic generator (`smt-testkit`).
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
 use smt_mem::{CacheConfig, DataCache, Outcome, StoreBuffer};
+use smt_testkit::cases;
 
 /// Brute-force LRU model: per set, a most-recently-used-first list of tags.
 struct RefCache {
@@ -45,17 +45,14 @@ impl RefCache {
     }
 }
 
-proptest! {
-    /// With accesses spaced beyond the miss penalty, the timing cache's
-    /// hit/miss classification must equal the pure LRU model for any
-    /// geometry and access pattern.
-    #[test]
-    fn cache_matches_reference_lru(
-        ways in prop::sample::select(vec![1usize, 2, 4]),
-        sets_pow in 1u32..4,
-        addrs in prop::collection::vec(0u64..4096, 1..200),
-    ) {
-        let sets = 1usize << sets_pow;
+/// With accesses spaced beyond the miss penalty, the timing cache's
+/// hit/miss classification must equal the pure LRU model for any geometry
+/// and access pattern.
+#[test]
+fn cache_matches_reference_lru() {
+    cases(256, |rng| {
+        let ways = rng.pick_copy(&[1usize, 2, 4]);
+        let sets = 1usize << rng.range_usize(1, 4);
         let cfg = CacheConfig {
             size_bytes: (sets * ways) as u64 * 32,
             line_bytes: 32,
@@ -66,58 +63,63 @@ proptest! {
         let mut dut = DataCache::new(cfg);
         let mut reference = RefCache::new(&cfg);
         let mut now = 0u64;
-        for addr in addrs {
-            let aligned = addr & !7;
+        for _ in 0..rng.range_usize(1, 200) {
+            let aligned = rng.below(4096) & !7;
             let expected_hit = reference.access(aligned);
             match dut.access(aligned, now) {
-                Outcome::Hit => prop_assert!(expected_hit, "dut hit, model missed @{aligned:#x}"),
+                Outcome::Hit => assert!(expected_hit, "dut hit, model missed @{aligned:#x}"),
                 Outcome::Miss { ready_at } => {
-                    prop_assert!(!expected_hit, "dut missed, model hit @{aligned:#x}");
+                    assert!(!expected_hit, "dut missed, model hit @{aligned:#x}");
                     now = ready_at; // wait out the refill → no Blocked/Pending
                 }
-                other => prop_assert!(false, "unexpected outcome {other:?}"),
+                other => panic!("unexpected outcome {other:?}"),
             }
             now += 1;
         }
         let stats = dut.stats();
-        prop_assert_eq!(stats.accesses, stats.hits + stats.misses);
-        prop_assert_eq!(stats.blocked, 0);
-    }
+        assert_eq!(stats.accesses, stats.hits + stats.misses);
+        assert_eq!(stats.blocked, 0);
+    });
+}
 
-    /// The store buffer forwards the youngest matching store, never exceeds
-    /// capacity, and drains released entries in per-address order.
-    #[test]
-    fn store_buffer_matches_list_model(
-        capacity in 1usize..9,
-        ops in prop::collection::vec((0u64..8, any::<u64>(), any::<bool>()), 1..100),
-    ) {
+/// The store buffer forwards the youngest matching store, never exceeds
+/// capacity, and drains released entries in per-address order.
+#[test]
+fn store_buffer_matches_list_model() {
+    cases(256, |rng| {
+        let capacity = rng.range_usize(1, 9);
         let mut dut = StoreBuffer::new(capacity);
         let mut model: Vec<(u64, u64, u64)> = Vec::new(); // (id, addr, value)
         let mut next_id = 0u64;
-        for (slot, value, drain_now) in ops {
-            let addr = slot * 8;
-            if dut.insert(next_id, 0, addr, value).is_ok() {
+        for _ in 0..rng.range_usize(1, 100) {
+            let addr = rng.below(8) * 8;
+            let value = rng.next_u64();
+            let drain_now = rng.coin();
+            if dut.insert(next_id, 0, addr, value, 0).is_ok() {
                 model.push((next_id, addr, value));
-                prop_assert!(model.len() <= capacity);
+                assert!(model.len() <= capacity);
             } else {
-                prop_assert_eq!(model.len(), capacity, "rejected while not full");
+                assert_eq!(model.len(), capacity, "rejected while not full");
             }
             next_id += 1;
 
             // Forwarding: youngest matching store.
             let expect = model.iter().rev().find(|e| e.1 == addr).map(|e| e.2);
-            prop_assert_eq!(dut.forward(addr), expect);
+            assert_eq!(dut.forward(addr), expect);
 
             if drain_now {
                 // Release the oldest entry and drain it.
                 if let Some(&(id, daddr, dvalue)) = model.first() {
-                    prop_assert!(dut.release(id));
+                    assert!(dut.release(id));
                     let drained = dut.take_drainable().expect("oldest released drains");
-                    prop_assert_eq!((drained.id, drained.addr, drained.value), (id, daddr, dvalue));
+                    assert_eq!(
+                        (drained.id, drained.addr, drained.value),
+                        (id, daddr, dvalue)
+                    );
                     model.remove(0);
                 }
             }
-            prop_assert_eq!(dut.len(), model.len());
+            assert_eq!(dut.len(), model.len());
         }
-    }
+    });
 }

@@ -18,7 +18,7 @@ use std::fmt;
 use smt_isa::FuClass;
 
 /// Per-class unit count, latency, and pipelining.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ClassConfig {
     /// Number of identical units.
     pub count: usize,
@@ -29,13 +29,16 @@ pub struct ClassConfig {
 }
 
 /// The functional-unit configuration (Table 1).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FuConfig {
     classes: [ClassConfig; FuClass::ALL.len()],
 }
 
 fn class_index(class: FuClass) -> usize {
-    FuClass::ALL.iter().position(|&c| c == class).expect("class in ALL")
+    FuClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("class in ALL")
 }
 
 impl FuConfig {
@@ -43,11 +46,18 @@ impl FuConfig {
     #[must_use]
     pub fn paper_default() -> Self {
         let mut cfg = FuConfig {
-            classes: [ClassConfig { count: 1, latency: 1, pipelined: true };
-                FuClass::ALL.len()],
+            classes: [ClassConfig {
+                count: 1,
+                latency: 1,
+                pipelined: true,
+            }; FuClass::ALL.len()],
         };
         let set = |cfg: &mut FuConfig, class, count, latency, pipelined| {
-            cfg.classes[class_index(class)] = ClassConfig { count, latency, pipelined };
+            cfg.classes[class_index(class)] = ClassConfig {
+                count,
+                latency,
+                pipelined,
+            };
         };
         set(&mut cfg, FuClass::Alu, 4, 1, true);
         set(&mut cfg, FuClass::IntMul, 1, 3, true);
@@ -151,7 +161,14 @@ impl FuPool {
         let units = FuClass::ALL
             .iter()
             .map(|&class| {
-                vec![Unit { free_at: 0, busy_cycles: 0, issues: 0 }; config.class(class).count]
+                vec![
+                    Unit {
+                        free_at: 0,
+                        busy_cycles: 0,
+                        issues: 0
+                    };
+                    config.class(class).count
+                ]
             })
             .collect();
         FuPool { config, units }
@@ -181,7 +198,9 @@ impl FuPool {
     /// Whether at least one unit of `class` can accept at cycle `now`.
     #[must_use]
     pub fn can_issue(&self, class: FuClass, now: u64) -> bool {
-        self.units[class_index(class)].iter().any(|u| u.free_at <= now)
+        self.units[class_index(class)]
+            .iter()
+            .any(|u| u.free_at <= now)
     }
 
     /// Occupied cycles of unit `index` within `class` (see module docs for
@@ -252,7 +271,11 @@ mod tests {
     fn pipelined_unit_accepts_every_cycle() {
         let mut pool = FuPool::new(FuConfig::paper_default().with_count(FuClass::FpMul, 1));
         assert_eq!(pool.try_issue(FuClass::FpMul, 0), Some(4));
-        assert_eq!(pool.try_issue(FuClass::FpMul, 0), None, "one accept port per cycle");
+        assert_eq!(
+            pool.try_issue(FuClass::FpMul, 0),
+            None,
+            "one accept port per cycle"
+        );
         assert_eq!(pool.try_issue(FuClass::FpMul, 1), Some(5));
     }
 

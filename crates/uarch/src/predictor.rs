@@ -26,7 +26,10 @@ impl Prediction {
     /// The fall-through prediction.
     #[must_use]
     pub fn not_taken() -> Self {
-        Prediction { taken: false, target: 0 }
+        Prediction {
+            taken: false,
+            target: 0,
+        }
     }
 }
 
@@ -86,8 +89,15 @@ impl BranchPredictor {
     /// Panics unless `entries` is a nonzero power of two.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two() && entries > 0, "BTB size must be a power of two");
-        BranchPredictor { entries: vec![None; entries], mask: entries - 1, stats: PredictorStats::default() }
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "BTB size must be a power of two"
+        );
+        BranchPredictor {
+            entries: vec![None; entries],
+            mask: entries - 1,
+            stats: PredictorStats::default(),
+        }
     }
 
     /// Looks up the prediction for the control-transfer at `pc`.
@@ -96,7 +106,10 @@ impl BranchPredictor {
         match self.entries[pc & self.mask] {
             Some(e) if e.pc == pc => {
                 self.stats.btb_hits += 1;
-                Prediction { taken: e.counter >= 2, target: e.target }
+                Prediction {
+                    taken: e.counter >= 2,
+                    target: e.target,
+                }
             }
             _ => Prediction::not_taken(),
         }
@@ -122,7 +135,11 @@ impl BranchPredictor {
             _ => {
                 if taken {
                     // Install weakly taken, as classic 2-bit BTBs do.
-                    *slot = Some(Entry { pc, target, counter: 2 });
+                    *slot = Some(Entry {
+                        pc,
+                        target,
+                        counter: 2,
+                    });
                 }
             }
         }

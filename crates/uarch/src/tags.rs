@@ -80,7 +80,10 @@ impl TagAllocator {
         self.next = self.next.wrapping_add(1);
         self.live += 1;
         #[cfg(debug_assertions)]
-        debug_assert!(self.outstanding.insert(tag.0), "tag {tag} reused while live");
+        debug_assert!(
+            self.outstanding.insert(tag.0),
+            "tag {tag} reused while live"
+        );
         Some(tag)
     }
 
@@ -91,7 +94,10 @@ impl TagAllocator {
     /// In debug builds, panics on double-free or foreign tags.
     pub fn free(&mut self, tag: Tag) {
         #[cfg(debug_assertions)]
-        debug_assert!(self.outstanding.remove(&tag.0), "freeing unallocated tag {tag}");
+        debug_assert!(
+            self.outstanding.remove(&tag.0),
+            "freeing unallocated tag {tag}"
+        );
         #[cfg(not(debug_assertions))]
         let _ = tag;
         self.live -= 1;

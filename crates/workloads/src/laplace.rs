@@ -103,8 +103,7 @@ pub fn laplace(scale: Scale) -> Workload {
     for _ in 0..iters {
         for r in 1..=g {
             for col in 1..=g {
-                let v = (((a[(r - 1) * w + col] + a[(r + 1) * w + col])
-                    + a[r * w + col - 1])
+                let v = (((a[(r - 1) * w + col] + a[(r + 1) * w + col]) + a[r * w + col - 1])
                     + a[r * w + col + 1])
                     * 0.25;
                 c[r * w + col] = v;
@@ -138,7 +137,9 @@ mod tests {
         for threads in [1, 2, 4] {
             let p = w.build(threads).unwrap();
             let mut interp = Interp::new(&p, threads);
-            interp.run().unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+            interp
+                .run()
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
             w.check(interp.mem_words())
                 .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
         }

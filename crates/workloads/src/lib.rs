@@ -172,7 +172,11 @@ impl Workload {
     /// per-benchmark constructors.
     #[must_use]
     pub fn from_parts(kind: WorkloadKind, builder: ProgramBuilder, checker: CheckFn) -> Self {
-        Workload { kind, builder, checker }
+        Workload {
+            kind,
+            builder,
+            checker,
+        }
     }
 
     /// Which benchmark this is.
@@ -217,7 +221,9 @@ impl Workload {
 
 impl fmt::Debug for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Workload").field("kind", &self.kind).finish_non_exhaustive()
+        f.debug_struct("Workload")
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
     }
 }
 
@@ -242,19 +248,28 @@ pub fn workload(kind: WorkloadKind, scale: Scale) -> Workload {
 /// All eleven benchmarks at the given scale.
 #[must_use]
 pub fn suite(scale: Scale) -> Vec<Workload> {
-    WorkloadKind::ALL.iter().map(|&k| workload(k, scale)).collect()
+    WorkloadKind::ALL
+        .iter()
+        .map(|&k| workload(k, scale))
+        .collect()
 }
 
 /// The Group-I (Livermore) benchmarks.
 #[must_use]
 pub fn group_i(scale: Scale) -> Vec<Workload> {
-    suite(scale).into_iter().filter(|w| w.group() == Group::I).collect()
+    suite(scale)
+        .into_iter()
+        .filter(|w| w.group() == Group::I)
+        .collect()
 }
 
 /// The Group-II benchmarks.
 #[must_use]
 pub fn group_ii(scale: Scale) -> Vec<Workload> {
-    suite(scale).into_iter().filter(|w| w.group() == Group::II).collect()
+    suite(scale)
+        .into_iter()
+        .filter(|w| w.group() == Group::II)
+        .collect()
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ fn passes(scale: Scale) -> i64 {
 
 /// Emits `reps` repetitions of the partitioned loop `[lo_s, hi)`, copying
 /// `lo_s` into the loop counter `lo` before each sweep.
+#[allow(clippy::too_many_arguments)] // five registers of loop state, passed flat
 fn repeat_sweep(
     b: &mut ProgramBuilder,
     reps: i64,
@@ -96,8 +97,9 @@ pub fn ll1(scale: Scale) -> Workload {
     });
     b.halt();
 
-    let expected: Vec<f64> =
-        (0..n).map(|k| q + y[k] * (r * z[k + 10] + t * z[k + 11])).collect();
+    let expected: Vec<f64> = (0..n)
+        .map(|k| q + y[k] * (r * z[k + 10] + t * z[k + 11]))
+        .collect();
     Workload::from_parts(
         WorkloadKind::Ll1,
         b,
@@ -166,8 +168,7 @@ pub fn ll3(scale: Scale) -> Workload {
     let partial = b.alloc_zeroed(6 * 8);
     let bar = b.alloc_zeroed(8);
     let out = b.alloc_zeroed(8);
-    let [nreg, lo, lo_s, hi, pass, npass, addr, v1, v2, acc, barr, zero, xbr, zbr, pbr] =
-        b.regs();
+    let [nreg, lo, lo_s, hi, pass, npass, addr, v1, v2, acc, barr, zero, xbr, zbr, pbr] = b.regs();
     let nt = b.nthreads_reg();
     let tid = b.tid_reg();
     b.li(nreg, n as i64);
@@ -290,7 +291,7 @@ pub fn ll5(scale: Scale) -> Workload {
     b.addi(a1, a1, -8); // &done[i-1]
     b.wait(a1, one);
     b.addi(a1, a1, 8); // &done[i]
-    // x[i] = z[i]*(y[i] - x[i-1])
+                       // x[i] = z[i]*(y[i] - x[i-1])
     b.slli(a2, i, 3);
     b.add(a2, a2, xbr);
     b.ld(vx, a2, -8); // x[i-1]
@@ -358,7 +359,7 @@ pub fn ll7(scale: Scale) -> Workload {
     repeat_sweep(&mut b, passes(scale), pass, npass, lo, lo_s, hi, |b, lo| {
         b.slli(addr, lo, 3);
         b.add(addr, addr, ubr); // &u[k]
-        // inner t-term: u[k+6] + q*(u[k+5] + q*u[k+4])
+                                // inner t-term: u[k+6] + q*(u[k+5] + q*u[k+4])
         b.ld(v1, addr, 32); // u[k+4]
         b.fmul(v1, qr, v1);
         b.ld(v2, addr, 40); // u[k+5]
@@ -504,7 +505,11 @@ mod tests {
                 .find(|&i| words[i] != 0)
                 .expect("output exists");
             words[idx] ^= 1 << 40;
-            assert!(w.check(&words).is_err(), "{}: corruption must be detected", w.name());
+            assert!(
+                w.check(&words).is_err(),
+                "{}: corruption must be detected",
+                w.name()
+            );
         }
     }
 
@@ -521,7 +526,9 @@ mod tests {
             ll12(Scale::Test),
         ] {
             let p = w.build(4).unwrap();
-            let words = p.encode_text().unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            let words = p
+                .encode_text()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
             assert_eq!(words.len(), p.len());
         }
     }

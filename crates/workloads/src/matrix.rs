@@ -22,7 +22,10 @@ pub fn matrix(scale: Scale) -> Workload {
         Scale::Paper => 24,
     };
     let row_bytes = (n * 8) as i32;
-    assert!(row_bytes <= 2047, "matrix too large for the 12-bit immediate");
+    assert!(
+        row_bytes <= 2047,
+        "matrix too large for the 12-bit immediate"
+    );
 
     let a: Vec<f64> = (0..n * n).map(|i| synth(i + 29)).collect();
     let bm: Vec<f64> = (0..n * n).map(|i| synth(i + 71)).collect();

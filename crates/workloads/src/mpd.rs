@@ -30,8 +30,7 @@ pub fn mpd(scale: Scale) -> Workload {
     let xb = b.data_f64(&x0);
     let vb = b.data_f64(&v0);
     let tb = b.data_f64(&table);
-    let [xbr, vbr, tbr, dtr, dampr, nreg, lo, hi, s, steps_r, vx, vv, addr, addr2, idx] =
-        b.regs();
+    let [xbr, vbr, tbr, dtr, dampr, nreg, lo, hi, s, steps_r, vx, vv, addr, addr2, idx] = b.regs();
     b.li(xbr, xb as i64);
     b.li(vbr, vb as i64);
     b.li(tbr, tb as i64);

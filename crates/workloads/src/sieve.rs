@@ -108,7 +108,11 @@ mod tests {
             assert_eq!(mem.word(base + prime * 8), 1, "{prime} is prime");
         }
         for composite in [4u64, 9, 25, 121, 126] {
-            assert_eq!(mem.word(base + composite * 8), 0, "{composite} is composite");
+            assert_eq!(
+                mem.word(base + composite * 8),
+                0,
+                "{composite} is composite"
+            );
         }
     }
 }

@@ -17,12 +17,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // scenario.
     let w = workload(WorkloadKind::Ll1, Scale::Paper);
 
-    println!("{:<8} {:>16} {:>16} {:>12} {:>12}", "threads", "direct cycles", "assoc cycles", "direct hit%", "assoc hit%");
+    println!(
+        "{:<8} {:>16} {:>16} {:>12} {:>12}",
+        "threads", "direct cycles", "assoc cycles", "direct hit%", "assoc hit%"
+    );
     for threads in 1..=6usize {
         let program = w.build(threads)?;
         let mut row = Vec::new();
         for kind in [CacheKind::DirectMapped, CacheKind::SetAssociative] {
-            let config = SimConfig::default().with_threads(threads).with_cache_kind(kind);
+            let config = SimConfig::default()
+                .with_threads(threads)
+                .with_cache_kind(kind);
             let mut sim = Simulator::new(config, &program);
             let stats = sim.run()?;
             w.check(sim.memory().words())?;

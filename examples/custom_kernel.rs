@@ -32,9 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sd   r2, (r7)
         halt
     ";
-    let data = DataImage { size: DATA_BASE + 6 * 8, words: vec![] };
+    let data = DataImage {
+        size: DATA_BASE + 6 * 8,
+        words: vec![],
+    };
     let program = assemble(source, data)?;
-    println!("assembled {} instructions:\n{}", program.len(), program.disassemble());
+    println!(
+        "assembled {} instructions:\n{}",
+        program.len(),
+        program.disassemble()
+    );
 
     let threads = 3;
 

@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Four threads under each policy.
         let program = w.build(4)?;
         for policy in policies {
-            let config = SimConfig::default().with_threads(4).with_fetch_policy(policy);
+            let config = SimConfig::default()
+                .with_threads(4)
+                .with_fetch_policy(policy);
             let mut sim = Simulator::new(config, &program);
             let stats = sim.run()?;
             w.check(sim.memory().words())?;

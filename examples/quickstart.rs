@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("IPC:                 {:.2}", stats.ipc());
     println!("branch accuracy:     {:.1}%", stats.branches.accuracy());
     println!("cache hit rate:      {:.1}%", stats.cache.hit_rate());
-    println!("avg SU occupancy:    {:.1} entries", stats.avg_su_occupancy());
+    println!(
+        "avg SU occupancy:    {:.1} entries",
+        stats.avg_su_occupancy()
+    );
     for tid in 0..threads {
         let partial = f64::from_bits(sim.mem_word(out + tid as u64 * 8));
         println!("partial[{tid}] = {partial:.4}");

@@ -56,18 +56,20 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
-            it.next().map(String::as_str).ok_or(format!("{flag} needs a value"))
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{flag} needs a value"))
         };
         match arg.as_str() {
             "--workload" => {
                 let name = value("--workload")?;
-                opts.kind =
-                    parse_workload(name).ok_or(format!("unknown workload `{name}`"))?;
+                opts.kind = parse_workload(name).ok_or(format!("unknown workload `{name}`"))?;
                 saw_workload = true;
             }
             "--threads" => {
-                let n: usize =
-                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
                 opts.config = opts.config.with_threads(n);
             }
             "--fetch" => {
@@ -180,8 +182,16 @@ fn main() -> ExitCode {
     println!("IPC:                  {:.3}", stats.ipc());
     println!("issued (incl. wrong-path): {}", stats.issued);
     println!("squashed:             {}", stats.squashed);
-    println!("branch accuracy:      {:.1}%  ({} resolved)", stats.branches.accuracy(), stats.branches.resolved);
-    println!("cache hit rate:       {:.1}%  ({} accesses)", stats.cache.hit_rate(), stats.cache.accesses);
+    println!(
+        "branch accuracy:      {:.1}%  ({} resolved)",
+        stats.branches.accuracy(),
+        stats.branches.resolved
+    );
+    println!(
+        "cache hit rate:       {:.1}%  ({} accesses)",
+        stats.cache.hit_rate(),
+        stats.cache.accesses
+    );
     println!("SU stalls:            {}", stats.su_stall_cycles);
     println!("store-buffer stalls:  {}", stats.store_buffer_full_stalls);
     println!("wait spin cycles:     {}", stats.wait_spin_cycles);

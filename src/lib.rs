@@ -26,12 +26,7 @@ pub use smt_workloads as workloads;
 
 /// Commonly used types, importable in one line.
 pub mod prelude {
-    pub use smt_core::{
-        CommitPolicy, FetchPolicy, SimConfig, SimStats, Simulator,
-    };
-    pub use smt_isa::{
-        builder::ProgramBuilder,
-        program::Program,
-    };
+    pub use smt_core::{CommitPolicy, FetchPolicy, SimConfig, SimStats, Simulator};
+    pub use smt_isa::{builder::ProgramBuilder, program::Program};
     pub use smt_workloads::{Workload, WorkloadKind};
 }

@@ -1,0 +1,100 @@
+//! Cycle-exactness goldens: the full `SimStats` of every workload at test
+//! scale, across fetch policies, commit policies, and cache organizations,
+//! must match a committed golden file bit for bit.
+//!
+//! This is the contract that performance refactors of the scheduling-unit
+//! hot paths must honor: not "roughly the same cycle count" but the exact
+//! same machine state evolution, observed through every counter the
+//! simulator keeps (cycles, per-thread commits, squashes, cache counters,
+//! per-unit busy cycles, the issue histogram, ...).
+//!
+//! To regenerate after an *intentional* behavior change (e.g. a bugfix in
+//! the pipeline itself), run:
+//!
+//! ```text
+//! cargo test --test cycle_exact -- --ignored regenerate_cycle_exact_goldens
+//! ```
+//!
+//! and commit the updated `tests/goldens/cycle_exact.txt` together with an
+//! explanation of why the machine's behavior legitimately changed.
+
+use std::fmt::Write as _;
+
+use smt_superscalar::core::{CommitPolicy, FetchPolicy, SimConfig, Simulator};
+use smt_superscalar::mem::CacheKind;
+use smt_workloads::{workload, Scale, WorkloadKind};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/cycle_exact.txt");
+const THREADS: usize = 4;
+
+const FETCH: [FetchPolicy; 3] = [
+    FetchPolicy::TrueRoundRobin,
+    FetchPolicy::MaskedRoundRobin,
+    FetchPolicy::ConditionalSwitch,
+];
+const COMMIT: [CommitPolicy; 2] = [CommitPolicy::Flexible, CommitPolicy::LowestOnly];
+const CACHE: [CacheKind; 2] = [CacheKind::SetAssociative, CacheKind::DirectMapped];
+
+/// One line per configuration: a stable key, then the *entire* `SimStats`
+/// (the derived `Debug` rendering covers every field).
+fn fingerprint() -> String {
+    let mut out = String::new();
+    for kind in WorkloadKind::ALL {
+        let w = workload(kind, Scale::Test);
+        let program = w.build(THREADS).expect("test-scale kernels fit");
+        for fetch in FETCH {
+            for commit in COMMIT {
+                for cache in CACHE {
+                    let config = SimConfig::default()
+                        .with_threads(THREADS)
+                        .with_fetch_policy(fetch)
+                        .with_commit_policy(commit)
+                        .with_cache_kind(cache);
+                    let mut sim = Simulator::new(config, &program);
+                    let stats = sim.run().expect("test-scale runs complete");
+                    writeln!(out, "{}/{fetch:?}/{commit:?}/{cache:?} {stats:?}", w.name())
+                        .expect("writing to a String cannot fail");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn simstats_match_committed_goldens() {
+    let expected = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing — run `cargo test --test cycle_exact -- \
+         --ignored regenerate_cycle_exact_goldens` once and commit it",
+    );
+    let actual = fingerprint();
+    if expected == actual {
+        return;
+    }
+    // Full-string assert on 132 long lines is unreadable; report the first
+    // divergent line instead.
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            e,
+            a,
+            "cycle-exactness violated at golden line {} (key `{}`)",
+            i + 1,
+            a.split_whitespace().next().unwrap_or("?"),
+        );
+    }
+    panic!(
+        "golden line count differs: expected {}, got {}",
+        expected.lines().count(),
+        actual.lines().count()
+    );
+}
+
+#[test]
+#[ignore = "regenerates the golden file; run explicitly after intentional behavior changes"]
+fn regenerate_cycle_exact_goldens() {
+    let dir = std::path::Path::new(GOLDEN_PATH)
+        .parent()
+        .expect("golden path has a parent");
+    std::fs::create_dir_all(dir).expect("golden dir");
+    std::fs::write(GOLDEN_PATH, fingerprint()).expect("write goldens");
+}

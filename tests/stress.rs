@@ -51,7 +51,9 @@ fn store_buffer_saturation_preserves_ordering() {
     for store_buffer in [1usize, 2, 8] {
         check_against_interp(
             &p,
-            SimConfig::default().with_threads(2).with_store_buffer(store_buffer),
+            SimConfig::default()
+                .with_threads(2)
+                .with_store_buffer(store_buffer),
         );
     }
 }
@@ -157,9 +159,8 @@ fn sync_chain_under_all_policies() {
                     .with_fetch_policy(fetch)
                     .with_commit_policy(commit);
                 let mut sim = Simulator::new(config, &p);
-                sim.run().unwrap_or_else(|e| {
-                    panic!("{fetch:?}/{commit:?}/{threads}: {e}")
-                });
+                sim.run()
+                    .unwrap_or_else(|e| panic!("{fetch:?}/{commit:?}/{threads}: {e}"));
                 let total: u64 = (0..threads as u64).map(|t| t + 1).sum();
                 assert_eq!(
                     sim.mem_word(slot),
@@ -192,7 +193,11 @@ fn deadlocked_program_hits_watchdog_under_every_policy() {
             .with_fetch_policy(fetch)
             .with_max_cycles(50_000);
         let mut sim = Simulator::new(config, &p);
-        assert_eq!(sim.run(), Err(SimError::Watchdog { cycles: 50_000 }), "{fetch:?}");
+        assert_eq!(
+            sim.run(),
+            Err(SimError::Watchdog { cycles: 50_000 }),
+            "{fetch:?}"
+        );
     }
 }
 
@@ -253,9 +258,14 @@ fn six_thread_barrier_does_not_clog_commit_window() {
                 .with_commit_policy(commit)
                 .with_max_cycles(2_000_000);
             let mut sim = Simulator::new(config, &p);
-            sim.run().unwrap_or_else(|e| panic!("{commit:?}/{threads}: {e}"));
+            sim.run()
+                .unwrap_or_else(|e| panic!("{commit:?}/{threads}: {e}"));
             for t in 0..threads as u64 {
-                assert_eq!(sim.mem_word(out + t * 8), threads as u64, "{commit:?}/{threads}");
+                assert_eq!(
+                    sim.mem_word(out + t * 8),
+                    threads as u64,
+                    "{commit:?}/{threads}"
+                );
             }
         }
     }
@@ -305,7 +315,13 @@ fn pathological_cache_geometries_are_sound() {
     );
     let p = w.build(4).unwrap();
     for (size, ways, penalty) in [(64u64, 1usize, 40u64), (128, 2, 3), (256, 4, 100)] {
-        let cache = CacheConfig { size_bytes: size, line_bytes: 32, ways, miss_penalty: penalty, mshrs: 1 };
+        let cache = CacheConfig {
+            size_bytes: size,
+            line_bytes: 32,
+            ways,
+            miss_penalty: penalty,
+            mshrs: 1,
+        };
         let config = SimConfig::default().with_cache(cache);
         let mut sim = Simulator::new(config, &p);
         let stats = sim.run().unwrap();

@@ -11,8 +11,7 @@ fn every_workload_is_correct_on_the_cycle_simulator() {
     for w in suite(Scale::Test) {
         for threads in [1usize, 4] {
             let program = w.build(threads).expect("kernel fits");
-            let mut sim =
-                Simulator::new(SimConfig::default().with_threads(threads), &program);
+            let mut sim = Simulator::new(SimConfig::default().with_threads(threads), &program);
             let stats = sim
                 .run()
                 .unwrap_or_else(|e| panic!("{} × {threads}: {e}", w.name()));
@@ -42,8 +41,10 @@ fn six_threads_run_the_full_suite() {
     for w in suite(Scale::Test) {
         let program = w.build(6).expect("kernel fits the 6-thread window");
         let mut sim = Simulator::new(SimConfig::default().with_threads(6), &program);
-        sim.run().unwrap_or_else(|e| panic!("{} × 6: {e}", w.name()));
-        w.check(sim.memory().words()).unwrap_or_else(|e| panic!("{} × 6: {e}", w.name()));
+        sim.run()
+            .unwrap_or_else(|e| panic!("{} × 6: {e}", w.name()));
+        w.check(sim.memory().words())
+            .unwrap_or_else(|e| panic!("{} × 6: {e}", w.name()));
     }
 }
 
@@ -73,7 +74,10 @@ fn committed_counts_are_microarchitecture_independent() {
     for config in variants {
         let mut sim = Simulator::new(config.clone(), &program);
         let got = sim.run().unwrap().committed_total();
-        assert_eq!(got, baseline, "config {config:?} changed architectural work");
+        assert_eq!(
+            got, baseline,
+            "config {config:?} changed architectural work"
+        );
         w.check(sim.memory().words()).unwrap();
     }
 }
