@@ -7,24 +7,57 @@
 //! Criterion is unavailable): each case runs a warmup iteration, then
 //! enough timed iterations to cover a minimum wall-clock window, and
 //! reports the best iteration plus simulated-cycles-per-second.
+//!
+//! Flags (after `--`):
+//!
+//! * `--smoke` — shrink the measurement window for CI smoke runs; numbers
+//!   are noisy but the harness and every case still execute end to end.
+//! * `--json <path>` — additionally write the results as a flat JSON object
+//!   (`<case>/mcycles_per_s`, `<case>/best_ms`, `<case>/cycles`), e.g. for
+//!   the repo-root `BENCH_sim_throughput.json` trajectory file or a CI
+//!   artifact.
 
 use std::time::{Duration, Instant};
 
 use smt_core::{FetchPolicy, SimConfig, Simulator};
+use smt_experiments::{json, Cell};
+use smt_isa::builder::ProgramBuilder;
+use smt_isa::Program;
 use smt_workloads::{workload, Scale, WorkloadKind};
 
-/// Minimum total measured time per case; iterations repeat until reached.
-const MIN_WINDOW: Duration = Duration::from_millis(500);
-const MAX_ITERS: usize = 20;
+/// Measurement parameters: iterations repeat until `window` of measured
+/// time accumulates, capped at `max_iters`.
+#[derive(Clone, Copy)]
+struct Opts {
+    window: Duration,
+    max_iters: usize,
+}
+
+const FULL: Opts = Opts {
+    window: Duration::from_millis(500),
+    max_iters: 20,
+};
+const SMOKE: Opts = Opts {
+    window: Duration::from_millis(50),
+    max_iters: 3,
+};
+
+/// One finished case, for the optional JSON dump.
+struct CaseResult {
+    name: String,
+    best_ms: f64,
+    cycles: u64,
+    mcps: f64,
+}
 
 /// Times `body` (which returns a simulated-cycle count) and prints a
 /// criterion-style line: best-iteration wall time and simulated throughput.
-fn bench_case(name: &str, mut body: impl FnMut() -> u64) {
+fn bench_case(out: &mut Vec<CaseResult>, opts: Opts, name: &str, mut body: impl FnMut() -> u64) {
     let cycles = body(); // warmup; also captures the workload's cycle count
     let mut best = Duration::MAX;
     let mut spent = Duration::ZERO;
     let mut iters = 0usize;
-    while (spent < MIN_WINDOW || iters < 3) && iters < MAX_ITERS {
+    while (spent < opts.window || iters < 3) && iters < opts.max_iters {
         let start = Instant::now();
         let got = body();
         let elapsed = start.elapsed();
@@ -39,21 +72,94 @@ fn bench_case(name: &str, mut body: impl FnMut() -> u64) {
         "{name:<44} {:>10.3} ms/iter   {cycles:>9} cycles   {mcps:>8.2} Mcycles/s   ({iters} iters)",
         secs * 1e3,
     );
+    out.push(CaseResult {
+        name: name.to_string(),
+        best_ms: secs * 1e3,
+        cycles,
+        mcps,
+    });
 }
 
-fn bench_workload_simulation() {
+fn bench_workload_simulation(out: &mut Vec<CaseResult>, opts: Opts) {
     println!("# simulate: default config, 4 threads, Scale::Test");
     for kind in [WorkloadKind::Matrix, WorkloadKind::Ll7, WorkloadKind::Sieve] {
         let w = workload(kind, Scale::Test);
         let program = w.build(4).expect("kernel fits");
-        bench_case(&format!("simulate/4thr/{}", w.name()), || {
+        bench_case(out, opts, &format!("simulate/4thr/{}", w.name()), || {
             let mut sim = Simulator::new(SimConfig::default(), &program);
             sim.run().expect("runs").cycles
         });
     }
 }
 
-fn bench_fetch_policies() {
+/// A store-to-load forwarding stress kernel: every iteration stores and
+/// immediately reloads the same private slot (forwarding hit), touches
+/// neighboring slots (partial overlap, no forward), and hammers one word
+/// shared by all four threads so a single forwarding-index address carries
+/// stores from every thread at once. An alternating branch keeps a steady
+/// stream of wrong-path stores flowing through squash. This is the hot-path
+/// profile the address-indexed forwarding map exists for.
+fn forwarding_kernel(iters: i64) -> Program {
+    const SLOTS: u64 = 4;
+    const THREADS: u64 = 4;
+    let mut b = ProgramBuilder::new();
+    let region = b.alloc_zeroed(THREADS * SLOTS * 8);
+    let shared = b.alloc_zeroed(8);
+    let [base, shbase, v, w, x, y, seven, i, one, par, zero] = b.regs::<11>();
+    b.slli(base, b.tid_reg(), (SLOTS * 8).trailing_zeros() as i32);
+    let scratch = w;
+    b.li(scratch, region as i64);
+    b.add(base, base, scratch);
+    b.li(shbase, shared as i64);
+    b.li(seven, 7);
+    b.li(i, iters);
+    b.li(one, 1);
+    b.li(zero, 0);
+    b.li(v, 0x1234);
+    let top = b.label();
+    b.bind(top);
+    b.sd(v, base, 0);
+    b.ld(w, base, 0);
+    b.sd(w, base, 8);
+    b.ld(x, base, 16);
+    b.sd(seven, shbase, 0);
+    b.ld(y, shbase, 0);
+    b.add(v, v, w);
+    b.add(v, v, x);
+    b.add(v, v, y);
+    b.sd(v, base, 16);
+    b.ld(x, base, 8);
+    b.add(v, v, x);
+    let skip = b.label();
+    b.andi(par, i, 1);
+    b.beq(par, zero, skip);
+    b.sd(seven, base, 24);
+    b.ld(par, base, 24);
+    b.add(v, v, par);
+    b.bind(skip);
+    b.addi(i, i, -1);
+    b.bge(i, one, top);
+    b.halt();
+    b.build(THREADS as usize)
+        .expect("kernel fits a 4-thread window")
+}
+
+fn bench_store_forwarding(out: &mut Vec<CaseResult>, opts: Opts) {
+    println!("# store_forwarding: store/load-dense kernel, 4 threads");
+    let program = forwarding_kernel(2_000);
+    bench_case(out, opts, "store_forwarding/4thr/dense", || {
+        let mut sim = Simulator::new(SimConfig::default(), &program);
+        sim.run().expect("runs").cycles
+    });
+    // A deep scheduling unit keeps more resident stores per address, the
+    // regime where the old per-load window scan was most expensive.
+    bench_case(out, opts, "store_forwarding/4thr/deep_su", || {
+        let mut sim = Simulator::new(SimConfig::default().with_su_depth(64), &program);
+        sim.run().expect("runs").cycles
+    });
+}
+
+fn bench_fetch_policies(out: &mut Vec<CaseResult>, opts: Opts) {
     println!("# fetch_policy_overhead: LL1, 4 threads");
     let w = workload(WorkloadKind::Ll1, Scale::Test);
     let program = w.build(4).expect("kernel fits");
@@ -62,26 +168,64 @@ fn bench_fetch_policies() {
         FetchPolicy::MaskedRoundRobin,
         FetchPolicy::ConditionalSwitch,
     ] {
-        bench_case(&format!("fetch_policy_overhead/{policy:?}"), || {
-            let mut sim = Simulator::new(SimConfig::default().with_fetch_policy(policy), &program);
-            sim.run().expect("runs").cycles
-        });
+        bench_case(
+            out,
+            opts,
+            &format!("fetch_policy_overhead/{policy:?}"),
+            || {
+                let mut sim =
+                    Simulator::new(SimConfig::default().with_fetch_policy(policy), &program);
+                sim.run().expect("runs").cycles
+            },
+        );
     }
 }
 
-fn bench_interpreter() {
+fn bench_interpreter(out: &mut Vec<CaseResult>, opts: Opts) {
     println!("# functional interpreter");
     let w = workload(WorkloadKind::Matrix, Scale::Test);
     let program = w.build(4).expect("kernel fits");
-    bench_case("functional_interpreter/matrix", || {
+    bench_case(out, opts, "functional_interpreter/matrix", || {
         let mut interp = smt_isa::interp::Interp::new(&program, 4);
         interp.run().expect("runs").steps
     });
 }
 
 fn main() {
-    // `cargo bench` passes `--bench` (and possibly filters); ignore them.
-    bench_workload_simulation();
-    bench_fetch_policies();
-    bench_interpreter();
+    // `cargo bench` passes `--bench` (and possibly filters); pick out only
+    // the flags this harness understands.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let json_path = argv
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+    let opts = if smoke { SMOKE } else { FULL };
+
+    let mut results = Vec::new();
+    bench_workload_simulation(&mut results, opts);
+    bench_store_forwarding(&mut results, opts);
+    bench_fetch_policies(&mut results, opts);
+    bench_interpreter(&mut results, opts);
+
+    if let Some(path) = json_path {
+        let mut fields: Vec<(String, Cell)> = Vec::new();
+        fields.push((
+            "mode".to_string(),
+            Cell::Text(if smoke { "smoke" } else { "full" }.to_string()),
+        ));
+        for r in &results {
+            fields.push((format!("{}/mcycles_per_s", r.name), Cell::Float(r.mcps)));
+            fields.push((format!("{}/best_ms", r.name), Cell::Float(r.best_ms)));
+            fields.push((format!("{}/cycles", r.name), Cell::Int(r.cycles)));
+        }
+        let borrowed: Vec<(&str, Cell)> = fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        std::fs::write(&path, json::object_to_json(&borrowed))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("# wrote {path}");
+    }
 }

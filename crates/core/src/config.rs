@@ -382,8 +382,10 @@ mod tests {
             .with_store_buffer(0)
             .validate()
             .is_err());
-        let mut cfg = SimConfig::default();
-        cfg.btb_entries = 300;
+        let cfg = SimConfig {
+            btb_entries: 300,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -8,7 +8,7 @@
 //! predicted-taken control transfer ends the block and redirects the
 //! thread's PC speculatively.
 
-use smt_isa::{Instruction, Opcode, Program};
+use smt_isa::{DecodedInsn, Opcode, Program};
 use smt_uarch::{BranchPredictor, Tag};
 
 use crate::config::FetchPolicy;
@@ -18,8 +18,8 @@ use crate::config::FetchPolicy;
 pub struct FetchedInsn {
     /// Instruction index.
     pub pc: usize,
-    /// The instruction.
-    pub insn: Instruction,
+    /// The predecoded instruction.
+    pub insn: DecodedInsn,
     /// Fetch-time prediction: taken?
     pub predicted_taken: bool,
     /// Fetch-time predicted target (valid when `predicted_taken`).
@@ -210,7 +210,7 @@ impl InstructionUnit {
             pc + self.width
         };
         while pc < block_end {
-            let Some(&insn) = program.fetch(pc) else {
+            let Some(&insn) = program.fetch_decoded(pc) else {
                 break;
             };
             let mut fetched = FetchedInsn {
@@ -226,7 +226,7 @@ impl InstructionUnit {
                     pc += 1;
                     break;
                 }
-                op if op.is_control() => {
+                _ if insn.is_control() => {
                     let p = predictor.predict(pc);
                     fetched.predicted_taken = p.taken;
                     fetched.predicted_target = p.target;

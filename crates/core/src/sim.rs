@@ -9,7 +9,7 @@
 //! See the crate docs for the architecture overview and DESIGN.md for the
 //! paper mapping.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use smt_isa::semantics::{alu_result, branch_taken, effective_addr};
 use smt_isa::{window_size, FuClass, Opcode, Program, Reg};
@@ -18,9 +18,20 @@ use smt_uarch::{BranchPredictor, FuPool, TagAllocator};
 
 use crate::config::{FetchPolicy, RenamingMode, SimConfig};
 use crate::error::SimError;
+use crate::fasthash::MixState;
 use crate::fetch::{FetchedBlock, FetchedInsn, InstructionUnit};
 use crate::stats::{FuUsage, SimStats};
 use crate::su::{EntryState, Lookup, Operand, SchedulingUnit, SuEntry};
+
+/// One resident completed store in the forwarding index: its stable
+/// identity `(block id, entry index)`, owning thread, and data.
+#[derive(Clone, Copy, Debug)]
+struct FwdStore {
+    bid: u64,
+    ei: usize,
+    tid: usize,
+    result: u64,
+}
 
 /// The simulator. Owns all machine state for one run of one program.
 ///
@@ -64,9 +75,14 @@ pub struct Simulator<'p> {
     /// window scan: an access at `(bid, ei)` is blocked iff the thread's
     /// oldest outstanding store/sync sits at a strictly older position.
     memsync: Vec<VecDeque<(u64, usize)>>,
-    /// Resident completed `Sd` entries (any thread). Store-to-load
-    /// forwarding only needs to scan the window while this is non-zero.
-    resident_done_stores: usize,
+    /// Address-indexed resident completed non-faulted `Sd` entries (any
+    /// thread), each list sorted ascending by `(block id, entry index)` —
+    /// i.e. by age, since block ids are monotone along the window. A load
+    /// walks one address's list youngest-first instead of scanning the
+    /// whole window. Entries join at writeback and leave at commit or
+    /// squash; an address whose stores all left keeps its empty list so
+    /// steady state reuses the allocation.
+    fwd: HashMap<u64, Vec<FwdStore>, MixState>,
     stats: SimStats,
 }
 
@@ -93,8 +109,8 @@ impl<'p> Simulator<'p> {
     pub fn try_new(config: SimConfig, program: &'p Program) -> Result<Self, SimError> {
         config.validate()?;
         let window = window_size(config.threads);
-        for (pc, insn) in program.text().iter().enumerate() {
-            let regs = [insn.dest(), insn.sources()[0], insn.sources()[1]];
+        for (pc, insn) in program.decoded().iter().enumerate() {
+            let regs = [insn.dest, insn.srcs[0], insn.srcs[1]];
             for reg in regs.into_iter().flatten() {
                 if reg.index() >= window {
                     return Err(SimError::Program(format!(
@@ -131,7 +147,7 @@ impl<'p> Simulator<'p> {
             sb: StoreBuffer::new(config.store_buffer),
             fetch_buffer: None,
             memsync: vec![VecDeque::with_capacity(config.su_depth); config.threads],
-            resident_done_stores: 0,
+            fwd: HashMap::with_capacity_and_hasher(config.su_depth, MixState::default()),
             stats: SimStats {
                 committed: vec![0; config.threads],
                 issue_histogram: vec![0; config.issue_width + 1],
@@ -271,8 +287,17 @@ impl<'p> Simulator<'p> {
             // Faults must be precise at block granularity: if any entry in
             // the committing block faulted, raise the (oldest) fault before
             // a single architectural side effect — no register writes, no
-            // store buffering, no predictor updates, no retirement.
-            if let Some(e) = self.su.block(i).entries.iter().find(|e| e.fault.is_some()) {
+            // store buffering, no predictor updates, no retirement. The
+            // block-level flag makes the common (fault-free) case a single
+            // test; the entry scan runs only on the way to aborting.
+            if self.su.block(i).has_fault() {
+                let e = self
+                    .su
+                    .block(i)
+                    .entries
+                    .iter()
+                    .find(|e| e.fault.is_some())
+                    .expect("fault flag implies a faulted entry");
                 let err = e.fault.expect("find predicate guarantees a fault");
                 return Err(SimError::Mem {
                     err,
@@ -282,8 +307,9 @@ impl<'p> Simulator<'p> {
             }
             if self.buffer_block_stores(i) {
                 let mut block = self.su.remove_block(i);
-                for e in block.entries.drain(..) {
-                    if let Some(rd) = e.insn.dest() {
+                let bid = block.id;
+                for (ei, e) in block.entries.drain(..).enumerate() {
+                    if let Some(rd) = e.insn.dest {
                         self.regfile[e.tid * self.window + rd.index()] = e.result;
                     }
                     let mut architectural = true;
@@ -308,7 +334,17 @@ impl<'p> Simulator<'p> {
                         self.stats.committed[e.tid] += 1;
                     }
                     if e.insn.op == Opcode::Sd {
-                        self.resident_done_stores -= 1;
+                        // A committing block is fault-free, so every one of
+                        // its stores is in the forwarding index.
+                        let list = self
+                            .fwd
+                            .get_mut(&e.mem_addr)
+                            .expect("committing store is indexed");
+                        let pos = list
+                            .iter()
+                            .position(|f| (f.bid, f.ei) == (bid, ei))
+                            .expect("committing store is indexed");
+                        list.remove(pos);
                     }
                     self.tags.free(e.tag);
                 }
@@ -393,7 +429,7 @@ impl<'p> Simulator<'p> {
             let e = &self.su.block(bi).entries[ei];
             (e.tag, e.tid, e.pc, e.insn, e.result)
         };
-        if matches!(insn.op.fu_class(), FuClass::Store | FuClass::Sync) {
+        if insn.is_memsync() {
             let bid = self.su.block(bi).id;
             let q = &mut self.memsync[tid];
             let pos = q
@@ -403,9 +439,26 @@ impl<'p> Simulator<'p> {
             q.remove(pos);
         }
         if insn.op == Opcode::Sd {
-            self.resident_done_stores += 1;
+            // A completed non-faulted store becomes a forwarding source.
+            // Sorted insertion by the stable (block id, entry index) key:
+            // writeback order is not age order across threads.
+            let e = &self.su.block(bi).entries[ei];
+            if e.fault.is_none() {
+                let key = (self.su.block(bi).id, ei);
+                let list = self.fwd.entry(e.mem_addr).or_default();
+                let pos = list.partition_point(|f| (f.bid, f.ei) < key);
+                list.insert(
+                    pos,
+                    FwdStore {
+                        bid: key.0,
+                        ei,
+                        tid,
+                        result,
+                    },
+                );
+            }
         }
-        if insn.dest().is_some() {
+        if insn.dest.is_some() {
             self.su.broadcast(tag, result, now);
         }
         match insn.op {
@@ -445,22 +498,26 @@ impl<'p> Simulator<'p> {
     /// store buffer at commit, so nothing speculative can be resident
     /// there.)
     fn squash_wrong_path(&mut self, tid: usize, bi: usize, ei: usize, correct_pc: usize) {
+        let branch_key = (self.su.block(bi).id, ei);
         let removed = self.su.squash_after(tid, bi, ei);
         self.stats.squashed += removed.len() as u64;
         let mut squashed_memsync = 0;
-        let mut squashed_done_stores = 0;
         for r in removed {
             self.tags.free(r.tag);
             // Done store/sync entries already left the ordering queue when
             // they completed; only outstanding ones are still tracked.
-            if !r.is_done() && matches!(r.insn.op.fu_class(), FuClass::Store | FuClass::Sync) {
+            if !r.is_done() && r.insn.is_memsync() {
                 squashed_memsync += 1;
             }
-            if r.insn.op == Opcode::Sd && r.is_done() {
-                squashed_done_stores += 1;
+            if r.insn.op == Opcode::Sd && r.is_done() && r.fault.is_none() {
+                // The squashed entries are exactly this thread's entries
+                // younger than the branch, so the matching forwarding
+                // sources are those with the same thread and a younger key.
+                if let Some(list) = self.fwd.get_mut(&r.mem_addr) {
+                    list.retain(|f| f.tid != tid || (f.bid, f.ei) <= branch_key);
+                }
             }
         }
-        self.resident_done_stores -= squashed_done_stores;
         // Squashed entries are the thread's youngest, so its squashed
         // store/sync positions are exactly the back of the ordering queue.
         for _ in 0..squashed_memsync {
@@ -518,23 +575,24 @@ impl<'p> Simulator<'p> {
             };
             (e.insn, e.tid, a, b)
         };
-        let class = insn.op.fu_class();
+        let class = insn.fu;
         match class {
             FuClass::Load => {
                 // Restricted load policy: wait until every older same-thread
                 // store has its address (is in the store buffer) and no
                 // older sync is pending. The per-thread ordering queue holds
                 // outstanding store/sync positions oldest-first.
+                let bid = self.su.block(bi).id;
                 let blocked = self.memsync[tid]
                     .front()
-                    .is_some_and(|&front| front < (self.su.block(bi).id, ei));
+                    .is_some_and(|&front| front < (bid, ei));
                 if blocked || !self.fu.can_issue(class, now) {
                     return Ok(false);
                 }
                 let addr = effective_addr(a, insn.imm);
                 let (result, fault, data_ready) = match self.mem.read(addr) {
                     Err(err) => (0, Some(err), now), // speculative fault: defer
-                    Ok(mem_value) => match self.forward_value(tid, bi, ei, addr) {
+                    Ok(mem_value) => match self.forward_value(tid, bid, ei, addr) {
                         // Forwarded data bypasses the cache entirely.
                         Some(v) => (v, None, now),
                         None => match self.cache.access(addr, now) {
@@ -551,10 +609,12 @@ impl<'p> Simulator<'p> {
                     .try_issue(class, now)
                     .expect("can_issue checked")
                     .max(data_ready);
-                let e = &mut self.su.block_mut(bi).entries[ei];
-                e.result = result;
-                e.fault = fault;
-                e.mem_addr = addr;
+                let block = self.su.block_mut(bi);
+                block.entries[ei].result = result;
+                block.entries[ei].mem_addr = addr;
+                if let Some(err) = fault {
+                    block.set_fault(ei, err);
+                }
                 self.su.mark_executing(bi, ei, done_at);
                 Ok(true)
             }
@@ -571,10 +631,12 @@ impl<'p> Simulator<'p> {
                 let addr = effective_addr(a, insn.imm);
                 let fault = self.mem.read(addr).err();
                 let done_at = self.fu.try_issue(class, now).expect("can_issue checked");
-                let e = &mut self.su.block_mut(bi).entries[ei];
-                e.fault = fault;
-                e.mem_addr = addr;
-                e.result = b; // store data, held until commit pushes it out
+                let block = self.su.block_mut(bi);
+                block.entries[ei].mem_addr = addr;
+                block.entries[ei].result = b; // store data, held until commit
+                if let Some(err) = fault {
+                    block.set_fault(ei, err);
+                }
                 self.su.mark_executing(bi, ei, done_at);
                 Ok(true)
             }
@@ -646,40 +708,42 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    /// Store-to-load forwarding for a load at `(lbi, lei)`: the youngest
-    /// matching store among — in search order — the load's own thread's
-    /// *older* completed stores, other threads' completed **non-speculative**
-    /// stores (no unresolved older control transfer of their thread), and
-    /// the store buffer of committed stores. `None` falls through to the
-    /// cache/memory.
-    fn forward_value(&self, tid: usize, lbi: usize, lei: usize, addr: u64) -> Option<u64> {
-        if self.resident_done_stores == 0 {
-            // No completed store resident anywhere in the window: the only
+    /// Store-to-load forwarding for a load at `(lbid, lei)` (stable block
+    /// id + entry index): the youngest matching store among — in search
+    /// order — the load's own thread's *older* completed stores, other
+    /// threads' completed **non-speculative** stores (no unresolved older
+    /// control transfer of their thread), and the store buffer of committed
+    /// stores. `None` falls through to the cache/memory.
+    ///
+    /// The forwarding index holds exactly the resident completed non-faulted
+    /// stores, per address and age-sorted, so the youngest-first window walk
+    /// of the reference model collapses to one list traversal. Block ids are
+    /// monotone along the window, so `(block id, entry index)` ordering *is*
+    /// window-position ordering.
+    fn forward_value(&self, tid: usize, lbid: u64, lei: usize, addr: u64) -> Option<u64> {
+        let list = match self.fwd.get(&addr) {
+            Some(list) if !list.is_empty() => list,
+            // No completed store resident at this address: the only
             // possible forwarding source is the committed store buffer.
-            return self.sb.forward(addr);
-        }
-        for (bi, block) in self.su.blocks().enumerate().rev() {
-            for (ei, e) in block.entries.iter().enumerate().rev() {
-                if e.insn.op != Opcode::Sd
-                    || !e.is_done()
-                    || e.fault.is_some()
-                    || e.mem_addr != addr
-                {
-                    continue;
+            _ => return self.sb.forward(addr),
+        };
+        for f in list.iter().rev() {
+            if f.tid == tid {
+                if (f.bid, f.ei) < (lbid, lei) {
+                    return Some(f.result);
                 }
-                if e.tid == tid {
-                    if (bi, ei) < (lbi, lei) {
-                        return Some(e.result);
-                    }
-                    // A younger same-thread store cannot serve this load.
-                    continue;
-                }
-                let speculative = self
-                    .su
-                    .any_older(e.tid, bi, ei, |o| o.insn.op.is_control() && !o.is_done());
-                if !speculative {
-                    return Some(e.result);
-                }
+                // A younger same-thread store cannot serve this load.
+                continue;
+            }
+            let sbi = self
+                .su
+                .position_of(f.bid)
+                .expect("forwarding index names resident blocks");
+            let speculative = self
+                .su
+                .any_older(f.tid, sbi, f.ei, |o| o.insn.is_control() && !o.is_done());
+            if !speculative {
+                return Some(f.result);
             }
         }
         self.sb.forward(addr)
@@ -709,12 +773,12 @@ impl<'p> Simulator<'p> {
             // scheduling unit, then the committed register file.
             let mut ops = [Operand::Unused, Operand::Unused];
             let mut scoreboard_stall = false;
-            for (k, src) in f.insn.sources().into_iter().enumerate() {
+            for (k, src) in f.insn.srcs.into_iter().enumerate() {
                 let Some(reg) = src else { continue };
                 let in_group = entries
                     .iter()
                     .rev()
-                    .find(|p| p.insn.dest() == Some(reg))
+                    .find(|p| p.insn.dest == Some(reg))
                     .map(|p| Lookup::Pending(p.tag));
                 let lookup = in_group.unwrap_or_else(|| self.su.lookup(tid, reg));
                 ops[k] = match lookup {
@@ -759,7 +823,7 @@ impl<'p> Simulator<'p> {
                     if !fetch_followed {
                         self.iu.set_pc(tid, target);
                     }
-                    if cswitch && f.insn.op.triggers_cswitch() {
+                    if cswitch && f.insn.triggers_cswitch() {
                         self.iu.signal_switch(tid);
                     }
                     // Anything after the jump in this group is dead. If a
@@ -783,8 +847,8 @@ impl<'p> Simulator<'p> {
                     entries.push(entry);
                     break;
                 }
-                op => {
-                    if cswitch && op.triggers_cswitch() {
+                _ => {
+                    if cswitch && f.insn.triggers_cswitch() {
                         self.iu.signal_switch(tid);
                     }
                     entries.push(entry);
@@ -802,7 +866,7 @@ impl<'p> Simulator<'p> {
         let bid = self.su.push_block(tid, entries);
         let bi = self.su.num_blocks() - 1;
         for (ei, e) in self.su.block(bi).entries.iter().enumerate() {
-            if matches!(e.insn.op.fu_class(), FuClass::Store | FuClass::Sync) {
+            if e.insn.is_memsync() {
                 self.memsync[tid].push_back((bid, ei));
             }
         }

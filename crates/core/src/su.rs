@@ -44,7 +44,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use smt_isa::{Instruction, REG_FILE_SIZE};
+use smt_isa::{DecodedInsn, REG_FILE_SIZE};
 use smt_uarch::Tag;
 
 use crate::config::CommitPolicy;
@@ -86,6 +86,9 @@ impl Operand {
     }
 }
 
+/// If no operand is still waiting on a producer, the cycle from which the
+/// whole operand set is available (the latest `since`; `Unused` reads as
+/// always-available). `None` while any operand is unresolved.
 /// Execution state of a scheduling-unit entry.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EntryState {
@@ -109,8 +112,8 @@ pub struct SuEntry {
     pub tid: usize,
     /// Instruction index (for predictor updates and debugging).
     pub pc: usize,
-    /// The decoded instruction.
-    pub insn: Instruction,
+    /// The predecoded instruction.
+    pub insn: DecodedInsn,
     /// Renamed source operands.
     pub ops: [Operand; 2],
     /// Pipeline state.
@@ -146,7 +149,7 @@ pub struct SuEntry {
 impl SuEntry {
     /// A fresh entry in the `Waiting` state.
     #[must_use]
-    pub fn new(tag: Tag, tid: usize, pc: usize, insn: Instruction, ops: [Operand; 2]) -> Self {
+    pub fn new(tag: Tag, tid: usize, pc: usize, insn: DecodedInsn, ops: [Operand; 2]) -> Self {
         SuEntry {
             tag,
             tid,
@@ -195,6 +198,10 @@ pub struct Block {
     /// How many of `entries` are still `Waiting` (unissued) — lets the
     /// issue stage skip fully-issued blocks without touching their entries.
     pending: usize,
+    /// Whether any entry carries a deferred fault — maintained by
+    /// [`Block::set_fault`] and recomputed on partial squash, so the commit
+    /// stage's precise-fault check is a flag test, not an entry scan.
+    faulted: bool,
 }
 
 impl Block {
@@ -202,6 +209,20 @@ impl Block {
     #[must_use]
     pub fn has_unissued(&self) -> bool {
         self.pending > 0
+    }
+
+    /// Whether any entry carries a deferred fault.
+    #[must_use]
+    pub fn has_fault(&self) -> bool {
+        self.faulted
+    }
+
+    /// Records a deferred fault on entry `ei`, keeping the block-level flag
+    /// coherent. All fault writes must go through here (payload fields like
+    /// results and addresses may still be edited directly).
+    pub fn set_fault(&mut self, ei: usize, err: smt_mem::MemError) {
+        self.entries[ei].fault = Some(err);
+        self.faulted = true;
     }
 }
 
@@ -385,15 +406,26 @@ impl SchedulingUnit {
     /// hits) land near the young end, so a reverse linear scan beats a
     /// binary search here; ids are monotone, so the scan can stop early.
     fn pos_of(&self, bid: u64) -> Option<usize> {
-        for (i, b) in self.blocks.iter().enumerate().rev() {
-            if b.id == bid {
+        let mut i = self.blocks.len();
+        while i > 0 {
+            i -= 1;
+            let id = self.blocks[i].id;
+            if id == bid {
                 return Some(i);
             }
-            if b.id < bid {
+            if id < bid {
                 return None;
             }
         }
         None
+    }
+
+    /// Position of the block with id `bid`, if still resident — for callers
+    /// holding stable `(block id, entry index)` references (e.g. the
+    /// simulator's store-forwarding index).
+    #[must_use]
+    pub fn position_of(&self, bid: u64) -> Option<usize> {
+        self.pos_of(bid)
     }
 
     /// Mutable producer list for `(tid, reg)`, growing the flat table on
@@ -434,9 +466,11 @@ impl SchedulingUnit {
         self.next_block_id += 1;
         let mut done = 0;
         let mut pending = 0;
+        let mut faulted = false;
         for (ei, e) in entries.iter().enumerate() {
-            let dest = e.insn.dest();
+            let dest = e.insn.dest;
             let state = e.state;
+            faulted |= e.fault.is_some();
             for (k, op) in e.ops.iter().enumerate() {
                 if let Operand::Waiting { tag } = op {
                     self.waiters.entry(tag.raw()).or_default().push((id, ei, k));
@@ -460,6 +494,7 @@ impl SchedulingUnit {
             entries,
             done,
             pending,
+            faulted,
         });
         id
     }
@@ -500,7 +535,7 @@ impl SchedulingUnit {
             .pos_of(bid)
             .expect("producer index only names resident blocks");
         let e = &self.blocks[bi].entries[ei];
-        debug_assert_eq!(e.insn.dest(), Some(reg));
+        debug_assert_eq!(e.insn.dest, Some(reg));
         if e.is_done() {
             Lookup::Available(e.result)
         } else {
@@ -519,7 +554,8 @@ impl SchedulingUnit {
             let bi = self
                 .pos_of(bid)
                 .expect("waiter slots are deregistered on removal");
-            let op = &mut self.blocks[bi].entries[ei].ops[k];
+            let e = &mut self.blocks[bi].entries[ei];
+            let op = &mut e.ops[k];
             debug_assert!(matches!(op, Operand::Waiting { tag: t } if *t == tag));
             *op = Operand::Ready { value, since: now };
         }
@@ -619,7 +655,7 @@ impl SchedulingUnit {
                 }
             }
         }
-        if let Some(reg) = e.insn.dest() {
+        if let Some(reg) = e.insn.dest {
             let list = &mut producers[e.tid * REG_FILE_SIZE + reg.index()];
             let pos = list
                 .iter()
@@ -656,6 +692,11 @@ impl SchedulingUnit {
         self.blocks[bi].pending -= pending_removed;
         self.squash_buf
             .extend(self.blocks[bi].entries.drain(ei + 1..));
+        // The fault flag may have named a squashed entry; recompute over the
+        // surviving few entries.
+        if self.blocks[bi].faulted {
+            self.blocks[bi].faulted = self.blocks[bi].entries.iter().any(|e| e.fault.is_some());
+        }
         // Younger blocks of the same thread (whole blocks, by construction).
         let mut i = bi + 1;
         while i < self.blocks.len() {
@@ -731,7 +772,7 @@ impl SchedulingUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_isa::{FuClass, Opcode, Reg};
+    use smt_isa::{FuClass, Instruction, Opcode, Reg};
     use smt_uarch::TagAllocator;
 
     fn entry(tags: &mut TagAllocator, tid: usize, dest: u8) -> SuEntry {
@@ -740,7 +781,7 @@ mod tests {
             tags.alloc().unwrap(),
             tid,
             0,
-            insn,
+            DecodedInsn::new(insn),
             [Operand::Ready { value: 0, since: 0 }, Operand::Unused],
         )
     }
@@ -956,18 +997,18 @@ mod tests {
             tags.alloc().unwrap(),
             0,
             0,
-            Instruction::store(Reg::new(3), Reg::new(2), 0),
+            DecodedInsn::new(Instruction::store(Reg::new(3), Reg::new(2), 0)),
             [Operand::Unused, Operand::Unused],
         );
         su.push_block(0, vec![store]);
         su.push_block(1, vec![entry(&mut tags, 1, 3)]);
         su.push_block(0, vec![entry(&mut tags, 0, 4)]);
         // From thread 0's youngest entry, an older same-thread store exists.
-        assert!(su.any_older(0, 2, 0, |e| e.insn.op.fu_class() == FuClass::Store));
+        assert!(su.any_older(0, 2, 0, |e| e.insn.fu == FuClass::Store));
         // From thread 1's entry, no older thread-1 store exists.
-        assert!(!su.any_older(1, 1, 0, |e| e.insn.op.fu_class() == FuClass::Store));
+        assert!(!su.any_older(1, 1, 0, |e| e.insn.fu == FuClass::Store));
         // The store cannot see itself.
-        assert!(!su.any_older(0, 0, 0, |e| e.insn.op.fu_class() == FuClass::Store));
+        assert!(!su.any_older(0, 0, 0, |e| e.insn.fu == FuClass::Store));
     }
 
     #[test]
@@ -980,6 +1021,27 @@ mod tests {
         su.mark_executing(0, 0, 1);
         su.mark_done(0, 0);
         assert_eq!(su.bottom_block_status(), Some((2, false)));
+    }
+
+    #[test]
+    fn fault_flag_tracks_set_and_partial_squash() {
+        let mut tags = TagAllocator::new(64);
+        let mut su = SchedulingUnit::new(8, 4);
+        su.push_block(0, vec![entry(&mut tags, 0, 3), entry(&mut tags, 0, 4)]);
+        assert!(!su.block(0).has_fault());
+        su.block_mut(0)
+            .set_fault(1, smt_mem::MemError::Unaligned { addr: 3 });
+        assert!(su.block(0).has_fault());
+        // Squashing away the faulted entry must clear the flag …
+        su.squash_after(0, 0, 0);
+        assert!(!su.block(0).has_fault());
+        // … and a squash that keeps the faulted entry must preserve it.
+        su.block_mut(0)
+            .set_fault(0, smt_mem::MemError::Unaligned { addr: 3 });
+        su.push_block(0, vec![entry(&mut tags, 0, 5)]);
+        su.squash_after(0, 0, 0);
+        assert!(su.block(0).has_fault());
+        assert_eq!(su.num_blocks(), 1);
     }
 
     #[test]

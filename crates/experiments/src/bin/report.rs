@@ -110,7 +110,7 @@ fn main() {
     if let Some(path) = perf_path {
         let perf = json::object_to_json(&[
             ("scale", Cell::Text(format!("{scale:?}"))),
-            ("serial", Cell::Text(serial.to_string())),
+            ("serial", Cell::Bool(serial)),
             ("workers", Cell::Int(workers as u64)),
             ("simulations", Cell::Int(runner.runs())),
             ("simulated_cycles", Cell::Int(cycles)),

@@ -29,6 +29,8 @@ pub enum Cell {
     Float(f64),
     /// Labels.
     Text(String),
+    /// Flags (serialized as JSON `true`/`false`, not quoted strings).
+    Bool(bool),
 }
 
 impl fmt::Display for Cell {
@@ -37,6 +39,7 @@ impl fmt::Display for Cell {
             Cell::Int(v) => write!(f, "{v}"),
             Cell::Float(v) => write!(f, "{v:.2}"),
             Cell::Text(s) => f.write_str(s),
+            Cell::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
         }
     }
 }
@@ -56,6 +59,12 @@ impl From<f64> for Cell {
 impl From<&str> for Cell {
     fn from(v: &str) -> Self {
         Cell::Text(v.to_string())
+    }
+}
+
+impl From<bool> for Cell {
+    fn from(v: bool) -> Self {
+        Cell::Bool(v)
     }
 }
 

@@ -24,9 +24,10 @@
 //!    deterministic), only faster.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 use smt_core::{CommitPolicy, FetchPolicy, SimConfig, SimStats, Simulator};
-use smt_isa::FuClass;
+use smt_isa::{FuClass, Program};
 use smt_mem::CacheKind;
 use smt_uarch::FuConfig;
 use smt_workloads::{workload, Scale, WorkloadKind};
@@ -120,6 +121,38 @@ pub enum Job {
     Config(WorkloadKind, Box<SimConfig>),
 }
 
+/// Memo of built (and predecoded) kernels keyed `(kind, threads)`. The
+/// paper's sweeps revisit the same kernel at the same thread count under
+/// hundreds of machine configurations; the program text depends only on
+/// `(kind, threads)` at a fixed scale, so each is built once and shared —
+/// across the serial paths and the prewarm workers alike. One cache serves
+/// exactly one [`Runner`] (and hence one scale); the scale is deliberately
+/// not part of the key.
+#[derive(Default, Debug)]
+struct ProgramCache {
+    built: Mutex<HashMap<(WorkloadKind, usize), Arc<Program>>>,
+}
+
+impl ProgramCache {
+    /// The built kernel for `(kind, threads)`, building and caching it on
+    /// first demand.
+    fn get(&self, scale: Scale, kind: WorkloadKind, threads: usize) -> Arc<Program> {
+        let mut built = self.built.lock().expect("program cache poisoned");
+        Arc::clone(built.entry((kind, threads)).or_insert_with(|| {
+            Arc::new(
+                workload(kind, scale)
+                    .build(threads)
+                    .expect("kernel fits the partition"),
+            )
+        }))
+    }
+
+    /// Number of distinct kernels built so far.
+    fn len(&self) -> usize {
+        self.built.lock().expect("program cache poisoned").len()
+    }
+}
+
 /// Builds, runs, and verifies one simulation. Shared by the serial paths
 /// and the prewarm workers.
 ///
@@ -127,9 +160,14 @@ pub enum Job {
 ///
 /// Panics if the simulation errors or its architectural result fails the
 /// workload checker — a figure must never be built from a broken run.
-fn execute(scale: Scale, kind: WorkloadKind, config: &SimConfig) -> RunOutcome {
+fn execute(
+    scale: Scale,
+    kind: WorkloadKind,
+    config: &SimConfig,
+    programs: &ProgramCache,
+) -> RunOutcome {
     let w = workload(kind, scale);
-    let program = w.build(config.threads).expect("kernel fits the partition");
+    let program = programs.get(scale, kind, config.threads);
     let mut sim = Simulator::new(config.clone(), &program);
     let stats = sim
         .run()
@@ -162,6 +200,7 @@ pub struct Runner {
     scale: Scale,
     cache: HashMap<RunKey, RunOutcome>,
     config_cache: HashMap<(WorkloadKind, SimConfig), RunOutcome>,
+    programs: ProgramCache,
     runs: u64,
     sim_cycles: u64,
     recording: Option<Vec<Job>>,
@@ -175,6 +214,7 @@ impl Runner {
             scale,
             cache: HashMap::new(),
             config_cache: HashMap::new(),
+            programs: ProgramCache::default(),
             runs: 0,
             sim_cycles: 0,
             recording: None,
@@ -218,6 +258,13 @@ impl Runner {
         self.sim_cycles
     }
 
+    /// Number of distinct `(kind, threads)` kernels built so far — every
+    /// other run at the same point reuses the shared program.
+    #[must_use]
+    pub fn programs_built(&self) -> usize {
+        self.programs.len()
+    }
+
     /// Runs the deduplicated `jobs` across `workers` scoped threads and
     /// merges the verified outcomes into the memo caches. Jobs already
     /// cached are skipped. Subsequent [`Runner::run`]/[`Runner::run_config`]
@@ -244,6 +291,7 @@ impl Runner {
         }
         let workers = workers.clamp(1, pending.len());
         let scale = self.scale;
+        let programs = &self.programs;
         // Shard round-robin: neighbouring jobs (same figure, similar cost)
         // spread across workers, which balances better than contiguous
         // chunks when one sweep's simulations dwarf another's.
@@ -257,8 +305,10 @@ impl Runner {
                             .into_iter()
                             .map(|job| {
                                 let outcome = match job {
-                                    Job::Key(key) => execute(scale, key.kind, &key.to_config()),
-                                    Job::Config(kind, cfg) => execute(scale, *kind, cfg),
+                                    Job::Key(key) => {
+                                        execute(scale, key.kind, &key.to_config(), programs)
+                                    }
+                                    Job::Config(kind, cfg) => execute(scale, *kind, cfg, programs),
                                 };
                                 (job, outcome)
                             })
@@ -300,7 +350,7 @@ impl Runner {
         if let Some(hit) = self.cache.get(&key) {
             return hit.clone();
         }
-        let outcome = execute(self.scale, key.kind, &key.to_config());
+        let outcome = execute(self.scale, key.kind, &key.to_config(), &self.programs);
         self.runs += 1;
         self.sim_cycles += outcome.cycles;
         self.cache.insert(key, outcome.clone());
@@ -334,7 +384,7 @@ impl Runner {
         if let Some(hit) = self.config_cache.get(&(kind, config.clone())) {
             return hit.clone();
         }
-        let outcome = execute(self.scale, kind, &config);
+        let outcome = execute(self.scale, kind, &config, &self.programs);
         self.runs += 1;
         self.sim_cycles += outcome.cycles;
         self.config_cache.insert((kind, config), outcome.clone());
@@ -354,6 +404,27 @@ mod tests {
         let again = r.run(key);
         assert_eq!(first.cycles, again.cycles);
         assert_eq!(r.runs(), 1);
+    }
+
+    #[test]
+    fn programs_are_built_once_per_kind_and_thread_count() {
+        let mut r = Runner::new(Scale::Test);
+        let key = RunKey::default_point(WorkloadKind::Sieve);
+        let masked = RunKey {
+            fetch: FetchPolicy::MaskedRoundRobin,
+            ..key
+        };
+        let base = RunKey::base_case(WorkloadKind::Sieve);
+        let a = r.run(key);
+        let b = r.run(masked);
+        let c = r.run(base);
+        assert_eq!(r.runs(), 3);
+        assert_eq!(
+            r.programs_built(),
+            2,
+            "two sweep points at 4 threads share one built kernel"
+        );
+        assert!(a.cycles > 0 && b.cycles > 0 && c.cycles > 0);
     }
 
     #[test]

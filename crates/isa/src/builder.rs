@@ -631,7 +631,7 @@ mod tests {
             0x0005_dead_beef,
             i64::MAX,
             i64::MIN,
-            from_f64(3.14159) as i64,
+            from_f64(1.234567) as i64,
         ];
         let mut b = ProgramBuilder::new();
         let out = b.alloc_zeroed(values.len() as u64 * WORD_BYTES);

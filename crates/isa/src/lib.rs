@@ -49,12 +49,14 @@ pub mod encode;
 pub mod insn;
 pub mod interp;
 pub mod op;
+pub mod predecode;
 pub mod program;
 pub mod reg;
 pub mod semantics;
 
 pub use insn::Instruction;
 pub use op::{FuClass, Opcode};
+pub use predecode::DecodedInsn;
 pub use program::Program;
 pub use reg::Reg;
 

@@ -10,6 +10,7 @@ use std::fmt;
 /// treats those as a special instruction class that can trigger a context
 /// switch under the Conditional Switch fetch policy).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
 pub enum FuClass {
     /// Single-cycle integer ALU.
     Alu,
@@ -47,6 +48,13 @@ impl FuClass {
         FuClass::FpDiv,
         FuClass::Sync,
     ];
+
+    /// Position of this class in [`FuClass::ALL`] (the declaration order),
+    /// usable as a dense array index without a search.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl fmt::Display for FuClass {
@@ -311,6 +319,14 @@ mod tests {
         assert!(Opcode::Wait.reads_rs2());
         assert!(!Opcode::Post.reads_rs2());
         assert!(!Opcode::Halt.has_dest());
+    }
+
+    #[test]
+    fn fu_class_index_matches_all_order() {
+        for (i, &class) in FuClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i, "{class}");
+            assert_eq!(FuClass::ALL[class.index()], class);
+        }
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Predecoded instructions: every per-opcode property the pipeline needs,
+//! computed once at program construction.
+//!
+//! The cycle simulator in `smt-core` touches each resident instruction many
+//! times per simulated cycle (fetch, decode rename, issue selection, wakeup,
+//! commit). Re-deriving operand roles and unit classes from the
+//! [`Instruction`] accessors on every touch re-runs the same format match
+//! over and over; at simulation rates of millions of cycles per second that
+//! dispatch shows up as a top-line cost. [`DecodedInsn`] flattens the
+//! results of those accessors — destination, read sources, functional-unit
+//! class, and the control/memory/synchronization predicates — into a dense
+//! copyable record that [`Program`](crate::program::Program) builds once per
+//! instruction and the simulator copies around by value.
+//!
+//! The contract, pinned by a property test over every opcode: each field
+//! equals the corresponding [`Instruction`]/[`Opcode`] accessor. The raw
+//! instruction is recoverable via [`DecodedInsn::to_instruction`] up to
+//! fields its format does not use.
+
+use std::fmt;
+
+use crate::insn::Instruction;
+use crate::op::{FuClass, Opcode};
+use crate::reg::Reg;
+
+/// Predicate bits precomputed from the opcode (see the `flag` accessors).
+mod flag {
+    pub const CONTROL: u8 = 1 << 0;
+    pub const COND_BRANCH: u8 = 1 << 1;
+    pub const CSWITCH: u8 = 1 << 2;
+    pub const MEM: u8 = 1 << 3;
+    pub const SYNC: u8 = 1 << 4;
+    pub const MEMSYNC: u8 = 1 << 5;
+}
+
+/// One predecoded instruction: the [`Instruction`] accessors, flattened.
+///
+/// ```
+/// use smt_isa::{DecodedInsn, FuClass, Instruction, Opcode, Reg};
+///
+/// let sd = Instruction::store(Reg::new(4), Reg::new(2), 8);
+/// let d = DecodedInsn::new(sd);
+/// assert_eq!(d.dest, sd.dest());
+/// assert_eq!(d.srcs, sd.sources());
+/// assert_eq!(d.fu, FuClass::Store);
+/// assert!(d.is_memsync() && !d.is_control());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodedInsn {
+    /// Operation.
+    pub op: Opcode,
+    /// Functional-unit class ([`Opcode::fu_class`]).
+    pub fu: FuClass,
+    /// Destination register, if the opcode writes one ([`Instruction::dest`]).
+    pub dest: Option<Reg>,
+    /// Source registers actually read ([`Instruction::sources`]).
+    pub srcs: [Option<Reg>; 2],
+    /// Immediate (ALU immediate, byte displacement, or absolute target).
+    pub imm: i32,
+    flags: u8,
+}
+
+impl DecodedInsn {
+    /// Predecodes one instruction.
+    #[must_use]
+    pub fn new(insn: Instruction) -> Self {
+        let op = insn.op;
+        let fu = op.fu_class();
+        let mut flags = 0;
+        let mut set = |cond: bool, bit: u8| {
+            if cond {
+                flags |= bit;
+            }
+        };
+        set(op.is_control(), flag::CONTROL);
+        set(op.is_cond_branch(), flag::COND_BRANCH);
+        set(op.triggers_cswitch(), flag::CSWITCH);
+        set(op.is_mem(), flag::MEM);
+        set(op.is_sync(), flag::SYNC);
+        set(matches!(fu, FuClass::Store | FuClass::Sync), flag::MEMSYNC);
+        DecodedInsn {
+            op,
+            fu,
+            dest: insn.dest(),
+            srcs: insn.sources(),
+            imm: insn.imm,
+            flags,
+        }
+    }
+
+    /// Whether this is a control transfer ([`Opcode::is_control`]).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        self.flags & flag::CONTROL != 0
+    }
+
+    /// Whether this is a conditional branch ([`Opcode::is_cond_branch`]).
+    #[must_use]
+    pub fn is_cond_branch(&self) -> bool {
+        self.flags & flag::COND_BRANCH != 0
+    }
+
+    /// Whether decode triggers a Conditional-Switch context switch
+    /// ([`Opcode::triggers_cswitch`]).
+    #[must_use]
+    pub fn triggers_cswitch(&self) -> bool {
+        self.flags & flag::CSWITCH != 0
+    }
+
+    /// Whether the opcode touches data memory ([`Opcode::is_mem`]).
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        self.flags & flag::MEM != 0
+    }
+
+    /// Whether this is a synchronization primitive ([`Opcode::is_sync`]).
+    #[must_use]
+    pub fn is_sync(&self) -> bool {
+        self.flags & flag::SYNC != 0
+    }
+
+    /// Whether the entry participates in the per-thread store/sync ordering
+    /// queues (executes on the store or sync unit).
+    #[must_use]
+    pub fn is_memsync(&self) -> bool {
+        self.flags & flag::MEMSYNC != 0
+    }
+
+    /// Reconstructs an [`Instruction`] with the same observable fields.
+    /// Register fields the format does not use come back as their defaults,
+    /// so the round trip is exact up to [`Instruction::dest`]/
+    /// [`Instruction::sources`]/`imm`/`op` — everything the simulators read.
+    #[must_use]
+    pub fn to_instruction(&self) -> Instruction {
+        // A store reads (base, data) as (rs1, rs2); every other two-source
+        // format also maps srcs positionally onto (rs1, rs2).
+        Instruction {
+            op: self.op,
+            rd: self.dest.unwrap_or_default(),
+            rs1: self.srcs[0].unwrap_or_default(),
+            rs2: self.srcs[1].unwrap_or_default(),
+            imm: self.imm,
+        }
+    }
+}
+
+impl fmt::Display for DecodedInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_instruction().fmt(f)
+    }
+}
+
+/// Predecodes a text segment.
+#[must_use]
+pub fn predecode(text: &[Instruction]) -> Vec<DecodedInsn> {
+    text.iter().copied().map(DecodedInsn::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_match_opcode_predicates_for_every_opcode() {
+        for &op in Opcode::ALL {
+            let d = DecodedInsn::new(Instruction {
+                op,
+                ..Instruction::NOP
+            });
+            assert_eq!(d.is_control(), op.is_control(), "{op}");
+            assert_eq!(d.is_cond_branch(), op.is_cond_branch(), "{op}");
+            assert_eq!(d.triggers_cswitch(), op.triggers_cswitch(), "{op}");
+            assert_eq!(d.is_mem(), op.is_mem(), "{op}");
+            assert_eq!(d.is_sync(), op.is_sync(), "{op}");
+            assert_eq!(
+                d.is_memsync(),
+                matches!(op.fu_class(), FuClass::Store | FuClass::Sync),
+                "{op}"
+            );
+            assert_eq!(d.fu, op.fu_class(), "{op}");
+        }
+    }
+
+    #[test]
+    fn display_matches_the_raw_instruction() {
+        let r = |i| Reg::new(i);
+        for insn in [
+            Instruction::r3(Opcode::Add, r(3), r(1), r(2)),
+            Instruction::load(r(4), r(2), 8),
+            Instruction::store(r(4), r(2), -8),
+            Instruction::branch(Opcode::Beq, r(1), r(2), 7),
+            Instruction::jump(3),
+            Instruction::i1(Opcode::Lui, r(5), 10),
+            Instruction::unary(Opcode::FNeg, r(5), r(6)),
+            Instruction::wait(r(2), r(3)),
+            Instruction::post(r(2)),
+            Instruction::halt(),
+            Instruction::NOP,
+        ] {
+            assert_eq!(DecodedInsn::new(insn).to_string(), insn.to_string());
+        }
+    }
+}

@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::encode::{decode, encode, DecodeError, EncodeError};
 use crate::insn::Instruction;
+use crate::predecode::{self, DecodedInsn};
 use crate::WORD_BYTES;
 
 /// Byte address at which the data segment begins.
@@ -61,6 +62,7 @@ impl DataImage {
 #[derive(Clone, PartialEq, Debug)]
 pub struct Program {
     text: Vec<Instruction>,
+    decoded: Vec<DecodedInsn>,
     entry: usize,
     data: DataImage,
     labels: BTreeMap<String, usize>,
@@ -82,8 +84,10 @@ impl Program {
             "entry {entry} outside text of {} instructions",
             text.len()
         );
+        let decoded = predecode::predecode(&text);
         Program {
             text,
+            decoded,
             entry,
             data,
             labels: BTreeMap::new(),
@@ -107,6 +111,18 @@ impl Program {
     #[must_use]
     pub fn fetch(&self, pc: usize) -> Option<&Instruction> {
         self.text.get(pc)
+    }
+
+    /// The predecoded instruction stream (same indices as [`Program::text`]).
+    #[must_use]
+    pub fn decoded(&self) -> &[DecodedInsn] {
+        &self.decoded
+    }
+
+    /// The predecoded instruction at index `pc`, or `None` past the end.
+    #[must_use]
+    pub fn fetch_decoded(&self, pc: usize) -> Option<&DecodedInsn> {
+        self.decoded.get(pc)
     }
 
     /// Entry-point instruction index (shared by all threads).
@@ -252,6 +268,21 @@ mod tests {
             words: vec![(4, 1)],
         };
         let _ = img.to_words();
+    }
+
+    #[test]
+    fn predecoded_table_tracks_text() {
+        let p = tiny();
+        assert_eq!(p.decoded().len(), p.len());
+        for (d, i) in p.decoded().iter().zip(p.text()) {
+            assert_eq!(d.op, i.op);
+            assert_eq!(d.dest, i.dest());
+            assert_eq!(d.srcs, i.sources());
+            assert_eq!(d.imm, i.imm);
+            assert_eq!(d.fu, i.op.fu_class());
+        }
+        assert_eq!(p.fetch_decoded(2).map(|d| d.op), Some(Opcode::Halt));
+        assert!(p.fetch_decoded(3).is_none());
     }
 
     #[test]

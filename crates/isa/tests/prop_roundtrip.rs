@@ -12,7 +12,7 @@ use smt_testkit::{cases, Rng};
 /// An arbitrary instruction whose immediate is valid for its format at the
 /// given PC.
 fn random_insn(rng: &mut Rng, pc: u32) -> Instruction {
-    let op = rng.pick_copy(&Opcode::ALL);
+    let op = rng.pick_copy(Opcode::ALL);
     let rd = Reg::new(rng.below(128) as u8);
     let rs1 = Reg::new(rng.below(128) as u8);
     let rs2 = Reg::new(rng.below(128) as u8);

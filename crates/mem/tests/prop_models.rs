@@ -90,8 +90,7 @@ fn store_buffer_matches_list_model() {
         let capacity = rng.range_usize(1, 9);
         let mut dut = StoreBuffer::new(capacity);
         let mut model: Vec<(u64, u64, u64)> = Vec::new(); // (id, addr, value)
-        let mut next_id = 0u64;
-        for _ in 0..rng.range_usize(1, 100) {
+        for next_id in 0..rng.range_usize(1, 100) as u64 {
             let addr = rng.below(8) * 8;
             let value = rng.next_u64();
             let drain_now = rng.coin();
@@ -101,7 +100,6 @@ fn store_buffer_matches_list_model() {
             } else {
                 assert_eq!(model.len(), capacity, "rejected while not full");
             }
-            next_id += 1;
 
             // Forwarding: youngest matching store.
             let expect = model.iter().rev().find(|e| e.1 == addr).map(|e| e.2);

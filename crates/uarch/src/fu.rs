@@ -35,10 +35,7 @@ pub struct FuConfig {
 }
 
 fn class_index(class: FuClass) -> usize {
-    FuClass::ALL
-        .iter()
-        .position(|&c| c == class)
-        .expect("class in ALL")
+    class.index()
 }
 
 impl FuConfig {

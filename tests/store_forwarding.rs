@@ -1,0 +1,191 @@
+//! Regression net for store-to-load forwarding: a store-heavy kernel whose
+//! loads hit resident done stores (forwarding), miss them (partial overlap
+//! to a neighboring slot), and race wrong-path stores that get squashed on
+//! every taken loop-back branch. Four threads run the kernel concurrently,
+//! so forwarding state for many addresses — including one *shared* address
+//! all threads store to — is live in the scheduling unit at once.
+//!
+//! Two nets:
+//!
+//! 1. the full `SimStats` of every pinned configuration must match a
+//!    committed golden bit for bit (the address-indexed forwarding index
+//!    must reproduce the window scan it replaced *exactly*), and
+//! 2. architectural state (memory + registers) must equal the functional
+//!    interpreter's, which knows nothing about forwarding at all.
+//!
+//! To regenerate after an intentional pipeline change:
+//!
+//! ```text
+//! cargo test --test store_forwarding -- --ignored regenerate_store_forwarding_goldens
+//! ```
+
+use std::fmt::Write as _;
+
+use smt_superscalar::core::{CommitPolicy, FetchPolicy, SimConfig, Simulator};
+use smt_superscalar::isa::builder::ProgramBuilder;
+use smt_superscalar::isa::interp::Interp;
+use smt_superscalar::isa::Program;
+use smt_superscalar::mem::CacheKind;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/goldens/store_forwarding.txt"
+);
+const THREADS: usize = 4;
+const ITERS: i64 = 40;
+const SLOTS: u64 = 4;
+
+/// Per-thread private slots plus one shared word. Every loop iteration:
+/// store → dependent load at the same address (forwarding hit), store and
+/// load at *different* slots (partial overlap: same base, disjoint
+/// addresses, must fall through to the store buffer / cache), and a store
+/// of a thread-independent constant to the shared word followed by a load
+/// of it (cross-thread forwarding candidates; the value is 7 regardless of
+/// which thread's store is youngest, so architectural state stays
+/// deterministic). The instructions after the loop-back branch are fetched
+/// speculatively on every taken iteration and squashed — including a store
+/// that may already be done, exercising forwarding-index purge on squash.
+fn forwarding_kernel() -> Program {
+    let mut b = ProgramBuilder::new();
+    let region = b.alloc_zeroed(THREADS as u64 * SLOTS * 8);
+    let shared = b.alloc_zeroed(8);
+    let [base, shbase, v, w, x, y, seven, i, one, par, zero] = b.regs::<11>();
+    b.slli(base, b.tid_reg(), (SLOTS * 8).trailing_zeros() as i32);
+    let scratch = w; // w is dead until the loop body; reuse it for setup
+    b.li(scratch, region as i64);
+    b.add(base, base, scratch);
+    b.li(shbase, shared as i64);
+    b.li(seven, 7);
+    b.li(i, ITERS);
+    b.li(one, 1);
+    b.li(zero, 0);
+    b.li(v, 0x1234);
+    let top = b.label();
+    b.bind(top);
+    // Forwarding hit: load depends on the store one instruction older.
+    b.sd(v, base, 0);
+    b.ld(w, base, 0);
+    // Partial overlap: store slot 1, load slot 2 — same base register,
+    // different addresses; the forwarding index must not match.
+    b.sd(w, base, 8);
+    b.ld(x, base, 16);
+    // Shared word: all threads store the same constant, then load it back.
+    b.sd(seven, shbase, 0);
+    b.ld(y, shbase, 0);
+    // Mix the loaded values so a wrong forward corrupts the register file.
+    b.add(v, v, w);
+    b.add(v, v, x);
+    b.add(v, v, y);
+    b.sd(v, base, 16);
+    b.ld(x, base, 8);
+    b.add(v, v, x);
+    // Alternating branch over a store/load pair: two-bit counters mispredict
+    // an even/odd pattern constantly, so the skipped store is regularly
+    // fetched wrong-path, issues (its operands are long ready), completes,
+    // and must be purged from the forwarding index on squash.
+    let skip = b.label();
+    b.andi(par, i, 1);
+    b.beq(par, zero, skip);
+    b.sd(seven, base, 24);
+    b.ld(par, base, 24);
+    b.add(v, v, par);
+    b.bind(skip);
+    b.addi(i, i, -1);
+    b.bge(i, one, top);
+    // Wrong-path tail: fetched after the backward branch every iteration,
+    // squashed whenever the branch is taken; commits only on loop exit.
+    b.sd(v, base, 24);
+    b.ld(w, base, 24);
+    b.sd(w, base, 0);
+    b.halt();
+    b.build(THREADS).expect("kernel fits a 4-thread window")
+}
+
+/// The pinned configurations: the default machine, a narrow scheduling unit
+/// under LowestOnly commit (more window pressure, more squash overlap), and
+/// the ConditionalSwitch fetch policy with a direct-mapped cache.
+fn configs() -> [(&'static str, SimConfig); 3] {
+    [
+        ("default", SimConfig::default().with_threads(THREADS)),
+        (
+            "narrow-lowest",
+            SimConfig::default()
+                .with_threads(THREADS)
+                .with_su_depth(16)
+                .with_commit_policy(CommitPolicy::LowestOnly)
+                .with_fetch_policy(FetchPolicy::MaskedRoundRobin),
+        ),
+        (
+            "cswitch-dm",
+            SimConfig::default()
+                .with_threads(THREADS)
+                .with_fetch_policy(FetchPolicy::ConditionalSwitch)
+                .with_cache_kind(CacheKind::DirectMapped),
+        ),
+    ]
+}
+
+fn fingerprint() -> String {
+    let program = forwarding_kernel();
+    let mut out = String::new();
+    for (key, config) in configs() {
+        let mut sim = Simulator::new(config, &program);
+        let stats = sim.run().expect("kernel terminates");
+        assert!(
+            stats.squashed > 0,
+            "{key}: kernel is built to squash wrong-path stores"
+        );
+        writeln!(out, "{key} {stats:?}").expect("writing to a String cannot fail");
+    }
+    out
+}
+
+#[test]
+fn forwarding_kernel_stats_match_goldens() {
+    let expected = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing — run `cargo test --test store_forwarding -- \
+         --ignored regenerate_store_forwarding_goldens` once and commit it",
+    );
+    let actual = fingerprint();
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            e,
+            a,
+            "forwarding golden diverged at line {} (config `{}`)",
+            i + 1,
+            a.split_whitespace().next().unwrap_or("?"),
+        );
+    }
+    assert_eq!(expected.lines().count(), actual.lines().count());
+}
+
+#[test]
+fn forwarding_kernel_matches_functional_interpreter() {
+    let program = forwarding_kernel();
+    for (key, config) in configs() {
+        let mut interp = Interp::new(&program, THREADS);
+        interp.run().expect("interpreter terminates");
+        let mut sim = Simulator::new(config, &program);
+        sim.run().expect("kernel terminates");
+        assert_eq!(
+            sim.memory().words(),
+            interp.mem_words(),
+            "{key}: memory diverged"
+        );
+        assert_eq!(
+            sim.reg_file(),
+            interp.reg_file(),
+            "{key}: registers diverged"
+        );
+    }
+}
+
+#[test]
+#[ignore = "regenerates the golden file; run explicitly after intentional behavior changes"]
+fn regenerate_store_forwarding_goldens() {
+    let dir = std::path::Path::new(GOLDEN_PATH)
+        .parent()
+        .expect("golden path has a parent");
+    std::fs::create_dir_all(dir).expect("golden dir");
+    std::fs::write(GOLDEN_PATH, fingerprint()).expect("write goldens");
+}
