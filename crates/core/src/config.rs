@@ -376,7 +376,8 @@ mod tests {
     #[test]
     fn validation_catches_inconsistencies() {
         assert!(SimConfig::default().with_threads(0).validate().is_err());
-        assert!(SimConfig::default().with_threads(7).validate().is_err());
+        assert!(SimConfig::default().with_threads(9).validate().is_err());
+        assert!(SimConfig::default().with_threads(8).validate().is_ok());
         assert!(SimConfig::default().with_su_depth(30).validate().is_err());
         assert!(SimConfig::default()
             .with_store_buffer(0)

@@ -350,6 +350,26 @@ impl InstructionUnit {
     pub fn is_fetch_halted(&self, tid: usize) -> bool {
         self.threads[tid].fetch_halted
     }
+
+    /// Whether Masked Round Robin currently excludes `tid` from fetch.
+    #[must_use]
+    pub fn is_masked(&self, tid: usize) -> bool {
+        self.threads[tid].masked
+    }
+
+    /// Whether a Conditional-Switch request for `tid` is still armed
+    /// (signalled but not yet honoured by a switch).
+    #[must_use]
+    pub fn has_switch_pending(&self, tid: usize) -> bool {
+        self.threads[tid].switch_pending
+    }
+
+    /// The thread Conditional Switch currently fetches from (meaningless
+    /// under the round-robin policies).
+    #[must_use]
+    pub fn active_thread(&self) -> usize {
+        self.active
+    }
 }
 
 #[cfg(test)]
@@ -400,15 +420,31 @@ mod tests {
     fn masked_rr_skips_masked_and_suspended_threads() {
         let mut iu = unit(3, FetchPolicy::MaskedRoundRobin);
         iu.update_mask(Some((1, true)));
+        assert!(!iu.is_masked(0) && iu.is_masked(1) && !iu.is_masked(2));
         assert_eq!(iu.select(), Some(0));
         assert_eq!(iu.select(), Some(2), "masked thread skipped, not wasted");
         iu.update_mask(Some((1, false)));
+        assert!(!iu.is_masked(1), "commit-unblocked bottom block unmasks");
         assert_eq!(iu.select(), Some(0));
         assert_eq!(
             iu.select(),
             Some(1),
             "unmasked once the bottom block commits"
         );
+    }
+
+    #[test]
+    fn mask_rehomes_to_the_new_bottom_block_owner() {
+        let mut iu = unit(3, FetchPolicy::MaskedRoundRobin);
+        iu.update_mask(Some((2, true)));
+        assert!(iu.is_masked(2));
+        // The bottom block drained; a different thread's block is now
+        // bottom and commit-blocked: exactly the ownership moves.
+        iu.update_mask(Some((0, true)));
+        assert!(iu.is_masked(0) && !iu.is_masked(1) && !iu.is_masked(2));
+        // Empty scheduling unit: nobody is masked.
+        iu.update_mask(None);
+        assert!((0..3).all(|t| !iu.is_masked(t)));
     }
 
     #[test]
@@ -429,11 +465,18 @@ mod tests {
         iu.suspend(1, tag, 0);
         iu.signal_switch(0);
         assert_eq!(iu.select(), Some(0), "stays on the active thread for now");
+        assert!(
+            iu.has_switch_pending(0),
+            "the unhonoured request must stay armed"
+        );
+        assert_eq!(iu.active_thread(), 0);
         // The sibling wakes up. The switch signal must still be armed —
         // the old code cleared it in the nowhere-to-switch fallback and
         // stuck with thread 0 forever.
         iu.resume_if(1, tag);
         assert_eq!(iu.select(), Some(1), "pending switch fires once possible");
+        assert_eq!(iu.active_thread(), 1);
+        assert!(!iu.has_switch_pending(0), "consumed by the switch");
         assert_eq!(
             iu.select(),
             Some(1),

@@ -45,6 +45,7 @@
 //!
 //! | module | contents |
 //! |--------|----------|
+//! | [`commit`] | [`CommitSink`]: the observable architectural commit stream |
 //! | [`config`] | [`SimConfig`] and the policy enums (the paper's Table 2) |
 //! | [`fetch`] | instruction unit: PCs, fetch policies (Section 5.1) |
 //! | [`su`] | scheduling unit: blocks, renaming lookups, commit selection |
@@ -52,6 +53,7 @@
 //! | [`stats`] | [`SimStats`] and the paper's speedup formula |
 //! | [`error`] | [`SimError`] |
 
+pub mod commit;
 pub mod config;
 pub mod error;
 pub mod fasthash;
@@ -60,6 +62,7 @@ pub mod sim;
 pub mod stats;
 pub mod su;
 
+pub use commit::{CommitSink, Retirement};
 pub use config::{CommitPolicy, ConfigError, FetchPolicy, RenamingMode, SimConfig};
 pub use error::SimError;
 pub use sim::Simulator;

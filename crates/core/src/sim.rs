@@ -16,6 +16,7 @@ use smt_isa::{window_size, FuClass, Opcode, Program, Reg};
 use smt_mem::{CacheStats, DataCache, MainMemory, Outcome, StoreBuffer};
 use smt_uarch::{BranchPredictor, FuPool, TagAllocator};
 
+use crate::commit::{CommitSink, Retirement};
 use crate::config::{FetchPolicy, RenamingMode, SimConfig};
 use crate::error::SimError;
 use crate::fasthash::MixState;
@@ -224,6 +225,13 @@ impl<'p> Simulator<'p> {
         &self.stats
     }
 
+    /// The instruction unit (fetch policy state), for tests probing
+    /// per-cycle policy behaviour via [`step`](Self::step).
+    #[must_use]
+    pub fn fetch_unit(&self) -> &InstructionUnit {
+        &self.iu
+    }
+
     /// Runs to completion.
     ///
     /// # Errors
@@ -231,13 +239,32 @@ impl<'p> Simulator<'p> {
     /// * [`SimError::Watchdog`] if `max_cycles` elapse first (deadlock),
     /// * [`SimError::Mem`] on a non-speculative memory fault.
     pub fn run(&mut self) -> Result<SimStats, SimError> {
+        self.run_inner(None)
+    }
+
+    /// Runs to completion, delivering every architecturally retired
+    /// instruction to `sink` in commit order (see [`CommitSink`]).
+    ///
+    /// Behaviorally identical to [`run`](Self::run): the sink observes the
+    /// machine, it cannot perturb it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run). On a commit-time memory fault the sink
+    /// receives one final event with [`Retirement::fault`] set before the
+    /// error is returned.
+    pub fn run_observed(&mut self, sink: &mut dyn CommitSink) -> Result<SimStats, SimError> {
+        self.run_inner(Some(sink))
+    }
+
+    fn run_inner(&mut self, mut sink: Option<&mut dyn CommitSink>) -> Result<SimStats, SimError> {
         while !self.finished() {
             if self.cycle >= self.config.max_cycles {
                 return Err(SimError::Watchdog {
                     cycles: self.config.max_cycles,
                 });
             }
-            self.step()?;
+            self.step_inner(sink.as_deref_mut())?;
         }
         self.finalize_stats();
         Ok(self.stats.clone())
@@ -249,7 +276,20 @@ impl<'p> Simulator<'p> {
     ///
     /// Same as [`run`](Self::run), minus the watchdog.
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.commit_stage()?;
+        self.step_inner(None)
+    }
+
+    /// Advances one cycle, delivering any retirements to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step).
+    pub fn step_observed(&mut self, sink: &mut dyn CommitSink) -> Result<(), SimError> {
+        self.step_inner(Some(sink))
+    }
+
+    fn step_inner(&mut self, sink: Option<&mut (dyn CommitSink + '_)>) -> Result<(), SimError> {
+        self.commit_stage(sink)?;
         self.drain_store_stage()?;
         self.writeback_stage()?;
         self.issue_stage()?;
@@ -279,7 +319,10 @@ impl<'p> Simulator<'p> {
 
     // ---- commit -------------------------------------------------------------
 
-    fn commit_stage(&mut self) -> Result<(), SimError> {
+    fn commit_stage(
+        &mut self,
+        mut sink: Option<&mut (dyn CommitSink + '_)>,
+    ) -> Result<(), SimError> {
         if let Some(i) = self
             .su
             .find_committable(self.config.commit_policy, self.config.commit_window_blocks)
@@ -291,19 +334,30 @@ impl<'p> Simulator<'p> {
             // block-level flag makes the common (fault-free) case a single
             // test; the entry scan runs only on the way to aborting.
             if self.su.block(i).has_fault() {
-                let e = self
-                    .su
-                    .block(i)
-                    .entries
-                    .iter()
-                    .find(|e| e.fault.is_some())
-                    .expect("fault flag implies a faulted entry");
-                let err = e.fault.expect("find predicate guarantees a fault");
-                return Err(SimError::Mem {
-                    err,
-                    tid: e.tid,
-                    pc: e.pc,
-                });
+                let (err, tid, pc, insn) = {
+                    let e = self
+                        .su
+                        .block(i)
+                        .entries
+                        .iter()
+                        .find(|e| e.fault.is_some())
+                        .expect("fault flag implies a faulted entry");
+                    let err = e.fault.expect("find predicate guarantees a fault");
+                    (err, e.tid, e.pc, e.insn)
+                };
+                if let Some(s) = sink.as_deref_mut() {
+                    s.retired(&Retirement {
+                        cycle: self.cycle,
+                        block: self.su.block(i).id,
+                        tid,
+                        pc,
+                        insn,
+                        dest: None,
+                        mem: None,
+                        fault: Some(err),
+                    });
+                }
+                return Err(SimError::Mem { err, tid, pc });
             }
             if self.buffer_block_stores(i) {
                 let mut block = self.su.remove_block(i);
@@ -332,6 +386,18 @@ impl<'p> Simulator<'p> {
                     }
                     if architectural {
                         self.stats.committed[e.tid] += 1;
+                        if let Some(s) = sink.as_deref_mut() {
+                            s.retired(&Retirement {
+                                cycle: self.cycle,
+                                block: bid,
+                                tid: e.tid,
+                                pc: e.pc,
+                                insn: e.insn,
+                                dest: e.insn.dest.map(|rd| (rd, e.result)),
+                                mem: (e.insn.op == Opcode::Sd).then_some((e.mem_addr, e.result)),
+                                fault: None,
+                            });
+                        }
                     }
                     if e.insn.op == Opcode::Sd {
                         // A committing block is fault-free, so every one of

@@ -1,0 +1,190 @@
+//! Differential fuzzer: constrained-random programs, every fetch policy,
+//! every thread count, checked instruction-by-instruction against the
+//! functional reference by the lockstep oracle.
+//!
+//! Each seed generates one program [`Plan`]; the plan is lowered per thread
+//! count and verified under all three fetch policies. Any divergence is
+//! greedily minimized (segments are masked off while the failure
+//! reproduces) and reported as a `(seed, mask)` pair that regenerates the
+//! exact failing program — then the process exits nonzero.
+//!
+//! ```text
+//! cargo run --release -p smt-experiments --bin fuzz                    # 200 seeds
+//! cargo run --release -p smt-experiments --bin fuzz -- --seeds 500
+//! cargo run --release -p smt-experiments --bin fuzz -- --start-seed 1000 --seeds 100
+//! cargo run --release -p smt-experiments --bin fuzz -- --workers 4
+//! ```
+
+use std::time::Instant;
+
+use smt_core::{FetchPolicy, SimConfig};
+use smt_oracle::verify;
+use smt_testkit::progen::{GenConfig, Plan};
+use smt_testkit::shrink;
+
+const POLICIES: [FetchPolicy; 3] = [
+    FetchPolicy::TrueRoundRobin,
+    FetchPolicy::MaskedRoundRobin,
+    FetchPolicy::ConditionalSwitch,
+];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Generous for generated programs (thousands of cycles each), tight
+/// enough that a livelocked machine fails fast as a harness divergence.
+const FUZZ_MAX_CYCLES: u64 = 2_000_000;
+
+fn config(policy: FetchPolicy, threads: usize) -> SimConfig {
+    SimConfig::default()
+        .with_threads(threads)
+        .with_fetch_policy(policy)
+        .with_max_cycles(FUZZ_MAX_CYCLES)
+}
+
+/// One divergence, fully reproducible from the fields.
+struct Failure {
+    seed: u64,
+    policy: FetchPolicy,
+    threads: usize,
+    report: String,
+}
+
+/// Verifies one seed at every (policy, thread count) point. Returns the
+/// number of verifications done and the first failure, minimized.
+fn fuzz_seed(seed: u64, gen_cfg: &GenConfig) -> (u64, Option<Failure>) {
+    let plan = Plan::generate(seed, gen_cfg);
+    let mut runs = 0;
+    for threads in THREAD_COUNTS {
+        let program = plan
+            .build_full(threads)
+            .unwrap_or_else(|e| panic!("seed {seed}: plan must lower at {threads} threads: {e}"));
+        for policy in POLICIES {
+            runs += 1;
+            if let Err(d) = verify(&program, config(policy, threads)) {
+                return (runs, Some(minimize(&plan, policy, threads, &d)));
+            }
+        }
+    }
+    (runs, None)
+}
+
+/// Shrinks the failing plan under the failing (policy, threads) point and
+/// formats the repro report.
+fn minimize(
+    plan: &Plan,
+    policy: FetchPolicy,
+    threads: usize,
+    original: &smt_oracle::Divergence,
+) -> Failure {
+    let mask = shrink::minimize(plan.mask_len(), |mask| {
+        plan.build(mask, threads)
+            .is_ok_and(|p| verify(&p, config(policy, threads)).is_err())
+    });
+    let minimized = plan
+        .build(&mask, threads)
+        .expect("minimizer only keeps buildable masks");
+    let divergence = match verify(&minimized, config(policy, threads)) {
+        Err(d) => *d,
+        // The minimizer's last accepted mask failed moments ago; a pass here
+        // would mean nondeterminism, which is itself worth reporting loudly.
+        Ok(_) => original.clone(),
+    };
+    let mask_bits: String = mask.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    let mut listing = String::new();
+    for (pc, insn) in minimized.text().iter().enumerate() {
+        listing.push_str(&format!("    {pc:4}: {insn}\n"));
+    }
+    let report = format!(
+        "seed {seed} diverges under {policy} with {threads} thread(s)\n\
+         minimized mask: {mask_bits}  ({desc})\n\
+         repro: Plan::generate({seed}, &GenConfig::default()).build(&mask, {threads})\n\
+         {divergence}\n\
+         minimized program ({len} instructions):\n{listing}",
+        seed = plan.seed,
+        desc = plan.describe(&mask),
+        len = minimized.text().len(),
+    );
+    Failure {
+        seed: plan.seed,
+        policy,
+        threads,
+        report,
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: u64 =
+        flag_value(&args, "--seeds").map_or(200, |v| v.parse().expect("--seeds takes a count"));
+    let start: u64 = flag_value(&args, "--start-seed")
+        .map_or(0, |v| v.parse().expect("--start-seed takes a seed"));
+    let workers: usize = flag_value(&args, "--workers").map_or_else(
+        || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        },
+        |v| v.parse().expect("--workers takes a positive integer"),
+    );
+    let workers = workers.clamp(1, seeds.max(1) as usize);
+    let gen_cfg = GenConfig::default();
+
+    let began = Instant::now();
+    // Round-robin sharding: seed cost varies (plan size, minimization), so
+    // interleaving balances better than contiguous chunks.
+    let per_worker: Vec<(u64, Vec<Failure>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers as u64)
+            .map(|w| {
+                let gen_cfg = &gen_cfg;
+                s.spawn(move || {
+                    let mut runs = 0;
+                    let mut failures = Vec::new();
+                    let mut seed = start + w;
+                    while seed < start + seeds {
+                        let (r, failure) = fuzz_seed(seed, gen_cfg);
+                        runs += r;
+                        failures.extend(failure);
+                        seed += workers as u64;
+                    }
+                    (runs, failures)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fuzz worker panicked"))
+            .collect()
+    });
+    let elapsed = began.elapsed();
+
+    let total_runs: u64 = per_worker.iter().map(|(r, _)| r).sum();
+    let mut failures: Vec<Failure> = per_worker.into_iter().flat_map(|(_, f)| f).collect();
+    failures.sort_by_key(|f| f.seed);
+
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "fuzz: {total_runs} verifications over {seeds} seeds x {} policies x {:?} threads \
+         in {secs:.1}s ({:.0} programs/sec, {workers} workers)",
+        POLICIES.len(),
+        THREAD_COUNTS,
+        f64::from(u32::try_from(total_runs).unwrap_or(u32::MAX)) / secs.max(1e-9),
+    );
+    if failures.is_empty() {
+        println!("fuzz: no divergences");
+        return;
+    }
+    for f in &failures {
+        eprintln!(
+            "\n=== FAILURE: seed {} / {} / {} thread(s) ===\n{}",
+            f.seed, f.policy, f.threads, f.report
+        );
+    }
+    eprintln!("fuzz: {} diverging seed(s)", failures.len());
+    std::process::exit(1);
+}

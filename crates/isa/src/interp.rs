@@ -204,6 +204,53 @@ impl<'p> Interp<'p> {
         self.halted[tid]
     }
 
+    /// Current program counter of thread `tid` — the pc of the next
+    /// instruction [`step_thread`](Self::step_thread) would execute.
+    ///
+    /// Lockstep co-simulation drivers compare this against the pc of each
+    /// architecturally retiring instruction to catch control-flow
+    /// divergence at the first wrong-path commit.
+    #[must_use]
+    pub fn thread_pc(&self, tid: usize) -> usize {
+        self.pcs[tid]
+    }
+
+    /// Instructions retired so far, per thread (`WAIT` counted once, on
+    /// success — blocked polls do not count).
+    #[must_use]
+    pub fn retired_counts(&self) -> &[u64] {
+        &self.retired
+    }
+
+    /// Retires the `WAIT` at thread `tid`'s current pc as satisfied,
+    /// regardless of the flag's current value in *this* interpreter's
+    /// memory.
+    ///
+    /// Lockstep co-simulation needs this escape hatch: in the cycle-level
+    /// machine a `POST` applies its memory increment at writeback but
+    /// retires when its block commits, and under flexible commit the
+    /// *waiting* thread's block may legally commit first. Replaying the
+    /// commit stream then reaches a satisfied `WAIT` before the increment
+    /// has been replayed. The wait's only architectural effect is advancing
+    /// the pc, so accepting the machine's observation is sound; the
+    /// increment itself is still checked when the `POST` retires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction at the thread's pc is not `WAIT` — callers
+    /// must only use this to resolve a genuine blocked-wait disagreement.
+    pub fn retire_wait_satisfied(&mut self, tid: usize) {
+        let pc = self.pcs[tid];
+        let op = self.program.fetch(pc).map(|i| i.op);
+        assert_eq!(
+            op,
+            Some(Opcode::Wait),
+            "retire_wait_satisfied: thread {tid} pc {pc} is not a WAIT"
+        );
+        self.pcs[tid] = pc + 1;
+        self.retired[tid] += 1;
+    }
+
     /// Whether all threads have halted.
     #[must_use]
     pub fn finished(&self) -> bool {
@@ -492,6 +539,51 @@ mod tests {
         let stats = interp.run().unwrap();
         assert_eq!(stats.retired, vec![3, 3]);
         assert_eq!(stats.total_retired(), 6);
+    }
+
+    #[test]
+    fn lockstep_single_step_api() {
+        let mut b = ProgramBuilder::new();
+        let flag = b.alloc_zeroed(8);
+        let [fl, one, v] = b.regs();
+        b.li(fl, flag as i64);
+        b.li(one, 1);
+        b.wait(fl, one); // nobody posts: blocked until force-retired
+        b.addi(v, v, 5);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut i = Interp::new(&p, 1);
+        // Step to the blocked WAIT.
+        loop {
+            let pc = i.thread_pc(0);
+            match i.step_thread(0).unwrap() {
+                Progress::Stepped => assert_ne!(i.thread_pc(0), pc, "pc advances"),
+                Progress::Blocked => {
+                    assert_eq!(i.thread_pc(0), pc, "blocked poll leaves the pc");
+                    break;
+                }
+                Progress::Halted => panic!("halted before the WAIT"),
+            }
+        }
+        let retired_before = i.retired_counts()[0];
+        let wait_pc = i.thread_pc(0);
+        i.retire_wait_satisfied(0);
+        assert_eq!(i.thread_pc(0), wait_pc + 1);
+        assert_eq!(i.retired_counts()[0], retired_before + 1);
+        assert_eq!(i.step_thread(0).unwrap(), Progress::Stepped);
+        assert_eq!(i.reg(0, v), 5);
+        assert_eq!(i.step_thread(0).unwrap(), Progress::Halted);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a WAIT")]
+    fn retire_wait_satisfied_rejects_non_wait() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.halt();
+        let p = b.build(1).unwrap();
+        let mut i = Interp::new(&p, 1);
+        i.retire_wait_satisfied(0);
     }
 
     #[test]

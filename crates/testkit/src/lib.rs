@@ -1,10 +1,15 @@
-//! Dependency-free property-testing support.
+//! Property-testing and fuzzing support, free of external dependencies.
 //!
 //! The build container has no access to crates.io, so the repository's
 //! randomized differential tests run on this tiny deterministic generator
 //! instead of `proptest`/`rand`. Tests iterate over a fixed seed range —
 //! every failure is reproducible from its seed alone, which the
 //! [`cases`] runner prints on panic.
+//!
+//! On top of the [`Rng`] sit the differential-fuzzing pieces: [`progen`]
+//! generates constrained-random SPMD programs from a seed, and [`shrink`]
+//! greedily minimizes a failing configuration, so a fuzzer repro is always
+//! just `(seed, segment mask)`.
 //!
 //! ```
 //! use smt_testkit::Rng;
@@ -15,6 +20,9 @@
 //! // Same seed, same stream.
 //! assert_eq!(Rng::new(7).next_u64(), Rng::new(7).next_u64());
 //! ```
+
+pub mod progen;
+pub mod shrink;
 
 /// SplitMix64: tiny, fast, and statistically solid for test-case generation
 /// (it seeds xoshiro in the reference implementations).

@@ -1,0 +1,98 @@
+//! Greedy coarse-to-fine subset minimization (a one-pass `ddmin`).
+//!
+//! Given a failing configuration of `len` independently removable parts,
+//! [`minimize`] searches for a small sub-configuration that still fails.
+//! It tries disabling aligned chunks, halving the chunk size whenever no
+//! chunk can be removed, down to single elements. The result is
+//! *1-minimal with respect to chunk removal*: no single still-enabled
+//! element can be disabled without losing the failure (the final
+//! granularity is 1), though pairs that mask each other may survive.
+//!
+//! The predicate receives candidate masks (`true` = part enabled) and
+//! returns whether the failure still reproduces. It is the caller's
+//! contract that the all-enabled mask fails; `minimize` never re-tests
+//! it.
+
+/// Minimizes a failing `len`-part configuration. `fails(&mask)` must
+/// return `true` while the failure reproduces with exactly the parts
+/// where `mask` is `true` enabled.
+///
+/// Runs `O(len log len)` predicate calls in the typical case and returns
+/// the smallest mask found (never the empty-tested-as-passing ones).
+pub fn minimize(len: usize, mut fails: impl FnMut(&[bool]) -> bool) -> Vec<bool> {
+    let mut mask = vec![true; len];
+    if len == 0 {
+        return mask;
+    }
+    let mut chunk = len.div_ceil(2);
+    loop {
+        let mut progress = false;
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            if mask[start..end].iter().any(|&b| b) {
+                let mut cand = mask.clone();
+                cand[start..end].fill(false);
+                if fails(&cand) {
+                    mask = cand;
+                    progress = true;
+                }
+            }
+            start = end;
+        }
+        if progress {
+            continue; // retry at the same granularity until it dries up
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolates_a_single_culprit() {
+        let mask = minimize(16, |m| m[11]);
+        let expected: Vec<bool> = (0..16).map(|i| i == 11).collect();
+        assert_eq!(mask, expected);
+    }
+
+    #[test]
+    fn keeps_an_interacting_pair() {
+        let mask = minimize(10, |m| m[2] && m[7]);
+        assert!(mask[2] && mask[7]);
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn always_failing_predicate_empties_the_mask() {
+        let mask = minimize(8, |_| true);
+        assert!(mask.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn never_shrinks_when_every_part_is_needed() {
+        let mask = minimize(4, |m| m.iter().all(|&b| b));
+        assert!(mask.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zero_length_is_a_no_op() {
+        assert!(minimize(0, |_| panic!("predicate must not run")).is_empty());
+    }
+
+    #[test]
+    fn predicate_call_count_is_modest() {
+        let mut calls = 0;
+        minimize(64, |m| {
+            calls += 1;
+            m[5]
+        });
+        assert!(calls < 64 * 8, "called {calls} times");
+    }
+}

@@ -229,4 +229,109 @@ mod tests {
     fn non_power_of_two_rejected() {
         let _ = BranchPredictor::new(12);
     }
+
+    /// Scalar reference model of a direct-mapped 2-bit BTB, written
+    /// independently of the implementation (plain map of slot → entry).
+    struct RefModel {
+        slots: std::collections::HashMap<usize, (usize, usize, u8)>,
+        size: usize,
+    }
+
+    impl RefModel {
+        fn new(size: usize) -> Self {
+            RefModel {
+                slots: std::collections::HashMap::new(),
+                size,
+            }
+        }
+
+        /// (taken, target, btb_hit)
+        fn predict(&self, pc: usize) -> (bool, usize, bool) {
+            match self.slots.get(&(pc % self.size)) {
+                Some(&(tag, target, counter)) if tag == pc => (counter >= 2, target, true),
+                _ => (false, 0, false),
+            }
+        }
+
+        fn update(&mut self, pc: usize, taken: bool, target: usize) {
+            let slot = pc % self.size;
+            match self.slots.get_mut(&slot) {
+                Some(e) if e.0 == pc => {
+                    if taken {
+                        e.2 = if e.2 >= 3 { 3 } else { e.2 + 1 };
+                        e.1 = target;
+                    } else if e.2 > 0 {
+                        e.2 -= 1;
+                    }
+                }
+                _ if taken => {
+                    self.slots.insert(slot, (pc, target, 2));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Property: over random predict/update streams (aliasing pcs, biased
+    /// and anti-correlated outcomes), every 2-bit counter stays inside its
+    /// saturation bounds and the predictor's predictions, hit/accuracy
+    /// accounting, and traffic counters all equal the scalar reference
+    /// model's recomputation.
+    #[test]
+    fn random_streams_match_scalar_reference_model() {
+        smt_testkit::cases(40, |rng| {
+            let size = 1usize << rng.range_usize(2, 6); // 4..32 slots
+            let mut dut = BranchPredictor::new(size);
+            let mut model = RefModel::new(size);
+            // A few branch "sites", deliberately aliasing in small BTBs,
+            // each with a per-site outcome behavior.
+            let n_sites = rng.range_usize(2, 8);
+            let sites: Vec<(usize, usize, u64)> = (0..n_sites)
+                .map(|_| {
+                    (
+                        rng.range_usize(0, 4 * size), // pc
+                        rng.range_usize(0, 1 << 20),  // target
+                        rng.below(4),                 // behavior class
+                    )
+                })
+                .collect();
+            let mut correct = 0u64;
+            let mut ref_correct = 0u64;
+            let mut ref_hits = 0u64;
+            let mut events = 0u64;
+            for step in 0..400u64 {
+                let &(pc, target, behavior) = rng.pick(&sites);
+                let taken = match behavior {
+                    0 => true,                // always taken
+                    1 => false,               // never taken
+                    2 => step % 2 == 0,       // alternating (worst case)
+                    _ => rng.below(100) < 85, // biased taken
+                };
+                let pred = dut.predict(pc);
+                let (ref_taken, ref_target, ref_hit) = model.predict(pc);
+                assert_eq!(pred.taken, ref_taken, "prediction diverged at {pc}");
+                if pred.taken {
+                    assert_eq!(pred.target, ref_target, "target diverged at {pc}");
+                }
+                events += 1;
+                ref_hits += u64::from(ref_hit);
+                correct += u64::from(pred.taken == taken);
+                ref_correct += u64::from(ref_taken == taken);
+                dut.update(pc, taken, target);
+                model.update(pc, taken, target);
+                // Saturation bounds hold after every update, and every
+                // resident counter agrees with the reference model's.
+                for e in dut.entries.iter().flatten() {
+                    assert!(e.counter <= 3, "counter escaped saturation: {}", e.counter);
+                    let (tag, target, counter) = model.slots[&(e.pc % size)];
+                    assert_eq!((tag, target, counter), (e.pc, e.target, e.counter));
+                }
+            }
+            // Accuracy and traffic counters equal the scalar recomputation.
+            assert_eq!(correct, ref_correct, "accuracy diverged from the model");
+            assert_eq!(dut.stats().lookups, events);
+            assert_eq!(dut.stats().updates, events);
+            assert_eq!(dut.stats().btb_hits, ref_hits);
+        });
+    }
 }

@@ -21,6 +21,7 @@ pub use smt_core as core;
 pub use smt_experiments as experiments;
 pub use smt_isa as isa;
 pub use smt_mem as mem;
+pub use smt_oracle as oracle;
 pub use smt_uarch as uarch;
 pub use smt_workloads as workloads;
 

@@ -12,11 +12,13 @@
 //! the pipeline itself), run:
 //!
 //! ```text
-//! cargo test --test cycle_exact -- --ignored regenerate_cycle_exact_goldens
+//! UPDATE_GOLDENS=1 cargo test --test cycle_exact
 //! ```
 //!
 //! and commit the updated `tests/goldens/cycle_exact.txt` together with an
 //! explanation of why the machine's behavior legitimately changed.
+
+mod support;
 
 use std::fmt::Write as _;
 
@@ -63,38 +65,5 @@ fn fingerprint() -> String {
 
 #[test]
 fn simstats_match_committed_goldens() {
-    let expected = std::fs::read_to_string(GOLDEN_PATH).expect(
-        "golden file missing — run `cargo test --test cycle_exact -- \
-         --ignored regenerate_cycle_exact_goldens` once and commit it",
-    );
-    let actual = fingerprint();
-    if expected == actual {
-        return;
-    }
-    // Full-string assert on 132 long lines is unreadable; report the first
-    // divergent line instead.
-    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
-        assert_eq!(
-            e,
-            a,
-            "cycle-exactness violated at golden line {} (key `{}`)",
-            i + 1,
-            a.split_whitespace().next().unwrap_or("?"),
-        );
-    }
-    panic!(
-        "golden line count differs: expected {}, got {}",
-        expected.lines().count(),
-        actual.lines().count()
-    );
-}
-
-#[test]
-#[ignore = "regenerates the golden file; run explicitly after intentional behavior changes"]
-fn regenerate_cycle_exact_goldens() {
-    let dir = std::path::Path::new(GOLDEN_PATH)
-        .parent()
-        .expect("golden path has a parent");
-    std::fs::create_dir_all(dir).expect("golden dir");
-    std::fs::write(GOLDEN_PATH, fingerprint()).expect("write goldens");
+    support::check_golden(GOLDEN_PATH, &fingerprint());
 }

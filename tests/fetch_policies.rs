@@ -1,0 +1,134 @@
+//! Simulator-level fetch-policy tests: drive `Simulator::step()` against
+//! small hand-built programs and observe the fetch unit's policy state
+//! through the public accessors each cycle.
+//!
+//! The select()-level unit tests live in `crates/core/src/fetch.rs`; these
+//! check that the policies actually engage end-to-end — MaskedRR masks the
+//! commit-blocked thread and clears the mask, ConditionalSwitch really
+//! rotates the active thread on long-latency triggers.
+
+use smt_superscalar::core::{FetchPolicy, SimConfig, Simulator};
+use smt_superscalar::isa::builder::ProgramBuilder;
+use smt_superscalar::isa::interp::Interp;
+use smt_superscalar::isa::Program;
+
+fn assert_matches_interp(sim: &Simulator, program: &Program, threads: usize) {
+    let mut interp = Interp::new(program, threads);
+    interp.run().expect("reference completes");
+    assert_eq!(sim.memory().words(), interp.mem_words(), "memory diverged");
+    assert_eq!(sim.reg_file(), interp.reg_file(), "registers diverged");
+}
+
+/// A long dependent fdiv chain: each result feeds the next divide, so the
+/// bottom scheduling-unit block stays commit-blocked for many cycles.
+fn fdiv_chain_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let out = b.alloc_zeroed(8);
+    let [a, d, i, obr] = b.regs();
+    b.li(obr, out as i64);
+    b.lif(a, 1.0e12);
+    b.lif(d, 1.5);
+    for _ in 0..12 {
+        b.fdiv(a, a, d);
+    }
+    b.f2i(i, a);
+    b.sd(i, obr, 0);
+    b.halt();
+    b.build(2).unwrap()
+}
+
+#[test]
+fn masked_rr_masks_the_commit_blocked_thread_and_clears() {
+    let p = fdiv_chain_program();
+    let config = SimConfig::default()
+        .with_threads(2)
+        .with_fetch_policy(FetchPolicy::MaskedRoundRobin);
+    let mut sim = Simulator::new(config, &p);
+    let mut masked_cycles = 0usize;
+    let mut cycles = 0usize;
+    while !sim.finished() {
+        assert!(cycles < 100_000, "watchdog: MaskedRR run did not finish");
+        let masked: Vec<usize> = (0..2).filter(|&t| sim.fetch_unit().is_masked(t)).collect();
+        assert!(
+            masked.len() <= 1,
+            "only the bottom-block owner may be masked, got {masked:?}"
+        );
+        masked_cycles += usize::from(!masked.is_empty());
+        sim.step().expect("no faults in this program");
+        cycles += 1;
+    }
+    assert!(
+        masked_cycles > 0,
+        "a dependent fdiv chain must commit-block and mask its thread"
+    );
+    assert!(
+        (0..2).all(|t| !sim.fetch_unit().is_masked(t)),
+        "mask must clear once the scheduling unit drains"
+    );
+    assert_matches_interp(&sim, &p, 2);
+
+    // Control: plain round-robin tracks the same commit-block state but
+    // ignores it when selecting, and still reaches the same architecture.
+    let config = SimConfig::default()
+        .with_threads(2)
+        .with_fetch_policy(FetchPolicy::TrueRoundRobin);
+    let mut sim = Simulator::new(config, &p);
+    let mut cycles = 0usize;
+    while !sim.finished() {
+        assert!(cycles < 100_000, "watchdog: TrueRR run did not finish");
+        sim.step().expect("no faults in this program");
+        cycles += 1;
+    }
+    assert_matches_interp(&sim, &p, 2);
+}
+
+#[test]
+fn cond_switch_rotates_the_active_thread_on_div_triggers() {
+    // Integer divides are switch triggers; a loop of dependent divides gives
+    // ConditionalSwitch repeated reasons to hand fetch to the sibling.
+    let mut b = ProgramBuilder::new();
+    let out = b.alloc_zeroed(8);
+    let [v, d, i, limit, obr] = b.regs();
+    b.li(obr, out as i64);
+    b.li(v, 1_000_000_007);
+    b.li(d, 3);
+    b.li(i, 0);
+    b.li(limit, 8);
+    let top = b.label();
+    b.bind(top);
+    b.div(v, v, d);
+    b.addi(v, v, 17);
+    b.addi(i, i, 1);
+    b.blt(i, limit, top);
+    b.sd(v, obr, 0);
+    b.halt();
+    let p = b.build(2).unwrap();
+
+    let config = SimConfig::default()
+        .with_threads(2)
+        .with_fetch_policy(FetchPolicy::ConditionalSwitch);
+    let mut sim = Simulator::new(config, &p);
+    let mut switches = 0usize;
+    let mut last = sim.fetch_unit().active_thread();
+    let mut saw_pending = false;
+    let mut cycles = 0usize;
+    while !sim.finished() {
+        assert!(cycles < 100_000, "watchdog: CondSwitch run did not finish");
+        let active = sim.fetch_unit().active_thread();
+        switches += usize::from(active != last);
+        saw_pending |= (0..2).any(|t| sim.fetch_unit().has_switch_pending(t));
+        last = active;
+        sim.step().expect("no faults in this program");
+        cycles += 1;
+    }
+    assert!(
+        switches >= 2,
+        "divide triggers must rotate fetch between threads, saw {switches} switches"
+    );
+    assert_matches_interp(&sim, &p, 2);
+    // `saw_pending` may or may not fire depending on whether a switch is
+    // ever deferred; it must at least be consistent with the final state.
+    if saw_pending {
+        assert!(switches >= 1);
+    }
+}

@@ -16,8 +16,10 @@
 //! To regenerate after an intentional pipeline change:
 //!
 //! ```text
-//! cargo test --test store_forwarding -- --ignored regenerate_store_forwarding_goldens
+//! UPDATE_GOLDENS=1 cargo test --test store_forwarding
 //! ```
+
+mod support;
 
 use std::fmt::Write as _;
 
@@ -142,21 +144,7 @@ fn fingerprint() -> String {
 
 #[test]
 fn forwarding_kernel_stats_match_goldens() {
-    let expected = std::fs::read_to_string(GOLDEN_PATH).expect(
-        "golden file missing — run `cargo test --test store_forwarding -- \
-         --ignored regenerate_store_forwarding_goldens` once and commit it",
-    );
-    let actual = fingerprint();
-    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
-        assert_eq!(
-            e,
-            a,
-            "forwarding golden diverged at line {} (config `{}`)",
-            i + 1,
-            a.split_whitespace().next().unwrap_or("?"),
-        );
-    }
-    assert_eq!(expected.lines().count(), actual.lines().count());
+    support::check_golden(GOLDEN_PATH, &fingerprint());
 }
 
 #[test]
@@ -178,14 +166,4 @@ fn forwarding_kernel_matches_functional_interpreter() {
             "{key}: registers diverged"
         );
     }
-}
-
-#[test]
-#[ignore = "regenerates the golden file; run explicitly after intentional behavior changes"]
-fn regenerate_store_forwarding_goldens() {
-    let dir = std::path::Path::new(GOLDEN_PATH)
-        .parent()
-        .expect("golden path has a parent");
-    std::fs::create_dir_all(dir).expect("golden dir");
-    std::fs::write(GOLDEN_PATH, fingerprint()).expect("write goldens");
 }

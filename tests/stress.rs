@@ -304,6 +304,78 @@ fn cross_thread_forwarding_after_sync() {
     }
 }
 
+/// A constantly mispredicted branch sits between two *aliased* stores and a
+/// forwarded load: each arm of the diamond stores a different value to the
+/// same address, and the join immediately loads it back. On every
+/// mispredict the wrong arm's store executes speculatively and is squashed;
+/// if the purge leaves a stale disambiguation/forwarding entry behind, the
+/// join's load forwards the dead arm's value and the accumulated sum
+/// diverges from the reference.
+#[test]
+fn squashed_aliased_store_never_forwards() {
+    let mut b = ProgramBuilder::new();
+    let slot = b.alloc_zeroed(2 * 8);
+    let out = b.alloc_zeroed(6 * 8);
+    let [base, obr, i, limit, par, zero, acc, w, vo, ve, addr] = b.regs();
+    b.li(base, slot as i64);
+    b.li(obr, out as i64);
+    b.li(i, 0);
+    b.li(limit, 100);
+    b.li(zero, 0);
+    b.li(acc, 0);
+    let even_arm = b.label();
+    let join = b.label();
+    let top = b.label();
+    b.bind(top);
+    // Per-iteration values, so a stale forward is visible immediately.
+    b.slli(vo, i, 2);
+    b.addi(vo, vo, 101);
+    b.slli(ve, i, 3);
+    b.addi(ve, ve, 1001);
+    b.andi(par, i, 1);
+    b.beq(par, zero, even_arm); // alternates: mispredicts in steady state
+    b.sd(vo, base, 0); // odd arm — wrong-path squashed on even iterations
+    b.j(join);
+    b.bind(even_arm);
+    b.sd(ve, base, 0); // even arm — wrong-path squashed on odd iterations
+    b.bind(join);
+    b.ld(w, base, 0); // must forward the surviving arm's store only
+    b.add(acc, acc, w);
+    b.addi(i, i, 1);
+    b.blt(i, limit, top);
+    b.slli(addr, b.tid_reg(), 3);
+    b.add(addr, addr, obr);
+    b.sd(acc, addr, 0);
+    b.halt();
+    let p = b.build(4).unwrap();
+
+    for fetch in [
+        FetchPolicy::TrueRoundRobin,
+        FetchPolicy::MaskedRoundRobin,
+        FetchPolicy::ConditionalSwitch,
+    ] {
+        for store_buffer in [1usize, 8] {
+            let config = SimConfig::default()
+                .with_threads(4)
+                .with_fetch_policy(fetch)
+                .with_store_buffer(store_buffer);
+            let mut sim = Simulator::new(config.clone(), &p);
+            let stats = sim.run().unwrap();
+            assert!(
+                stats.squashed > 0,
+                "{fetch:?}/sb{store_buffer}: the diamond must force squashes"
+            );
+            assert!(
+                stats.branches.mispredicted > 50,
+                "{fetch:?}/sb{store_buffer}: alternating branch must mispredict \
+                 (got {})",
+                stats.branches.mispredicted
+            );
+            check_against_interp(&p, config);
+        }
+    }
+}
+
 /// Tiny caches (heavy miss traffic, constant refill-port contention) must
 /// not change architectural results.
 #[test]

@@ -1,0 +1,48 @@
+//! Shared helpers for the integration-test binaries.
+
+/// Compares `actual` against the committed golden file at `path`, reporting
+/// the first divergent line (full-string asserts on hundred-column stat
+/// lines are unreadable).
+///
+/// Run with `UPDATE_GOLDENS=1` to rewrite the golden file in place instead
+/// of comparing — then inspect the diff and commit it together with an
+/// explanation of why the machine's behavior legitimately changed.
+///
+/// # Panics
+///
+/// Panics when the golden is missing or differs (and `UPDATE_GOLDENS` is
+/// not set), or when the file cannot be written (when it is).
+pub fn check_golden(path: &str, actual: &str) {
+    if std::env::var_os("UPDATE_GOLDENS").is_some_and(|v| v == "1") {
+        let dir = std::path::Path::new(path)
+            .parent()
+            .expect("golden path has a parent");
+        std::fs::create_dir_all(dir).expect("golden dir");
+        std::fs::write(path, actual).expect("write goldens");
+        eprintln!("updated golden: {path}");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("golden file {path} unreadable ({e}) — run once with UPDATE_GOLDENS=1 and commit it")
+    });
+    if expected == actual {
+        return;
+    }
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            e,
+            a,
+            "golden {} diverged at line {} (key `{}`); rerun with UPDATE_GOLDENS=1 \
+             if the change is intentional",
+            path,
+            i + 1,
+            a.split_whitespace().next().unwrap_or("?"),
+        );
+    }
+    panic!(
+        "golden {} line count differs: expected {}, got {}",
+        path,
+        expected.lines().count(),
+        actual.lines().count()
+    );
+}
