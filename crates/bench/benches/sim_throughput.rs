@@ -181,6 +181,32 @@ fn bench_fetch_policies(out: &mut Vec<CaseResult>, opts: Opts) {
     }
 }
 
+/// Cost of the observability layer, measured three ways on the same
+/// program: the untraced `run()` path (what every experiment uses — the
+/// sink-off overhead must stay at zero), the CPI-stack accountant alone
+/// (the cheapest useful sink), and the full tracer bundle with a bounded
+/// lifecycle ring (the most expensive supported sink).
+fn bench_trace_overhead(out: &mut Vec<CaseResult>, opts: Opts) {
+    println!("# trace_overhead: Matrix, 4 threads, sink-off vs attached sinks");
+    let w = workload(WorkloadKind::Matrix, Scale::Test);
+    let program = w.build(4).expect("kernel fits");
+    let config = SimConfig::default();
+    bench_case(out, opts, "trace_overhead/matrix/off", || {
+        let mut sim = Simulator::new(config.clone(), &program);
+        sim.run().expect("runs").cycles
+    });
+    bench_case(out, opts, "trace_overhead/matrix/cpi_stack", || {
+        let mut cpi = smt_trace::CpiStack::new(config.block_size as u32);
+        let mut sim = Simulator::new(config.clone(), &program);
+        sim.run_traced(&mut cpi).expect("runs").cycles
+    });
+    bench_case(out, opts, "trace_overhead/matrix/full_tracer", || {
+        let mut tracer = smt_trace::Tracer::new(config.trace_shape(), 1 << 12);
+        let mut sim = Simulator::new(config.clone(), &program);
+        sim.run_traced(&mut tracer).expect("runs").cycles
+    });
+}
+
 fn bench_interpreter(out: &mut Vec<CaseResult>, opts: Opts) {
     println!("# functional interpreter");
     let w = workload(WorkloadKind::Matrix, Scale::Test);
@@ -207,6 +233,7 @@ fn main() {
     bench_workload_simulation(&mut results, opts);
     bench_store_forwarding(&mut results, opts);
     bench_fetch_policies(&mut results, opts);
+    bench_trace_overhead(&mut results, opts);
     bench_interpreter(&mut results, opts);
 
     if let Some(path) = json_path {

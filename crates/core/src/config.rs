@@ -288,6 +288,21 @@ impl SimConfig {
         self.su_depth / self.block_size
     }
 
+    /// The structure capacities the trace instruments size their
+    /// histograms from. `smt-trace` cannot see `SimConfig` without a
+    /// dependency cycle, so the fields are copied over here.
+    #[must_use]
+    pub fn trace_shape(&self) -> smt_trace::MachineShape {
+        smt_trace::MachineShape {
+            width: self.block_size as u32,
+            su_depth: self.su_depth as u32,
+            su_blocks: self.su_blocks() as u32,
+            store_buffer: self.store_buffer as u32,
+            mshrs: self.cache.mshrs as u32,
+            threads: self.threads,
+        }
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -364,6 +379,17 @@ mod tests {
         assert_eq!(cfg.su_blocks(), 16);
         assert!(!cfg.bypass);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn trace_shape_mirrors_the_config() {
+        let shape = SimConfig::default().with_threads(6).trace_shape();
+        assert_eq!(shape.width, 4);
+        assert_eq!(shape.su_depth, 32);
+        assert_eq!(shape.su_blocks, 8);
+        assert_eq!(shape.store_buffer, 8);
+        assert_eq!(shape.mshrs, 1);
+        assert_eq!(shape.threads, 6);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub struct FetchedBlock {
     pub tid: usize,
     /// 1..=block_size instructions.
     pub insns: Vec<FetchedInsn>,
+    /// Cycle the block was fetched (stamped by the simulator's fetch
+    /// stage; lifecycle tracing reports it as the `F` stage start).
+    pub fetched_at: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -248,7 +251,11 @@ impl InstructionUnit {
             self.spare = insns;
             None
         } else {
-            Some(FetchedBlock { tid, insns })
+            Some(FetchedBlock {
+                tid,
+                insns,
+                fetched_at: 0,
+            })
         }
     }
 

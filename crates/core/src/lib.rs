@@ -52,6 +52,12 @@
 //! | [`sim`] | the pipeline itself |
 //! | [`stats`] | [`SimStats`] and the paper's speedup formula |
 //! | [`error`] | [`SimError`] |
+//!
+//! Pipeline observability (lifecycle tracing, CPI-stack stall attribution,
+//! occupancy telemetry) lives in the re-exported [`trace`] crate; attach a
+//! [`trace::TraceSink`] with [`Simulator::run_traced`]. With no sink the
+//! event plumbing compiles away — traced and untraced runs are
+//! cycle-for-cycle identical, and untraced runs pay nothing.
 
 pub mod commit;
 pub mod config;
@@ -62,8 +68,11 @@ pub mod sim;
 pub mod stats;
 pub mod su;
 
+pub use smt_trace as trace;
+
 pub use commit::{CommitSink, Retirement};
 pub use config::{CommitPolicy, ConfigError, FetchPolicy, RenamingMode, SimConfig};
 pub use error::SimError;
 pub use sim::Simulator;
 pub use stats::{BranchStats, SimStats};
+pub use trace::{TraceEvent, TraceSink};

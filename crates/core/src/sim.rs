@@ -12,8 +12,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use smt_isa::semantics::{alu_result, branch_taken, effective_addr};
-use smt_isa::{window_size, FuClass, Opcode, Program, Reg};
+use smt_isa::{window_size, FuClass, Opcode, Program, Reg, MAX_THREADS};
 use smt_mem::{CacheStats, DataCache, MainMemory, Outcome, StoreBuffer};
+use smt_trace::{DecodedSlot, MemKind, Occupancy, RetireKind, SlotCause, TraceEvent, TraceSink};
 use smt_uarch::{BranchPredictor, FuPool, TagAllocator};
 
 use crate::commit::{CommitSink, Retirement};
@@ -84,6 +85,8 @@ pub struct Simulator<'p> {
     /// squash; an address whose stores all left keeps its empty list so
     /// steady state reuses the allocation.
     fwd: HashMap<u64, Vec<FwdStore>, MixState>,
+    /// Next decode-order instruction identity (see [`SuEntry::uid`]).
+    next_uid: u64,
     stats: SimStats,
 }
 
@@ -149,6 +152,7 @@ impl<'p> Simulator<'p> {
             fetch_buffer: None,
             memsync: vec![VecDeque::with_capacity(config.su_depth); config.threads],
             fwd: HashMap::with_capacity_and_hasher(config.su_depth, MixState::default()),
+            next_uid: 0,
             stats: SimStats {
                 committed: vec![0; config.threads],
                 issue_histogram: vec![0; config.issue_width + 1],
@@ -239,7 +243,7 @@ impl<'p> Simulator<'p> {
     /// * [`SimError::Watchdog`] if `max_cycles` elapse first (deadlock),
     /// * [`SimError::Mem`] on a non-speculative memory fault.
     pub fn run(&mut self) -> Result<SimStats, SimError> {
-        self.run_inner(None)
+        self.run_inner(None, None)
     }
 
     /// Runs to completion, delivering every architecturally retired
@@ -254,17 +258,46 @@ impl<'p> Simulator<'p> {
     /// receives one final event with [`Retirement::fault`] set before the
     /// error is returned.
     pub fn run_observed(&mut self, sink: &mut dyn CommitSink) -> Result<SimStats, SimError> {
-        self.run_inner(Some(sink))
+        self.run_inner(Some(sink), None)
     }
 
-    fn run_inner(&mut self, mut sink: Option<&mut dyn CommitSink>) -> Result<SimStats, SimError> {
+    /// Runs to completion, emitting every pipeline lifecycle event into
+    /// `trace` (see [`TraceSink`]). Like a commit sink, a trace sink
+    /// observes the machine but cannot perturb it: traced and untraced runs
+    /// are cycle-for-cycle identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_traced(&mut self, trace: &mut dyn TraceSink) -> Result<SimStats, SimError> {
+        self.run_inner(None, Some(trace))
+    }
+
+    /// Runs with both a commit sink and a trace sink attached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_observed`](Self::run_observed).
+    pub fn run_observed_traced(
+        &mut self,
+        sink: &mut dyn CommitSink,
+        trace: &mut dyn TraceSink,
+    ) -> Result<SimStats, SimError> {
+        self.run_inner(Some(sink), Some(trace))
+    }
+
+    fn run_inner(
+        &mut self,
+        mut sink: Option<&mut dyn CommitSink>,
+        mut trace: Option<&mut dyn TraceSink>,
+    ) -> Result<SimStats, SimError> {
         while !self.finished() {
             if self.cycle >= self.config.max_cycles {
                 return Err(SimError::Watchdog {
                     cycles: self.config.max_cycles,
                 });
             }
-            self.step_inner(sink.as_deref_mut())?;
+            self.step_inner(sink.as_deref_mut(), trace.as_deref_mut())?;
         }
         self.finalize_stats();
         Ok(self.stats.clone())
@@ -276,7 +309,7 @@ impl<'p> Simulator<'p> {
     ///
     /// Same as [`run`](Self::run), minus the watchdog.
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.step_inner(None)
+        self.step_inner(None, None)
     }
 
     /// Advances one cycle, delivering any retirements to `sink`.
@@ -285,19 +318,57 @@ impl<'p> Simulator<'p> {
     ///
     /// Same as [`step`](Self::step).
     pub fn step_observed(&mut self, sink: &mut dyn CommitSink) -> Result<(), SimError> {
-        self.step_inner(Some(sink))
+        self.step_inner(Some(sink), None)
     }
 
-    fn step_inner(&mut self, sink: Option<&mut (dyn CommitSink + '_)>) -> Result<(), SimError> {
-        self.commit_stage(sink)?;
+    /// Advances one cycle, emitting lifecycle events into `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step).
+    pub fn step_traced(&mut self, trace: &mut dyn TraceSink) -> Result<(), SimError> {
+        self.step_inner(None, Some(trace))
+    }
+
+    fn step_inner(
+        &mut self,
+        sink: Option<&mut (dyn CommitSink + '_)>,
+        mut trace: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<(), SimError> {
+        self.commit_stage(sink, trace.as_deref_mut())?;
         self.drain_store_stage()?;
-        self.writeback_stage()?;
-        self.issue_stage()?;
-        self.decode_stage();
+        self.writeback_stage(trace.as_deref_mut())?;
+        self.issue_stage(trace.as_deref_mut())?;
+        self.decode_stage(trace.as_deref_mut());
         self.fetch_stage();
         self.stats.su_occupancy_sum += self.su.num_entries() as u64;
+        if let Some(t) = trace {
+            let occ = self.occupancy();
+            t.event(&TraceEvent::CycleEnd {
+                cycle: self.cycle,
+                occ: &occ,
+            });
+        }
         self.cycle += 1;
         Ok(())
+    }
+
+    /// Snapshot of structure occupancy at the end of the current cycle.
+    fn occupancy(&self) -> Occupancy {
+        let mut resident = [0u32; MAX_THREADS];
+        for block in self.su.blocks() {
+            if block.tid < MAX_THREADS {
+                resident[block.tid] += block.entries.len() as u32;
+            }
+        }
+        Occupancy {
+            su_entries: self.su.num_entries() as u32,
+            su_blocks: self.su.num_blocks() as u32,
+            store_buffer: self.sb.len() as u32,
+            outstanding_misses: self.cache.outstanding_refills(self.cycle) as u32,
+            fetch_buffer: self.fetch_buffer.is_some(),
+            resident,
+        }
     }
 
     fn finalize_stats(&mut self) {
@@ -322,6 +393,7 @@ impl<'p> Simulator<'p> {
     fn commit_stage(
         &mut self,
         mut sink: Option<&mut (dyn CommitSink + '_)>,
+        mut trace: Option<&mut (dyn TraceSink + '_)>,
     ) -> Result<(), SimError> {
         if let Some(i) = self
             .su
@@ -334,7 +406,7 @@ impl<'p> Simulator<'p> {
             // block-level flag makes the common (fault-free) case a single
             // test; the entry scan runs only on the way to aborting.
             if self.su.block(i).has_fault() {
-                let (err, tid, pc, insn) = {
+                let (err, tid, pc, insn, uid) = {
                     let e = self
                         .su
                         .block(i)
@@ -343,7 +415,7 @@ impl<'p> Simulator<'p> {
                         .find(|e| e.fault.is_some())
                         .expect("fault flag implies a faulted entry");
                     let err = e.fault.expect("find predicate guarantees a fault");
-                    (err, e.tid, e.pc, e.insn)
+                    (err, e.tid, e.pc, e.insn, e.uid)
                 };
                 if let Some(s) = sink.as_deref_mut() {
                     s.retired(&Retirement {
@@ -355,6 +427,13 @@ impl<'p> Simulator<'p> {
                         dest: None,
                         mem: None,
                         fault: Some(err),
+                    });
+                }
+                if let Some(t) = trace.as_deref_mut() {
+                    t.event(&TraceEvent::Retired {
+                        cycle: self.cycle,
+                        uid,
+                        kind: RetireKind::Fault,
                     });
                 }
                 return Err(SimError::Mem { err, tid, pc });
@@ -398,6 +477,17 @@ impl<'p> Simulator<'p> {
                                 fault: None,
                             });
                         }
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.event(&TraceEvent::Retired {
+                            cycle: self.cycle,
+                            uid: e.uid,
+                            kind: if architectural {
+                                RetireKind::Arch
+                            } else {
+                                RetireKind::Spin
+                            },
+                        });
                     }
                     if e.insn.op == Opcode::Sd {
                         // A committing block is fault-free, so every one of
@@ -475,7 +565,10 @@ impl<'p> Simulator<'p> {
 
     // ---- writeback --------------------------------------------------------------
 
-    fn writeback_stage(&mut self) -> Result<(), SimError> {
+    fn writeback_stage(
+        &mut self,
+        mut trace: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<(), SimError> {
         // The scheduling unit's completion heap hands out due completions
         // in the reference order: earliest `done_at`, oldest position
         // breaking ties.
@@ -483,18 +576,29 @@ impl<'p> Simulator<'p> {
             let Some((bi, ei)) = self.su.pop_completion(self.cycle) else {
                 break;
             };
-            self.complete_entry(bi, ei)?;
+            self.complete_entry(bi, ei, trace.as_deref_mut())?;
         }
         Ok(())
     }
 
-    fn complete_entry(&mut self, bi: usize, ei: usize) -> Result<(), SimError> {
+    fn complete_entry(
+        &mut self,
+        bi: usize,
+        ei: usize,
+        mut trace: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<(), SimError> {
         let now = self.cycle;
         self.su.mark_done(bi, ei);
         let (tag, tid, pc, insn, result) = {
             let e = &self.su.block(bi).entries[ei];
             (e.tag, e.tid, e.pc, e.insn, e.result)
         };
+        if let Some(t) = trace.as_deref_mut() {
+            t.event(&TraceEvent::Completed {
+                cycle: now,
+                uid: self.su.block(bi).entries[ei].uid,
+            });
+        }
         if insn.is_memsync() {
             let bid = self.su.block(bi).id;
             let q = &mut self.memsync[tid];
@@ -551,7 +655,7 @@ impl<'p> Simulator<'p> {
                 if actual_next != predicted_next {
                     self.stats.branches.mispredicted += 1;
                     self.su.block_mut(bi).entries[ei].mispredicted = true;
-                    self.squash_wrong_path(tid, bi, ei, actual_next);
+                    self.squash_wrong_path(tid, bi, ei, actual_next, trace);
                 }
             }
             _ => {}
@@ -563,13 +667,26 @@ impl<'p> Simulator<'p> {
     /// their tags, and redirect the thread's fetch. (Stores only enter the
     /// store buffer at commit, so nothing speculative can be resident
     /// there.)
-    fn squash_wrong_path(&mut self, tid: usize, bi: usize, ei: usize, correct_pc: usize) {
+    fn squash_wrong_path(
+        &mut self,
+        tid: usize,
+        bi: usize,
+        ei: usize,
+        correct_pc: usize,
+        mut trace: Option<&mut (dyn TraceSink + '_)>,
+    ) {
         let branch_key = (self.su.block(bi).id, ei);
         let removed = self.su.squash_after(tid, bi, ei);
         self.stats.squashed += removed.len() as u64;
         let mut squashed_memsync = 0;
         for r in removed {
             self.tags.free(r.tag);
+            if let Some(t) = trace.as_deref_mut() {
+                t.event(&TraceEvent::Squashed {
+                    cycle: self.cycle,
+                    uid: r.uid,
+                });
+            }
             // Done store/sync entries already left the ordering queue when
             // they completed; only outstanding ones are still tracked.
             if !r.is_done() && r.insn.is_memsync() {
@@ -598,7 +715,10 @@ impl<'p> Simulator<'p> {
 
     // ---- issue ---------------------------------------------------------------------
 
-    fn issue_stage(&mut self) -> Result<(), SimError> {
+    fn issue_stage(
+        &mut self,
+        mut trace: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<(), SimError> {
         let mut budget = self.config.issue_width;
         let mut bi = 0;
         while bi < self.su.num_blocks() && budget > 0 {
@@ -611,7 +731,7 @@ impl<'p> Simulator<'p> {
             }
             let mut ei = 0;
             while ei < self.su.block(bi).entries.len() && budget > 0 {
-                if self.try_issue_entry(bi, ei)? {
+                if self.try_issue_entry(bi, ei, trace.as_deref_mut())? {
                     budget -= 1;
                     self.stats.issued += 1;
                 }
@@ -625,7 +745,12 @@ impl<'p> Simulator<'p> {
     }
 
     /// Attempts to issue the entry at `(bi, ei)`. Returns whether it issued.
-    fn try_issue_entry(&mut self, bi: usize, ei: usize) -> Result<bool, SimError> {
+    fn try_issue_entry(
+        &mut self,
+        bi: usize,
+        ei: usize,
+        trace: Option<&mut (dyn TraceSink + '_)>,
+    ) -> Result<bool, SimError> {
         let now = self.cycle;
         let bypass = self.config.bypass;
         let (insn, tid, a, b) = {
@@ -656,16 +781,19 @@ impl<'p> Simulator<'p> {
                     return Ok(false);
                 }
                 let addr = effective_addr(a, insn.imm);
-                let (result, fault, data_ready) = match self.mem.read(addr) {
-                    Err(err) => (0, Some(err), now), // speculative fault: defer
+                let (result, fault, data_ready, memk) = match self.mem.read(addr) {
+                    Err(err) => (0, Some(err), now, MemKind::None), // speculative fault: defer
                     Ok(mem_value) => match self.forward_value(tid, bid, ei, addr) {
                         // Forwarded data bypasses the cache entirely.
-                        Some(v) => (v, None, now),
+                        Some(v) => (v, None, now, MemKind::Forwarded),
                         None => match self.cache.access(addr, now) {
                             Outcome::Blocked { .. } => return Ok(false),
-                            Outcome::Hit => (mem_value, None, now),
-                            Outcome::Miss { ready_at } | Outcome::PendingHit { ready_at } => {
-                                (mem_value, None, ready_at)
+                            Outcome::Hit => (mem_value, None, now, MemKind::Hit),
+                            Outcome::Miss { ready_at } => {
+                                (mem_value, None, ready_at, MemKind::Miss)
+                            }
+                            Outcome::PendingHit { ready_at } => {
+                                (mem_value, None, ready_at, MemKind::PendingHit)
                             }
                         },
                     },
@@ -678,10 +806,12 @@ impl<'p> Simulator<'p> {
                 let block = self.su.block_mut(bi);
                 block.entries[ei].result = result;
                 block.entries[ei].mem_addr = addr;
+                block.entries[ei].dcache_miss = data_ready > now;
                 if let Some(err) = fault {
                     block.set_fault(ei, err);
                 }
                 self.su.mark_executing(bi, ei, done_at);
+                self.emit_issued(bi, ei, done_at, memk, trace);
                 Ok(true)
             }
             FuClass::Store => {
@@ -704,6 +834,7 @@ impl<'p> Simulator<'p> {
                     block.set_fault(ei, err);
                 }
                 self.su.mark_executing(bi, ei, done_at);
+                self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                 Ok(true)
             }
             FuClass::Sync => {
@@ -726,6 +857,7 @@ impl<'p> Simulator<'p> {
                         let done_at = self.fu.try_issue(class, now).expect("checked");
                         self.su.block_mut(bi).entries[ei].sync_satisfied = satisfied;
                         self.su.mark_executing(bi, ei, done_at);
+                        self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                         Ok(true)
                     }
                     Opcode::Post => {
@@ -741,6 +873,7 @@ impl<'p> Simulator<'p> {
                         // Stash the address in `result` for writeback.
                         self.su.block_mut(bi).entries[ei].result = a;
                         self.su.mark_executing(bi, ei, done_at);
+                        self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                         Ok(true)
                     }
                     other => unreachable!("non-sync opcode {other} in sync class"),
@@ -760,6 +893,7 @@ impl<'p> Simulator<'p> {
                 e.taken = taken;
                 e.target = target;
                 self.su.mark_executing(bi, ei, done_at);
+                self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                 Ok(true)
             }
             _ => {
@@ -769,8 +903,30 @@ impl<'p> Simulator<'p> {
                 let done_at = self.fu.try_issue(class, now).expect("checked");
                 self.su.block_mut(bi).entries[ei].result = alu_result(insn.op, a, b, insn.imm);
                 self.su.mark_executing(bi, ei, done_at);
+                self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                 Ok(true)
             }
+        }
+    }
+
+    /// Emits the [`TraceEvent::Issued`] event for the entry at `(bi, ei)`.
+    fn emit_issued(
+        &self,
+        bi: usize,
+        ei: usize,
+        done_at: u64,
+        mem: MemKind,
+        trace: Option<&mut (dyn TraceSink + '_)>,
+    ) {
+        if let Some(t) = trace {
+            let e = &self.su.block(bi).entries[ei];
+            t.event(&TraceEvent::Issued {
+                cycle: self.cycle,
+                uid: e.uid,
+                fu: e.insn.fu,
+                done_at,
+                mem,
+            });
         }
     }
 
@@ -817,14 +973,33 @@ impl<'p> Simulator<'p> {
 
     // ---- decode ---------------------------------------------------------------------
 
-    fn decode_stage(&mut self) {
+    fn decode_stage(&mut self, trace: Option<&mut (dyn TraceSink + '_)>) {
+        // Slot accounting contract (see `smt_trace`): every cycle this stage
+        // disposes of exactly `block_size` decode slots — each is either a
+        // `Decoded` instruction or part of a `SlotsLost` with a leaf cause —
+        // so the CPI stack sums to `block_size × cycles` by construction.
+        let width = self.config.block_size as u32;
         if self.fetch_buffer.is_none() {
+            if let Some(t) = trace {
+                t.event(&TraceEvent::SlotsLost {
+                    cycle: self.cycle,
+                    cause: self.frontend_starve_cause(),
+                    slots: width,
+                });
+            }
             return;
         }
         if !self.su.has_space() {
             // The paper's "scheduling unit stall": entries cannot shift, so
             // no new block enters.
             self.stats.su_stall_cycles += 1;
+            if let Some(t) = trace {
+                t.event(&TraceEvent::SlotsLost {
+                    cycle: self.cycle,
+                    cause: self.head_stall_cause(),
+                    slots: width,
+                });
+            }
             return;
         }
         let block = self.fetch_buffer.take().expect("checked non-empty");
@@ -874,6 +1049,8 @@ impl<'p> Simulator<'p> {
                 .alloc()
                 .expect("tag pool sized to the scheduling unit");
             let mut entry = SuEntry::new(tag, tid, f.pc, f.insn, ops);
+            entry.uid = self.next_uid;
+            self.next_uid += 1;
             entry.predicted_taken = f.predicted_taken;
             entry.predicted_target = f.predicted_target;
             match f.insn.op {
@@ -926,6 +1103,21 @@ impl<'p> Simulator<'p> {
             // Scoreboard stall on the very first instruction: retry the
             // whole group next cycle.
             self.su.recycle_storage(entries);
+            if let Some(t) = trace {
+                let held = block.insns.len() as u32;
+                t.event(&TraceEvent::SlotsLost {
+                    cycle: self.cycle,
+                    cause: SlotCause::OperandWait,
+                    slots: held.min(width),
+                });
+                if width > held {
+                    t.event(&TraceEvent::SlotsLost {
+                        cycle: self.cycle,
+                        cause: SlotCause::Fragment,
+                        slots: width - held,
+                    });
+                }
+            }
             self.fetch_buffer = Some(block);
             return;
         }
@@ -936,14 +1128,129 @@ impl<'p> Simulator<'p> {
                 self.memsync[tid].push_back((bid, ei));
             }
         }
+        if let Some(t) = trace {
+            for (ei, e) in self.su.block(bi).entries.iter().enumerate() {
+                t.event(&TraceEvent::Decoded {
+                    cycle: self.cycle,
+                    slot: &DecodedSlot {
+                        uid: e.uid,
+                        tid,
+                        pc: e.pc,
+                        insn: e.insn,
+                        block: bid,
+                        entry: ei,
+                        fetched_at: block.fetched_at,
+                    },
+                });
+            }
+            // Slots not filled by decoded instructions: held by a
+            // scoreboard-stalled remainder (retried next cycle), or simply
+            // absent from a short fetch group / discarded past a
+            // block-ending instruction.
+            let decoded = self.su.block(bi).entries.len() as u32;
+            let held = (leftover.len() as u32).min(width - decoded);
+            if held > 0 {
+                t.event(&TraceEvent::SlotsLost {
+                    cycle: self.cycle,
+                    cause: SlotCause::OperandWait,
+                    slots: held,
+                });
+            }
+            if width > decoded + held {
+                t.event(&TraceEvent::SlotsLost {
+                    cycle: self.cycle,
+                    cause: SlotCause::Fragment,
+                    slots: width - decoded - held,
+                });
+            }
+        }
         if !leftover.is_empty() {
             self.fetch_buffer = Some(FetchedBlock {
                 tid,
                 insns: leftover,
+                fetched_at: block.fetched_at,
             });
         } else {
             // The consumed fetch group's storage goes back to the fetcher.
             self.iu.recycle(block.insns);
+        }
+    }
+
+    /// Why the decode frontend has nothing to offer this cycle: every
+    /// unretired thread is parked on a `WAIT` (synchronization), or fetch
+    /// simply produced no block (thread count, wasted fetch slots, drain).
+    fn frontend_starve_cause(&self) -> SlotCause {
+        let mut unretired = 0usize;
+        let mut suspended = 0usize;
+        for tid in 0..self.config.threads {
+            if !self.iu.is_retired(tid) {
+                unretired += 1;
+                if self.iu.is_suspended(tid) {
+                    suspended += 1;
+                }
+            }
+        }
+        if unretired > 0 && suspended == unretired {
+            SlotCause::SyncWait
+        } else {
+            SlotCause::FetchStarved
+        }
+    }
+
+    /// Why the scheduling unit is full: classifies the oldest unfinished
+    /// instruction of the bottom (oldest) block — the head of the machine —
+    /// since nothing can shift until it leaves. Called only on a decode
+    /// stall with a full unit, so a bottom block exists.
+    fn head_stall_cause(&self) -> SlotCause {
+        let now = self.cycle;
+        let block = self.su.block(0);
+        let Some((ei, e)) = block.entries.iter().enumerate().find(|(_, e)| !e.is_done()) else {
+            // Everything in the bottom block is done but it has not left:
+            // commit bandwidth (one block per cycle) or a store stuck on a
+            // full store buffer.
+            return if self.sb.len() == self.sb.capacity() {
+                SlotCause::StoreBufFull
+            } else {
+                SlotCause::SuFull
+            };
+        };
+        match e.state {
+            EntryState::Waiting => {
+                if !e.operands_ready(now, self.config.bypass) {
+                    return SlotCause::OperandWait;
+                }
+                match e.insn.fu {
+                    FuClass::Sync => SlotCause::SyncWait,
+                    class @ (FuClass::Load | FuClass::Store) => {
+                        let older_memsync = self.memsync[e.tid]
+                            .front()
+                            .is_some_and(|&front| front < (block.id, ei));
+                        if older_memsync {
+                            SlotCause::MemOrder
+                        } else if class == FuClass::Load
+                            && self.fu.can_issue(class, now)
+                            && self.cache.refill_busy(now)
+                        {
+                            // The FU would take it, but every MSHR is busy,
+                            // so the cache rejects new accesses.
+                            SlotCause::DCachePort
+                        } else {
+                            SlotCause::FuBusy
+                        }
+                    }
+                    _ => SlotCause::FuBusy,
+                }
+            }
+            EntryState::Executing { .. } => {
+                if e.insn.fu == FuClass::Load && e.dcache_miss {
+                    SlotCause::DCacheMiss
+                } else if e.insn.fu == FuClass::Sync {
+                    SlotCause::SyncWait
+                } else {
+                    SlotCause::FuBusy
+                }
+            }
+            EntryState::Done => unreachable!("filtered above"),
         }
     }
 
@@ -967,7 +1274,8 @@ impl<'p> Simulator<'p> {
             return;
         };
         match self.iu.fetch_block(tid, self.program, &mut self.predictor) {
-            Some(block) => {
+            Some(mut block) => {
+                block.fetched_at = self.cycle;
                 self.stats.fetched_blocks += 1;
                 self.fetch_buffer = Some(block);
             }

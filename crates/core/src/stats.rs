@@ -106,6 +106,21 @@ impl SimStats {
         }
     }
 
+    /// Instructions committed per cycle, per thread (indexed by tid).
+    /// Cycles are shared — the per-thread IPCs sum to [`ipc`](Self::ipc) —
+    /// so this is each thread's share of the machine's throughput, the
+    /// fairness view the aggregate number hides.
+    #[must_use]
+    pub fn per_thread_ipc(&self) -> Vec<f64> {
+        if self.cycles == 0 {
+            return vec![0.0; self.committed.len()];
+        }
+        self.committed
+            .iter()
+            .map(|&c| c as f64 / self.cycles as f64)
+            .collect()
+    }
+
     /// Average scheduling-unit occupancy in entries.
     #[must_use]
     pub fn avg_su_occupancy(&self) -> f64 {
@@ -170,6 +185,10 @@ mod tests {
         };
         assert_eq!(stats.committed_total(), 250);
         assert!((stats.ipc() - 2.5).abs() < 1e-12);
+        let per = stats.per_thread_ipc();
+        assert!((per[0] - 1.2).abs() < 1e-12);
+        assert!((per[1] - 1.3).abs() < 1e-12);
+        assert!((per.iter().sum::<f64>() - stats.ipc()).abs() < 1e-12);
     }
 
     #[test]

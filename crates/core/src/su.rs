@@ -108,6 +108,10 @@ pub enum EntryState {
 pub struct SuEntry {
     /// Globally unique renaming tag.
     pub tag: Tag,
+    /// Decode-order instruction identity (unique per run, never reused —
+    /// unlike tags). This is the key lifecycle tracing uses to correlate
+    /// events across stages.
+    pub uid: u64,
     /// Owning thread.
     pub tid: usize,
     /// Instruction index (for predictor updates and debugging).
@@ -144,6 +148,10 @@ pub struct SuEntry {
     /// and the thread refetches it, exactly like a software spin loop —
     /// so a waiting thread can never clog the commit window.
     pub sync_satisfied: bool,
+    /// Whether an issued load's data comes back later than issue (cache
+    /// miss or pending hit) — lets stall attribution tell a memory-bound
+    /// head block from an execution-bound one.
+    pub dcache_miss: bool,
 }
 
 impl SuEntry {
@@ -152,6 +160,7 @@ impl SuEntry {
     pub fn new(tag: Tag, tid: usize, pc: usize, insn: DecodedInsn, ops: [Operand; 2]) -> Self {
         SuEntry {
             tag,
+            uid: 0,
             tid,
             pc,
             insn,
@@ -167,6 +176,7 @@ impl SuEntry {
             mem_addr: 0,
             store_buffered: false,
             sync_satisfied: false,
+            dcache_miss: false,
         }
     }
 

@@ -13,14 +13,22 @@
 //! cargo run --release -p smt-experiments --bin fuzz -- --seeds 500
 //! cargo run --release -p smt-experiments --bin fuzz -- --start-seed 1000 --seeds 100
 //! cargo run --release -p smt-experiments --bin fuzz -- --workers 4
+//! cargo run --release -p smt-experiments --bin fuzz -- --trace-on-divergence
 //! ```
+//!
+//! With `--trace-on-divergence`, each minimized failure is re-run with a
+//! windowed lifecycle recorder and the report gains the per-instruction
+//! fetch/decode/issue/writeback/retire timeline around the diverging
+//! cycle — the pipeline's view of the bug, not just its first symptom.
 
 use std::time::Instant;
 
-use smt_core::{FetchPolicy, SimConfig};
+use smt_core::{FetchPolicy, SimConfig, Simulator};
+use smt_isa::Program;
 use smt_oracle::verify;
 use smt_testkit::progen::{GenConfig, Plan};
 use smt_testkit::shrink;
+use smt_trace::Tracer;
 
 const POLICIES: [FetchPolicy; 3] = [
     FetchPolicy::TrueRoundRobin,
@@ -48,9 +56,31 @@ struct Failure {
     report: String,
 }
 
+/// Cycles either side of the divergence covered by the lifecycle window.
+const TRACE_SPAN: u64 = 32;
+
+/// Re-runs `program` with a lifecycle recorder windowed around the
+/// diverging cycle and renders the captured timeline. The rerun may end in
+/// a fault or hang (that can be the divergence itself); the window is
+/// whatever was recorded up to that point.
+fn lifecycle_window(program: &Program, policy: FetchPolicy, threads: usize, cycle: u64) -> String {
+    let cfg = config(policy, threads);
+    let (start, end) = (cycle.saturating_sub(TRACE_SPAN), cycle + TRACE_SPAN);
+    let cap = usize::try_from((end - start + 1) * cfg.block_size as u64).unwrap_or(4096);
+    let mut tracer = Tracer::new(cfg.trace_shape(), cap).with_window(start, end);
+    let mut sim = Simulator::new(cfg, program);
+    let outcome = sim.run_traced(&mut tracer);
+    let mut out = format!("lifecycle window, instructions decoded in cycles {start}..={end}:\n");
+    out.push_str(&tracer.lifecycle.render());
+    if let Err(e) = outcome {
+        out.push_str(&format!("(traced rerun ended early: {e})\n"));
+    }
+    out
+}
+
 /// Verifies one seed at every (policy, thread count) point. Returns the
 /// number of verifications done and the first failure, minimized.
-fn fuzz_seed(seed: u64, gen_cfg: &GenConfig) -> (u64, Option<Failure>) {
+fn fuzz_seed(seed: u64, gen_cfg: &GenConfig, trace: bool) -> (u64, Option<Failure>) {
     let plan = Plan::generate(seed, gen_cfg);
     let mut runs = 0;
     for threads in THREAD_COUNTS {
@@ -60,7 +90,7 @@ fn fuzz_seed(seed: u64, gen_cfg: &GenConfig) -> (u64, Option<Failure>) {
         for policy in POLICIES {
             runs += 1;
             if let Err(d) = verify(&program, config(policy, threads)) {
-                return (runs, Some(minimize(&plan, policy, threads, &d)));
+                return (runs, Some(minimize(&plan, policy, threads, &d, trace)));
             }
         }
     }
@@ -74,6 +104,7 @@ fn minimize(
     policy: FetchPolicy,
     threads: usize,
     original: &smt_oracle::Divergence,
+    trace: bool,
 ) -> Failure {
     let mask = shrink::minimize(plan.mask_len(), |mask| {
         plan.build(mask, threads)
@@ -93,12 +124,17 @@ fn minimize(
     for (pc, insn) in minimized.text().iter().enumerate() {
         listing.push_str(&format!("    {pc:4}: {insn}\n"));
     }
+    let window = if trace {
+        lifecycle_window(&minimized, policy, threads, divergence.cycle)
+    } else {
+        String::new()
+    };
     let report = format!(
         "seed {seed} diverges under {policy} with {threads} thread(s)\n\
          minimized mask: {mask_bits}  ({desc})\n\
          repro: Plan::generate({seed}, &GenConfig::default()).build(&mask, {threads})\n\
          {divergence}\n\
-         minimized program ({len} instructions):\n{listing}",
+         minimized program ({len} instructions):\n{listing}{window}",
         seed = plan.seed,
         desc = plan.describe(&mask),
         len = minimized.text().len(),
@@ -133,6 +169,7 @@ fn main() {
         |v| v.parse().expect("--workers takes a positive integer"),
     );
     let workers = workers.clamp(1, seeds.max(1) as usize);
+    let trace = args.iter().any(|a| a == "--trace-on-divergence");
     let gen_cfg = GenConfig::default();
 
     let began = Instant::now();
@@ -147,7 +184,7 @@ fn main() {
                     let mut failures = Vec::new();
                     let mut seed = start + w;
                     while seed < start + seeds {
-                        let (r, failure) = fuzz_seed(seed, gen_cfg);
+                        let (r, failure) = fuzz_seed(seed, gen_cfg, trace);
                         runs += r;
                         failures.extend(failure);
                         seed += workers as u64;

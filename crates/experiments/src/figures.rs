@@ -539,6 +539,90 @@ pub fn ext_fetch_alignment(runner: &mut Runner) -> Table {
     t
 }
 
+/// Observability — per-thread commit counts and IPC shares at the default
+/// 4-thread point. Cycles are shared, so the per-thread IPCs sum to the
+/// aggregate; the spread between the busiest and laziest thread is the
+/// fairness the aggregate number hides (True Round Robin hands every
+/// thread the same fetch slots, but sync stalls and cache misses land
+/// unevenly).
+pub fn obs_per_thread_ipc(runner: &mut Runner) -> Table {
+    let mut t = Table::new(
+        "Observability: per-thread IPC",
+        "per-thread committed instructions and IPC share (4 threads, True Round Robin)",
+        &[
+            "T0 insns", "T1 insns", "T2 insns", "T3 insns", "T0 IPC", "T1 IPC", "T2 IPC", "T3 IPC",
+            "IPC",
+        ],
+    );
+    for kind in WorkloadKind::ALL {
+        let o = runner.run(RunKey::default_point(kind));
+        let per = o.stats.per_thread_ipc();
+        let mut row: Vec<Cell> = o
+            .stats
+            .committed
+            .iter()
+            .map(|&c| Cell::Int(c))
+            .chain(per.iter().map(|&i| Cell::Float(i)))
+            .collect();
+        // The recording pass hands back a default-stats dummy with no
+        // per-thread vectors; pad so the row width check holds either way.
+        row.resize(8, Cell::Int(0));
+        row.push(Cell::Float(o.stats.ipc()));
+        t.push_row(kind.name(), row);
+    }
+    t
+}
+
+/// Thread counts for the CPI-stack table. Matrix and LL7 need 17 and 19
+/// architectural registers, more than the 16-register split an 8-thread
+/// partition would leave, so the sweep tops out at the paper's 6 threads.
+const CPI_STACK_THREADS: [usize; 3] = [1, 4, 6];
+
+/// Observability — the CPI stack of the FLOP-dense benchmarks across the
+/// thread sweep: where the machine's 4 slots/cycle of frontend bandwidth
+/// actually went. The `committed %` column is machine utilization; the
+/// loss columns explain the saturation knee (see EXPERIMENTS.md).
+pub fn obs_cpi_stack(runner: &mut Runner) -> Table {
+    let causes = [
+        ("committed", smt_trace::SlotCause::Committed),
+        ("fragment", smt_trace::SlotCause::Fragment),
+        ("fetch-starved", smt_trace::SlotCause::FetchStarved),
+        ("sync-wait", smt_trace::SlotCause::SyncWait),
+        ("operand-wait", smt_trace::SlotCause::OperandWait),
+        ("fu-busy", smt_trace::SlotCause::FuBusy),
+        ("dcache-miss", smt_trace::SlotCause::DCacheMiss),
+        ("su-full", smt_trace::SlotCause::SuFull),
+        ("squash", smt_trace::SlotCause::SquashDiscard),
+    ];
+    let mut columns = vec!["CPI".to_string()];
+    columns.extend(causes.iter().map(|(name, _)| format!("{name} %")));
+    columns.push("other %".to_string());
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Observability: CPI stack",
+        "slot-bandwidth attribution in percent of 4 slots/cycle (True Round Robin)",
+        &col_refs,
+    );
+    for kind in [WorkloadKind::Matrix, WorkloadKind::Ll7] {
+        for threads in CPI_STACK_THREADS {
+            let b = runner.run_cpi(RunKey {
+                threads,
+                ..RunKey::default_point(kind)
+            });
+            let mut row = vec![Cell::Float(b.cpi())];
+            let mut listed = 0.0;
+            for &(_, cause) in &causes {
+                let pct = b.share_pct(cause);
+                listed += pct;
+                row.push(Cell::Float(pct));
+            }
+            row.push(Cell::Float((100.0 - listed).max(0.0)));
+            t.push_row(format!("{} x{threads}", kind.name()), row);
+        }
+    }
+    t
+}
+
 /// A named table generator, as listed by [`all`].
 pub type Generator = fn(&mut Runner) -> Table;
 
@@ -567,6 +651,8 @@ pub fn all() -> Vec<(&'static str, Generator)> {
         ("ablation_miss_penalty", ablation_miss_penalty),
         ("ext_cache_ports", ext_cache_ports),
         ("ext_fetch_alignment", ext_fetch_alignment),
+        ("obs_per_thread", obs_per_thread_ipc),
+        ("obs_cpi_stack", obs_cpi_stack),
     ]
 }
 
@@ -612,6 +698,47 @@ mod tests {
 
     #[test]
     fn generator_registry_is_complete() {
-        assert_eq!(all().len(), 21);
+        assert_eq!(all().len(), 23);
+    }
+
+    #[test]
+    fn per_thread_ipcs_sum_to_the_aggregate() {
+        let mut r = Runner::new(Scale::Test);
+        let t = obs_per_thread_ipc(&mut r);
+        assert_eq!(t.rows.len(), 11);
+        for row in &t.rows {
+            let floats: Vec<f64> = row
+                .values
+                .iter()
+                .filter_map(|c| match c {
+                    Cell::Float(v) => Some(*v),
+                    Cell::Int(_) => None,
+                    other => panic!("{other:?}"),
+                })
+                .collect();
+            assert_eq!(floats.len(), 5, "{row:?}");
+            let sum: f64 = floats[..4].iter().sum();
+            assert!((sum - floats[4]).abs() < 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn cpi_stack_shares_cover_the_bandwidth() {
+        let mut r = Runner::new(Scale::Test);
+        let t = obs_cpi_stack(&mut r);
+        assert_eq!(t.rows.len(), 6); // 2 benchmarks × 3 thread counts
+        for row in &t.rows {
+            let shares: f64 = row.values[1..]
+                .iter()
+                .map(|c| match c {
+                    Cell::Float(v) => *v,
+                    other => panic!("{other:?}"),
+                })
+                .sum();
+            assert!(
+                (shares - 100.0).abs() < 0.5,
+                "listed + other must cover ~100 %: {row:?}"
+            );
+        }
     }
 }

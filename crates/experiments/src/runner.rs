@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 use smt_core::{CommitPolicy, FetchPolicy, SimConfig, SimStats, Simulator};
 use smt_isa::{FuClass, Program};
 use smt_mem::CacheKind;
+use smt_trace::{CpiBreakdown, CpiStack, SlotCause};
 use smt_uarch::FuConfig;
 use smt_workloads::{workload, Scale, WorkloadKind};
 
@@ -119,6 +120,14 @@ pub enum Job {
     /// An arbitrary-configuration run ([`Runner::run_config`]). The
     /// configuration is boxed to keep the enum small next to [`RunKey`].
     Config(WorkloadKind, Box<SimConfig>),
+    /// A traced run accumulating the CPI stack ([`Runner::run_cpi`]).
+    Cpi(RunKey),
+}
+
+/// The result of one prewarm job, matching the [`Job`] variant.
+enum WarmOutcome {
+    Plain(Box<RunOutcome>),
+    Cpi(Box<CpiBreakdown>),
 }
 
 /// Memo of built (and predecoded) kernels keyed `(kind, threads)`. The
@@ -183,6 +192,35 @@ fn execute(
     }
 }
 
+/// Like [`execute`], but with a [`CpiStack`] attached: returns the slot
+/// attribution of the run instead of the raw counters. Verified the same
+/// way, and the sum invariant (`slots == block_size × cycles`) is asserted
+/// on every prewarmed/memoized breakdown.
+fn execute_cpi(
+    scale: Scale,
+    kind: WorkloadKind,
+    config: &SimConfig,
+    programs: &ProgramCache,
+) -> CpiBreakdown {
+    let w = workload(kind, scale);
+    let program = programs.get(scale, kind, config.threads);
+    let mut sim = Simulator::new(config.clone(), &program);
+    let mut cpi = CpiStack::new(config.block_size as u32);
+    let stats = sim
+        .run_traced(&mut cpi)
+        .unwrap_or_else(|e| panic!("{} under {config:?}: {e}", w.name()));
+    w.check(sim.memory().words())
+        .unwrap_or_else(|e| panic!("{} under {config:?}: wrong answer: {e}", w.name()));
+    let breakdown = cpi.finish();
+    assert_eq!(
+        breakdown.total_slots(),
+        config.block_size as u64 * stats.cycles,
+        "{}: CPI stack must account every slot",
+        w.name()
+    );
+    breakdown
+}
+
 /// A placeholder outcome handed out while recording. `cycles` is 1 so the
 /// generators' ratios and speedup formulas stay finite.
 fn dummy_outcome() -> RunOutcome {
@@ -195,11 +233,25 @@ fn dummy_outcome() -> RunOutcome {
     }
 }
 
+/// Placeholder breakdown for the recording pass: one committed slot in one
+/// one-wide cycle, so shares and CPIs stay finite.
+fn dummy_breakdown() -> CpiBreakdown {
+    let mut slots = [0u64; SlotCause::COUNT];
+    slots[SlotCause::Committed.index()] = 1;
+    CpiBreakdown {
+        width: 1,
+        cycles: 1,
+        committed: 1,
+        slots,
+    }
+}
+
 /// Memoizing, self-verifying runner.
 pub struct Runner {
     scale: Scale,
     cache: HashMap<RunKey, RunOutcome>,
     config_cache: HashMap<(WorkloadKind, SimConfig), RunOutcome>,
+    cpi_cache: HashMap<RunKey, CpiBreakdown>,
     programs: ProgramCache,
     runs: u64,
     sim_cycles: u64,
@@ -214,6 +266,7 @@ impl Runner {
             scale,
             cache: HashMap::new(),
             config_cache: HashMap::new(),
+            cpi_cache: HashMap::new(),
             programs: ProgramCache::default(),
             runs: 0,
             sim_cycles: 0,
@@ -284,6 +337,7 @@ impl Runner {
                 Job::Config(kind, cfg) => !self
                     .config_cache
                     .contains_key(&(*kind, cfg.as_ref().clone())),
+                Job::Cpi(key) => !self.cpi_cache.contains_key(key),
             })
             .collect();
         if pending.is_empty() {
@@ -295,7 +349,7 @@ impl Runner {
         // Shard round-robin: neighbouring jobs (same figure, similar cost)
         // spread across workers, which balances better than contiguous
         // chunks when one sweep's simulations dwarf another's.
-        let outcomes: Vec<Vec<(&Job, RunOutcome)>> = std::thread::scope(|s| {
+        let outcomes: Vec<Vec<(&Job, WarmOutcome)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let shard: Vec<&Job> =
@@ -305,10 +359,21 @@ impl Runner {
                             .into_iter()
                             .map(|job| {
                                 let outcome = match job {
-                                    Job::Key(key) => {
-                                        execute(scale, key.kind, &key.to_config(), programs)
-                                    }
-                                    Job::Config(kind, cfg) => execute(scale, *kind, cfg, programs),
+                                    Job::Key(key) => WarmOutcome::Plain(Box::new(execute(
+                                        scale,
+                                        key.kind,
+                                        &key.to_config(),
+                                        programs,
+                                    ))),
+                                    Job::Config(kind, cfg) => WarmOutcome::Plain(Box::new(
+                                        execute(scale, *kind, cfg, programs),
+                                    )),
+                                    Job::Cpi(key) => WarmOutcome::Cpi(Box::new(execute_cpi(
+                                        scale,
+                                        key.kind,
+                                        &key.to_config(),
+                                        programs,
+                                    ))),
                                 };
                                 (job, outcome)
                             })
@@ -323,15 +388,20 @@ impl Runner {
         });
         for (job, outcome) in outcomes.into_iter().flatten() {
             self.runs += 1;
-            self.sim_cycles += outcome.cycles;
-            match job {
-                Job::Key(key) => {
-                    self.cache.insert(*key, outcome);
+            match (job, outcome) {
+                (Job::Key(key), WarmOutcome::Plain(o)) => {
+                    self.sim_cycles += o.cycles;
+                    self.cache.insert(*key, *o);
                 }
-                Job::Config(kind, cfg) => {
-                    self.config_cache
-                        .insert((*kind, cfg.as_ref().clone()), outcome);
+                (Job::Config(kind, cfg), WarmOutcome::Plain(o)) => {
+                    self.sim_cycles += o.cycles;
+                    self.config_cache.insert((*kind, cfg.as_ref().clone()), *o);
                 }
+                (Job::Cpi(key), WarmOutcome::Cpi(b)) => {
+                    self.sim_cycles += b.cycles;
+                    self.cpi_cache.insert(*key, *b);
+                }
+                _ => unreachable!("job and outcome variants always match"),
             }
         }
     }
@@ -367,6 +437,31 @@ impl Runner {
     pub fn extra_fu_usage(&mut self, key: RunKey, class: FuClass) -> f64 {
         let o = self.run(key);
         o.stats.fu.extra_unit_pct(class, o.cycles)
+    }
+
+    /// Runs (or recalls) the simulation at `key` with a [`CpiStack`]
+    /// attached, returning the slot-bandwidth attribution. Traced runs are
+    /// cycle-for-cycle identical to untraced ones (the golden tests prove
+    /// it), so this shares the program cache but keeps its own memo — the
+    /// untraced caches stay warm for the counter-based figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation errors, fails verification, or the stack
+    /// does not sum to `block_size × cycles`.
+    pub fn run_cpi(&mut self, key: RunKey) -> CpiBreakdown {
+        if let Some(jobs) = &mut self.recording {
+            jobs.push(Job::Cpi(key));
+            return dummy_breakdown();
+        }
+        if let Some(hit) = self.cpi_cache.get(&key) {
+            return hit.clone();
+        }
+        let breakdown = execute_cpi(self.scale, key.kind, &key.to_config(), &self.programs);
+        self.runs += 1;
+        self.sim_cycles += breakdown.cycles;
+        self.cpi_cache.insert(key, breakdown.clone());
+        breakdown
     }
 
     /// Runs a benchmark under an arbitrary configuration (for the ablation
@@ -504,6 +599,34 @@ mod tests {
             runs_after_warm,
             "generation pass is all cache hits"
         );
+    }
+
+    #[test]
+    fn cpi_runs_memoize_and_prewarm() {
+        let key = RunKey::default_point(WorkloadKind::Sieve);
+        let mut serial = Runner::new(Scale::Test);
+        let expected = serial.run_cpi(key);
+        let again = serial.run_cpi(key);
+        assert_eq!(serial.runs(), 1, "second demand is a cache hit");
+        assert_eq!(expected.slots, again.slots);
+        assert_eq!(expected.total_slots(), 4 * expected.cycles);
+
+        let mut warmed = Runner::new(Scale::Test);
+        warmed.prewarm(&[Job::Cpi(key), Job::Cpi(key)], 2);
+        assert_eq!(warmed.runs(), 1, "duplicates are not rerun");
+        let got = warmed.run_cpi(key);
+        assert_eq!(warmed.runs(), 1, "generation pass is a cache hit");
+        assert_eq!(got.slots, expected.slots);
+    }
+
+    #[test]
+    fn cpi_recording_returns_a_finite_dummy() {
+        let mut r = Runner::recorder(Scale::Test);
+        let key = RunKey::default_point(WorkloadKind::Sieve);
+        let b = r.run_cpi(key);
+        assert!(b.cpi().is_finite());
+        assert_eq!(r.runs(), 0);
+        assert_eq!(r.into_recorded(), vec![Job::Cpi(key)]);
     }
 
     #[test]

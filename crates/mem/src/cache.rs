@@ -302,7 +302,14 @@ impl DataCache {
     /// Whether every refill slot is occupied at cycle `now`.
     #[must_use]
     pub fn refill_busy(&self, now: u64) -> bool {
-        self.refills.iter().filter(|r| now < r.done).count() == self.config.mshrs
+        self.outstanding_refills(now) == self.config.mshrs
+    }
+
+    /// Number of line refills still in flight at cycle `now` (occupied
+    /// MSHRs) — the occupancy telemetry's "outstanding misses" gauge.
+    #[must_use]
+    pub fn outstanding_refills(&self, now: u64) -> usize {
+        self.refills.iter().filter(|r| now < r.done).count()
     }
 
     /// Invalidates all lines and cancels any refill. Statistics survive.

@@ -1,0 +1,42 @@
+//! Exporters turning a [`LifecycleRecorder`](crate::lifecycle::LifecycleRecorder)
+//! into files external viewers open directly:
+//!
+//! * [`konata`] — the Konata pipeline-viewer text format,
+//! * [`chrome`] — Chrome/Perfetto `trace_event` JSON.
+//!
+//! Both are pure string builders over the recorded lifecycle — no I/O, no
+//! external dependencies (the crate cannot use the JSON writer in
+//! `smt-experiments` without a dependency cycle, so [`chrome`] carries its
+//! own ~15-line escaper under the same no-deps policy).
+
+pub mod chrome;
+pub mod konata;
+
+/// Appends `s` to `out` JSON-escaped (quotes, backslashes, control chars).
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaper_handles_specials() {
+        let mut out = String::new();
+        escape_json_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,228 @@
+//! Chrome `trace_event` JSON export (loadable in `chrome://tracing` and
+//! Perfetto's legacy-JSON importer).
+//!
+//! Every recorded instruction becomes four complete (`"ph":"X"`) duration
+//! events — one per pipeline stage — grouped with `pid` = thread id so the
+//! viewer shows one track per hardware thread, and `tid` = scheduling-unit
+//! entry lane so concurrent instructions stack instead of overlapping.
+//! Timestamps are simulation cycles (the viewer's "µs" unit reads as
+//! cycles). An occupancy series adds `"ph":"C"` counter tracks.
+
+use crate::event::Occupancy;
+use crate::export::escape_json_into;
+use crate::lifecycle::{InsnRecord, LifecycleRecorder, NEVER};
+
+/// Placement of one complete (`"ph":"X"`) event on the viewer's timeline.
+struct Span {
+    ts: u64,
+    dur: u64,
+    pid: usize,
+    tid: u64,
+}
+
+fn push_complete(out: &mut String, name: &str, cat: &str, span: &Span, args: &[(&str, String)]) {
+    out.push_str("{\"name\":\"");
+    escape_json_into(out, name);
+    out.push_str("\",\"cat\":\"");
+    escape_json_into(out, cat);
+    let Span { ts, dur, pid, tid } = span;
+    out.push_str(&format!(
+        "\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":{{"
+    ));
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json_into(out, k);
+        out.push_str("\":\"");
+        escape_json_into(out, v);
+        out.push('"');
+    }
+    out.push_str("}},\n");
+}
+
+fn stage_spans(r: &InsnRecord, end_cycle: u64) -> [(&'static str, u64, u64); 4] {
+    // Close an open stage at the last observed cycle; collapse unreached
+    // stages to zero length at their predecessor's end.
+    let cut = |c: u64, fallback: u64| if c == NEVER { fallback } else { c };
+    let d = r.decoded_at;
+    let i = cut(r.issued_at, end_cycle.max(d));
+    let w = cut(r.completed_at, end_cycle.max(i));
+    let rt = cut(r.retired_at, end_cycle.max(w));
+    [
+        ("F", r.fetched_at, d),
+        ("D", d, i.min(rt)),
+        ("X", i.min(rt), w.min(rt)),
+        ("C", w.min(rt), rt),
+    ]
+}
+
+/// Renders the recorded lifecycle (and optional occupancy series) as one
+/// Chrome `trace_event` JSON object.
+#[must_use]
+pub fn export(rec: &LifecycleRecorder, series: &[(u64, Occupancy)]) -> String {
+    let end_cycle = rec.last_cycle();
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for r in rec.records() {
+        let label = format!("{}: {}", r.pc, r.insn);
+        let args = [
+            ("uid", r.uid.to_string()),
+            ("pc", r.pc.to_string()),
+            ("fu", r.fu.to_string()),
+            ("fate", r.fate.name().to_string()),
+            ("mem", r.mem.name().to_string()),
+        ];
+        let lane = r.block % 64 * 8 + r.entry as u64;
+        for (stage, start, end) in stage_spans(r, end_cycle) {
+            if end <= start {
+                continue; // unreached or zero-length stage
+            }
+            let name = format!("{stage} {label}");
+            let span = Span {
+                ts: start,
+                dur: end - start,
+                pid: r.tid,
+                tid: lane,
+            };
+            push_complete(&mut out, &name, stage, &span, &args);
+        }
+    }
+    for &(cycle, occ) in series {
+        for (name, v) in [
+            ("su_entries", u64::from(occ.su_entries)),
+            ("store_buffer", u64::from(occ.store_buffer)),
+            ("outstanding_misses", u64::from(occ.outstanding_misses)),
+        ] {
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{cycle},\"pid\":0,\
+                 \"args\":{{\"value\":{v}}}}},\n"
+            ));
+        }
+    }
+    // Metadata event (also absorbs the trailing comma legally — Chrome's
+    // parser accepts trailing commas, but Perfetto's does not).
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+         \"args\":{\"name\":\"occupancy\"}}\n",
+    );
+    out.push_str("],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DecodedSlot, MemKind, RetireKind, TraceEvent, TraceSink};
+    use smt_isa::{DecodedInsn, FuClass, Instruction};
+
+    fn full_record() -> LifecycleRecorder {
+        let mut rec = LifecycleRecorder::new(8);
+        let slot = DecodedSlot {
+            uid: 5,
+            tid: 1,
+            pc: 42,
+            insn: DecodedInsn::new(Instruction::NOP),
+            block: 3,
+            entry: 2,
+            fetched_at: 10,
+        };
+        rec.event(&TraceEvent::Decoded {
+            cycle: 11,
+            slot: &slot,
+        });
+        rec.event(&TraceEvent::Issued {
+            cycle: 13,
+            uid: 5,
+            fu: FuClass::Alu,
+            done_at: 14,
+            mem: MemKind::None,
+        });
+        rec.event(&TraceEvent::Completed { cycle: 14, uid: 5 });
+        rec.event(&TraceEvent::Retired {
+            cycle: 16,
+            uid: 5,
+            kind: RetireKind::Arch,
+        });
+        rec
+    }
+
+    fn braces_balance(s: &str) -> bool {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0 && !in_str
+    }
+
+    #[test]
+    fn emits_four_stage_events_with_balanced_json() {
+        let json = export(&full_record(), &[]);
+        assert!(braces_balance(&json), "JSON structure balances: {json}");
+        for stage in [
+            "\"cat\":\"F\"",
+            "\"cat\":\"D\"",
+            "\"cat\":\"X\"",
+            "\"cat\":\"C\"",
+        ] {
+            assert!(json.contains(stage), "missing {stage}");
+        }
+        assert!(json.contains("\"pid\":1"), "pid is the thread id");
+        assert!(json.contains("\"uid\":\"5\""));
+        assert!(json.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn counter_events_carry_the_series() {
+        let mut resident = [0u32; smt_isa::MAX_THREADS];
+        resident[0] = 7;
+        let occ = Occupancy {
+            su_entries: 7,
+            su_blocks: 2,
+            store_buffer: 3,
+            outstanding_misses: 1,
+            fetch_buffer: true,
+            resident,
+        };
+        let json = export(&full_record(), &[(12, occ)]);
+        assert!(braces_balance(&json));
+        assert!(json.contains("\"name\":\"su_entries\",\"ph\":\"C\",\"ts\":12"));
+        assert!(json.contains("\"value\":3"));
+    }
+
+    #[test]
+    fn in_flight_record_still_exports_cleanly() {
+        let mut rec = LifecycleRecorder::new(8);
+        let slot = DecodedSlot {
+            uid: 0,
+            tid: 0,
+            pc: 0,
+            insn: DecodedInsn::new(Instruction::NOP),
+            block: 0,
+            entry: 0,
+            fetched_at: 0,
+        };
+        rec.event(&TraceEvent::Decoded {
+            cycle: 1,
+            slot: &slot,
+        });
+        let json = export(&rec, &[]);
+        assert!(braces_balance(&json));
+        assert!(json.contains("\"fate\":\"in-flight\""));
+    }
+}

@@ -1,0 +1,178 @@
+//! Konata pipeline-viewer export.
+//!
+//! Emits the `Kanata 0004` text format understood by the Konata viewer
+//! (<https://github.com/shioyadan/Konata>): one `I`/`L` declaration per
+//! instruction, `S`/`E` stage transitions, `C` cycle advances, and an `R`
+//! retirement line. Stages used:
+//!
+//! | stage | span |
+//! |-------|------|
+//! | `F`   | fetch → decode |
+//! | `D`   | decode → issue (scheduling-unit wait) |
+//! | `X`   | issue → writeback (execute) |
+//! | `C`   | writeback → retire (commit wait) |
+//!
+//! Instructions still in flight when recording stopped have their open
+//! stage closed at the last observed cycle and no `R` line.
+
+use std::collections::BTreeMap;
+
+use crate::lifecycle::{Fate, InsnRecord, LifecycleRecorder, NEVER};
+
+/// Renders the recorded lifecycle as a Konata file.
+#[must_use]
+pub fn export(rec: &LifecycleRecorder) -> String {
+    let records: Vec<&InsnRecord> = rec.records().iter().collect();
+    let mut by_cycle: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut push = |cycle: u64, line: String| by_cycle.entry(cycle).or_default().push(line);
+    let end_cycle = rec.last_cycle();
+
+    for (id, r) in records.iter().enumerate() {
+        push(r.fetched_at, format!("I\t{id}\t{}\t{}", r.uid, r.tid));
+        push(r.fetched_at, format!("L\t{id}\t0\t{}: {}", r.pc, r.insn));
+        push(r.fetched_at, format!("S\t{id}\t0\tF"));
+        push(r.decoded_at, format!("E\t{id}\t0\tF"));
+        push(r.decoded_at, format!("S\t{id}\t0\tD"));
+        // The stage open when the instruction leaves (or recording ends).
+        let mut open = "D";
+        if r.issued_at != NEVER {
+            push(r.issued_at, format!("E\t{id}\t0\tD"));
+            push(r.issued_at, format!("S\t{id}\t0\tX"));
+            open = "X";
+        }
+        if r.completed_at != NEVER {
+            push(r.completed_at, format!("E\t{id}\t0\tX"));
+            push(r.completed_at, format!("S\t{id}\t0\tC"));
+            open = "C";
+        }
+        let (leave, flush) = match r.fate {
+            Fate::Committed => (r.retired_at, 0),
+            Fate::Spin | Fate::Squashed | Fate::Faulted => (r.retired_at, 1),
+            Fate::InFlight => (end_cycle, -1),
+        };
+        push(leave, format!("E\t{id}\t0\t{open}"));
+        if flush >= 0 {
+            push(leave, format!("R\t{id}\t{}\t{flush}", r.uid));
+        }
+    }
+
+    let mut out = String::from("Kanata\t0004\n");
+    let Some((&first, _)) = by_cycle.iter().next() else {
+        return out;
+    };
+    out.push_str(&format!("C=\t{first}\n"));
+    let mut at = first;
+    for (&cycle, lines) in &by_cycle {
+        if cycle > at {
+            out.push_str(&format!("C\t{}\n", cycle - at));
+            at = cycle;
+        }
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DecodedSlot, MemKind, RetireKind, TraceEvent, TraceSink};
+    use smt_isa::{DecodedInsn, FuClass, Instruction};
+
+    fn recorder_with_two_insns() -> LifecycleRecorder {
+        let mut rec = LifecycleRecorder::new(16);
+        for uid in 0..2u64 {
+            let slot = DecodedSlot {
+                uid,
+                tid: uid as usize,
+                pc: 10 + uid as usize,
+                insn: DecodedInsn::new(Instruction::NOP),
+                block: 0,
+                entry: uid as usize,
+                fetched_at: 1,
+            };
+            rec.event(&TraceEvent::Decoded {
+                cycle: 2,
+                slot: &slot,
+            });
+        }
+        rec.event(&TraceEvent::Issued {
+            cycle: 3,
+            uid: 0,
+            fu: FuClass::Alu,
+            done_at: 4,
+            mem: MemKind::None,
+        });
+        rec.event(&TraceEvent::Completed { cycle: 4, uid: 0 });
+        rec.event(&TraceEvent::Retired {
+            cycle: 6,
+            uid: 0,
+            kind: RetireKind::Arch,
+        });
+        rec.event(&TraceEvent::Squashed { cycle: 5, uid: 1 });
+        rec
+    }
+
+    #[test]
+    fn header_and_cycle_lines_are_well_formed() {
+        let text = export(&recorder_with_two_insns());
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("Kanata\t0004"));
+        assert_eq!(lines.next(), Some("C=\t1"));
+        // Cycle advances are positive deltas.
+        for l in text.lines().filter(|l| l.starts_with("C\t")) {
+            let delta: u64 = l[2..].parse().expect("numeric delta");
+            assert!(delta > 0);
+        }
+    }
+
+    #[test]
+    fn stages_balance_and_retires_match_fates() {
+        let text = export(&recorder_with_two_insns());
+        for id in 0..2 {
+            let starts = text
+                .lines()
+                .filter(|l| l.starts_with(&format!("S\t{id}\t")))
+                .count();
+            let ends = text
+                .lines()
+                .filter(|l| l.starts_with(&format!("E\t{id}\t")))
+                .count();
+            assert_eq!(starts, ends, "insn {id}: every S has a matching E");
+        }
+        assert!(text.contains("R\t0\t0\t0"), "committed insn retires clean");
+        assert!(text.contains("R\t1\t1\t1"), "squashed insn is flushed");
+    }
+
+    #[test]
+    fn in_flight_instructions_get_no_retire_line() {
+        let mut rec = LifecycleRecorder::new(4);
+        let slot = DecodedSlot {
+            uid: 0,
+            tid: 0,
+            pc: 0,
+            insn: DecodedInsn::new(Instruction::NOP),
+            block: 0,
+            entry: 0,
+            fetched_at: 0,
+        };
+        rec.event(&TraceEvent::Decoded {
+            cycle: 1,
+            slot: &slot,
+        });
+        let text = export(&rec);
+        assert!(!text.lines().any(|l| l.starts_with("R\t")));
+        // Stage is still balanced (closed at the last cycle).
+        let starts = text.lines().filter(|l| l.starts_with("S\t0\t")).count();
+        let ends = text.lines().filter(|l| l.starts_with("E\t0\t")).count();
+        assert_eq!(starts, ends);
+    }
+
+    #[test]
+    fn empty_recorder_exports_just_the_header() {
+        let rec = LifecycleRecorder::new(4);
+        assert_eq!(export(&rec), "Kanata\t0004\n");
+    }
+}

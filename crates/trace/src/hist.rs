@@ -1,0 +1,153 @@
+//! Fixed-size histograms for occupancy telemetry.
+//!
+//! No external dependencies (the repo builds with no registry access): a
+//! histogram is a preallocated bucket-per-value vector with the last bucket
+//! absorbing everything at or above its value, so per-cycle recording is a
+//! single bounds-free increment.
+
+/// A histogram over `0..=max` with values above `max` clamped into the last
+/// bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    /// Sum of recorded values (unclamped), for the exact mean.
+    sum: u128,
+    samples: u64,
+}
+
+impl Histogram {
+    /// A histogram with buckets for every value in `0..=max`.
+    #[must_use]
+    pub fn new(max: u32) -> Self {
+        Histogram {
+            counts: vec![0; max as usize + 1],
+            sum: 0,
+            samples: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u32) {
+        let i = (value as usize).min(self.counts.len() - 1);
+        self.counts[i] += 1;
+        self.sum += u128::from(value);
+        self.samples += 1;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Exact mean of the recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Count in the bucket for `value` (clamped like [`record`]).
+    ///
+    /// [`record`]: Self::record
+    #[must_use]
+    pub fn count_at(&self, value: u32) -> u64 {
+        self.counts[(value as usize).min(self.counts.len() - 1)]
+    }
+
+    /// Fraction of samples at or above `value` (0 when empty).
+    #[must_use]
+    pub fn frac_at_or_above(&self, value: u32) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let i = (value as usize).min(self.counts.len() - 1);
+        let above: u64 = self.counts[i..].iter().sum();
+        above as f64 / self.samples as f64
+    }
+
+    /// The bucket counts, index = value (last bucket clamps).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Smallest value whose cumulative share reaches `q` (0 < q ≤ 1); the
+    /// last bucket when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u32 {
+        if self.samples == 0 {
+            return (self.counts.len() - 1) as u32;
+        }
+        let target = (q * self.samples as f64).ceil() as u64;
+        let mut acc = 0;
+        for (v, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return v as u32;
+            }
+        }
+        (self.counts.len() - 1) as u32
+    }
+
+    /// Compact single-line rendering: `mean=… p50=… max-bucket=…`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "mean={:.2} p50={} p95={} samples={}",
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.95),
+            self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_means() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.samples(), 5);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.count_at(3), 1);
+    }
+
+    #[test]
+    fn clamps_above_max_but_keeps_exact_mean() {
+        let mut h = Histogram::new(2);
+        h.record(100);
+        h.record(0);
+        assert_eq!(h.count_at(2), 1, "overflow lands in the last bucket");
+        assert!((h.mean() - 50.0).abs() < 1e-12, "mean stays unclamped");
+    }
+
+    #[test]
+    fn quantiles_and_tail_fractions() {
+        let mut h = Histogram::new(10);
+        for _ in 0..9 {
+            h.record(1);
+        }
+        h.record(10);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), 10);
+        assert!((h.frac_at_or_above(10) - 0.1).abs() < 1e-12);
+        assert!((h.frac_at_or_above(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new(8);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.frac_at_or_above(3), 0.0);
+        assert_eq!(h.quantile(0.5), 8);
+    }
+}

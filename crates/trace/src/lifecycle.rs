@@ -1,0 +1,382 @@
+//! Per-instruction lifecycle recording: the full fetch → decode → issue →
+//! writeback → commit/squash timeline of every traced instruction.
+//!
+//! Records are kept in uid order (uids are assigned monotonically at
+//! decode), so event handling is a binary search over a deque — no hash
+//! map. Two bounding knobs keep memory fixed:
+//!
+//! * a **cycle window** restricts recording to instructions decoded inside
+//!   `[start, end]` (exporting a slice of a long run);
+//! * a **capacity ring** keeps only the youngest `cap` records (the
+//!   "last-K instructions" view a stuck-machine dump wants).
+
+use std::collections::VecDeque;
+
+use smt_isa::{DecodedInsn, FuClass};
+
+use crate::event::{MemKind, RetireKind, TraceEvent, TraceSink};
+
+/// Sentinel for "this stage never happened (yet)".
+pub const NEVER: u64 = u64::MAX;
+
+/// How a recorded instruction ultimately left the machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Fate {
+    /// Still resident when recording stopped.
+    #[default]
+    InFlight,
+    /// Architecturally committed.
+    Committed,
+    /// `WAIT` spin poll, discarded and refetched.
+    Spin,
+    /// Squashed as wrong-path.
+    Squashed,
+    /// Faulted at commit, aborting the run.
+    Faulted,
+}
+
+impl Fate {
+    /// Short stable name for dumps and exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Fate::InFlight => "in-flight",
+            Fate::Committed => "committed",
+            Fate::Spin => "spin",
+            Fate::Squashed => "squashed",
+            Fate::Faulted => "faulted",
+        }
+    }
+}
+
+/// One instruction's recorded lifecycle.
+#[derive(Clone, Copy, Debug)]
+pub struct InsnRecord {
+    /// Identity (monotone decode order).
+    pub uid: u64,
+    /// Owning thread.
+    pub tid: usize,
+    /// Program counter.
+    pub pc: usize,
+    /// The predecoded instruction.
+    pub insn: DecodedInsn,
+    /// Scheduling-unit block id.
+    pub block: u64,
+    /// Entry index within the block.
+    pub entry: usize,
+    /// Functional-unit class (set at issue; the predecoded class before).
+    pub fu: FuClass,
+    /// Cycle the fetch group was fetched.
+    pub fetched_at: u64,
+    /// Cycle of decode (scheduling-unit entry).
+    pub decoded_at: u64,
+    /// Cycle of issue ([`NEVER`] if not yet issued).
+    pub issued_at: u64,
+    /// Cycle the result was written back ([`NEVER`] if pending).
+    pub completed_at: u64,
+    /// Cycle of retire/squash ([`NEVER`] while resident).
+    pub retired_at: u64,
+    /// Memory sourcing of a load's data.
+    pub mem: MemKind,
+    /// Final disposition.
+    pub fate: Fate,
+}
+
+impl InsnRecord {
+    /// One-line human rendering for dumps.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let stage = |c: u64| {
+            if c == NEVER {
+                "-".to_string()
+            } else {
+                c.to_string()
+            }
+        };
+        format!(
+            "uid {:>6} t{} pc {:>5} [blk {:>4}.{}] F{} D{} I{} W{} R{} {:<9} {} `{}`",
+            self.uid,
+            self.tid,
+            self.pc,
+            self.block,
+            self.entry,
+            stage(self.fetched_at),
+            stage(self.decoded_at),
+            stage(self.issued_at),
+            stage(self.completed_at),
+            stage(self.retired_at),
+            self.fate.name(),
+            self.mem.name(),
+            self.insn,
+        )
+    }
+}
+
+/// The recording sink. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct LifecycleRecorder {
+    /// Only instructions decoded in `[start, end]` are recorded.
+    window: Option<(u64, u64)>,
+    /// Keep at most this many records, dropping the oldest.
+    cap: usize,
+    records: VecDeque<InsnRecord>,
+    /// Records evicted by the capacity ring.
+    dropped: u64,
+    /// Highest cycle seen on any event (closes open stages in exports).
+    last_cycle: u64,
+}
+
+impl LifecycleRecorder {
+    /// Records every instruction, up to `cap` youngest-kept records.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        LifecycleRecorder {
+            window: None,
+            cap: cap.max(1),
+            records: VecDeque::with_capacity(cap.clamp(1, 4096)),
+            dropped: 0,
+            last_cycle: 0,
+        }
+    }
+
+    /// Restricts recording to instructions decoded in `[start, end]`
+    /// (inclusive).
+    #[must_use]
+    pub fn with_window(mut self, start: u64, end: u64) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// The recorded instructions, oldest first.
+    #[must_use]
+    pub fn records(&self) -> &VecDeque<InsnRecord> {
+        &self.records
+    }
+
+    /// Records evicted by the capacity ring.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Highest cycle observed on any event.
+    #[must_use]
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
+    }
+
+    fn find_mut(&mut self, uid: u64) -> Option<&mut InsnRecord> {
+        // Records are in uid order (monotone decode) — binary search.
+        let (front, back) = self.records.as_slices();
+        let idx = if front.last().is_some_and(|r| r.uid >= uid) {
+            front.binary_search_by_key(&uid, |r| r.uid).ok()
+        } else {
+            back.binary_search_by_key(&uid, |r| r.uid)
+                .ok()
+                .map(|i| front.len() + i)
+        };
+        idx.and_then(|i| self.records.get_mut(i))
+    }
+
+    /// Multi-line dump of every record (oldest first), with an eviction
+    /// note when the ring overflowed.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "({} older records dropped by the {}-record ring)",
+                self.dropped, self.cap
+            );
+        }
+        for r in &self.records {
+            let _ = writeln!(out, "{}", r.render());
+        }
+        out
+    }
+}
+
+impl TraceSink for LifecycleRecorder {
+    fn event(&mut self, ev: &TraceEvent<'_>) {
+        match *ev {
+            TraceEvent::Decoded { cycle, slot } => {
+                self.last_cycle = self.last_cycle.max(cycle);
+                if let Some((start, end)) = self.window {
+                    if cycle < start || cycle > end {
+                        return;
+                    }
+                }
+                if self.records.len() == self.cap {
+                    self.records.pop_front();
+                    self.dropped += 1;
+                }
+                self.records.push_back(InsnRecord {
+                    uid: slot.uid,
+                    tid: slot.tid,
+                    pc: slot.pc,
+                    insn: slot.insn,
+                    block: slot.block,
+                    entry: slot.entry,
+                    fu: slot.insn.fu,
+                    fetched_at: slot.fetched_at,
+                    decoded_at: cycle,
+                    issued_at: NEVER,
+                    completed_at: NEVER,
+                    retired_at: NEVER,
+                    mem: MemKind::None,
+                    fate: Fate::InFlight,
+                });
+            }
+            TraceEvent::Issued {
+                cycle,
+                uid,
+                fu,
+                mem,
+                ..
+            } => {
+                self.last_cycle = self.last_cycle.max(cycle);
+                if let Some(r) = self.find_mut(uid) {
+                    r.issued_at = cycle;
+                    r.fu = fu;
+                    r.mem = mem;
+                }
+            }
+            TraceEvent::Completed { cycle, uid } => {
+                self.last_cycle = self.last_cycle.max(cycle);
+                if let Some(r) = self.find_mut(uid) {
+                    r.completed_at = cycle;
+                }
+            }
+            TraceEvent::Retired { cycle, uid, kind } => {
+                self.last_cycle = self.last_cycle.max(cycle);
+                if let Some(r) = self.find_mut(uid) {
+                    r.retired_at = cycle;
+                    r.fate = match kind {
+                        RetireKind::Arch => Fate::Committed,
+                        RetireKind::Spin => Fate::Spin,
+                        RetireKind::Fault => Fate::Faulted,
+                    };
+                }
+            }
+            TraceEvent::Squashed { cycle, uid } => {
+                self.last_cycle = self.last_cycle.max(cycle);
+                if let Some(r) = self.find_mut(uid) {
+                    r.retired_at = cycle;
+                    r.fate = Fate::Squashed;
+                }
+            }
+            TraceEvent::CycleEnd { cycle, .. } => {
+                self.last_cycle = self.last_cycle.max(cycle);
+            }
+            TraceEvent::SlotsLost { cycle, .. } => {
+                self.last_cycle = self.last_cycle.max(cycle);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DecodedSlot;
+    use smt_isa::Instruction;
+
+    fn decoded(uid: u64, cycle: u64) -> (DecodedSlot, u64) {
+        (
+            DecodedSlot {
+                uid,
+                tid: 0,
+                pc: uid as usize,
+                insn: DecodedInsn::new(Instruction::NOP),
+                block: uid / 4,
+                entry: (uid % 4) as usize,
+                fetched_at: cycle.saturating_sub(1),
+            },
+            cycle,
+        )
+    }
+
+    fn feed_decoded(rec: &mut LifecycleRecorder, uid: u64, cycle: u64) {
+        let (slot, cycle) = decoded(uid, cycle);
+        rec.event(&TraceEvent::Decoded { cycle, slot: &slot });
+    }
+
+    #[test]
+    fn records_full_lifecycle_in_uid_order() {
+        let mut rec = LifecycleRecorder::new(16);
+        for uid in 0..4 {
+            feed_decoded(&mut rec, uid, 2);
+        }
+        rec.event(&TraceEvent::Issued {
+            cycle: 3,
+            uid: 1,
+            fu: FuClass::Alu,
+            done_at: 4,
+            mem: MemKind::None,
+        });
+        rec.event(&TraceEvent::Completed { cycle: 4, uid: 1 });
+        rec.event(&TraceEvent::Retired {
+            cycle: 6,
+            uid: 1,
+            kind: RetireKind::Arch,
+        });
+        rec.event(&TraceEvent::Squashed { cycle: 6, uid: 3 });
+
+        let r1 = rec.records()[1];
+        assert_eq!(
+            (r1.decoded_at, r1.issued_at, r1.completed_at, r1.retired_at),
+            (2, 3, 4, 6)
+        );
+        assert_eq!(r1.fate, Fate::Committed);
+        assert_eq!(rec.records()[3].fate, Fate::Squashed);
+        assert_eq!(rec.records()[0].fate, Fate::InFlight);
+        assert_eq!(rec.last_cycle(), 6);
+    }
+
+    #[test]
+    fn ring_keeps_the_youngest() {
+        let mut rec = LifecycleRecorder::new(2);
+        for uid in 0..5 {
+            feed_decoded(&mut rec, uid, uid);
+        }
+        assert_eq!(rec.records().len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(rec.records()[0].uid, 3);
+        assert_eq!(rec.records()[1].uid, 4);
+        // Events for evicted uids are ignored without panicking.
+        rec.event(&TraceEvent::Completed { cycle: 9, uid: 0 });
+        assert_eq!(rec.records()[0].completed_at, NEVER);
+    }
+
+    #[test]
+    fn window_filters_by_decode_cycle() {
+        let mut rec = LifecycleRecorder::new(16).with_window(10, 20);
+        feed_decoded(&mut rec, 0, 5);
+        feed_decoded(&mut rec, 1, 10);
+        feed_decoded(&mut rec, 2, 20);
+        feed_decoded(&mut rec, 3, 21);
+        let uids: Vec<u64> = rec.records().iter().map(|r| r.uid).collect();
+        assert_eq!(uids, vec![1, 2]);
+        // Later events for out-of-window uids are ignored.
+        rec.event(&TraceEvent::Retired {
+            cycle: 22,
+            uid: 0,
+            kind: RetireKind::Arch,
+        });
+        assert_eq!(rec.records()[0].fate, Fate::InFlight);
+    }
+
+    #[test]
+    fn render_marks_missing_stages() {
+        let mut rec = LifecycleRecorder::new(4);
+        feed_decoded(&mut rec, 0, 1);
+        let text = rec.render();
+        assert!(text.contains("in-flight"));
+        assert!(
+            text.contains("I- W- R-"),
+            "unreached stages render as dashes: {text}"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Occupancy telemetry: per-cycle structure fill levels folded into
+//! fixed-size histograms, with an optional bounded raw series for counter
+//! exports.
+
+use smt_isa::MAX_THREADS;
+
+use crate::event::{Occupancy, TraceEvent, TraceSink};
+use crate::hist::Histogram;
+
+/// Histograms of per-cycle machine occupancy.
+///
+/// Bucket ranges come from the machine's configured capacities, so the top
+/// bucket is "structure full" and [`Histogram::frac_at_or_above`] on it is
+/// the full-fraction directly.
+#[derive(Clone, Debug)]
+pub struct OccupancyStats {
+    /// Scheduling-unit entries (0..=su_depth).
+    pub su_entries: Histogram,
+    /// Scheduling-unit blocks (0..=su_blocks).
+    pub su_blocks: Histogram,
+    /// Store-buffer entries (0..=capacity).
+    pub store_buffer: Histogram,
+    /// In-flight cache refills (0..=mshrs).
+    pub outstanding_misses: Histogram,
+    /// Per-thread resident instructions (0..=su_depth each).
+    pub resident: Vec<Histogram>,
+    /// Raw `(cycle, occupancy)` series, kept only while under the sample
+    /// cap. Empty unless enabled via [`with_series`](Self::with_series).
+    series: Vec<(u64, Occupancy)>,
+    series_cap: usize,
+    /// Most recent snapshot (a stuck-machine dump wants "now", not a
+    /// distribution).
+    last: Option<(u64, Occupancy)>,
+}
+
+impl OccupancyStats {
+    /// Telemetry for a machine with the given structure capacities.
+    #[must_use]
+    pub fn new(
+        su_depth: u32,
+        su_blocks: u32,
+        store_buffer: u32,
+        mshrs: u32,
+        threads: usize,
+    ) -> Self {
+        OccupancyStats {
+            su_entries: Histogram::new(su_depth),
+            su_blocks: Histogram::new(su_blocks),
+            store_buffer: Histogram::new(store_buffer),
+            outstanding_misses: Histogram::new(mshrs),
+            resident: (0..threads.min(MAX_THREADS))
+                .map(|_| Histogram::new(su_depth))
+                .collect(),
+            series: Vec::new(),
+            series_cap: 0,
+            last: None,
+        }
+    }
+
+    /// Also keep the raw per-cycle series, up to `cap` samples (first-come;
+    /// combine with a windowed run for a specific slice).
+    #[must_use]
+    pub fn with_series(mut self, cap: usize) -> Self {
+        self.series_cap = cap;
+        self.series.reserve(cap.min(1 << 16));
+        self
+    }
+
+    /// The raw series, if enabled: `(cycle, occupancy)` in cycle order.
+    #[must_use]
+    pub fn series(&self) -> &[(u64, Occupancy)] {
+        &self.series
+    }
+
+    /// The most recent snapshot observed.
+    #[must_use]
+    pub fn last(&self) -> Option<(u64, Occupancy)> {
+        self.last
+    }
+
+    /// Multi-line summary of every histogram.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "SU entries:     {}", self.su_entries.summary());
+        let _ = writeln!(out, "SU blocks:      {}", self.su_blocks.summary());
+        let _ = writeln!(out, "store buffer:   {}", self.store_buffer.summary());
+        let _ = writeln!(out, "misses inflight:{}", self.outstanding_misses.summary());
+        for (tid, h) in self.resident.iter().enumerate() {
+            let _ = writeln!(out, "thread {tid} resident: {}", h.summary());
+        }
+        if let Some((cycle, occ)) = self.last {
+            let _ = writeln!(
+                out,
+                "last cycle {cycle}: su={}/{} blocks, sb={}, misses={}, fetch_buffer={}",
+                occ.su_entries,
+                occ.su_blocks,
+                occ.store_buffer,
+                occ.outstanding_misses,
+                occ.fetch_buffer
+            );
+        }
+        out
+    }
+}
+
+impl TraceSink for OccupancyStats {
+    fn event(&mut self, ev: &TraceEvent<'_>) {
+        if let TraceEvent::CycleEnd { cycle, occ } = *ev {
+            self.su_entries.record(occ.su_entries);
+            self.su_blocks.record(occ.su_blocks);
+            self.store_buffer.record(occ.store_buffer);
+            self.outstanding_misses.record(occ.outstanding_misses);
+            for (tid, h) in self.resident.iter_mut().enumerate() {
+                h.record(occ.resident[tid]);
+            }
+            if self.series.len() < self.series_cap {
+                self.series.push((cycle, *occ));
+            }
+            self.last = Some((cycle, *occ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(su: u32, sb: u32) -> Occupancy {
+        let mut resident = [0u32; MAX_THREADS];
+        resident[0] = su;
+        Occupancy {
+            su_entries: su,
+            su_blocks: su.div_ceil(4),
+            store_buffer: sb,
+            outstanding_misses: 0,
+            fetch_buffer: false,
+            resident,
+        }
+    }
+
+    #[test]
+    fn cycle_end_feeds_every_histogram() {
+        let mut s = OccupancyStats::new(32, 8, 8, 1, 2);
+        for cycle in 0..10 {
+            let o = occ(16, 4);
+            s.event(&TraceEvent::CycleEnd { cycle, occ: &o });
+        }
+        assert_eq!(s.su_entries.samples(), 10);
+        assert!((s.su_entries.mean() - 16.0).abs() < 1e-12);
+        assert!((s.store_buffer.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.resident.len(), 2);
+        assert!((s.resident[0].mean() - 16.0).abs() < 1e-12);
+        assert_eq!(s.resident[1].mean(), 0.0);
+        assert_eq!(s.last().unwrap().0, 9);
+    }
+
+    #[test]
+    fn series_is_bounded() {
+        let mut s = OccupancyStats::new(32, 8, 8, 1, 1).with_series(3);
+        for cycle in 0..10 {
+            let o = occ(1, 0);
+            s.event(&TraceEvent::CycleEnd { cycle, occ: &o });
+        }
+        assert_eq!(s.series().len(), 3);
+        assert_eq!(s.series()[2].0, 2);
+        assert_eq!(s.last().unwrap().0, 9, "last keeps tracking past the cap");
+    }
+
+    #[test]
+    fn render_mentions_every_structure() {
+        let mut s = OccupancyStats::new(32, 8, 8, 1, 1);
+        let o = occ(8, 2);
+        s.event(&TraceEvent::CycleEnd { cycle: 5, occ: &o });
+        let text = s.render();
+        for needle in ["SU entries", "store buffer", "last cycle 5"] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+}
