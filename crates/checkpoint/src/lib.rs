@@ -1,0 +1,495 @@
+//! Versioned, self-describing binary snapshot format.
+//!
+//! Every component that participates in checkpoint/restore serializes
+//! itself through the [`Writer`]/[`Reader`] pair defined here, so the
+//! on-disk format has exactly one set of primitives: little-endian
+//! fixed-width integers, length-prefixed byte strings, and u32 section
+//! tags that make decode failures say *which* component's framing broke
+//! rather than silently misaligning every field after the first bad one.
+//!
+//! A [`Snapshot`] wraps one serialized payload with a header (magic,
+//! format version, config hash, program hash, cycle) and a trailing
+//! FNV-1a checksum over everything before it. `from_bytes` fails closed:
+//! wrong magic, unknown version, short buffer, or checksum mismatch all
+//! return a typed [`DecodeError`] — a torn write from a killed sweep
+//! worker can never be mistaken for a valid resume point.
+//!
+//! The crate is dependency-free and knows nothing about the simulator;
+//! `smt-uarch`, `smt-mem`, and `smt-core` depend on it and keep their
+//! fields private by implementing their own save/restore against these
+//! primitives.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Snapshot container format version. Bump on any layout change; old
+/// snapshots are rejected, never reinterpreted.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 8] = *b"SMTSNAP\0";
+
+/// Why a byte buffer could not be decoded.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Fewer bytes remained than the next field needs.
+    Truncated { wanted: usize, have: usize },
+    /// The buffer does not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    Version { found: u32, supported: u32 },
+    /// The trailing checksum does not match the header + payload bytes.
+    Checksum { stored: u64, computed: u64 },
+    /// A section tag other than the expected one was found.
+    Section { expected: u32, found: u32 },
+    /// A field decoded but its value is impossible.
+    Malformed(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { wanted, have } => {
+                write!(f, "truncated snapshot: wanted {wanted} bytes, have {have}")
+            }
+            Self::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            Self::Version { found, supported } => {
+                write!(f, "snapshot format v{found}, this build reads v{supported}")
+            }
+            Self::Checksum { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            Self::Section { expected, found } => {
+                write!(
+                    f,
+                    "expected section tag {expected:#010x}, found {found:#010x}"
+                )
+            }
+            Self::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only little-endian encoder.
+#[derive(Default, Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// `usize` is always written as 8 bytes so the format does not depend
+    /// on the writing platform's pointer width.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x);
+            }
+        }
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// A section tag marking the start of one component's state.
+    pub fn section(&mut self, tag: u32) {
+        self.put_u32(tag);
+    }
+
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over an encoded buffer; every take is bounds-checked.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                wanted: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn take_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(DecodeError::Malformed(format!("bool byte {v}"))),
+        }
+    }
+
+    pub fn take_usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::Malformed(format!("usize {v} overflows")))
+    }
+
+    pub fn take_opt_u64(&mut self) -> Result<Option<u64>, DecodeError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_u64()?)),
+            v => Err(DecodeError::Malformed(format!("option byte {v}"))),
+        }
+    }
+
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.take_usize()?;
+        self.take(n)
+    }
+
+    /// Consumes a section tag, failing if it is not `tag`.
+    pub fn expect_section(&mut self, tag: u32) -> Result<(), DecodeError> {
+        let found = self.take_u32()?;
+        if found == tag {
+            Ok(())
+        } else {
+            Err(DecodeError::Section {
+                expected: tag,
+                found,
+            })
+        }
+    }
+
+    /// Fails unless every byte has been consumed — catches framing bugs
+    /// where writer and reader disagree about a component's field list.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed(format!(
+                "{} trailing bytes",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// One complete machine state: identifying header plus opaque payload.
+///
+/// The hashes bind a snapshot to the exact `(SimConfig, Program)` pair it
+/// was taken under; `Simulator::restore` refuses a snapshot whose hashes
+/// do not match, so a sweep cache can never resume a cell with the wrong
+/// machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Snapshot {
+    /// Stable hash of the simulator configuration.
+    pub config_hash: u64,
+    /// Stable hash of the program image (text + data).
+    pub program_hash: u64,
+    /// Cycle at which the snapshot was taken (informational; the payload
+    /// carries the authoritative copy).
+    pub cycle: u64,
+    /// Component state, encoded with [`Writer`].
+    pub payload: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Serializes header + payload + checksum into one buffer.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_u64(self.config_hash);
+        w.put_u64(self.program_hash);
+        w.put_u64(self.cycle);
+        w.put_bytes(&self.payload);
+        let sum = fnv1a(&w.buf);
+        w.put_u64(sum);
+        w.into_bytes()
+    }
+
+    /// Decodes and validates a buffer produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = r.take_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(DecodeError::Version {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let config_hash = r.take_u64()?;
+        let program_hash = r.take_u64()?;
+        let cycle = r.take_u64()?;
+        let payload = r.take_bytes()?.to_vec();
+        let body_len = bytes.len() - r.remaining();
+        let stored = r.take_u64()?;
+        let computed = fnv1a(&bytes[..body_len]);
+        if stored != computed {
+            return Err(DecodeError::Checksum { stored, computed });
+        }
+        r.finish()?;
+        Ok(Self {
+            config_hash,
+            program_hash,
+            cycle,
+            payload,
+        })
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice — the snapshot integrity checksum.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a as a [`Hasher`], so any `#[derive(Hash)]` type gets a digest
+/// that is stable across processes (unlike `DefaultHasher`, which is
+/// randomly keyed). Used for the config/program identity hashes and the
+/// sweep cache's content addressing.
+#[derive(Debug)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self(FNV_OFFSET)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Stable digest of any hashable value.
+#[must_use]
+pub fn stable_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = StableHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_usize(42);
+        w.put_opt_u64(None);
+        w.put_opt_u64(Some(9));
+        w.put_bytes(b"hello");
+        w.section(0x5155_0001);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX);
+        assert!(r.take_bool().unwrap());
+        assert!(!r.take_bool().unwrap());
+        assert_eq!(r.take_usize().unwrap(), 42);
+        assert_eq!(r.take_opt_u64().unwrap(), None);
+        assert_eq!(r.take_opt_u64().unwrap(), Some(9));
+        assert_eq!(r.take_bytes().unwrap(), b"hello");
+        r.expect_section(0x5155_0001).unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..4]);
+        assert!(matches!(
+            r.take_u64(),
+            Err(DecodeError::Truncated { wanted: 8, have: 4 })
+        ));
+    }
+
+    #[test]
+    fn section_mismatch_is_typed() {
+        let mut w = Writer::new();
+        w.section(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.expect_section(2),
+            Err(DecodeError::Section {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let r = Reader::new(&bytes);
+        assert!(matches!(r.finish(), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let snap = Snapshot {
+            config_hash: 0x1111,
+            program_hash: 0x2222,
+            cycle: 12345,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = snap.to_bytes();
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let snap = Snapshot {
+            config_hash: 1,
+            program_hash: 2,
+            cycle: 3,
+            payload: vec![0xaa; 64],
+        };
+        let good = snap.to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(Snapshot::from_bytes(&bad_magic), Err(DecodeError::BadMagic));
+
+        let mut bad_version = good.clone();
+        bad_version[8] = 0xfe;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad_version),
+            Err(DecodeError::Version { .. })
+        ));
+
+        let mut flipped = good.clone();
+        let mid = good.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert!(matches!(
+            Snapshot::from_bytes(&flipped),
+            Err(DecodeError::Checksum { .. })
+        ));
+
+        let torn = &good[..good.len() - 9];
+        assert!(matches!(
+            Snapshot::from_bytes(torn),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_discriminating() {
+        #[derive(Hash)]
+        struct K {
+            a: u64,
+            b: &'static str,
+        }
+        let h1 = stable_hash(&K { a: 1, b: "x" });
+        let h2 = stable_hash(&K { a: 1, b: "x" });
+        let h3 = stable_hash(&K { a: 2, b: "x" });
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        // Pinned values: the hash is part of the on-disk cache key, so a
+        // silent change to the hashing scheme must fail a test.
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        assert_eq!(
+            fnv1a(b"a"),
+            (FNV_OFFSET ^ u64::from(b'a')).wrapping_mul(FNV_PRIME)
+        );
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use smt_isa::Reg;
 use smt_mem::MemError;
 
 use crate::config::ConfigError;
@@ -11,9 +12,29 @@ use crate::config::ConfigError;
 pub enum SimError {
     /// The configuration failed validation.
     Config(ConfigError),
-    /// The program is incompatible with the configuration (e.g. uses more
-    /// registers than the thread partition provides).
+    /// The program is incompatible with the configuration.
     Program(String),
+    /// The program names a register outside the per-thread window implied
+    /// by the thread count: partitioning the 128-entry register file
+    /// across more threads shrinks each thread's window, so a kernel that
+    /// fits 4 threads may not fit 8. Typed (rather than a [`Program`]
+    /// string) so sweeps can classify such cells as infeasible instead of
+    /// aborting.
+    ///
+    /// [`Program`]: Self::Program
+    RegisterWindow {
+        /// Instruction index naming the offending register.
+        pc: usize,
+        /// The register outside the window.
+        reg: Reg,
+        /// Window size (registers per thread) at this thread count.
+        window: usize,
+        /// The thread count that implies `window`.
+        threads: usize,
+    },
+    /// A snapshot could not be applied: identity mismatch with the given
+    /// configuration/program, or a payload decode failure.
+    Snapshot(String),
     /// The run exceeded the watchdog cycle limit — a deadlocked or runaway
     /// program.
     Watchdog {
@@ -37,6 +58,17 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "{e}"),
             SimError::Program(msg) => write!(f, "program incompatible: {msg}"),
+            SimError::RegisterWindow {
+                pc,
+                reg,
+                window,
+                threads,
+            } => write!(
+                f,
+                "instruction at pc {pc} uses {reg}, outside the {window}-register \
+                 window of a {threads}-thread partition"
+            ),
+            SimError::Snapshot(msg) => write!(f, "snapshot rejected: {msg}"),
             SimError::Watchdog { cycles } => {
                 write!(
                     f,

@@ -377,6 +377,60 @@ impl InstructionUnit {
     pub fn active_thread(&self) -> usize {
         self.active
     }
+
+    /// Serializes per-thread fetch state and the policy cursors. The
+    /// policy, width, and alignment are configuration, not state; the
+    /// spare-storage pool is a pure optimization — neither is serialized.
+    pub fn save(&self, w: &mut smt_checkpoint::Writer) {
+        w.put_usize(self.threads.len());
+        for t in &self.threads {
+            w.put_usize(t.pc);
+            w.put_bool(t.fetch_halted);
+            w.put_opt_u64(t.suspended_on.map(Tag::raw));
+            w.put_usize(t.resume_pc);
+            w.put_bool(t.retired);
+            w.put_bool(t.masked);
+            w.put_bool(t.switch_pending);
+        }
+        w.put_usize(self.rr);
+        w.put_usize(self.active);
+    }
+
+    /// Rebuilds a unit from [`save`](Self::save)d state under the given
+    /// configuration.
+    pub fn restore(
+        n_threads: usize,
+        policy: FetchPolicy,
+        width: usize,
+        aligned: bool,
+        r: &mut smt_checkpoint::Reader<'_>,
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let n = r.take_usize()?;
+        if n != n_threads {
+            return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                "fetch unit: {n} serialized threads, config has {n_threads}"
+            )));
+        }
+        let mut iu = InstructionUnit::with_alignment(n_threads, policy, 0, width, aligned);
+        for t in &mut iu.threads {
+            t.pc = r.take_usize()?;
+            t.fetch_halted = r.take_bool()?;
+            t.suspended_on = r.take_opt_u64()?.map(Tag::from_raw);
+            t.resume_pc = r.take_usize()?;
+            t.retired = r.take_bool()?;
+            t.masked = r.take_bool()?;
+            t.switch_pending = r.take_bool()?;
+        }
+        iu.rr = r.take_usize()?;
+        iu.active = r.take_usize()?;
+        if iu.rr >= n_threads || iu.active >= n_threads {
+            return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                "fetch cursors rr={} active={} for {n_threads} threads",
+                iu.rr, iu.active
+            )));
+        }
+        Ok(iu)
+    }
 }
 
 #[cfg(test)]

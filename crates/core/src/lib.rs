@@ -73,6 +73,7 @@ pub use smt_trace as trace;
 pub use commit::{CommitSink, Retirement};
 pub use config::{CommitPolicy, ConfigError, FetchPolicy, RenamingMode, SimConfig};
 pub use error::SimError;
-pub use sim::Simulator;
+pub use sim::{config_identity, program_identity, Simulator};
+pub use smt_checkpoint::Snapshot;
 pub use stats::{BranchStats, SimStats};
 pub use trace::{TraceEvent, TraceSink};

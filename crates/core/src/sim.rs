@@ -11,6 +11,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use smt_checkpoint::{DecodeError, Reader, Snapshot, Writer};
 use smt_isa::semantics::{alu_result, branch_taken, effective_addr};
 use smt_isa::{window_size, FuClass, Opcode, Program, Reg, MAX_THREADS};
 use smt_mem::{CacheStats, DataCache, MainMemory, Outcome, StoreBuffer};
@@ -33,6 +34,39 @@ struct FwdStore {
     ei: usize,
     tid: usize,
     result: u64,
+}
+
+/// Section tags of the snapshot payload, in serialization order. A tag
+/// mismatch on decode pinpoints the diverging component instead of
+/// reporting garbage fields downstream of a framing error.
+mod sec {
+    pub const CORE: u32 = 1;
+    pub const SU: u32 = 2;
+    pub const FETCH: u32 = 3;
+    pub const PREDICTOR: u32 = 4;
+    pub const FU: u32 = 5;
+    pub const TAGS: u32 = 6;
+    pub const CACHE: u32 = 7;
+    pub const STORE_BUFFER: u32 = 8;
+    pub const MEMORY: u32 = 9;
+    pub const FETCH_BUFFER: u32 = 10;
+    pub const STATS: u32 = 11;
+}
+
+/// Stable identity hash of a configuration, as stored in a
+/// [`Snapshot`]'s `config_hash` and used to key result caches: equal
+/// configurations hash equally across processes and runs.
+#[must_use]
+pub fn config_identity(config: &SimConfig) -> u64 {
+    smt_checkpoint::stable_hash(config)
+}
+
+/// Stable identity hash of a program — its text, entry point, and data
+/// image. Labels and other assembler conveniences do not contribute:
+/// two builds that produce the same machine program hash equally.
+#[must_use]
+pub fn program_identity(program: &Program) -> u64 {
+    smt_checkpoint::stable_hash(&(program.text(), program.entry(), program.data()))
 }
 
 /// The simulator. Owns all machine state for one run of one program.
@@ -108,8 +142,8 @@ impl<'p> Simulator<'p> {
     /// # Errors
     ///
     /// * [`SimError::Config`] if the configuration fails validation,
-    /// * [`SimError::Program`] if the program names a register outside the
-    ///   per-thread window implied by the thread count.
+    /// * [`SimError::RegisterWindow`] if the program names a register
+    ///   outside the per-thread window implied by the thread count.
     pub fn try_new(config: SimConfig, program: &'p Program) -> Result<Self, SimError> {
         config.validate()?;
         let window = window_size(config.threads);
@@ -117,11 +151,12 @@ impl<'p> Simulator<'p> {
             let regs = [insn.dest, insn.srcs[0], insn.srcs[1]];
             for reg in regs.into_iter().flatten() {
                 if reg.index() >= window {
-                    return Err(SimError::Program(format!(
-                        "instruction at pc {pc} uses {reg}, outside the \
-                         {window}-register window of a {}-thread partition",
-                        config.threads
-                    )));
+                    return Err(SimError::RegisterWindow {
+                        pc,
+                        reg,
+                        window,
+                        threads: config.threads,
+                    });
                 }
             }
         }
@@ -1289,6 +1324,266 @@ impl<'p> Simulator<'p> {
         self.cache.stats()
     }
 
+    // ---- checkpoint / restore -------------------------------------------------
+
+    /// Captures the complete machine state as a versioned [`Snapshot`].
+    ///
+    /// The snapshot plus the same configuration and program fully
+    /// determine the machine: [`restore`](Self::restore) followed by
+    /// [`run`](Self::run) is bit-identical to never having stopped —
+    /// same cycle count, same statistics, same architectural state,
+    /// same commit stream.
+    ///
+    /// Serialized: every stateful structure (scheduling unit, fetch
+    /// unit, predictor, functional units, tag allocator, cache, store
+    /// buffer, fetch buffer, statistics, register file) plus memory as
+    /// a sparse delta against the program's data image. Derived state
+    /// (renaming indexes, ordering queues, the forwarding index) is
+    /// recomputed on restore.
+    #[must_use]
+    pub fn checkpoint(&self) -> Snapshot {
+        let mut w = Writer::new();
+        w.section(sec::CORE);
+        w.put_u64(self.cycle);
+        w.put_u64(self.next_uid);
+        w.put_usize(self.regfile.len());
+        for &v in &self.regfile {
+            w.put_u64(v);
+        }
+        w.section(sec::SU);
+        self.su.save(&mut w);
+        w.section(sec::FETCH);
+        self.iu.save(&mut w);
+        w.section(sec::PREDICTOR);
+        self.predictor.save(&mut w);
+        w.section(sec::FU);
+        self.fu.save(&mut w);
+        w.section(sec::TAGS);
+        self.tags.save(&mut w);
+        w.section(sec::CACHE);
+        self.cache.save(&mut w);
+        w.section(sec::STORE_BUFFER);
+        self.sb.save(&mut w);
+        w.section(sec::MEMORY);
+        self.mem.save_delta(&self.program.data().to_words(), &mut w);
+        w.section(sec::FETCH_BUFFER);
+        match &self.fetch_buffer {
+            None => w.put_u8(0),
+            Some(b) => {
+                w.put_u8(1);
+                w.put_usize(b.tid);
+                w.put_u64(b.fetched_at);
+                w.put_usize(b.insns.len());
+                for f in &b.insns {
+                    // Like an SU entry, the decoded instruction is
+                    // recovered from the program text via its pc.
+                    w.put_usize(f.pc);
+                    w.put_bool(f.predicted_taken);
+                    w.put_usize(f.predicted_target);
+                }
+            }
+        }
+        w.section(sec::STATS);
+        save_stats(&self.stats, &mut w);
+        Snapshot {
+            config_hash: config_identity(&self.config),
+            program_hash: program_identity(self.program),
+            cycle: self.cycle,
+            payload: w.into_bytes(),
+        }
+    }
+
+    /// Rebuilds a simulator from a [`checkpoint`](Self::checkpoint)
+    /// taken under the same configuration and program.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Snapshot`] if the snapshot's identity hashes do
+    ///   not match `config`/`program`, or its payload fails to decode;
+    /// * whatever [`try_new`](Self::try_new) reports for the
+    ///   configuration/program pair itself.
+    pub fn restore(
+        config: SimConfig,
+        program: &'p Program,
+        snapshot: &Snapshot,
+    ) -> Result<Self, SimError> {
+        let want = config_identity(&config);
+        if snapshot.config_hash != want {
+            return Err(SimError::Snapshot(format!(
+                "snapshot was taken under config {:#018x}, not {want:#018x}",
+                snapshot.config_hash
+            )));
+        }
+        let want = program_identity(program);
+        if snapshot.program_hash != want {
+            return Err(SimError::Snapshot(format!(
+                "snapshot was taken of program {:#018x}, not {want:#018x}",
+                snapshot.program_hash
+            )));
+        }
+        let mut sim = Self::try_new(config, program)?;
+        sim.apply_snapshot(snapshot)
+            .map_err(|e| SimError::Snapshot(e.to_string()))?;
+        Ok(sim)
+    }
+
+    /// Overwrites a freshly constructed machine with the snapshot's
+    /// state and recomputes everything the snapshot omits: the memory
+    /// ordering queues and forwarding index (rescanned from the
+    /// restored window), the tag allocator's resident set, and the
+    /// renaming indexes (rebuilt inside [`SchedulingUnit::restore`]).
+    fn apply_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), DecodeError> {
+        let malformed = DecodeError::Malformed;
+        let program = self.program;
+        let mut r = Reader::new(&snapshot.payload);
+        r.expect_section(sec::CORE)?;
+        self.cycle = r.take_u64()?;
+        if self.cycle != snapshot.cycle {
+            return Err(malformed(format!(
+                "header cycle {} disagrees with payload cycle {}",
+                snapshot.cycle, self.cycle
+            )));
+        }
+        self.next_uid = r.take_u64()?;
+        let n = r.take_usize()?;
+        if n != self.regfile.len() {
+            return Err(malformed(format!(
+                "register file of {n} words, partition holds {}",
+                self.regfile.len()
+            )));
+        }
+        for slot in &mut self.regfile {
+            *slot = r.take_u64()?;
+        }
+        r.expect_section(sec::SU)?;
+        let mut su = SchedulingUnit::restore(
+            self.config.su_blocks(),
+            self.config.block_size,
+            &mut r,
+            program.decoded(),
+        )?;
+        su.reserve_threads(self.config.threads);
+        r.expect_section(sec::FETCH)?;
+        self.iu = InstructionUnit::restore(
+            self.config.threads,
+            self.config.fetch_policy,
+            self.config.block_size,
+            self.config.aligned_fetch,
+            &mut r,
+        )?;
+        r.expect_section(sec::PREDICTOR)?;
+        self.predictor = BranchPredictor::restore(&mut r)?;
+        r.expect_section(sec::FU)?;
+        self.fu = FuPool::restore(self.config.fu, &mut r)?;
+        r.expect_section(sec::TAGS)?;
+        // Exactly the resident window entries hold live tags: commit
+        // frees a store's tag before the store-buffer entry drains, so
+        // buffered stores reference already-freed ids.
+        let resident: Vec<u64> = su
+            .blocks()
+            .flat_map(|b| b.entries.iter().map(|e| e.tag.raw()))
+            .collect();
+        self.tags = TagAllocator::restore(self.config.su_depth, &mut r, &resident)?;
+        r.expect_section(sec::CACHE)?;
+        self.cache = DataCache::restore(self.config.cache, &mut r)?;
+        r.expect_section(sec::STORE_BUFFER)?;
+        self.sb = StoreBuffer::restore(self.config.store_buffer, &mut r)?;
+        r.expect_section(sec::MEMORY)?;
+        self.mem = MainMemory::restore_delta(&program.data().to_words(), &mut r)?;
+        r.expect_section(sec::FETCH_BUFFER)?;
+        self.fetch_buffer = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let tid = r.take_usize()?;
+                if tid >= self.config.threads {
+                    return Err(malformed(format!(
+                        "fetch buffer owned by thread {tid} of {}",
+                        self.config.threads
+                    )));
+                }
+                let fetched_at = r.take_u64()?;
+                let n = r.take_usize()?;
+                if n == 0 || n > self.config.block_size {
+                    return Err(malformed(format!(
+                        "fetch buffer of {n} instructions (block size {})",
+                        self.config.block_size
+                    )));
+                }
+                let mut insns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let pc = r.take_usize()?;
+                    let insn = *program.decoded().get(pc).ok_or_else(|| {
+                        DecodeError::Malformed(format!("fetch-buffer pc {pc} outside the program"))
+                    })?;
+                    let predicted_taken = r.take_bool()?;
+                    let predicted_target = r.take_usize()?;
+                    insns.push(FetchedInsn {
+                        pc,
+                        insn,
+                        predicted_taken,
+                        predicted_target,
+                    });
+                }
+                Some(FetchedBlock {
+                    tid,
+                    insns,
+                    fetched_at,
+                })
+            }
+            other => return Err(malformed(format!("fetch-buffer marker {other}"))),
+        };
+        r.expect_section(sec::STATS)?;
+        self.stats = restore_stats(&mut r)?;
+        if self.stats.committed.len() != self.config.threads {
+            return Err(malformed(format!(
+                "commit counters for {} threads, config has {}",
+                self.stats.committed.len(),
+                self.config.threads
+            )));
+        }
+        if self.stats.issue_histogram.len() != self.config.issue_width + 1 {
+            return Err(malformed(format!(
+                "issue histogram of {} bins for issue width {}",
+                self.stats.issue_histogram.len(),
+                self.config.issue_width
+            )));
+        }
+        r.finish()?;
+
+        // Rebuild the derived cross-references from the restored window.
+        self.memsync = vec![VecDeque::with_capacity(self.config.su_depth); self.config.threads];
+        self.fwd = HashMap::with_capacity_and_hasher(self.config.su_depth, MixState::default());
+        for b in su.blocks() {
+            if b.tid >= self.config.threads {
+                return Err(malformed(format!(
+                    "resident block of thread {} in a {}-thread run",
+                    b.tid, self.config.threads
+                )));
+            }
+            for (ei, e) in b.entries.iter().enumerate() {
+                // Outstanding (not yet written back) store/sync entries
+                // populate the per-thread ordering queues; blocks iterate
+                // oldest-first, so each queue comes out age-ordered.
+                if e.insn.is_memsync() && !e.is_done() {
+                    self.memsync[e.tid].push_back((b.id, ei));
+                }
+                // Completed non-faulted stores are forwarding sources
+                // until commit or squash removes them. Monotone block ids
+                // mean pushes arrive already sorted by (block id, entry).
+                if e.insn.op == Opcode::Sd && e.is_done() && e.fault.is_none() {
+                    self.fwd.entry(e.mem_addr).or_default().push(FwdStore {
+                        bid: b.id,
+                        ei,
+                        tid: e.tid,
+                        result: e.result,
+                    });
+                }
+            }
+        }
+        self.su = su;
+        Ok(())
+    }
+
     /// Renders the full machine state for debugging (threads, fetch buffer,
     /// every scheduling-unit entry, store buffer).
     #[must_use]
@@ -1343,6 +1638,116 @@ impl<'p> Simulator<'p> {
         );
         out
     }
+}
+
+/// Serializes every [`SimStats`] field. The cache and functional-unit
+/// aggregates are copied from their owning structures only by
+/// [`Simulator::run`]'s final fix-up, but they are carried anyway so a
+/// snapshot of an already-finished machine round-trips exactly.
+fn save_stats(stats: &SimStats, w: &mut Writer) {
+    w.put_u64(stats.cycles);
+    w.put_usize(stats.committed.len());
+    for &c in &stats.committed {
+        w.put_u64(c);
+    }
+    w.put_u64(stats.fetched_blocks);
+    w.put_u64(stats.fetch_idle_cycles);
+    w.put_u64(stats.su_stall_cycles);
+    w.put_u64(stats.issued);
+    w.put_u64(stats.store_buffer_full_stalls);
+    w.put_u64(stats.wait_spin_cycles);
+    w.put_u64(stats.squashed);
+    w.put_u64(stats.su_occupancy_sum);
+    w.put_u64(stats.branches.resolved);
+    w.put_u64(stats.branches.mispredicted);
+    w.put_u64(stats.cache.accesses);
+    w.put_u64(stats.cache.hits);
+    w.put_u64(stats.cache.misses);
+    w.put_u64(stats.cache.blocked);
+    w.put_usize(stats.fu.busy_cycles.len());
+    for (class, per_unit) in &stats.fu.busy_cycles {
+        let ci = FuClass::ALL
+            .iter()
+            .position(|c| c == class)
+            .expect("every class is in FuClass::ALL");
+        w.put_usize(ci);
+        w.put_usize(per_unit.len());
+        for &busy in per_unit {
+            w.put_u64(busy);
+        }
+    }
+    w.put_usize(stats.issue_histogram.len());
+    for &bin in &stats.issue_histogram {
+        w.put_u64(bin);
+    }
+}
+
+fn restore_stats(r: &mut Reader<'_>) -> Result<SimStats, DecodeError> {
+    let cycles = r.take_u64()?;
+    let n = r.take_usize()?;
+    let mut committed = Vec::with_capacity(n.min(MAX_THREADS));
+    for _ in 0..n {
+        committed.push(r.take_u64()?);
+    }
+    let fetched_blocks = r.take_u64()?;
+    let fetch_idle_cycles = r.take_u64()?;
+    let su_stall_cycles = r.take_u64()?;
+    let issued = r.take_u64()?;
+    let store_buffer_full_stalls = r.take_u64()?;
+    let wait_spin_cycles = r.take_u64()?;
+    let squashed = r.take_u64()?;
+    let su_occupancy_sum = r.take_u64()?;
+    let branches = crate::stats::BranchStats {
+        resolved: r.take_u64()?,
+        mispredicted: r.take_u64()?,
+    };
+    let cache = CacheStats {
+        accesses: r.take_u64()?,
+        hits: r.take_u64()?,
+        misses: r.take_u64()?,
+        blocked: r.take_u64()?,
+    };
+    let classes = r.take_usize()?;
+    if classes > FuClass::ALL.len() {
+        return Err(DecodeError::Malformed(format!(
+            "{classes} functional-unit classes, machine has {}",
+            FuClass::ALL.len()
+        )));
+    }
+    let mut busy_cycles = Vec::with_capacity(classes);
+    for _ in 0..classes {
+        let ci = r.take_usize()?;
+        let class = *FuClass::ALL.get(ci).ok_or_else(|| {
+            DecodeError::Malformed(format!("functional-unit class index {ci} out of range"))
+        })?;
+        let units = r.take_usize()?;
+        let mut per_unit = Vec::with_capacity(units.min(64));
+        for _ in 0..units {
+            per_unit.push(r.take_u64()?);
+        }
+        busy_cycles.push((class, per_unit));
+    }
+    let bins = r.take_usize()?;
+    let mut issue_histogram = Vec::with_capacity(bins.min(64));
+    for _ in 0..bins {
+        issue_histogram.push(r.take_u64()?);
+    }
+    Ok(SimStats {
+        cycles,
+        committed,
+        fetched_blocks,
+        fetch_idle_cycles,
+        su_stall_cycles,
+        issued,
+        store_buffer_full_stalls,
+        wait_spin_cycles,
+        squashed,
+        su_occupancy_sum,
+        branches,
+        cache,
+        fu: FuUsage { busy_cycles },
+        issue_histogram,
+    })
 }
 
 #[cfg(test)]
@@ -1604,6 +2009,94 @@ mod tests {
         let p = b.build(4).unwrap(); // fits 4 threads (window 32)
         assert!(Simulator::try_new(SimConfig::default().with_threads(6), &p).is_err());
         assert!(Simulator::try_new(SimConfig::default().with_threads(4), &p).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let p = sum_program();
+        let config = SimConfig::default();
+        let mut reference = Simulator::new(config.clone(), &p);
+        let ref_stats = reference.run().unwrap();
+
+        let mut sim = Simulator::new(config.clone(), &p);
+        for _ in 0..37 {
+            sim.step().unwrap();
+        }
+        // Round-trip through the wire format, not just the in-memory type.
+        let bytes = sim.checkpoint().to_bytes();
+        let snap = smt_checkpoint::Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.cycle, 37);
+        let mut resumed = Simulator::restore(config, &p, &snap).unwrap();
+        let stats = resumed.run().unwrap();
+
+        assert_eq!(stats, ref_stats, "resumed stats must match uninterrupted");
+        assert_eq!(resumed.cycle(), reference.cycle());
+        assert_eq!(resumed.reg_file(), reference.reg_file());
+        assert_eq!(resumed.memory().words(), reference.memory().words());
+    }
+
+    #[test]
+    fn checkpoint_of_finished_machine_round_trips() {
+        let p = sum_program();
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(config.clone(), &p);
+        let stats = sim.run().unwrap();
+        let snap = sim.checkpoint();
+        let restored = Simulator::restore(config, &p, &snap).unwrap();
+        assert!(restored.finished());
+        assert_eq!(restored.stats(), &stats);
+        assert_eq!(restored.reg_file(), sim.reg_file());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_identities() {
+        let p = sum_program();
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(config.clone(), &p);
+        sim.step().unwrap();
+        let snap = sim.checkpoint();
+
+        // Different configuration: same program, different thread count.
+        let other = config.clone().with_threads(2);
+        assert!(matches!(
+            Simulator::restore(other, &p, &snap),
+            Err(SimError::Snapshot(_))
+        ));
+
+        // Different program under the same configuration.
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let q = b.build(4).unwrap();
+        assert!(matches!(
+            Simulator::restore(config, &q, &snap),
+            Err(SimError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn register_window_violation_is_typed() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..29 {
+            let _ = b.reg();
+        }
+        let last = b.reg();
+        b.addi(last, last, 1);
+        b.halt();
+        let p = b.build(4).unwrap();
+        let err = Simulator::try_new(SimConfig::default().with_threads(6), &p)
+            .expect_err("32 registers exceed the 6-thread window");
+        assert!(
+            matches!(
+                err,
+                SimError::RegisterWindow {
+                    window: 21,
+                    threads: 6,
+                    ..
+                }
+            ),
+            "expected a typed register-window error, got {err:?}"
+        );
+        assert!(err.to_string().contains("21-register window"));
     }
 
     #[test]

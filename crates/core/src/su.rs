@@ -186,6 +186,139 @@ impl SuEntry {
         self.state == EntryState::Done
     }
 
+    /// Serializes every field except `insn`, which is recovered from the
+    /// program's predecoded text via `pc` on restore (an entry's
+    /// instruction is always the program's instruction at its pc, even on
+    /// the speculative wrong path).
+    pub fn save(&self, w: &mut smt_checkpoint::Writer) {
+        w.put_u64(self.tag.raw());
+        w.put_u64(self.uid);
+        w.put_usize(self.tid);
+        w.put_usize(self.pc);
+        for op in &self.ops {
+            match *op {
+                Operand::Unused => w.put_u8(0),
+                Operand::Ready { value, since } => {
+                    w.put_u8(1);
+                    w.put_u64(value);
+                    w.put_u64(since);
+                }
+                Operand::Waiting { tag } => {
+                    w.put_u8(2);
+                    w.put_u64(tag.raw());
+                }
+            }
+        }
+        match self.state {
+            EntryState::Waiting => w.put_u8(0),
+            EntryState::Executing { done_at } => {
+                w.put_u8(1);
+                w.put_u64(done_at);
+            }
+            EntryState::Done => w.put_u8(2),
+        }
+        w.put_u64(self.result);
+        w.put_bool(self.predicted_taken);
+        w.put_usize(self.predicted_target);
+        w.put_bool(self.taken);
+        w.put_usize(self.target);
+        w.put_bool(self.mispredicted);
+        match self.fault {
+            None => w.put_u8(0),
+            Some(smt_mem::MemError::OutOfBounds { addr, size }) => {
+                w.put_u8(1);
+                w.put_u64(addr);
+                w.put_u64(size);
+            }
+            Some(smt_mem::MemError::Unaligned { addr }) => {
+                w.put_u8(2);
+                w.put_u64(addr);
+            }
+        }
+        w.put_u64(self.mem_addr);
+        w.put_bool(self.store_buffered);
+        w.put_bool(self.sync_satisfied);
+        w.put_bool(self.dcache_miss);
+    }
+
+    /// Rebuilds an entry from [`save`](Self::save)d state, re-deriving the
+    /// predecoded instruction from `decoded` (the program's predecoded
+    /// text, indexed by pc).
+    pub fn restore(
+        r: &mut smt_checkpoint::Reader<'_>,
+        decoded: &[DecodedInsn],
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let malformed = |what: String| -> smt_checkpoint::DecodeError {
+            smt_checkpoint::DecodeError::Malformed(what)
+        };
+        let tag = Tag::from_raw(r.take_u64()?);
+        let uid = r.take_u64()?;
+        let tid = r.take_usize()?;
+        let pc = r.take_usize()?;
+        let insn = *decoded
+            .get(pc)
+            .ok_or_else(|| malformed(format!("entry pc {pc} outside program text")))?;
+        let mut ops = [Operand::Unused; 2];
+        for op in &mut ops {
+            *op = match r.take_u8()? {
+                0 => Operand::Unused,
+                1 => Operand::Ready {
+                    value: r.take_u64()?,
+                    since: r.take_u64()?,
+                },
+                2 => Operand::Waiting {
+                    tag: Tag::from_raw(r.take_u64()?),
+                },
+                v => return Err(malformed(format!("operand discriminant {v}"))),
+            };
+        }
+        let state = match r.take_u8()? {
+            0 => EntryState::Waiting,
+            1 => EntryState::Executing {
+                done_at: r.take_u64()?,
+            },
+            2 => EntryState::Done,
+            v => return Err(malformed(format!("entry state discriminant {v}"))),
+        };
+        let result = r.take_u64()?;
+        let predicted_taken = r.take_bool()?;
+        let predicted_target = r.take_usize()?;
+        let taken = r.take_bool()?;
+        let target = r.take_usize()?;
+        let mispredicted = r.take_bool()?;
+        let fault = match r.take_u8()? {
+            0 => None,
+            1 => Some(smt_mem::MemError::OutOfBounds {
+                addr: r.take_u64()?,
+                size: r.take_u64()?,
+            }),
+            2 => Some(smt_mem::MemError::Unaligned {
+                addr: r.take_u64()?,
+            }),
+            v => return Err(malformed(format!("fault discriminant {v}"))),
+        };
+        Ok(SuEntry {
+            tag,
+            uid,
+            tid,
+            pc,
+            insn,
+            ops,
+            state,
+            result,
+            predicted_taken,
+            predicted_target,
+            taken,
+            target,
+            mispredicted,
+            fault,
+            mem_addr: r.take_u64()?,
+            store_buffered: r.take_bool()?,
+            sync_satisfied: r.take_bool()?,
+            dcache_miss: r.take_bool()?,
+        })
+    }
+
     /// Whether both operands are usable at `now`.
     #[must_use]
     pub fn operands_ready(&self, now: u64, bypass: bool) -> bool {
@@ -766,6 +899,77 @@ impl SchedulingUnit {
             Self::deindex(&mut self.waiters, &mut self.producers, block.id, ei, e);
         }
         block
+    }
+
+    /// Serializes resident blocks (ids, threads, entries) plus the block-id
+    /// counter. The waiter/producer/completion indexes, per-block counters,
+    /// and storage pools are *not* serialized — they are derived state,
+    /// rebuilt from entry contents on restore by the same indexing code
+    /// decode uses.
+    pub fn save(&self, w: &mut smt_checkpoint::Writer) {
+        w.put_u64(self.next_block_id);
+        w.put_usize(self.blocks.len());
+        for b in &self.blocks {
+            w.put_u64(b.id);
+            w.put_usize(b.tid);
+            w.put_usize(b.entries.len());
+            for e in &b.entries {
+                e.save(w);
+            }
+        }
+    }
+
+    /// Rebuilds a unit from [`save`](Self::save)d state, re-deriving every
+    /// index through the [`push_block`](Self::push_block) path (with the
+    /// original block ids, which the simulator's cross-references key on).
+    pub fn restore(
+        capacity_blocks: usize,
+        block_size: usize,
+        r: &mut smt_checkpoint::Reader<'_>,
+        decoded: &[DecodedInsn],
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let malformed = |what: String| -> smt_checkpoint::DecodeError {
+            smt_checkpoint::DecodeError::Malformed(what)
+        };
+        let mut su = SchedulingUnit::new(capacity_blocks, block_size);
+        let next_block_id = r.take_u64()?;
+        let n_blocks = r.take_usize()?;
+        if n_blocks > capacity_blocks {
+            return Err(malformed(format!(
+                "{n_blocks} blocks for a {capacity_blocks}-block unit"
+            )));
+        }
+        for _ in 0..n_blocks {
+            let id = r.take_u64()?;
+            let tid = r.take_usize()?;
+            let n_entries = r.take_usize()?;
+            if n_entries == 0 || n_entries > block_size {
+                return Err(malformed(format!(
+                    "block of {n_entries} entries (block size {block_size})"
+                )));
+            }
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let e = SuEntry::restore(r, decoded)?;
+                if e.tid != tid {
+                    return Err(malformed(format!(
+                        "entry of thread {} in a block of thread {tid}",
+                        e.tid
+                    )));
+                }
+                entries.push(e);
+            }
+            if id < su.next_block_id || id >= next_block_id {
+                return Err(malformed(format!("non-monotone block id {id}")));
+            }
+            // push_block assigns self.next_block_id as the new block's id
+            // and rebuilds every index from the entries' recorded state;
+            // pre-setting the counter preserves the original id.
+            su.next_block_id = id;
+            su.push_block(tid, entries);
+        }
+        su.next_block_id = next_block_id;
+        Ok(su)
     }
 
     /// The thread owning the lower-most block, and whether that block could

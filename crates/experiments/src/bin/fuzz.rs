@@ -14,7 +14,14 @@
 //! cargo run --release -p smt-experiments --bin fuzz -- --start-seed 1000 --seeds 100
 //! cargo run --release -p smt-experiments --bin fuzz -- --workers 4
 //! cargo run --release -p smt-experiments --bin fuzz -- --trace-on-divergence
+//! cargo run --release -p smt-experiments --bin fuzz -- --checkpoint-every 50
 //! ```
+//!
+//! With `--checkpoint-every N`, every verification interrupts the machine
+//! each N cycles, round-trips it through the snapshot wire format, and
+//! resumes the restored copy — so each random program also exercises
+//! checkpoint/restore, and a splice that perturbs the commit stream is a
+//! divergence like any other.
 //!
 //! With `--trace-on-divergence`, each minimized failure is re-run with a
 //! windowed lifecycle recorder and the report gains the per-instruction
@@ -25,7 +32,7 @@ use std::time::Instant;
 
 use smt_core::{FetchPolicy, SimConfig, Simulator};
 use smt_isa::Program;
-use smt_oracle::verify;
+use smt_oracle::{verify, verify_with_checkpoints, Divergence, Report};
 use smt_testkit::progen::{GenConfig, Plan};
 use smt_testkit::shrink;
 use smt_trace::Tracer;
@@ -78,9 +85,27 @@ fn lifecycle_window(program: &Program, policy: FetchPolicy, threads: usize, cycl
     out
 }
 
+/// Runs the oracle, optionally splicing a snapshot round-trip into the
+/// machine every `checkpoint_every` cycles.
+fn run_verify(
+    program: &Program,
+    cfg: SimConfig,
+    checkpoint_every: Option<u64>,
+) -> Result<Report, Box<Divergence>> {
+    match checkpoint_every {
+        Some(every) => verify_with_checkpoints(program, cfg, every),
+        None => verify(program, cfg),
+    }
+}
+
 /// Verifies one seed at every (policy, thread count) point. Returns the
 /// number of verifications done and the first failure, minimized.
-fn fuzz_seed(seed: u64, gen_cfg: &GenConfig, trace: bool) -> (u64, Option<Failure>) {
+fn fuzz_seed(
+    seed: u64,
+    gen_cfg: &GenConfig,
+    trace: bool,
+    checkpoint_every: Option<u64>,
+) -> (u64, Option<Failure>) {
     let plan = Plan::generate(seed, gen_cfg);
     let mut runs = 0;
     for threads in THREAD_COUNTS {
@@ -89,8 +114,18 @@ fn fuzz_seed(seed: u64, gen_cfg: &GenConfig, trace: bool) -> (u64, Option<Failur
             .unwrap_or_else(|e| panic!("seed {seed}: plan must lower at {threads} threads: {e}"));
         for policy in POLICIES {
             runs += 1;
-            if let Err(d) = verify(&program, config(policy, threads)) {
-                return (runs, Some(minimize(&plan, policy, threads, &d, trace)));
+            if let Err(d) = run_verify(&program, config(policy, threads), checkpoint_every) {
+                return (
+                    runs,
+                    Some(minimize(
+                        &plan,
+                        policy,
+                        threads,
+                        &d,
+                        trace,
+                        checkpoint_every,
+                    )),
+                );
             }
         }
     }
@@ -105,15 +140,18 @@ fn minimize(
     threads: usize,
     original: &smt_oracle::Divergence,
     trace: bool,
+    checkpoint_every: Option<u64>,
 ) -> Failure {
+    // Minimize under the same verifier that failed: a checkpoint-specific
+    // bug would vanish under the plain one.
     let mask = shrink::minimize(plan.mask_len(), |mask| {
         plan.build(mask, threads)
-            .is_ok_and(|p| verify(&p, config(policy, threads)).is_err())
+            .is_ok_and(|p| run_verify(&p, config(policy, threads), checkpoint_every).is_err())
     });
     let minimized = plan
         .build(&mask, threads)
         .expect("minimizer only keeps buildable masks");
-    let divergence = match verify(&minimized, config(policy, threads)) {
+    let divergence = match run_verify(&minimized, config(policy, threads), checkpoint_every) {
         Err(d) => *d,
         // The minimizer's last accepted mask failed moments ago; a pass here
         // would mean nondeterminism, which is itself worth reporting loudly.
@@ -170,6 +208,11 @@ fn main() {
     );
     let workers = workers.clamp(1, seeds.max(1) as usize);
     let trace = args.iter().any(|a| a == "--trace-on-divergence");
+    let checkpoint_every: Option<u64> = flag_value(&args, "--checkpoint-every").map(|v| {
+        let n = v.parse().expect("--checkpoint-every takes a cycle count");
+        assert!(n > 0, "--checkpoint-every takes a positive cycle count");
+        n
+    });
     let gen_cfg = GenConfig::default();
 
     let began = Instant::now();
@@ -184,7 +227,7 @@ fn main() {
                     let mut failures = Vec::new();
                     let mut seed = start + w;
                     while seed < start + seeds {
-                        let (r, failure) = fuzz_seed(seed, gen_cfg, trace);
+                        let (r, failure) = fuzz_seed(seed, gen_cfg, trace, checkpoint_every);
                         runs += r;
                         failures.extend(failure);
                         seed += workers as u64;
@@ -205,9 +248,12 @@ fn main() {
     failures.sort_by_key(|f| f.seed);
 
     let secs = elapsed.as_secs_f64();
+    let splices = checkpoint_every.map_or(String::new(), |n| {
+        format!(", snapshot round-trip every {n} cycles")
+    });
     println!(
         "fuzz: {total_runs} verifications over {seeds} seeds x {} policies x {:?} threads \
-         in {secs:.1}s ({:.0} programs/sec, {workers} workers)",
+         in {secs:.1}s ({:.0} programs/sec, {workers} workers{splices})",
         POLICIES.len(),
         THREAD_COUNTS,
         f64::from(u32::try_from(total_runs).unwrap_or(u32::MAX)) / secs.max(1e-9),

@@ -17,6 +17,7 @@
 pub mod figures;
 pub mod json;
 pub mod runner;
+pub mod sweep;
 
 use std::fmt;
 

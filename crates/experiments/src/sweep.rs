@@ -1,0 +1,762 @@
+//! Resumable parallel design-space sweep.
+//!
+//! A [`Grid`] declares the swept dimensions (workload × fetch policy ×
+//! thread count × scheduling-unit depth × cache geometry); [`run_sweep`]
+//! flattens it into cells and runs them across work-stealing workers. Every
+//! finished cell is persisted to a content-addressed on-disk cache keyed by
+//! the *identity* of the work — the stable hashes of the lowered
+//! configuration and built program plus the code version — so re-running
+//! the same sweep over the same directory re-executes only cells that are
+//! missing or whose key no longer matches. The cache fails closed: a record
+//! whose key or payload does not validate is discarded and its cell re-run.
+//!
+//! Long simulations additionally checkpoint their machine state every
+//! `checkpoint_every` cycles (atomic tmp+rename, like every other write
+//! here). A sweep killed mid-cell resumes that cell from its last snapshot;
+//! because [`Simulator::restore`] is bit-identical to never having stopped,
+//! the merged `results.json` of an interrupted-and-resumed sweep is
+//! byte-identical to an uninterrupted one.
+//!
+//! Cells whose kernel cannot be lowered at a thread count, or whose program
+//! names a register outside the shrunken per-thread window
+//! ([`SimError::RegisterWindow`]), are recorded as `infeasible` rather than
+//! aborting the sweep — the design space legitimately contains such points.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::{fmt, fs};
+
+use smt_checkpoint::{Reader, Writer};
+use smt_core::{
+    config_identity, program_identity, FetchPolicy, SimConfig, SimError, Simulator, Snapshot,
+};
+use smt_isa::Program;
+use smt_mem::CacheKind;
+use smt_workloads::{workload, Scale, WorkloadKind};
+
+use crate::json::object_to_json;
+use crate::Cell;
+
+/// The declarative sweep space: the cross product of every field.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// Benchmarks to sweep.
+    pub workloads: Vec<WorkloadKind>,
+    /// Fetch policies.
+    pub policies: Vec<FetchPolicy>,
+    /// Resident thread counts.
+    pub threads: Vec<usize>,
+    /// Scheduling-unit depths in entries.
+    pub su_depths: Vec<usize>,
+    /// Cache organizations.
+    pub caches: Vec<CacheKind>,
+}
+
+impl Grid {
+    /// Small grid for CI smoke runs: two benchmarks across every policy and
+    /// thread count at the default machine point (24 cells, including the
+    /// infeasible 8-thread corners if a kernel does not fit the partition).
+    #[must_use]
+    pub fn smoke() -> Self {
+        Grid {
+            workloads: vec![WorkloadKind::Sieve, WorkloadKind::Ll3],
+            policies: POLICIES.to_vec(),
+            threads: vec![1, 2, 4, 8],
+            su_depths: vec![32],
+            caches: vec![CacheKind::SetAssociative],
+        }
+    }
+
+    /// The paper's full evaluation space.
+    #[must_use]
+    pub fn paper() -> Self {
+        Grid {
+            workloads: WorkloadKind::ALL.to_vec(),
+            policies: POLICIES.to_vec(),
+            threads: vec![1, 2, 4, 6, 8],
+            su_depths: vec![16, 32, 48],
+            caches: vec![CacheKind::SetAssociative, CacheKind::DirectMapped],
+        }
+    }
+
+    /// Flattens the grid into cells, in a deterministic order (workload
+    /// outermost, cache geometry innermost).
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        for &kind in &self.workloads {
+            for &policy in &self.policies {
+                for &threads in &self.threads {
+                    for &su_depth in &self.su_depths {
+                        for &cache in &self.caches {
+                            out.push(CellSpec {
+                                kind,
+                                policy,
+                                threads,
+                                su_depth,
+                                cache,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+const POLICIES: [FetchPolicy; 3] = [
+    FetchPolicy::TrueRoundRobin,
+    FetchPolicy::MaskedRoundRobin,
+    FetchPolicy::ConditionalSwitch,
+];
+
+/// One point of the sweep space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CellSpec {
+    /// Benchmark.
+    pub kind: WorkloadKind,
+    /// Fetch policy.
+    pub policy: FetchPolicy,
+    /// Resident threads.
+    pub threads: usize,
+    /// Scheduling-unit depth in entries.
+    pub su_depth: usize,
+    /// Cache organization.
+    pub cache: CacheKind,
+}
+
+impl CellSpec {
+    /// Lowers the spec to a full simulator configuration.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        SimConfig::default()
+            .with_threads(self.threads)
+            .with_fetch_policy(self.policy)
+            .with_su_depth(self.su_depth)
+            .with_cache_kind(self.cache)
+    }
+
+    /// Stable, filesystem-safe cell name, e.g. `sieve-trr-t4-su32-sa`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        let policy = match self.policy {
+            FetchPolicy::TrueRoundRobin => "trr",
+            FetchPolicy::MaskedRoundRobin => "mrr",
+            FetchPolicy::ConditionalSwitch => "cs",
+        };
+        let cache = match self.cache {
+            CacheKind::SetAssociative => "sa",
+            CacheKind::DirectMapped => "dm",
+        };
+        format!(
+            "{}-{policy}-t{}-su{}-{cache}",
+            self.kind.name().to_lowercase(),
+            self.threads,
+            self.su_depth,
+        )
+    }
+}
+
+impl fmt::Display for CellSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+/// Terminal state of one cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellStatus {
+    /// Simulated to completion and verified against the workload checker.
+    Done,
+    /// The kernel does not fit this configuration point (lowering failed or
+    /// the register window is too small) — a legitimate hole in the space.
+    Infeasible,
+}
+
+impl CellStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Done => "done",
+            CellStatus::Infeasible => "infeasible",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "done" => Some(CellStatus::Done),
+            "infeasible" => Some(CellStatus::Infeasible),
+            _ => None,
+        }
+    }
+}
+
+/// One cell's persisted measurement (or infeasibility record).
+#[derive(Clone, PartialEq, Debug)]
+pub struct CellRecord {
+    /// The cell's stable name ([`CellSpec::id`]).
+    pub id: String,
+    /// Code version the record was produced under.
+    pub code_version: String,
+    /// [`config_identity`] of the lowered configuration.
+    pub config_hash: u64,
+    /// [`program_identity`] of the built kernel; 0 when lowering failed.
+    pub program_hash: u64,
+    /// Terminal state.
+    pub status: CellStatus,
+    /// Total cycles (0 if infeasible).
+    pub cycles: u64,
+    /// Architecturally committed instructions (0 if infeasible).
+    pub committed: u64,
+    /// Instructions per cycle (0 if infeasible).
+    pub ipc: f64,
+    /// Data-cache hit rate in percent (0 if infeasible).
+    pub hit_rate: f64,
+    /// Branch-prediction accuracy in percent (0 if infeasible).
+    pub branch_accuracy: f64,
+    /// Scheduling-unit stall cycles (0 if infeasible).
+    pub su_stalls: u64,
+    /// Why the cell is infeasible; empty for done cells.
+    pub reason: String,
+}
+
+impl CellRecord {
+    /// Serializes the record as `key=value` lines (the cell-cache format;
+    /// the repository has no JSON *parser*, so the cache uses a format that
+    /// is trivial to read back).
+    #[must_use]
+    pub fn to_lines(&self) -> String {
+        // Floats use `{:?}` (shortest round-trip form): a parsed-back value
+        // is bit-equal to the original, so a cache hit serializes into
+        // results.json byte-identically to a fresh run.
+        format!(
+            "id={}\ncode_version={}\nconfig_hash={:#018x}\nprogram_hash={:#018x}\n\
+             status={}\ncycles={}\ncommitted={}\nipc={:?}\nhit_rate={:?}\n\
+             branch_accuracy={:?}\nsu_stalls={}\nreason={}\n",
+            self.id,
+            self.code_version,
+            self.config_hash,
+            self.program_hash,
+            self.status.as_str(),
+            self.cycles,
+            self.committed,
+            self.ipc,
+            self.hit_rate,
+            self.branch_accuracy,
+            self.su_stalls,
+            self.reason.replace('\n', " "),
+        )
+    }
+
+    /// Parses a record back from its `key=value` form. Any missing or
+    /// malformed field yields `None` — the caller treats the record as
+    /// absent and re-runs the cell (fail closed).
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut kv = HashMap::new();
+        for line in text.lines() {
+            let (k, v) = line.split_once('=')?;
+            kv.insert(k, v);
+        }
+        let hex = |k: &str| {
+            kv.get(k)
+                .and_then(|v| v.strip_prefix("0x"))
+                .and_then(|v| u64::from_str_radix(v, 16).ok())
+        };
+        let int = |k: &str| kv.get(k).and_then(|v| v.parse::<u64>().ok());
+        let float = |k: &str| kv.get(k).and_then(|v| v.parse::<f64>().ok());
+        Some(CellRecord {
+            id: (*kv.get("id")?).to_string(),
+            code_version: (*kv.get("code_version")?).to_string(),
+            config_hash: hex("config_hash")?,
+            program_hash: hex("program_hash")?,
+            status: CellStatus::parse(kv.get("status")?)?,
+            cycles: int("cycles")?,
+            committed: int("committed")?,
+            ipc: float("ipc")?,
+            hit_rate: float("hit_rate")?,
+            branch_accuracy: float("branch_accuracy")?,
+            su_stalls: int("su_stalls")?,
+            reason: (*kv.get("reason")?).to_string(),
+        })
+    }
+
+    /// The record as a JSON object (one element of `results.json`).
+    #[must_use]
+    pub fn to_json(&self, spec: &CellSpec) -> String {
+        object_to_json(&[
+            ("id", Cell::Text(self.id.clone())),
+            ("workload", Cell::Text(spec.kind.name().to_string())),
+            ("policy", Cell::Text(format!("{:?}", spec.policy))),
+            ("threads", Cell::Int(spec.threads as u64)),
+            ("su_depth", Cell::Int(spec.su_depth as u64)),
+            ("cache", Cell::Text(format!("{:?}", spec.cache))),
+            (
+                "config_hash",
+                Cell::Text(format!("{:#018x}", self.config_hash)),
+            ),
+            (
+                "program_hash",
+                Cell::Text(format!("{:#018x}", self.program_hash)),
+            ),
+            ("status", Cell::Text(self.status.as_str().to_string())),
+            ("cycles", Cell::Int(self.cycles)),
+            ("committed", Cell::Int(self.committed)),
+            ("ipc", Cell::Float(self.ipc)),
+            ("hit_rate", Cell::Float(self.hit_rate)),
+            ("branch_accuracy", Cell::Float(self.branch_accuracy)),
+            ("su_stalls", Cell::Int(self.su_stalls)),
+            ("reason", Cell::Text(self.reason.clone())),
+        ])
+    }
+}
+
+/// Sweep knobs beyond the grid itself.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Problem scale the kernels are built at.
+    pub scale: Scale,
+    /// Worker threads (cells are work-stolen off a shared queue).
+    pub workers: usize,
+    /// Snapshot in-flight simulations every this many cycles; `None`
+    /// disables mid-cell checkpointing (cells then resume from scratch).
+    pub checkpoint_every: Option<u64>,
+    /// Cache key component: records written under a different code version
+    /// are invalid. Defaults to this crate's version; tests override it to
+    /// prove stale caches fail closed.
+    pub code_version: String,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            scale: Scale::Paper,
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            checkpoint_every: None,
+            code_version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+}
+
+/// What a sweep did, for reporting and for the resume tests.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SweepSummary {
+    /// Cells in the grid.
+    pub total: usize,
+    /// Cells actually simulated this invocation.
+    pub executed: usize,
+    /// Cells satisfied from the on-disk cache.
+    pub cached: usize,
+    /// Cells recorded infeasible (cached or fresh).
+    pub infeasible: usize,
+    /// Cells that resumed from a mid-flight snapshot instead of cycle 0.
+    pub resumed: usize,
+    /// Where the merged results were written.
+    pub results_path: PathBuf,
+}
+
+/// A built kernel, or why lowering it failed at this thread count.
+type Built = Arc<Result<Program, String>>;
+
+/// Kernel memo shared by the workers: the program text depends only on
+/// `(kind, threads)` at a fixed scale, and both cache validation and
+/// execution need it.
+struct Programs {
+    scale: Scale,
+    built: Mutex<HashMap<(WorkloadKind, usize), Built>>,
+}
+
+impl Programs {
+    fn new(scale: Scale) -> Self {
+        Programs {
+            scale,
+            built: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get(&self, kind: WorkloadKind, threads: usize) -> Built {
+        let mut built = self.built.lock().expect("program memo poisoned");
+        Arc::clone(built.entry((kind, threads)).or_insert_with(|| {
+            Arc::new(
+                workload(kind, self.scale)
+                    .build(threads)
+                    .map_err(|e| e.to_string()),
+            )
+        }))
+    }
+}
+
+/// Writes `bytes` to `path` atomically (tmp file + rename), so a kill at
+/// any instant leaves either the old file or the new one — never a torn
+/// write. Concurrent workers touch distinct paths, so the tmp name needs
+/// no uniquifier.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+fn cell_path(out: &Path, id: &str) -> PathBuf {
+    out.join("cells").join(format!("{id}.cell"))
+}
+
+fn ckpt_path(out: &Path, id: &str) -> PathBuf {
+    out.join("ckpt").join(format!("{id}.ckpt"))
+}
+
+/// Persists one in-flight snapshot: the code version (snapshots do not
+/// survive code changes) followed by the snapshot wire format, which
+/// carries its own magic, version, identity hashes, and checksum.
+fn save_ckpt(out: &Path, id: &str, code_version: &str, snap: &Snapshot) -> io::Result<()> {
+    let mut w = Writer::new();
+    w.put_bytes(code_version.as_bytes());
+    w.put_bytes(&snap.to_bytes());
+    write_atomic(&ckpt_path(out, id), &w.into_bytes())
+}
+
+/// Loads a cell's in-flight snapshot if one exists and was written under
+/// the same code version. Any parse failure means "no checkpoint" — the
+/// cell just starts from cycle 0, which is always correct.
+fn load_ckpt(out: &Path, id: &str, code_version: &str) -> Option<Snapshot> {
+    let bytes = fs::read(ckpt_path(out, id)).ok()?;
+    let mut r = Reader::new(&bytes);
+    let version = r.take_bytes().ok()?;
+    if version != code_version.as_bytes() {
+        return None;
+    }
+    let snap = Snapshot::from_bytes(r.take_bytes().ok()?).ok()?;
+    r.finish().ok()?;
+    Some(snap)
+}
+
+/// Writes a mid-flight snapshot for `spec` exactly as a killed invocation
+/// would have left it. Test hook for the resume path: the next
+/// [`run_sweep`] over `out` picks the cell up from this snapshot instead
+/// of cycle 0 (and counts it in [`SweepSummary::resumed`]).
+///
+/// # Errors
+///
+/// Fails on filesystem errors creating the checkpoint directory or file.
+pub fn plant_checkpoint(
+    out: &Path,
+    spec: &CellSpec,
+    code_version: &str,
+    snap: &Snapshot,
+) -> io::Result<()> {
+    fs::create_dir_all(out.join("ckpt"))?;
+    save_ckpt(out, &spec.id(), code_version, snap)
+}
+
+/// Loads the cached record for `spec` if it exists and its full key —
+/// code version, configuration hash, and program hash — matches what this
+/// invocation would produce. Anything else is treated as a miss.
+fn load_valid_cell(
+    out: &Path,
+    spec: &CellSpec,
+    code_version: &str,
+    config_hash: u64,
+    program_hash: u64,
+) -> Option<CellRecord> {
+    let text = fs::read_to_string(cell_path(out, &spec.id())).ok()?;
+    let rec = CellRecord::parse(&text)?;
+    (rec.id == spec.id()
+        && rec.code_version == code_version
+        && rec.config_hash == config_hash
+        && rec.program_hash == program_hash)
+        .then_some(rec)
+}
+
+fn infeasible_record(
+    spec: &CellSpec,
+    code_version: &str,
+    config_hash: u64,
+    program_hash: u64,
+    reason: String,
+) -> CellRecord {
+    CellRecord {
+        id: spec.id(),
+        code_version: code_version.to_string(),
+        config_hash,
+        program_hash,
+        status: CellStatus::Infeasible,
+        cycles: 0,
+        committed: 0,
+        ipc: 0.0,
+        hit_rate: 0.0,
+        branch_accuracy: 0.0,
+        su_stalls: 0,
+        reason,
+    }
+}
+
+/// Simulates one feasible cell to completion, checkpointing every
+/// `checkpoint_every` cycles and resuming from an existing snapshot when
+/// one validates. Returns the record and whether a snapshot was resumed.
+///
+/// # Panics
+///
+/// Panics if the simulation faults, hits the watchdog, or produces a wrong
+/// architectural answer — sweep results must never contain broken runs.
+fn simulate_cell(
+    spec: &CellSpec,
+    config: SimConfig,
+    program: &Program,
+    out: &Path,
+    opts: &SweepOptions,
+) -> Result<(CellRecord, bool), SimError> {
+    let id = spec.id();
+    let (mut sim, resumed) = match load_ckpt(out, &id, &opts.code_version)
+        .and_then(|snap| Simulator::restore(config.clone(), program, &snap).ok())
+    {
+        Some(sim) => (sim, true),
+        None => (Simulator::try_new(config.clone(), program)?, false),
+    };
+    while !sim.finished() {
+        assert!(
+            sim.cycle() < sim.config().max_cycles,
+            "{id}: watchdog: exceeded {} cycles",
+            sim.config().max_cycles
+        );
+        sim.step()
+            .unwrap_or_else(|e| panic!("{id}: simulation failed: {e}"));
+        if let Some(every) = opts.checkpoint_every {
+            if sim.cycle() % every == 0 && !sim.finished() {
+                save_ckpt(out, &id, &opts.code_version, &sim.checkpoint())
+                    .unwrap_or_else(|e| panic!("{id}: cannot write checkpoint: {e}"));
+            }
+        }
+    }
+    // The machine is drained; `run` performs no steps and finalizes the
+    // statistics (cache counters, FU busy cycles).
+    let stats = sim
+        .run()
+        .unwrap_or_else(|e| panic!("{id}: finalize failed: {e}"));
+    workload(spec.kind, opts.scale)
+        .check(sim.memory().words())
+        .unwrap_or_else(|e| panic!("{id}: wrong answer: {e}"));
+    let _ = fs::remove_file(ckpt_path(out, &id));
+    Ok((
+        CellRecord {
+            id,
+            code_version: opts.code_version.clone(),
+            config_hash: config_identity(&config),
+            program_hash: program_identity(program),
+            status: CellStatus::Done,
+            cycles: stats.cycles,
+            committed: stats.committed_total(),
+            ipc: stats.ipc(),
+            hit_rate: stats.cache.hit_rate(),
+            branch_accuracy: stats.branches.accuracy(),
+            su_stalls: stats.su_stall_cycles,
+            reason: String::new(),
+        },
+        resumed,
+    ))
+}
+
+/// Produces (from cache or by simulation) the record for one cell.
+/// Returns `(record, executed, resumed)`.
+fn produce_cell(
+    spec: &CellSpec,
+    out: &Path,
+    opts: &SweepOptions,
+    programs: &Programs,
+) -> (CellRecord, bool, bool) {
+    let config = spec.config();
+    let config_hash = config_identity(&config);
+    let built = programs.get(spec.kind, spec.threads);
+    let program_hash = match built.as_ref() {
+        Ok(p) => program_identity(p),
+        Err(_) => 0,
+    };
+    if let Some(rec) = load_valid_cell(out, spec, &opts.code_version, config_hash, program_hash) {
+        return (rec, false, false);
+    }
+    let (rec, resumed) = match built.as_ref() {
+        Err(e) => (
+            infeasible_record(
+                spec,
+                &opts.code_version,
+                config_hash,
+                0,
+                format!("kernel does not lower at {} threads: {e}", spec.threads),
+            ),
+            false,
+        ),
+        Ok(program) => match simulate_cell(spec, config, program, out, opts) {
+            Ok((rec, resumed)) => (rec, resumed),
+            Err(e @ SimError::RegisterWindow { .. }) => (
+                infeasible_record(
+                    spec,
+                    &opts.code_version,
+                    config_hash,
+                    program_hash,
+                    e.to_string(),
+                ),
+                false,
+            ),
+            Err(e) => panic!("{}: simulator rejected the cell: {e}", spec.id()),
+        },
+    };
+    write_atomic(&cell_path(out, &spec.id()), rec.to_lines().as_bytes())
+        .unwrap_or_else(|e| panic!("{}: cannot persist cell: {e}", spec.id()));
+    (rec, true, resumed)
+}
+
+/// Renders the merged results of a sweep: one JSON object per cell, sorted
+/// by cell id, independent of worker scheduling — so equal inputs always
+/// produce byte-equal files.
+#[must_use]
+pub fn results_json(cells: &[(CellSpec, CellRecord)]) -> String {
+    let mut out = String::from("[\n");
+    for (i, (spec, rec)) in cells.iter().enumerate() {
+        out.push_str(&rec.to_json(spec));
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Runs (or resumes) the sweep over `grid` into `out`, writing one cell
+/// file per point plus a merged, deterministically ordered `results.json`.
+///
+/// # Errors
+///
+/// Fails on filesystem errors creating the output layout or writing the
+/// merged results.
+///
+/// # Panics
+///
+/// Panics if any cell's simulation faults or fails its workload check.
+pub fn run_sweep(grid: &Grid, out: &Path, opts: &SweepOptions) -> io::Result<SweepSummary> {
+    fs::create_dir_all(out.join("cells"))?;
+    fs::create_dir_all(out.join("ckpt"))?;
+    let specs = grid.cells();
+    let programs = Programs::new(opts.scale);
+    let next = AtomicUsize::new(0);
+    let executed = AtomicUsize::new(0);
+    let cached = AtomicUsize::new(0);
+    let resumed = AtomicUsize::new(0);
+    let workers = opts.workers.clamp(1, specs.len().max(1));
+    // Work stealing: each worker repeatedly claims the next unclaimed cell,
+    // so a worker stuck on one long simulation never strands the queue.
+    let mut cells: Vec<(CellSpec, CellRecord)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, executed, cached, resumed) = (&next, &executed, &cached, &resumed);
+                let (specs, programs) = (&specs, &programs);
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        let (rec, ran, res) = produce_cell(spec, out, opts, programs);
+                        executed.fetch_add(usize::from(ran), Ordering::Relaxed);
+                        cached.fetch_add(usize::from(!ran), Ordering::Relaxed);
+                        resumed.fetch_add(usize::from(res), Ordering::Relaxed);
+                        mine.push((*spec, rec));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    cells.sort_by(|a, b| a.1.id.cmp(&b.1.id));
+    let results_path = out.join("results.json");
+    write_atomic(&results_path, results_json(&cells).as_bytes())?;
+    Ok(SweepSummary {
+        total: specs.len(),
+        executed: executed.into_inner(),
+        cached: cached.into_inner(),
+        infeasible: cells
+            .iter()
+            .filter(|(_, r)| r.status == CellStatus::Infeasible)
+            .count(),
+        resumed: resumed.into_inner(),
+        results_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CellSpec {
+        CellSpec {
+            kind: WorkloadKind::Sieve,
+            policy: FetchPolicy::TrueRoundRobin,
+            threads: 4,
+            su_depth: 32,
+            cache: CacheKind::SetAssociative,
+        }
+    }
+
+    #[test]
+    fn cell_ids_encode_every_dimension() {
+        assert_eq!(spec().id(), "sieve-trr-t4-su32-sa");
+        let other = CellSpec {
+            policy: FetchPolicy::ConditionalSwitch,
+            cache: CacheKind::DirectMapped,
+            threads: 8,
+            su_depth: 16,
+            kind: WorkloadKind::Ll12,
+        };
+        assert_eq!(other.id(), "ll12-cs-t8-su16-dm");
+    }
+
+    #[test]
+    fn grid_flattens_to_the_full_cross_product() {
+        let g = Grid::smoke();
+        let cells = g.cells();
+        assert_eq!(cells.len(), 2 * 3 * 4);
+        let ids: std::collections::HashSet<String> = cells.iter().map(CellSpec::id).collect();
+        assert_eq!(ids.len(), cells.len(), "ids are unique");
+    }
+
+    #[test]
+    fn records_round_trip_through_the_cell_format() {
+        let rec = CellRecord {
+            id: spec().id(),
+            code_version: "1.2.3".into(),
+            config_hash: 0xdead_beef_0badu64,
+            program_hash: 0x1234,
+            status: CellStatus::Done,
+            cycles: 987_654,
+            committed: 123_456,
+            ipc: 1.234_567_890_123,
+            hit_rate: 99.017_234,
+            branch_accuracy: 87.5,
+            su_stalls: 42,
+            reason: String::new(),
+        };
+        let parsed = CellRecord::parse(&rec.to_lines()).expect("round trip");
+        assert_eq!(parsed, rec);
+        // Bit-exact float round trip is what makes cache hits serialize
+        // byte-identically into results.json.
+        assert_eq!(parsed.ipc.to_bits(), rec.ipc.to_bits());
+    }
+
+    #[test]
+    fn malformed_records_fail_closed() {
+        assert_eq!(CellRecord::parse(""), None);
+        assert_eq!(CellRecord::parse("id=x\nstatus=done"), None);
+        let rec = infeasible_record(&spec(), "v", 1, 0, "no fit".into());
+        let mangled = rec.to_lines().replace("status=infeasible", "status=maybe");
+        assert_eq!(CellRecord::parse(&mangled), None);
+    }
+
+    #[test]
+    fn reasons_survive_equals_signs_and_newlines() {
+        let rec = infeasible_record(&spec(), "v", 1, 0, "window=21 < needed\nregs=32".into());
+        let parsed = CellRecord::parse(&rec.to_lines()).expect("round trip");
+        assert_eq!(parsed.reason, "window=21 < needed regs=32");
+    }
+}

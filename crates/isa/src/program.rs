@@ -16,7 +16,7 @@ use crate::WORD_BYTES;
 pub const DATA_BASE: u64 = 0x1000;
 
 /// Initial contents of data memory: a size plus a sparse list of words.
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, PartialEq, Hash, Debug, Default)]
 pub struct DataImage {
     /// Total data memory size in bytes (8-byte aligned).
     pub size: u64,

@@ -312,6 +312,77 @@ impl DataCache {
         self.refills.iter().filter(|r| now < r.done).count()
     }
 
+    /// Serializes replacement state, in-flight refills (in slot order —
+    /// [`settle`](Self::settle) installs same-set lines in `refills` order,
+    /// so the order is architecturally visible through LRU state), and
+    /// statistics. Geometry is not serialized; it comes from the config at
+    /// restore time.
+    pub fn save(&self, w: &mut smt_checkpoint::Writer) {
+        w.put_usize(self.sets.len());
+        for s in &self.sets {
+            w.put_usize(s.lru.len());
+            for &tag in &s.lru {
+                w.put_u64(tag);
+            }
+        }
+        w.put_usize(self.refills.len());
+        for r in &self.refills {
+            w.put_usize(r.set);
+            w.put_u64(r.tag);
+            w.put_u64(r.done);
+        }
+        w.put_u64(self.stats.accesses);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.blocked);
+    }
+
+    /// Rebuilds a cache for `config` from [`save`](Self::save)d state.
+    pub fn restore(
+        config: CacheConfig,
+        r: &mut smt_checkpoint::Reader<'_>,
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let mut cache = DataCache::new(config);
+        let n_sets = r.take_usize()?;
+        if n_sets != cache.sets.len() {
+            return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                "cache: {n_sets} serialized sets, geometry has {}",
+                cache.sets.len()
+            )));
+        }
+        for s in &mut cache.sets {
+            let ways = r.take_usize()?;
+            if ways > config.ways {
+                return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                    "cache: set holds {ways} lines, geometry allows {}",
+                    config.ways
+                )));
+            }
+            for _ in 0..ways {
+                s.lru.push(r.take_u64()?);
+            }
+        }
+        let n_refills = r.take_usize()?;
+        if n_refills > config.mshrs {
+            return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                "cache: {n_refills} in-flight refills, {} MSHRs",
+                config.mshrs
+            )));
+        }
+        for _ in 0..n_refills {
+            cache.refills.push(Refill {
+                set: r.take_usize()?,
+                tag: r.take_u64()?,
+                done: r.take_u64()?,
+            });
+        }
+        cache.stats.accesses = r.take_u64()?;
+        cache.stats.hits = r.take_u64()?;
+        cache.stats.misses = r.take_u64()?;
+        cache.stats.blocked = r.take_u64()?;
+        Ok(cache)
+    }
+
     /// Invalidates all lines and cancels any refill. Statistics survive.
     pub fn flush(&mut self) {
         for s in &mut self.sets {

@@ -124,6 +124,60 @@ impl MainMemory {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Serializes memory as a sparse delta against `baseline` (typically
+    /// the program's initial data image): total word count, then
+    /// `(index, value)` pairs for every word that differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is not the same size as this memory.
+    pub fn save_delta(&self, baseline: &[u64], w: &mut smt_checkpoint::Writer) {
+        assert_eq!(
+            baseline.len(),
+            self.words.len(),
+            "delta baseline must match memory size"
+        );
+        w.put_usize(self.words.len());
+        let changed = self
+            .words
+            .iter()
+            .zip(baseline)
+            .filter(|(a, b)| a != b)
+            .count();
+        w.put_usize(changed);
+        for (i, (&word, &base)) in self.words.iter().zip(baseline).enumerate() {
+            if word != base {
+                w.put_usize(i);
+                w.put_u64(word);
+            }
+        }
+    }
+
+    /// Rebuilds memory from `baseline` plus a [`save_delta`](Self::save_delta).
+    pub fn restore_delta(
+        baseline: &[u64],
+        r: &mut smt_checkpoint::Reader<'_>,
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let len = r.take_usize()?;
+        if len != baseline.len() {
+            return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                "memory delta for {len} words, baseline has {}",
+                baseline.len()
+            )));
+        }
+        let mut words = baseline.to_vec();
+        let changed = r.take_usize()?;
+        for _ in 0..changed {
+            let i = r.take_usize()?;
+            let v = r.take_u64()?;
+            let slot = words.get_mut(i).ok_or_else(|| {
+                smt_checkpoint::DecodeError::Malformed(format!("delta index {i} of {len} words"))
+            })?;
+            *slot = v;
+        }
+        Ok(MainMemory { words })
+    }
 }
 
 #[cfg(test)]

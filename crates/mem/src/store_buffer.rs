@@ -214,6 +214,45 @@ impl StoreBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &StoreEntry> {
         self.entries.iter()
     }
+
+    /// Serializes resident entries, oldest first. Capacity is not
+    /// serialized; it comes from the config at restore time.
+    pub fn save(&self, w: &mut smt_checkpoint::Writer) {
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.id);
+            w.put_usize(e.tid);
+            w.put_u64(e.addr);
+            w.put_u64(e.value);
+            w.put_usize(e.pc);
+            w.put_bool(e.released);
+        }
+    }
+
+    /// Rebuilds a buffer of `capacity` from [`save`](Self::save)d state.
+    pub fn restore(
+        capacity: usize,
+        r: &mut smt_checkpoint::Reader<'_>,
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let mut sb = StoreBuffer::new(capacity);
+        let n = r.take_usize()?;
+        if n > capacity {
+            return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                "store buffer: {n} entries for capacity {capacity}"
+            )));
+        }
+        for _ in 0..n {
+            sb.entries.push_back(StoreEntry {
+                id: r.take_u64()?,
+                tid: r.take_usize()?,
+                addr: r.take_u64()?,
+                value: r.take_u64()?,
+                pc: r.take_usize()?,
+                released: r.take_bool()?,
+            });
+        }
+        Ok(sb)
+    }
 }
 
 #[cfg(test)]

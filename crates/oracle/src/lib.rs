@@ -38,7 +38,7 @@
 
 use std::fmt;
 
-use smt_core::{CommitSink, Retirement, SimConfig, SimError, Simulator};
+use smt_core::{CommitSink, Retirement, SimConfig, SimError, SimStats, Simulator, Snapshot};
 use smt_isa::interp::{Interp, InterpError, Progress};
 use smt_isa::semantics::effective_addr;
 use smt_isa::{Opcode, Program, Reg};
@@ -447,20 +447,95 @@ fn context_disasm(program: &Program, pc: usize) -> String {
 pub fn verify(program: &Program, config: SimConfig) -> Result<Report, Box<Divergence>> {
     let threads = config.threads;
     let fault_bound = config.su_depth;
-    let harness = |msg: String| {
-        Box::new(Divergence {
-            seqno: 0,
-            cycle: 0,
-            block: 0,
-            tid: 0,
-            pc: 0,
-            disasm: String::new(),
-            kind: DivergenceKind::Harness(msg),
-        })
-    };
-    let mut sim = Simulator::try_new(config, program).map_err(|e| harness(e.to_string()))?;
+    let mut sim =
+        Simulator::try_new(config, program).map_err(|e| harness_divergence(e.to_string()))?;
     let mut oracle = Oracle::new(program, threads, fault_bound);
     let outcome = sim.run_observed(&mut oracle);
+    conclude(&sim, oracle, outcome)
+}
+
+/// Like [`verify`], but additionally exercises checkpoint/restore: every
+/// `every` cycles the run is interrupted, the machine is serialized to
+/// the snapshot wire format, decoded back, and **replaced** by the
+/// restored copy, which then continues under the same oracle. A clean
+/// report therefore certifies not only that the commit stream matches
+/// the reference, but that mid-run snapshots are transparent — the
+/// stream across every splice point is indistinguishable from an
+/// uninterrupted run's.
+///
+/// # Errors
+///
+/// The first [`Divergence`]; snapshot encode/decode/restore failures
+/// surface as [`DivergenceKind::Harness`].
+///
+/// # Panics
+///
+/// Panics if `every` is zero.
+pub fn verify_with_checkpoints(
+    program: &Program,
+    config: SimConfig,
+    every: u64,
+) -> Result<Report, Box<Divergence>> {
+    assert!(every > 0, "checkpoint interval must be positive");
+    let threads = config.threads;
+    let fault_bound = config.su_depth;
+    let mut sim = Simulator::try_new(config.clone(), program)
+        .map_err(|e| harness_divergence(e.to_string()))?;
+    let mut oracle = Oracle::new(program, threads, fault_bound);
+    let outcome = loop {
+        let mut step_error = None;
+        for _ in 0..every {
+            if sim.finished() {
+                break;
+            }
+            if sim.cycle() >= sim.config().max_cycles {
+                step_error = Some(SimError::Watchdog {
+                    cycles: sim.config().max_cycles,
+                });
+                break;
+            }
+            if let Err(e) = sim.step_observed(&mut oracle) {
+                step_error = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = step_error {
+            break Err(e);
+        }
+        if sim.finished() {
+            // No cycles left to run: this only finalizes the statistics,
+            // exactly as an uninterrupted `run_observed` would.
+            break sim.run_observed(&mut oracle);
+        }
+        let bytes = sim.checkpoint().to_bytes();
+        let snap = Snapshot::from_bytes(&bytes)
+            .map_err(|e| harness_divergence(format!("snapshot decode: {e}")))?;
+        sim = Simulator::restore(config.clone(), program, &snap)
+            .map_err(|e| harness_divergence(format!("snapshot restore: {e}")))?;
+    };
+    conclude(&sim, oracle, outcome)
+}
+
+fn harness_divergence(msg: String) -> Box<Divergence> {
+    Box::new(Divergence {
+        seqno: 0,
+        cycle: 0,
+        block: 0,
+        tid: 0,
+        pc: 0,
+        disasm: String::new(),
+        kind: DivergenceKind::Harness(msg),
+    })
+}
+
+/// Shared epilogue of [`verify`] and [`verify_with_checkpoints`]: folds
+/// the run outcome, any recorded divergence, and the final-state diff
+/// into a [`Report`].
+fn conclude(
+    sim: &Simulator<'_>,
+    mut oracle: Oracle<'_>,
+    outcome: Result<SimStats, SimError>,
+) -> Result<Report, Box<Divergence>> {
     match outcome {
         Ok(stats) => {
             if let Some(d) = oracle.divergence.take() {
@@ -517,7 +592,7 @@ pub fn verify(program: &Program, config: SimConfig) -> Result<Report, Box<Diverg
             if let Some(d) = oracle.divergence.take() {
                 return Err(d);
             }
-            Err(harness(e.to_string()))
+            Err(harness_divergence(e.to_string()))
         }
     }
 }
@@ -566,6 +641,32 @@ mod tests {
                 assert!(report.instructions > 0);
             }
         }
+    }
+
+    #[test]
+    fn checkpointed_runs_verify_and_match_uninterrupted_reports() {
+        let p = sum_program();
+        for threads in [1usize, 2, 4] {
+            let config = SimConfig::default().with_threads(threads);
+            let plain = verify(&p, config.clone()).unwrap_or_else(|d| panic!("{threads}: {d}"));
+            // A small prime interval lands snapshots on awkward cycles.
+            let spliced = verify_with_checkpoints(&p, config, 13)
+                .unwrap_or_else(|d| panic!("{threads} checkpointed: {d}"));
+            assert_eq!(spliced, plain, "{threads}: splices must be transparent");
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_confirms_agreed_faults_too() {
+        let mut b = ProgramBuilder::new();
+        let r = b.reg();
+        b.li(r, 1 << 40);
+        b.sd(r, r, 0);
+        b.halt();
+        let p = b.build(1).unwrap();
+        let report = verify_with_checkpoints(&p, SimConfig::default().with_threads(1), 3)
+            .expect("faults agree across splices");
+        assert!(report.fault.is_some());
     }
 
     #[test]

@@ -221,6 +221,42 @@ impl FuPool {
         self.units[class_index(class)][index].issues
     }
 
+    /// Serializes every unit's runtime state (`free_at`, occupancy and
+    /// issue counters), in class-then-unit allocation order.
+    pub fn save(&self, w: &mut smt_checkpoint::Writer) {
+        for class_units in &self.units {
+            w.put_usize(class_units.len());
+            for u in class_units {
+                w.put_u64(u.free_at);
+                w.put_u64(u.busy_cycles);
+                w.put_u64(u.issues);
+            }
+        }
+    }
+
+    /// Rebuilds a pool for `config` from [`save`](Self::save)d state.
+    pub fn restore(
+        config: FuConfig,
+        r: &mut smt_checkpoint::Reader<'_>,
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let mut pool = FuPool::new(config);
+        for class_units in &mut pool.units {
+            let n = r.take_usize()?;
+            if n != class_units.len() {
+                return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                    "fu pool: {n} serialized units for a class configured with {}",
+                    class_units.len()
+                )));
+            }
+            for u in class_units.iter_mut() {
+                u.free_at = r.take_u64()?;
+                u.busy_cycles = r.take_u64()?;
+                u.issues = r.take_u64()?;
+            }
+        }
+        Ok(pool)
+    }
+
     /// Occupancy of the class's *last* (extra) unit as a percentage of
     /// `total_cycles` — the paper's Table 3 metric.
     #[must_use]

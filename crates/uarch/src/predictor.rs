@@ -151,6 +151,57 @@ impl BranchPredictor {
         &self.stats
     }
 
+    /// Serializes BTB contents and traffic counters.
+    pub fn save(&self, w: &mut smt_checkpoint::Writer) {
+        w.put_usize(self.entries.len());
+        for slot in &self.entries {
+            match slot {
+                None => w.put_u8(0),
+                Some(e) => {
+                    w.put_u8(1);
+                    w.put_usize(e.pc);
+                    w.put_usize(e.target);
+                    w.put_u8(e.counter);
+                }
+            }
+        }
+        w.put_u64(self.stats.lookups);
+        w.put_u64(self.stats.btb_hits);
+        w.put_u64(self.stats.updates);
+    }
+
+    /// Rebuilds a predictor from [`save`](Self::save)d state.
+    pub fn restore(
+        r: &mut smt_checkpoint::Reader<'_>,
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let len = r.take_usize()?;
+        if !len.is_power_of_two() || len == 0 {
+            return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                "BTB size {len} is not a power of two"
+            )));
+        }
+        let mut p = BranchPredictor::new(len);
+        for slot in &mut p.entries {
+            *slot = match r.take_u8()? {
+                0 => None,
+                1 => Some(Entry {
+                    pc: r.take_usize()?,
+                    target: r.take_usize()?,
+                    counter: r.take_u8()?,
+                }),
+                v => {
+                    return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                        "BTB slot discriminant {v}"
+                    )))
+                }
+            };
+        }
+        p.stats.lookups = r.take_u64()?;
+        p.stats.btb_hits = r.take_u64()?;
+        p.stats.updates = r.take_u64()?;
+        Ok(p)
+    }
+
     /// Number of BTB slots.
     #[must_use]
     pub fn len(&self) -> usize {

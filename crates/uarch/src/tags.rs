@@ -22,6 +22,15 @@ impl Tag {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs a tag from its raw identifier. Only meaningful for
+    /// values previously observed via [`raw`](Self::raw) — the intended
+    /// use is checkpoint restore, which re-materializes the exact tags
+    /// resident in a serialized scheduling unit.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        Tag(raw)
+    }
 }
 
 impl fmt::Display for Tag {
@@ -113,6 +122,46 @@ impl TagAllocator {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Serializes allocator state (live count and next identifier).
+    ///
+    /// The debug-only outstanding set is *not* serialized: on restore it
+    /// is rebuilt from the tags actually resident in the restored
+    /// scheduling unit, which is the ground truth it mirrors.
+    pub fn save(&self, w: &mut smt_checkpoint::Writer) {
+        w.put_usize(self.live);
+        w.put_u64(self.next);
+    }
+
+    /// Rebuilds an allocator from [`save`](Self::save)d state.
+    ///
+    /// `resident` must be the raw tags of every entry still live in the
+    /// restored machine (scheduling-unit entries; store-buffer ids are
+    /// already-freed tags and must not be included). Its length must
+    /// equal the serialized live count.
+    pub fn restore(
+        capacity: usize,
+        r: &mut smt_checkpoint::Reader<'_>,
+        resident: &[u64],
+    ) -> Result<Self, smt_checkpoint::DecodeError> {
+        let live = r.take_usize()?;
+        let next = r.take_u64()?;
+        if live > capacity || resident.len() != live {
+            return Err(smt_checkpoint::DecodeError::Malformed(format!(
+                "tag allocator: {live} live of {capacity} capacity, {} resident",
+                resident.len()
+            )));
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = resident;
+        Ok(TagAllocator {
+            capacity,
+            live,
+            next,
+            #[cfg(debug_assertions)]
+            outstanding: resident.iter().copied().collect(),
+        })
     }
 }
 

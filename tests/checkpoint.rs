@@ -1,0 +1,122 @@
+//! Checkpoint/restore equivalence: interrupting a run is unobservable.
+//!
+//! For every workload × fetch policy × thread count at test scale, the
+//! machine is checkpointed at a pseudo-random mid-run cycle, serialized
+//! through the wire format, restored into a fresh simulator, and run to
+//! completion. The spliced run's *entire* `SimStats` and final memory
+//! image must be bit-identical to an uninterrupted run — and the golden
+//! file pins both halves, so a checkpoint bug and a behavior change are
+//! distinguishable at review time.
+//!
+//! To regenerate after an intentional behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test checkpoint
+//! ```
+
+mod support;
+
+use std::fmt::Write as _;
+
+use smt_superscalar::core::{FetchPolicy, SimConfig, SimError, Simulator};
+use smt_testkit::Rng;
+use smt_workloads::{workload, Scale, WorkloadKind};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/checkpoint.txt");
+
+const FETCH: [FetchPolicy; 3] = [
+    FetchPolicy::TrueRoundRobin,
+    FetchPolicy::MaskedRoundRobin,
+    FetchPolicy::ConditionalSwitch,
+];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn interrupted_runs_are_bit_identical_to_uninterrupted() {
+    let mut rng = Rng::new(0x5eed_c4ec);
+    let mut golden = String::new();
+    let mut skipped = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let w = workload(kind, Scale::Test);
+        for threads in THREADS {
+            let Ok(program) = w.build(threads) else {
+                // Register-hungry kernels outgrow the 16-register window of
+                // an 8-thread partition; those points are legitimately
+                // infeasible (asserted below), not silently dropped.
+                skipped.push((kind, threads));
+                continue;
+            };
+            for fetch in FETCH {
+                let config = SimConfig::default()
+                    .with_threads(threads)
+                    .with_fetch_policy(fetch);
+
+                let mut straight = Simulator::new(config.clone(), &program);
+                let uninterrupted = straight.run().expect("test-scale runs complete");
+
+                // Interrupt somewhere strictly inside the run (cycle 0 and
+                // the final cycle are valid but degenerate).
+                let k = 1 + rng.below(uninterrupted.cycles.max(2) - 1);
+                let mut front = Simulator::new(config.clone(), &program);
+                for _ in 0..k {
+                    front.step().expect("prefix steps complete");
+                }
+                let wire = front.checkpoint().to_bytes();
+                let snap = smt_superscalar::core::Snapshot::from_bytes(&wire)
+                    .expect("wire format round-trips");
+                let mut back = Simulator::restore(config, &program, &snap)
+                    .expect("snapshot matches its own (config, program)");
+                let resumed = back.run().expect("resumed runs complete");
+
+                let point = format!("{}/{fetch:?}/{threads}t@{k}", w.name());
+                assert_eq!(
+                    uninterrupted, resumed,
+                    "{point}: a checkpoint/restore splice must not perturb the statistics"
+                );
+                assert_eq!(
+                    straight.memory().words(),
+                    back.memory().words(),
+                    "{point}: final memory images must be bit-identical"
+                );
+                assert_eq!(
+                    straight.reg_file(),
+                    back.reg_file(),
+                    "{point}: final register files must be bit-identical"
+                );
+                w.check(back.memory().words())
+                    .unwrap_or_else(|e| panic!("{point}: wrong answer after resume: {e}"));
+                writeln!(golden, "{point} {resumed:?}").expect("writing to a String cannot fail");
+            }
+        }
+    }
+    assert!(
+        skipped.iter().all(|&(_, threads)| threads == 8),
+        "kernels only outgrow the register window at 8 threads: {skipped:?}"
+    );
+    support::check_golden(GOLDEN_PATH, &golden);
+}
+
+#[test]
+fn oversubscribed_thread_count_is_a_typed_error_not_a_panic() {
+    // A kernel that fits a 4-thread partition but not an 8-thread one: the
+    // constructor must refuse with the typed register-window error (which
+    // the sweep engine maps to an `infeasible` cell), never panic.
+    let needy = WorkloadKind::ALL
+        .into_iter()
+        .find(|&kind| workload(kind, Scale::Test).build(8).is_err())
+        .expect("some kernel outgrows the 8-thread window");
+    let program = workload(needy, Scale::Test)
+        .build(4)
+        .expect("the same kernel fits 4 threads");
+    let err = Simulator::try_new(SimConfig::default().with_threads(8), &program)
+        .expect_err("16-register window cannot hold the kernel");
+    match err {
+        SimError::RegisterWindow {
+            window, threads, ..
+        } => {
+            assert_eq!(threads, 8);
+            assert_eq!(window, 16);
+        }
+        other => panic!("expected RegisterWindow, got {other:?}"),
+    }
+}

@@ -12,7 +12,7 @@
 //!    the `committed` cause equals the architectural instruction count.
 
 use smt_superscalar::core::trace::{CpiStack, SlotCause, Tracer};
-use smt_superscalar::core::{FetchPolicy, SimConfig, Simulator};
+use smt_superscalar::core::{FetchPolicy, SimConfig, SimError, Simulator};
 use smt_workloads::{workload, Scale, WorkloadKind};
 
 const FETCH: [FetchPolicy; 3] = [
@@ -54,6 +54,21 @@ fn sweep(mut f: impl FnMut(WorkloadKind, FetchPolicy, usize, SimConfig, &smt_isa
         skipped.len() < WorkloadKind::ALL.len(),
         "some kernels must still build at 8 threads"
     );
+    // The same overflow is a *typed* error at the simulator boundary: a
+    // kernel built for a roomier partition is refused with
+    // `SimError::RegisterWindow` (which the sweep engine records as an
+    // infeasible cell), never a panic.
+    for &(kind, threads) in &skipped {
+        let program = workload(kind, Scale::Test)
+            .build(4)
+            .expect("the kernel fits a 4-thread partition");
+        let err = Simulator::try_new(SimConfig::default().with_threads(threads), &program)
+            .expect_err("the 8-thread window cannot hold the kernel");
+        assert!(
+            matches!(err, SimError::RegisterWindow { threads: 8, .. }),
+            "{kind:?}: expected a typed register-window error, got {err:?}"
+        );
+    }
 }
 
 #[test]
