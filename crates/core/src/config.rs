@@ -4,7 +4,7 @@ use std::fmt;
 
 use smt_isa::MAX_THREADS;
 use smt_mem::{CacheConfig, CacheKind};
-use smt_uarch::FuConfig;
+use smt_uarch::{FuConfig, PredictorKind};
 
 /// How the instruction unit chooses which thread fetches each cycle
 /// (Section 5.1).
@@ -23,6 +23,12 @@ pub enum FetchPolicy {
     /// trigger (integer divide, FP multiply/divide, or a synchronization
     /// primitive), then switch.
     ConditionalSwitch,
+    /// Occupancy-driven selection (Tullsen et al.'s ICOUNT, not in the
+    /// source paper): each cycle the fetchable thread with the fewest
+    /// instructions resident in the front end and scheduling unit wins,
+    /// ties broken by rotating priority. Starvation-free — a thread that
+    /// monopolizes the window loses fetch priority by construction.
+    Icount,
 }
 
 impl fmt::Display for FetchPolicy {
@@ -31,6 +37,7 @@ impl fmt::Display for FetchPolicy {
             FetchPolicy::TrueRoundRobin => "True Round Robin",
             FetchPolicy::MaskedRoundRobin => "Masked Round Robin",
             FetchPolicy::ConditionalSwitch => "Conditional Switch",
+            FetchPolicy::Icount => "ICOUNT",
         })
     }
 }
@@ -84,6 +91,8 @@ pub mod defaults {
     pub const THREADS: usize = 4;
     /// Instructions fetched per cycle (one block).
     pub const FETCH_WIDTH: usize = 4;
+    /// Threads fetched per cycle (fetch-unit ports).
+    pub const FETCH_THREADS: usize = 1;
     /// Scheduling-unit depth in entries (8 blocks of 4).
     pub const SU_DEPTH: usize = 32;
     /// Instructions per reorder-buffer block.
@@ -123,6 +132,16 @@ pub struct SimConfig {
     pub threads: usize,
     /// Fetch policy.
     pub fetch_policy: FetchPolicy,
+    /// Branch-predictor family.
+    pub predictor: PredictorKind,
+    /// Instructions fetched per selected thread per cycle (the fetch-block
+    /// width). Defaults to `block_size`; wider values deliver one oversize
+    /// group the decoder drains one block per cycle.
+    pub fetch_width: usize,
+    /// Threads fetched per cycle (fetch-unit ports). Each port selects a
+    /// *distinct* thread; the decoder correspondingly drains up to this
+    /// many blocks per cycle.
+    pub fetch_threads: usize,
     /// Commit policy.
     pub commit_policy: CommitPolicy,
     /// Dependence-tracking mode.
@@ -165,6 +184,9 @@ impl Default for SimConfig {
         SimConfig {
             threads: defaults::THREADS,
             fetch_policy: FetchPolicy::default(),
+            predictor: PredictorKind::default(),
+            fetch_width: defaults::FETCH_WIDTH,
+            fetch_threads: defaults::FETCH_THREADS,
             commit_policy: CommitPolicy::default(),
             renaming: RenamingMode::default(),
             bypass: true,
@@ -208,6 +230,27 @@ impl SimConfig {
     #[must_use]
     pub fn with_fetch_policy(mut self, policy: FetchPolicy) -> Self {
         self.fetch_policy = policy;
+        self
+    }
+
+    /// Sets the branch-predictor family.
+    #[must_use]
+    pub fn with_predictor(mut self, kind: PredictorKind) -> Self {
+        self.predictor = kind;
+        self
+    }
+
+    /// Sets the per-thread fetch-block width.
+    #[must_use]
+    pub fn with_fetch_width(mut self, width: usize) -> Self {
+        self.fetch_width = width;
+        self
+    }
+
+    /// Sets the number of threads fetched per cycle.
+    #[must_use]
+    pub fn with_fetch_threads(mut self, ports: usize) -> Self {
+        self.fetch_threads = ports;
         self
     }
 
@@ -294,7 +337,7 @@ impl SimConfig {
     #[must_use]
     pub fn trace_shape(&self) -> smt_trace::MachineShape {
         smt_trace::MachineShape {
-            width: self.block_size as u32,
+            width: (self.block_size * self.fetch_threads) as u32,
             su_depth: self.su_depth as u32,
             su_blocks: self.su_blocks() as u32,
             store_buffer: self.store_buffer as u32,
@@ -345,6 +388,21 @@ impl SimConfig {
                 self.btb_entries
             )));
         }
+        if self.fetch_width == 0 {
+            return Err(ConfigError("fetch_width must be positive".into()));
+        }
+        if self.aligned_fetch && !self.fetch_width.is_power_of_two() {
+            return Err(ConfigError(format!(
+                "aligned fetch requires a power-of-two fetch_width, got {}",
+                self.fetch_width
+            )));
+        }
+        if self.fetch_threads == 0 || self.fetch_threads > self.threads {
+            return Err(ConfigError(format!(
+                "fetch_threads must be 1..=threads ({}), got {}",
+                self.threads, self.fetch_threads
+            )));
+        }
         Ok(())
     }
 }
@@ -358,6 +416,9 @@ mod tests {
         let cfg = SimConfig::default();
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.fetch_policy, FetchPolicy::TrueRoundRobin);
+        assert_eq!(cfg.predictor, PredictorKind::SharedBtb);
+        assert_eq!(cfg.fetch_width, 4);
+        assert_eq!(cfg.fetch_threads, 1);
         assert_eq!(cfg.commit_policy, CommitPolicy::Flexible);
         assert_eq!(cfg.su_depth, 32);
         assert_eq!(cfg.su_blocks(), 8);
@@ -414,6 +475,43 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn front_end_knobs_validate() {
+        assert!(SimConfig::default().with_fetch_width(0).validate().is_err());
+        assert!(SimConfig::default().with_fetch_width(6).validate().is_ok());
+        assert!(SimConfig::default()
+            .with_aligned_fetch(true)
+            .with_fetch_width(6)
+            .validate()
+            .is_err());
+        assert!(SimConfig::default()
+            .with_aligned_fetch(true)
+            .with_fetch_width(8)
+            .validate()
+            .is_ok());
+        assert!(SimConfig::default()
+            .with_fetch_threads(0)
+            .validate()
+            .is_err());
+        assert!(SimConfig::default()
+            .with_threads(1)
+            .with_fetch_threads(2)
+            .validate()
+            .is_err());
+        assert!(SimConfig::default()
+            .with_fetch_threads(2)
+            .with_predictor(PredictorKind::Gshare)
+            .with_fetch_policy(FetchPolicy::Icount)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn two_ported_fetch_widens_the_trace_shape() {
+        let shape = SimConfig::default().with_fetch_threads(2).trace_shape();
+        assert_eq!(shape.width, 8, "slot bandwidth doubles with two ports");
     }
 
     #[test]

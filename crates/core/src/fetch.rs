@@ -1,15 +1,16 @@
-//! The instruction unit: per-thread program counters and the three fetch
-//! policies of Section 5.1.
+//! The instruction unit: per-thread program counters and the fetch
+//! policies — the three of Section 5.1 plus occupancy-driven ICOUNT.
 //!
-//! One thread fetches one aligned-to-itself block of up to four contiguous
-//! instructions per cycle ("Instructions fetched in one cycle all belong to
-//! the same thread, but fetching in different cycles is done from different
-//! streams"). The unit consults the shared branch predictor so a
-//! predicted-taken control transfer ends the block and redirects the
+//! One selected thread fetches one block of up to `fetch_width` contiguous
+//! instructions per port per cycle ("Instructions fetched in one cycle all
+//! belong to the same thread, but fetching in different cycles is done from
+//! different streams" — with more than one port, each port serves a
+//! distinct thread). The unit consults the configured branch predictor so
+//! a predicted-taken control transfer ends the block and redirects the
 //! thread's PC speculatively.
 
 use smt_isa::{DecodedInsn, Opcode, Program};
-use smt_uarch::{BranchPredictor, Tag};
+use smt_uarch::{Predictor, Tag};
 
 use crate::config::FetchPolicy;
 
@@ -135,19 +136,39 @@ impl InstructionUnit {
         self.in_rotation(tid) && self.threads[tid].suspended_on.is_none()
     }
 
-    /// Selects the thread that owns this cycle's fetch slot, advancing the
-    /// policy state. Returns `None` when the slot is wasted (True Round
-    /// Robin grants a slot to a waiting thread) or no thread can fetch.
+    /// Selects the thread that owns this cycle's (single) fetch slot —
+    /// [`select_fetch`](Self::select_fetch) with no occupancy signal and
+    /// no exclusions.
     pub fn select(&mut self) -> Option<usize> {
+        self.select_fetch(&[], 0)
+    }
+
+    /// Selects the thread that owns one fetch slot this cycle, advancing
+    /// the policy state. Returns `None` when the slot is wasted (True
+    /// Round Robin grants a slot to a waiting thread) or no thread can
+    /// fetch.
+    ///
+    /// `occupancy[tid]` is the per-thread count of instructions resident
+    /// in the front end and scheduling unit — the ICOUNT priority signal;
+    /// threads past the slice's end count as empty (only ICOUNT reads it).
+    /// `exclude` is a bitmask of threads that already won a fetch port
+    /// this cycle: a multi-ported front end fetches *distinct* threads, so
+    /// every policy skips them (for Conditional Switch the second port
+    /// serves a sibling without moving the active thread or consuming an
+    /// armed switch signal).
+    pub fn select_fetch(&mut self, occupancy: &[u32], exclude: u32) -> Option<usize> {
         let n = self.threads.len();
+        let excluded = |tid: usize| exclude & (1 << tid) != 0;
         match self.policy {
             FetchPolicy::TrueRoundRobin => {
                 // Rotate over threads still in the rotation; a suspended
                 // thread consumes (wastes) its slot, per the paper: the
                 // counter advances "irrespective of the state of execution".
+                // A thread that already holds a port this cycle is skipped
+                // outright — a second port never re-grants the same stream.
                 for step in 0..n {
                     let tid = (self.rr + step) % n;
-                    if self.in_rotation(tid) {
+                    if self.in_rotation(tid) && !excluded(tid) {
                         self.rr = (tid + 1) % n;
                         return self.fetchable(tid).then_some(tid);
                     }
@@ -158,7 +179,7 @@ impl InstructionUnit {
                 // Skip masked and waiting threads instead of wasting slots.
                 for step in 0..n {
                     let tid = (self.rr + step) % n;
-                    if self.fetchable(tid) && !self.threads[tid].masked {
+                    if self.fetchable(tid) && !self.threads[tid].masked && !excluded(tid) {
                         self.rr = (tid + 1) % n;
                         return Some(tid);
                     }
@@ -166,12 +187,24 @@ impl InstructionUnit {
                 None
             }
             FetchPolicy::ConditionalSwitch => {
+                if excluded(self.active) {
+                    // A secondary port: serve the nearest fetchable sibling
+                    // without moving the active thread or consuming an
+                    // armed switch signal.
+                    for step in 1..n {
+                        let tid = (self.active + step) % n;
+                        if self.fetchable(tid) && !excluded(tid) {
+                            return Some(tid);
+                        }
+                    }
+                    return None;
+                }
                 let must_switch =
                     self.threads[self.active].switch_pending || !self.fetchable(self.active);
                 if must_switch {
                     for step in 1..n {
                         let tid = (self.active + step) % n;
-                        if self.fetchable(tid) {
+                        if self.fetchable(tid) && !excluded(tid) {
                             self.threads[self.active].switch_pending = false;
                             self.active = tid;
                             return Some(tid);
@@ -188,6 +221,27 @@ impl InstructionUnit {
                     Some(self.active)
                 }
             }
+            FetchPolicy::Icount => {
+                // Lowest front-end + scheduling-unit occupancy wins; ties
+                // break in rotation order starting at the cursor, which
+                // then advances past the winner so equally empty threads
+                // share the port fairly.
+                let mut best: Option<usize> = None;
+                let occ = |tid: usize| occupancy.get(tid).copied().unwrap_or(0);
+                for step in 0..n {
+                    let tid = (self.rr + step) % n;
+                    if !self.fetchable(tid) || excluded(tid) {
+                        continue;
+                    }
+                    if best.is_none_or(|b| occ(tid) < occ(b)) {
+                        best = Some(tid);
+                    }
+                }
+                if let Some(tid) = best {
+                    self.rr = (tid + 1) % n;
+                }
+                best
+            }
         }
     }
 
@@ -199,7 +253,7 @@ impl InstructionUnit {
         &mut self,
         tid: usize,
         program: &Program,
-        predictor: &mut BranchPredictor,
+        predictor: &mut Predictor,
     ) -> Option<FetchedBlock> {
         debug_assert!(self.fetchable(tid), "fetching for an unfetchable thread");
         let mut pc = self.threads[tid].pc;
@@ -230,7 +284,7 @@ impl InstructionUnit {
                     break;
                 }
                 _ if insn.is_control() => {
-                    let p = predictor.predict(pc);
+                    let p = predictor.predict(tid, pc);
                     fetched.predicted_taken = p.taken;
                     fetched.predicted_target = p.target;
                     insns.push(fetched);
@@ -453,6 +507,10 @@ mod tests {
         InstructionUnit::new(n, policy, 0, 4)
     }
 
+    fn shared_predictor() -> Predictor {
+        Predictor::Shared(smt_uarch::BranchPredictor::new(16))
+    }
+
     #[test]
     fn true_rr_rotates_through_all_threads() {
         let mut iu = unit(3, FetchPolicy::TrueRoundRobin);
@@ -568,7 +626,7 @@ mod tests {
     fn fetch_block_stops_at_halt() {
         let program = straightline_program(2); // addi, addi, halt
         let mut iu = unit(1, FetchPolicy::TrueRoundRobin);
-        let mut pred = BranchPredictor::new(16);
+        let mut pred = shared_predictor();
         let block = iu.fetch_block(0, &program, &mut pred).unwrap();
         assert_eq!(block.insns.len(), 3);
         assert_eq!(block.insns[2].insn.op, Opcode::Halt);
@@ -589,14 +647,14 @@ mod tests {
         let program = b.build(1).unwrap();
 
         let mut iu = unit(1, FetchPolicy::TrueRoundRobin);
-        let mut pred = BranchPredictor::new(16);
+        let mut pred = shared_predictor();
         // Cold predictor: block runs through the branch into the halt.
         let block = iu.fetch_block(0, &program, &mut pred).unwrap();
         assert_eq!(block.insns.len(), 4);
         assert!(!block.insns[2].predicted_taken);
 
         // Train the predictor: the branch (pc 2) is taken to 0.
-        pred.update(2, true, 0);
+        pred.update(0, 2, true, 0);
         iu.redirect(0, 0);
         let block = iu.fetch_block(0, &program, &mut pred).unwrap();
         assert_eq!(
@@ -612,7 +670,7 @@ mod tests {
     fn fetch_past_text_end_returns_none() {
         let program = straightline_program(0); // just halt at pc 0
         let mut iu = unit(1, FetchPolicy::TrueRoundRobin);
-        let mut pred = BranchPredictor::new(16);
+        let mut pred = shared_predictor();
         iu.set_pc(0, 99);
         assert!(iu.fetch_block(0, &program, &mut pred).is_none());
     }
@@ -626,5 +684,87 @@ mod tests {
         iu.redirect(0, 2);
         assert_eq!(iu.select(), Some(0));
         assert_eq!(iu.pc(0), 2);
+    }
+
+    #[test]
+    fn icount_prefers_the_emptiest_thread() {
+        let mut iu = unit(3, FetchPolicy::Icount);
+        // Thread 1 is nearly drained; it must win over fuller siblings.
+        assert_eq!(iu.select_fetch(&[8, 1, 5], 0), Some(1));
+        assert_eq!(iu.select_fetch(&[8, 1, 5], 0), Some(1), "signal, not state");
+        // Once it fills past a sibling, priority moves.
+        assert_eq!(iu.select_fetch(&[8, 6, 5], 0), Some(2));
+    }
+
+    #[test]
+    fn icount_breaks_ties_by_rotating_priority() {
+        let mut iu = unit(3, FetchPolicy::Icount);
+        // All-equal occupancy degenerates to round robin: the cursor
+        // advances past each winner.
+        let order: Vec<_> = (0..6).map(|_| iu.select_fetch(&[2, 2, 2], 0)).collect();
+        assert_eq!(
+            order,
+            vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]
+        );
+    }
+
+    #[test]
+    fn icount_skips_unfetchable_and_excluded_threads() {
+        let mut iu = unit(3, FetchPolicy::Icount);
+        let tag = smt_uarch::TagAllocator::new(4).alloc().unwrap();
+        iu.suspend(1, tag, 0);
+        // Thread 1 is emptiest but suspended: no wasted slot under ICOUNT.
+        assert_eq!(iu.select_fetch(&[4, 0, 2], 0), Some(2));
+        // Port exclusion: thread 2 already fetched this cycle.
+        assert_eq!(iu.select_fetch(&[4, 0, 2], 1 << 2), Some(0));
+        // Everyone suspended/excluded: nothing to grant.
+        assert_eq!(iu.select_fetch(&[4, 0, 2], (1 << 0) | (1 << 2)), None);
+    }
+
+    #[test]
+    fn icount_treats_missing_occupancy_as_empty() {
+        let mut iu = unit(2, FetchPolicy::Icount);
+        // A short (or empty) occupancy slice counts unlisted threads as 0;
+        // ties then rotate.
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), Some(1));
+    }
+
+    #[test]
+    fn second_port_serves_a_distinct_thread_under_every_policy() {
+        for policy in [
+            FetchPolicy::TrueRoundRobin,
+            FetchPolicy::MaskedRoundRobin,
+            FetchPolicy::ConditionalSwitch,
+            FetchPolicy::Icount,
+        ] {
+            let mut iu = unit(2, policy);
+            let first = iu.select_fetch(&[0, 0], 0).unwrap();
+            let second = iu.select_fetch(&[0, 0], 1 << first);
+            assert_eq!(second, Some(1 - first), "{policy}: ports must differ");
+            // With a single live thread the second port finds nobody.
+            let mut iu = unit(1, policy);
+            let first = iu.select_fetch(&[0], 0).unwrap();
+            assert_eq!(first, 0);
+            assert_eq!(iu.select_fetch(&[0], 1 << 0), None, "{policy}");
+        }
+    }
+
+    #[test]
+    fn cswitch_secondary_port_leaves_the_switch_state_alone() {
+        let mut iu = unit(3, FetchPolicy::ConditionalSwitch);
+        iu.signal_switch(0);
+        // Port 1: the armed switch fires, active moves to 1.
+        assert_eq!(iu.select_fetch(&[], 0), Some(1));
+        assert_eq!(iu.active_thread(), 1);
+        iu.signal_switch(1);
+        // Port 2 (thread 1 excluded): serves a sibling but must not
+        // consume thread 1's pending switch or move `active`.
+        assert_eq!(iu.select_fetch(&[], 1 << 1), Some(2));
+        assert_eq!(iu.active_thread(), 1, "secondary port must not switch");
+        assert!(iu.has_switch_pending(1), "signal stays armed");
+        // The next primary grant honours the still-armed switch.
+        assert_eq!(iu.select_fetch(&[], 0), Some(2));
+        assert_eq!(iu.active_thread(), 2);
     }
 }

@@ -75,5 +75,6 @@ pub use config::{CommitPolicy, ConfigError, FetchPolicy, RenamingMode, SimConfig
 pub use error::SimError;
 pub use sim::{config_identity, program_identity, Simulator};
 pub use smt_checkpoint::Snapshot;
+pub use smt_uarch::PredictorKind;
 pub use stats::{BranchStats, SimStats};
 pub use trace::{TraceEvent, TraceSink};

@@ -16,7 +16,7 @@ use smt_isa::semantics::{alu_result, branch_taken, effective_addr};
 use smt_isa::{window_size, FuClass, Opcode, Program, Reg, MAX_THREADS};
 use smt_mem::{CacheStats, DataCache, MainMemory, Outcome, StoreBuffer};
 use smt_trace::{DecodedSlot, MemKind, Occupancy, RetireKind, SlotCause, TraceEvent, TraceSink};
-use smt_uarch::{BranchPredictor, FuPool, TagAllocator};
+use smt_uarch::{FuPool, Predictor, TagAllocator};
 
 use crate::commit::{CommitSink, Retirement};
 use crate::config::{FetchPolicy, RenamingMode, SimConfig};
@@ -96,7 +96,7 @@ pub struct Simulator<'p> {
     cycle: u64,
     su: SchedulingUnit,
     iu: InstructionUnit,
-    predictor: BranchPredictor,
+    predictor: Predictor,
     fu: FuPool,
     tags: TagAllocator,
     regfile: Vec<u64>,
@@ -104,7 +104,10 @@ pub struct Simulator<'p> {
     mem: MainMemory,
     cache: DataCache,
     sb: StoreBuffer,
-    fetch_buffer: Option<FetchedBlock>,
+    /// Fetched groups awaiting decode, oldest first; holds at most
+    /// `config.fetch_threads` groups (each port contributes one per cycle).
+    /// Per-thread order within the queue is fetch order.
+    fetch_queue: VecDeque<FetchedBlock>,
     /// Per-thread age-ordered positions `(block id, entry idx)` of resident
     /// store/sync entries that are not yet done. Mirrors the scheduling
     /// unit so the load/store ordering gates are a front peek instead of a
@@ -173,10 +176,10 @@ impl<'p> Simulator<'p> {
                 config.threads,
                 config.fetch_policy,
                 program.entry(),
-                config.block_size,
+                config.fetch_width,
                 config.aligned_fetch,
             ),
-            predictor: BranchPredictor::new(config.btb_entries),
+            predictor: Predictor::build(config.predictor, config.btb_entries, config.threads),
             fu: FuPool::new(config.fu),
             tags: TagAllocator::new(config.su_depth),
             regfile,
@@ -184,7 +187,7 @@ impl<'p> Simulator<'p> {
             mem: MainMemory::from_image(program.data()),
             cache: DataCache::new(config.cache),
             sb: StoreBuffer::new(config.store_buffer),
-            fetch_buffer: None,
+            fetch_queue: VecDeque::with_capacity(config.fetch_threads),
             memsync: vec![VecDeque::with_capacity(config.su_depth); config.threads],
             fwd: HashMap::with_capacity_and_hasher(config.su_depth, MixState::default()),
             next_uid: 0,
@@ -218,7 +221,7 @@ impl<'p> Simulator<'p> {
         self.iu.all_retired()
             && self.su.is_empty()
             && self.sb.is_empty()
-            && self.fetch_buffer.is_none()
+            && self.fetch_queue.is_empty()
     }
 
     /// Architectural register `r` of thread `tid`.
@@ -401,7 +404,7 @@ impl<'p> Simulator<'p> {
             su_blocks: self.su.num_blocks() as u32,
             store_buffer: self.sb.len() as u32,
             outstanding_misses: self.cache.outstanding_refills(self.cycle) as u32,
-            fetch_buffer: self.fetch_buffer.is_some(),
+            fetch_buffer: !self.fetch_queue.is_empty(),
             resident,
         }
     }
@@ -485,9 +488,9 @@ impl<'p> Simulator<'p> {
                         op if op.is_cond_branch() => {
                             // Predictor history updates when the instruction
                             // is shifted out, per the paper.
-                            self.predictor.update(e.pc, e.taken, e.target);
+                            self.predictor.update(e.tid, e.pc, e.taken, e.target);
                         }
-                        Opcode::J => self.predictor.update(e.pc, true, e.target),
+                        Opcode::J => self.predictor.update(e.tid, e.pc, true, e.target),
                         Opcode::Halt => self.iu.retire(e.tid),
                         Opcode::Wait if !e.sync_satisfied => {
                             // Spin retirement: discard the failed poll and
@@ -742,10 +745,8 @@ impl<'p> Simulator<'p> {
             self.memsync[tid].pop_back();
         }
         self.iu.redirect(tid, correct_pc);
-        if self.fetch_buffer.as_ref().is_some_and(|b| b.tid == tid) {
-            // The block waiting at decode is wrong-path too.
-            self.fetch_buffer = None;
-        }
+        // Any of the thread's groups waiting at decode are wrong-path too.
+        self.fetch_queue.retain(|b| b.tid != tid);
     }
 
     // ---- issue ---------------------------------------------------------------------
@@ -1008,17 +1009,63 @@ impl<'p> Simulator<'p> {
 
     // ---- decode ---------------------------------------------------------------------
 
-    fn decode_stage(&mut self, trace: Option<&mut (dyn TraceSink + '_)>) {
+    fn decode_stage(&mut self, mut trace: Option<&mut (dyn TraceSink + '_)>) {
         // Slot accounting contract (see `smt_trace`): every cycle this stage
-        // disposes of exactly `block_size` decode slots — each is either a
+        // disposes of exactly `block_size × fetch_threads` decode slots —
+        // one `block_size`-slot lane per fetch port, each slot either a
         // `Decoded` instruction or part of a `SlotsLost` with a leaf cause —
-        // so the CPI stack sums to `block_size × cycles` by construction.
+        // so the CPI stack sums to `width × cycles` by construction.
+        let mut qi = 0usize;
+        let mut deferred_operand: u32 = 0;
+        let mut deferred_width: u32 = 0;
+        for _ in 0..self.config.fetch_threads {
+            self.decode_lane(
+                &mut qi,
+                &mut deferred_operand,
+                &mut deferred_width,
+                trace.as_deref_mut(),
+            );
+        }
+    }
+
+    /// One decode lane: takes the oldest eligible queued fetch group and
+    /// admits up to `block_size` of its instructions into the scheduling
+    /// unit.
+    ///
+    /// `qi` is the queue index the eligibility scan resumes from; a group
+    /// this cycle's lanes deferred (scoreboard retry, or the undrained
+    /// remainder of an oversize group) stays queued at `qi` and the cursor
+    /// moves past it. `deferred_operand`/`deferred_width` record the
+    /// deferring threads: per-thread decode is in order, so a younger group
+    /// of a deferred thread must not enter ahead of its stalled elder.
+    fn decode_lane(
+        &mut self,
+        qi: &mut usize,
+        deferred_operand: &mut u32,
+        deferred_width: &mut u32,
+        trace: Option<&mut (dyn TraceSink + '_)>,
+    ) {
         let width = self.config.block_size as u32;
-        if self.fetch_buffer.is_none() {
+        let deferred = *deferred_operand | *deferred_width;
+        while *qi < self.fetch_queue.len() && deferred & (1 << self.fetch_queue[*qi].tid) != 0 {
+            *qi += 1;
+        }
+        if *qi >= self.fetch_queue.len() {
             if let Some(t) = trace {
+                let cause = if self.fetch_queue.is_empty() {
+                    self.frontend_starve_cause()
+                } else if *deferred_operand != 0 {
+                    // Only in-order-held groups remain, the eldest stalled
+                    // on a scoreboard retry.
+                    SlotCause::OperandWait
+                } else {
+                    // Held behind an oversize group draining one block per
+                    // cycle: decode-bandwidth fragmentation.
+                    SlotCause::Fragment
+                };
                 t.event(&TraceEvent::SlotsLost {
                     cycle: self.cycle,
-                    cause: self.frontend_starve_cause(),
+                    cause,
                     slots: width,
                 });
             }
@@ -1026,7 +1073,7 @@ impl<'p> Simulator<'p> {
         }
         if !self.su.has_space() {
             // The paper's "scheduling unit stall": entries cannot shift, so
-            // no new block enters.
+            // no new block enters (counted once per stalled lane).
             self.stats.su_stall_cycles += 1;
             if let Some(t) = trace {
                 t.event(&TraceEvent::SlotsLost {
@@ -1037,7 +1084,10 @@ impl<'p> Simulator<'p> {
             }
             return;
         }
-        let block = self.fetch_buffer.take().expect("checked non-empty");
+        let block = self
+            .fetch_queue
+            .remove(*qi)
+            .expect("eligibility scan checked the index");
         let tid = block.tid;
         let now = self.cycle;
         let mut entries: Vec<SuEntry> = self.su.take_storage();
@@ -1045,6 +1095,12 @@ impl<'p> Simulator<'p> {
         let cswitch = self.config.fetch_policy == FetchPolicy::ConditionalSwitch;
 
         for (idx, f) in block.insns.iter().enumerate() {
+            if entries.len() >= self.config.block_size {
+                // A fetch group wider than a scheduling-unit block drains
+                // one block per cycle; the remainder keeps its turn.
+                leftover = block.insns[idx..].to_vec();
+                break;
+            }
             // Resolve sources: in-group producers first (youngest), then the
             // scheduling unit, then the committed register file.
             let mut ops = [Operand::Unused, Operand::Unused];
@@ -1100,6 +1156,9 @@ impl<'p> Simulator<'p> {
                     entries.push(entry);
                     if !fetch_followed {
                         self.iu.set_pc(tid, target);
+                        // Fetch ran down the fall-through path; any of the
+                        // thread's younger queued groups came from it.
+                        self.drop_queued_groups(tid);
                     }
                     if cswitch && f.insn.triggers_cswitch() {
                         self.iu.signal_switch(tid);
@@ -1113,7 +1172,11 @@ impl<'p> Simulator<'p> {
                 Opcode::Wait => {
                     // A decoded WAIT suspends fetch for its thread until it
                     // completes, preventing the spin from flooding the unit.
+                    // Groups fetched past the WAIT before decode saw it are
+                    // dropped — they re-fetch from `resume_pc` when the
+                    // suspension lifts, or not at all if the WAIT spins.
                     self.iu.suspend(tid, tag, f.pc + 1);
+                    self.drop_queued_groups(tid);
                     if cswitch {
                         self.iu.signal_switch(tid);
                     }
@@ -1136,7 +1199,8 @@ impl<'p> Simulator<'p> {
 
         if entries.is_empty() {
             // Scoreboard stall on the very first instruction: retry the
-            // whole group next cycle.
+            // whole group next cycle (it keeps its queue position; this
+            // lane's later siblings skip the thread to stay in order).
             self.su.recycle_storage(entries);
             if let Some(t) = trace {
                 let held = block.insns.len() as u32;
@@ -1153,7 +1217,9 @@ impl<'p> Simulator<'p> {
                     });
                 }
             }
-            self.fetch_buffer = Some(block);
+            self.fetch_queue.insert(*qi, block);
+            *deferred_operand |= 1 << tid;
+            *qi += 1;
             return;
         }
         let bid = self.su.push_block(tid, entries);
@@ -1200,14 +1266,41 @@ impl<'p> Simulator<'p> {
             }
         }
         if !leftover.is_empty() {
-            self.fetch_buffer = Some(FetchedBlock {
-                tid,
-                insns: leftover,
-                fetched_at: block.fetched_at,
-            });
+            // The undrained remainder keeps the group's queue position: one
+            // scheduling-unit block per group per cycle.
+            self.fetch_queue.insert(
+                *qi,
+                FetchedBlock {
+                    tid,
+                    insns: leftover,
+                    fetched_at: block.fetched_at,
+                },
+            );
+            *deferred_width |= 1 << tid;
+            *qi += 1;
         } else {
             // The consumed fetch group's storage goes back to the fetcher.
             self.iu.recycle(block.insns);
+        }
+    }
+
+    /// Drops every queued fetch group of `tid` — decode redirected or
+    /// suspended the thread, so fetch's younger run-ahead groups are stale.
+    /// A `halt` fetch stopped on inside a dropped group is revoked, like
+    /// [`discard_tail`](Self::discard_tail): the thread re-fetches from its
+    /// corrected PC and re-encounters any real halt there.
+    fn drop_queued_groups(&mut self, tid: usize) {
+        let mut saw_halt = false;
+        self.fetch_queue.retain(|b| {
+            if b.tid == tid {
+                saw_halt |= b.insns.iter().any(|f| f.insn.op == Opcode::Halt);
+                false
+            } else {
+                true
+            }
+        });
+        if saw_halt {
+            self.iu.clear_fetch_halted(tid);
         }
     }
 
@@ -1301,20 +1394,42 @@ impl<'p> Simulator<'p> {
     // ---- fetch ----------------------------------------------------------------------
 
     fn fetch_stage(&mut self) {
-        if self.fetch_buffer.is_some() {
-            return; // decode is backed up; the buffer holds one block
+        let ports = self.config.fetch_threads;
+        if self.fetch_queue.len() >= ports {
+            return; // decode is backed up; the queue holds a block per port
         }
-        let Some(tid) = self.iu.select() else {
-            self.stats.fetch_idle_cycles += 1;
-            return;
-        };
-        match self.iu.fetch_block(tid, self.program, &mut self.predictor) {
-            Some(mut block) => {
-                block.fetched_at = self.cycle;
-                self.stats.fetched_blocks += 1;
-                self.fetch_buffer = Some(block);
+        // The ICOUNT signal: per-thread instructions resident in the
+        // scheduling unit plus those queued ahead of decode. Computed only
+        // when the policy reads it, so the other policies pay nothing.
+        let mut occupancy = Vec::new();
+        if self.config.fetch_policy == FetchPolicy::Icount {
+            occupancy = vec![0u32; self.config.threads];
+            for b in self.su.blocks() {
+                occupancy[b.tid] += b.entries.len() as u32;
             }
-            None => self.stats.fetch_idle_cycles += 1,
+            for b in &self.fetch_queue {
+                occupancy[b.tid] += b.insns.len() as u32;
+            }
+        }
+        // Each port serves a distinct thread this cycle.
+        let mut granted: u32 = 0;
+        for _ in self.fetch_queue.len()..ports {
+            let Some(tid) = self.iu.select_fetch(&occupancy, granted) else {
+                self.stats.fetch_idle_cycles += 1;
+                continue;
+            };
+            granted |= 1 << tid;
+            match self.iu.fetch_block(tid, self.program, &mut self.predictor) {
+                Some(mut block) => {
+                    block.fetched_at = self.cycle;
+                    self.stats.fetched_blocks += 1;
+                    if !occupancy.is_empty() {
+                        occupancy[tid] += block.insns.len() as u32;
+                    }
+                    self.fetch_queue.push_back(block);
+                }
+                None => self.stats.fetch_idle_cycles += 1,
+            }
         }
     }
 
@@ -1367,20 +1482,17 @@ impl<'p> Simulator<'p> {
         w.section(sec::MEMORY);
         self.mem.save_delta(&self.program.data().to_words(), &mut w);
         w.section(sec::FETCH_BUFFER);
-        match &self.fetch_buffer {
-            None => w.put_u8(0),
-            Some(b) => {
-                w.put_u8(1);
-                w.put_usize(b.tid);
-                w.put_u64(b.fetched_at);
-                w.put_usize(b.insns.len());
-                for f in &b.insns {
-                    // Like an SU entry, the decoded instruction is
-                    // recovered from the program text via its pc.
-                    w.put_usize(f.pc);
-                    w.put_bool(f.predicted_taken);
-                    w.put_usize(f.predicted_target);
-                }
+        w.put_usize(self.fetch_queue.len());
+        for b in &self.fetch_queue {
+            w.put_usize(b.tid);
+            w.put_u64(b.fetched_at);
+            w.put_usize(b.insns.len());
+            for f in &b.insns {
+                // Like an SU entry, the decoded instruction is
+                // recovered from the program text via its pc.
+                w.put_usize(f.pc);
+                w.put_bool(f.predicted_taken);
+                w.put_usize(f.predicted_target);
             }
         }
         w.section(sec::STATS);
@@ -1467,12 +1579,12 @@ impl<'p> Simulator<'p> {
         self.iu = InstructionUnit::restore(
             self.config.threads,
             self.config.fetch_policy,
-            self.config.block_size,
+            self.config.fetch_width,
             self.config.aligned_fetch,
             &mut r,
         )?;
         r.expect_section(sec::PREDICTOR)?;
-        self.predictor = BranchPredictor::restore(&mut r)?;
+        self.predictor = Predictor::restore(self.config.predictor, self.config.threads, &mut r)?;
         r.expect_section(sec::FU)?;
         self.fu = FuPool::restore(self.config.fu, &mut r)?;
         r.expect_section(sec::TAGS)?;
@@ -1491,47 +1603,51 @@ impl<'p> Simulator<'p> {
         r.expect_section(sec::MEMORY)?;
         self.mem = MainMemory::restore_delta(&program.data().to_words(), &mut r)?;
         r.expect_section(sec::FETCH_BUFFER)?;
-        self.fetch_buffer = match r.take_u8()? {
-            0 => None,
-            1 => {
-                let tid = r.take_usize()?;
-                if tid >= self.config.threads {
-                    return Err(malformed(format!(
-                        "fetch buffer owned by thread {tid} of {}",
-                        self.config.threads
-                    )));
-                }
-                let fetched_at = r.take_u64()?;
-                let n = r.take_usize()?;
-                if n == 0 || n > self.config.block_size {
-                    return Err(malformed(format!(
-                        "fetch buffer of {n} instructions (block size {})",
-                        self.config.block_size
-                    )));
-                }
-                let mut insns = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let pc = r.take_usize()?;
-                    let insn = *program.decoded().get(pc).ok_or_else(|| {
-                        DecodeError::Malformed(format!("fetch-buffer pc {pc} outside the program"))
-                    })?;
-                    let predicted_taken = r.take_bool()?;
-                    let predicted_target = r.take_usize()?;
-                    insns.push(FetchedInsn {
-                        pc,
-                        insn,
-                        predicted_taken,
-                        predicted_target,
-                    });
-                }
-                Some(FetchedBlock {
-                    tid,
-                    insns,
-                    fetched_at,
-                })
+        let queued = r.take_usize()?;
+        if queued > self.config.fetch_threads {
+            return Err(malformed(format!(
+                "{queued} queued fetch groups with {} fetch ports",
+                self.config.fetch_threads
+            )));
+        }
+        self.fetch_queue = VecDeque::with_capacity(self.config.fetch_threads);
+        for _ in 0..queued {
+            let tid = r.take_usize()?;
+            if tid >= self.config.threads {
+                return Err(malformed(format!(
+                    "fetch group owned by thread {tid} of {}",
+                    self.config.threads
+                )));
             }
-            other => return Err(malformed(format!("fetch-buffer marker {other}"))),
-        };
+            let fetched_at = r.take_u64()?;
+            let n = r.take_usize()?;
+            if n == 0 || n > self.config.fetch_width {
+                return Err(malformed(format!(
+                    "fetch group of {n} instructions (fetch width {})",
+                    self.config.fetch_width
+                )));
+            }
+            let mut insns = Vec::with_capacity(n);
+            for _ in 0..n {
+                let pc = r.take_usize()?;
+                let insn = *program.decoded().get(pc).ok_or_else(|| {
+                    DecodeError::Malformed(format!("fetch-group pc {pc} outside the program"))
+                })?;
+                let predicted_taken = r.take_bool()?;
+                let predicted_target = r.take_usize()?;
+                insns.push(FetchedInsn {
+                    pc,
+                    insn,
+                    predicted_taken,
+                    predicted_target,
+                });
+            }
+            self.fetch_queue.push_back(FetchedBlock {
+                tid,
+                insns,
+                fetched_at,
+            });
+        }
         r.expect_section(sec::STATS)?;
         self.stats = restore_stats(&mut r)?;
         if self.stats.committed.len() != self.config.threads {
@@ -1601,19 +1717,17 @@ impl<'p> Simulator<'p> {
                 self.iu.is_suspended(tid),
             );
         }
-        match &self.fetch_buffer {
-            Some(b) => {
-                let _ = writeln!(
-                    out,
-                    "  fetch buffer: tid {} × {} insns @pc {}",
-                    b.tid,
-                    b.insns.len(),
-                    b.insns[0].pc
-                );
-            }
-            None => {
-                let _ = writeln!(out, "  fetch buffer: empty");
-            }
+        if self.fetch_queue.is_empty() {
+            let _ = writeln!(out, "  fetch queue: empty");
+        }
+        for b in &self.fetch_queue {
+            let _ = writeln!(
+                out,
+                "  fetch queue: tid {} × {} insns @pc {}",
+                b.tid,
+                b.insns.len(),
+                b.insns[0].pc
+            );
         }
         for (bi, block) in self.su.blocks().enumerate() {
             let _ = writeln!(out, "  block {bi} (id {}, tid {}):", block.id, block.tid);
@@ -1814,6 +1928,7 @@ mod tests {
             FetchPolicy::TrueRoundRobin,
             FetchPolicy::MaskedRoundRobin,
             FetchPolicy::ConditionalSwitch,
+            FetchPolicy::Icount,
         ] {
             let stats = run_and_check(&p, SimConfig::default().with_fetch_policy(policy));
             assert_eq!(stats.committed.len(), 4);

@@ -1,12 +1,13 @@
-//! Differential fuzzer: constrained-random programs, every fetch policy,
+//! Differential fuzzer: constrained-random programs, every front end,
 //! every thread count, checked instruction-by-instruction against the
 //! functional reference by the lockstep oracle.
 //!
 //! Each seed generates one program [`Plan`]; the plan is lowered per thread
-//! count and verified under all three fetch policies. Any divergence is
-//! greedily minimized (segments are masked off while the failure
-//! reproduces) and reported as a `(seed, mask)` pair that regenerates the
-//! exact failing program — then the process exits nonzero.
+//! count and verified under every [`FRONTENDS`] point — all four fetch
+//! policies, every predictor family, and the two-port/wide-fetch shapes.
+//! Any divergence is greedily minimized (segments are masked off while the
+//! failure reproduces) and reported as a `(seed, mask)` pair that
+//! regenerates the exact failing program — then the process exits nonzero.
 //!
 //! ```text
 //! cargo run --release -p smt-experiments --bin fuzz                    # 200 seeds
@@ -28,19 +29,81 @@
 //! fetch/decode/issue/writeback/retire timeline around the diverging
 //! cycle — the pipeline's view of the bug, not just its first symptom.
 
+use std::fmt;
 use std::time::Instant;
 
-use smt_core::{FetchPolicy, SimConfig, Simulator};
+use smt_core::{FetchPolicy, PredictorKind, SimConfig, Simulator};
 use smt_isa::Program;
 use smt_oracle::{verify, verify_with_checkpoints, Divergence, Report};
 use smt_testkit::progen::{GenConfig, Plan};
 use smt_testkit::shrink;
 use smt_trace::Tracer;
 
-const POLICIES: [FetchPolicy; 3] = [
-    FetchPolicy::TrueRoundRobin,
-    FetchPolicy::MaskedRoundRobin,
-    FetchPolicy::ConditionalSwitch,
+/// One front-end shape: fetch policy × predictor family × ports × width.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct FrontEnd {
+    policy: FetchPolicy,
+    predictor: PredictorKind,
+    fetch_threads: usize,
+    fetch_width: usize,
+}
+
+impl fmt::Display for FrontEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ports={} width={}",
+            self.policy, self.predictor, self.fetch_threads, self.fetch_width
+        )
+    }
+}
+
+const fn fe(
+    policy: FetchPolicy,
+    predictor: PredictorKind,
+    fetch_threads: usize,
+    fetch_width: usize,
+) -> FrontEnd {
+    FrontEnd {
+        policy,
+        predictor,
+        fetch_threads,
+        fetch_width,
+    }
+}
+
+/// The verified front ends: the three original single-port policies, the
+/// ICOUNT policy, each alternative predictor family, and the two-port /
+/// 8-wide shapes (which also cross the families).
+const FRONTENDS: [FrontEnd; 8] = [
+    fe(FetchPolicy::TrueRoundRobin, PredictorKind::SharedBtb, 1, 4),
+    fe(
+        FetchPolicy::MaskedRoundRobin,
+        PredictorKind::SharedBtb,
+        1,
+        4,
+    ),
+    fe(
+        FetchPolicy::ConditionalSwitch,
+        PredictorKind::SharedBtb,
+        1,
+        4,
+    ),
+    fe(FetchPolicy::Icount, PredictorKind::SharedBtb, 1, 4),
+    fe(FetchPolicy::TrueRoundRobin, PredictorKind::Gshare, 1, 4),
+    fe(
+        FetchPolicy::TrueRoundRobin,
+        PredictorKind::PartitionedBtb,
+        1,
+        4,
+    ),
+    fe(FetchPolicy::Icount, PredictorKind::Gshare, 2, 8),
+    fe(
+        FetchPolicy::ConditionalSwitch,
+        PredictorKind::PartitionedBtb,
+        2,
+        8,
+    ),
 ];
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -48,17 +111,22 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// enough that a livelocked machine fails fast as a harness divergence.
 const FUZZ_MAX_CYCLES: u64 = 2_000_000;
 
-fn config(policy: FetchPolicy, threads: usize) -> SimConfig {
+fn config(frontend: FrontEnd, threads: usize) -> SimConfig {
     SimConfig::default()
         .with_threads(threads)
-        .with_fetch_policy(policy)
+        .with_fetch_policy(frontend.policy)
+        .with_predictor(frontend.predictor)
+        // A machine cannot have more fetch ports than resident threads;
+        // clamping keeps the two-port shapes verifiable at one thread.
+        .with_fetch_threads(frontend.fetch_threads.min(threads))
+        .with_fetch_width(frontend.fetch_width)
         .with_max_cycles(FUZZ_MAX_CYCLES)
 }
 
 /// One divergence, fully reproducible from the fields.
 struct Failure {
     seed: u64,
-    policy: FetchPolicy,
+    frontend: FrontEnd,
     threads: usize,
     report: String,
 }
@@ -70,8 +138,8 @@ const TRACE_SPAN: u64 = 32;
 /// diverging cycle and renders the captured timeline. The rerun may end in
 /// a fault or hang (that can be the divergence itself); the window is
 /// whatever was recorded up to that point.
-fn lifecycle_window(program: &Program, policy: FetchPolicy, threads: usize, cycle: u64) -> String {
-    let cfg = config(policy, threads);
+fn lifecycle_window(program: &Program, frontend: FrontEnd, threads: usize, cycle: u64) -> String {
+    let cfg = config(frontend, threads);
     let (start, end) = (cycle.saturating_sub(TRACE_SPAN), cycle + TRACE_SPAN);
     let cap = usize::try_from((end - start + 1) * cfg.block_size as u64).unwrap_or(4096);
     let mut tracer = Tracer::new(cfg.trace_shape(), cap).with_window(start, end);
@@ -112,14 +180,14 @@ fn fuzz_seed(
         let program = plan
             .build_full(threads)
             .unwrap_or_else(|e| panic!("seed {seed}: plan must lower at {threads} threads: {e}"));
-        for policy in POLICIES {
+        for frontend in FRONTENDS {
             runs += 1;
-            if let Err(d) = run_verify(&program, config(policy, threads), checkpoint_every) {
+            if let Err(d) = run_verify(&program, config(frontend, threads), checkpoint_every) {
                 return (
                     runs,
                     Some(minimize(
                         &plan,
-                        policy,
+                        frontend,
                         threads,
                         &d,
                         trace,
@@ -136,7 +204,7 @@ fn fuzz_seed(
 /// formats the repro report.
 fn minimize(
     plan: &Plan,
-    policy: FetchPolicy,
+    frontend: FrontEnd,
     threads: usize,
     original: &smt_oracle::Divergence,
     trace: bool,
@@ -146,12 +214,12 @@ fn minimize(
     // bug would vanish under the plain one.
     let mask = shrink::minimize(plan.mask_len(), |mask| {
         plan.build(mask, threads)
-            .is_ok_and(|p| run_verify(&p, config(policy, threads), checkpoint_every).is_err())
+            .is_ok_and(|p| run_verify(&p, config(frontend, threads), checkpoint_every).is_err())
     });
     let minimized = plan
         .build(&mask, threads)
         .expect("minimizer only keeps buildable masks");
-    let divergence = match run_verify(&minimized, config(policy, threads), checkpoint_every) {
+    let divergence = match run_verify(&minimized, config(frontend, threads), checkpoint_every) {
         Err(d) => *d,
         // The minimizer's last accepted mask failed moments ago; a pass here
         // would mean nondeterminism, which is itself worth reporting loudly.
@@ -163,12 +231,12 @@ fn minimize(
         listing.push_str(&format!("    {pc:4}: {insn}\n"));
     }
     let window = if trace {
-        lifecycle_window(&minimized, policy, threads, divergence.cycle)
+        lifecycle_window(&minimized, frontend, threads, divergence.cycle)
     } else {
         String::new()
     };
     let report = format!(
-        "seed {seed} diverges under {policy} with {threads} thread(s)\n\
+        "seed {seed} diverges under {frontend} with {threads} thread(s)\n\
          minimized mask: {mask_bits}  ({desc})\n\
          repro: Plan::generate({seed}, &GenConfig::default()).build(&mask, {threads})\n\
          {divergence}\n\
@@ -179,7 +247,7 @@ fn minimize(
     );
     Failure {
         seed: plan.seed,
-        policy,
+        frontend,
         threads,
         report,
     }
@@ -252,9 +320,9 @@ fn main() {
         format!(", snapshot round-trip every {n} cycles")
     });
     println!(
-        "fuzz: {total_runs} verifications over {seeds} seeds x {} policies x {:?} threads \
+        "fuzz: {total_runs} verifications over {seeds} seeds x {} front ends x {:?} threads \
          in {secs:.1}s ({:.0} programs/sec, {workers} workers{splices})",
-        POLICIES.len(),
+        FRONTENDS.len(),
         THREAD_COUNTS,
         f64::from(u32::try_from(total_runs).unwrap_or(u32::MAX)) / secs.max(1e-9),
     );
@@ -265,7 +333,7 @@ fn main() {
     for f in &failures {
         eprintln!(
             "\n=== FAILURE: seed {} / {} / {} thread(s) ===\n{}",
-            f.seed, f.policy, f.threads, f.report
+            f.seed, f.frontend, f.threads, f.report
         );
     }
     eprintln!("fuzz: {} diverging seed(s)", failures.len());

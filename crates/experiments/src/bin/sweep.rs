@@ -35,7 +35,8 @@ fn main() {
     let grid = match flag_value(&args, "--grid").as_deref() {
         None | Some("smoke") => Grid::smoke(),
         Some("paper") => Grid::paper(),
-        Some(other) => panic!("--grid takes smoke|paper, not {other}"),
+        Some("frontend") => Grid::frontend(),
+        Some(other) => panic!("--grid takes smoke|paper|frontend, not {other}"),
     };
     let scale = match flag_value(&args, "--scale").as_deref() {
         None | Some("test") => Scale::Test,

@@ -5,6 +5,8 @@
 //! trace --workload matrix --threads 4 --format cpistack
 //! trace --workload ll7 --policy cond --format konata --out ll7.kanata
 //! trace --workload sieve --window 100..400 --format chrome --out t.json
+//! trace --workload matrix --policy icount --predictor gshare \
+//!     --fetch-threads 2 --fetch-width 8
 //! ```
 //!
 //! Formats:
@@ -22,7 +24,7 @@
 
 use std::io::Write as _;
 
-use smt_core::{FetchPolicy, SimConfig, Simulator};
+use smt_core::{FetchPolicy, PredictorKind, SimConfig, Simulator};
 use smt_trace::{export, Tracer};
 use smt_workloads::{workload, Scale, WorkloadKind};
 
@@ -51,8 +53,20 @@ fn parse_policy(name: &str) -> FetchPolicy {
         "trr" | "true-round-robin" => FetchPolicy::TrueRoundRobin,
         "mrr" | "masked-round-robin" => FetchPolicy::MaskedRoundRobin,
         "cond" | "conditional-switch" => FetchPolicy::ConditionalSwitch,
+        "ic" | "icount" => FetchPolicy::Icount,
         other => die(&format!(
-            "unknown fetch policy `{other}` (expected trr, mrr, or cond)"
+            "unknown fetch policy `{other}` (expected trr, mrr, cond, or icount)"
+        )),
+    }
+}
+
+fn parse_predictor(name: &str) -> PredictorKind {
+    match name.to_ascii_lowercase().as_str() {
+        "shared" | "shared-btb" => PredictorKind::SharedBtb,
+        "gshare" => PredictorKind::Gshare,
+        "partitioned" | "partitioned-btb" => PredictorKind::PartitionedBtb,
+        other => die(&format!(
+            "unknown predictor `{other}` (expected shared, gshare, or partitioned)"
         )),
     }
 }
@@ -111,9 +125,25 @@ fn main() {
             w.name()
         ))
     });
+    let predictor =
+        flag_value(&args, "--predictor").map_or(PredictorKind::SharedBtb, |s| parse_predictor(&s));
+    let fetch_threads: usize = flag_value(&args, "--fetch-threads").map_or(1, |s| {
+        s.parse()
+            .unwrap_or_else(|_| die("--fetch-threads takes a positive integer"))
+    });
+    let fetch_width: usize = flag_value(&args, "--fetch-width").map_or(4, |s| {
+        s.parse()
+            .unwrap_or_else(|_| die("--fetch-width takes a positive integer"))
+    });
     let config = SimConfig::default()
         .with_threads(threads)
-        .with_fetch_policy(policy);
+        .with_fetch_policy(policy)
+        .with_predictor(predictor)
+        .with_fetch_threads(fetch_threads)
+        .with_fetch_width(fetch_width);
+    if let Err(e) = config.validate() {
+        die(&format!("invalid configuration: {e}"));
+    }
     // The CPI stack wants the whole run; the lifecycle ring is the memory
     // bound when no window narrows it.
     let mut tracer = Tracer::new(config.trace_shape(), DEFAULT_CAP);

@@ -30,8 +30,10 @@ use std::sync::{Arc, Mutex};
 use std::{fmt, fs};
 
 use smt_checkpoint::{Reader, Writer};
+use smt_core::config::defaults;
 use smt_core::{
-    config_identity, program_identity, FetchPolicy, SimConfig, SimError, Simulator, Snapshot,
+    config_identity, program_identity, FetchPolicy, PredictorKind, SimConfig, SimError, Simulator,
+    Snapshot,
 };
 use smt_isa::Program;
 use smt_mem::CacheKind;
@@ -47,8 +49,14 @@ pub struct Grid {
     pub workloads: Vec<WorkloadKind>,
     /// Fetch policies.
     pub policies: Vec<FetchPolicy>,
+    /// Branch-predictor families.
+    pub predictors: Vec<PredictorKind>,
     /// Resident thread counts.
     pub threads: Vec<usize>,
+    /// Threads fetched per cycle (fetch ports).
+    pub fetch_threads: Vec<usize>,
+    /// Fetch-block widths in instructions.
+    pub fetch_widths: Vec<usize>,
     /// Scheduling-unit depths in entries.
     pub su_depths: Vec<usize>,
     /// Cache organizations.
@@ -64,7 +72,10 @@ impl Grid {
         Grid {
             workloads: vec![WorkloadKind::Sieve, WorkloadKind::Ll3],
             policies: POLICIES.to_vec(),
+            predictors: vec![PredictorKind::SharedBtb],
             threads: vec![1, 2, 4, 8],
+            fetch_threads: vec![1],
+            fetch_widths: vec![defaults::FETCH_WIDTH],
             su_depths: vec![32],
             caches: vec![CacheKind::SetAssociative],
         }
@@ -76,9 +87,36 @@ impl Grid {
         Grid {
             workloads: WorkloadKind::ALL.to_vec(),
             policies: POLICIES.to_vec(),
+            predictors: vec![PredictorKind::SharedBtb],
             threads: vec![1, 2, 4, 6, 8],
+            fetch_threads: vec![1],
+            fetch_widths: vec![defaults::FETCH_WIDTH],
             su_depths: vec![16, 32, 48],
             caches: vec![CacheKind::SetAssociative, CacheKind::DirectMapped],
+        }
+    }
+
+    /// The front-end design space beyond the paper: every fetch policy
+    /// (including ICOUNT), every predictor family, one and two fetch ports,
+    /// and 4- vs 8-wide fetch blocks, over the two workloads whose
+    /// saturation knee moves the most (Matrix and LL7). Cells with more
+    /// fetch ports than resident threads are legitimately infeasible.
+    #[must_use]
+    pub fn frontend() -> Self {
+        Grid {
+            workloads: vec![WorkloadKind::Matrix, WorkloadKind::Ll7],
+            policies: vec![
+                FetchPolicy::TrueRoundRobin,
+                FetchPolicy::MaskedRoundRobin,
+                FetchPolicy::ConditionalSwitch,
+                FetchPolicy::Icount,
+            ],
+            predictors: PredictorKind::ALL.to_vec(),
+            threads: vec![1, 2, 4, 8],
+            fetch_threads: vec![1, 2],
+            fetch_widths: vec![4, 8],
+            su_depths: vec![32],
+            caches: vec![CacheKind::SetAssociative],
         }
     }
 
@@ -89,16 +127,25 @@ impl Grid {
         let mut out = Vec::new();
         for &kind in &self.workloads {
             for &policy in &self.policies {
-                for &threads in &self.threads {
-                    for &su_depth in &self.su_depths {
-                        for &cache in &self.caches {
-                            out.push(CellSpec {
-                                kind,
-                                policy,
-                                threads,
-                                su_depth,
-                                cache,
-                            });
+                for &predictor in &self.predictors {
+                    for &threads in &self.threads {
+                        for &fetch_threads in &self.fetch_threads {
+                            for &fetch_width in &self.fetch_widths {
+                                for &su_depth in &self.su_depths {
+                                    for &cache in &self.caches {
+                                        out.push(CellSpec {
+                                            kind,
+                                            policy,
+                                            predictor,
+                                            threads,
+                                            fetch_threads,
+                                            fetch_width,
+                                            su_depth,
+                                            cache,
+                                        });
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -121,8 +168,14 @@ pub struct CellSpec {
     pub kind: WorkloadKind,
     /// Fetch policy.
     pub policy: FetchPolicy,
+    /// Branch-predictor family.
+    pub predictor: PredictorKind,
     /// Resident threads.
     pub threads: usize,
+    /// Threads fetched per cycle.
+    pub fetch_threads: usize,
+    /// Fetch-block width in instructions.
+    pub fetch_width: usize,
     /// Scheduling-unit depth in entries.
     pub su_depth: usize,
     /// Cache organization.
@@ -136,28 +189,47 @@ impl CellSpec {
         SimConfig::default()
             .with_threads(self.threads)
             .with_fetch_policy(self.policy)
+            .with_predictor(self.predictor)
+            .with_fetch_threads(self.fetch_threads)
+            .with_fetch_width(self.fetch_width)
             .with_su_depth(self.su_depth)
             .with_cache_kind(self.cache)
     }
 
     /// Stable, filesystem-safe cell name, e.g. `sieve-trr-t4-su32-sa`.
+    ///
+    /// Front-end dimensions appear only when they differ from the default
+    /// machine (`-gsh`/`-pbtb`, `-ft2`, `-fw8`), so every id from before
+    /// those axes existed — and every cell cached under one — is unchanged.
     #[must_use]
     pub fn id(&self) -> String {
         let policy = match self.policy {
             FetchPolicy::TrueRoundRobin => "trr",
             FetchPolicy::MaskedRoundRobin => "mrr",
             FetchPolicy::ConditionalSwitch => "cs",
+            FetchPolicy::Icount => "ic",
         };
         let cache = match self.cache {
             CacheKind::SetAssociative => "sa",
             CacheKind::DirectMapped => "dm",
         };
-        format!(
+        let mut id = format!(
             "{}-{policy}-t{}-su{}-{cache}",
             self.kind.name().to_lowercase(),
             self.threads,
             self.su_depth,
-        )
+        );
+        if self.predictor != PredictorKind::SharedBtb {
+            id.push('-');
+            id.push_str(self.predictor.abbrev());
+        }
+        if self.fetch_threads != defaults::FETCH_THREADS {
+            id.push_str(&format!("-ft{}", self.fetch_threads));
+        }
+        if self.fetch_width != defaults::FETCH_WIDTH {
+            id.push_str(&format!("-fw{}", self.fetch_width));
+        }
+        id
     }
 }
 
@@ -291,7 +363,10 @@ impl CellRecord {
             ("id", Cell::Text(self.id.clone())),
             ("workload", Cell::Text(spec.kind.name().to_string())),
             ("policy", Cell::Text(format!("{:?}", spec.policy))),
+            ("predictor", Cell::Text(format!("{:?}", spec.predictor))),
             ("threads", Cell::Int(spec.threads as u64)),
+            ("fetch_threads", Cell::Int(spec.fetch_threads as u64)),
+            ("fetch_width", Cell::Int(spec.fetch_width as u64)),
             ("su_depth", Cell::Int(spec.su_depth as u64)),
             ("cache", Cell::Text(format!("{:?}", spec.cache))),
             (
@@ -588,7 +663,9 @@ fn produce_cell(
         ),
         Ok(program) => match simulate_cell(spec, config, program, out, opts) {
             Ok((rec, resumed)) => (rec, resumed),
-            Err(e @ SimError::RegisterWindow { .. }) => (
+            // Config rejections are holes in the space too: e.g. two fetch
+            // ports with a single resident thread.
+            Err(e @ (SimError::RegisterWindow { .. } | SimError::Config(_))) => (
                 infeasible_record(
                     spec,
                     &opts.code_version,
@@ -693,7 +770,10 @@ mod tests {
         CellSpec {
             kind: WorkloadKind::Sieve,
             policy: FetchPolicy::TrueRoundRobin,
+            predictor: PredictorKind::SharedBtb,
             threads: 4,
+            fetch_threads: 1,
+            fetch_width: 4,
             su_depth: 32,
             cache: CacheKind::SetAssociative,
         }
@@ -708,8 +788,26 @@ mod tests {
             threads: 8,
             su_depth: 16,
             kind: WorkloadKind::Ll12,
+            ..spec()
         };
         assert_eq!(other.id(), "ll12-cs-t8-su16-dm");
+    }
+
+    #[test]
+    fn front_end_dimensions_suffix_the_id_only_off_default() {
+        let cell = CellSpec {
+            policy: FetchPolicy::Icount,
+            predictor: PredictorKind::Gshare,
+            fetch_threads: 2,
+            fetch_width: 8,
+            ..spec()
+        };
+        assert_eq!(cell.id(), "sieve-ic-t4-su32-sa-gsh-ft2-fw8");
+        let pbtb = CellSpec {
+            predictor: PredictorKind::PartitionedBtb,
+            ..spec()
+        };
+        assert_eq!(pbtb.id(), "sieve-trr-t4-su32-sa-pbtb");
     }
 
     #[test]
@@ -717,6 +815,14 @@ mod tests {
         let g = Grid::smoke();
         let cells = g.cells();
         assert_eq!(cells.len(), 2 * 3 * 4);
+        let ids: std::collections::HashSet<String> = cells.iter().map(CellSpec::id).collect();
+        assert_eq!(ids.len(), cells.len(), "ids are unique");
+    }
+
+    #[test]
+    fn frontend_grid_spans_the_new_axes_with_unique_ids() {
+        let cells = Grid::frontend().cells();
+        assert_eq!(cells.len(), 2 * 4 * 3 * 4 * 2 * 2);
         let ids: std::collections::HashSet<String> = cells.iter().map(CellSpec::id).collect();
         assert_eq!(ids.len(), cells.len(), "ids are unique");
     }

@@ -283,6 +283,18 @@ pub enum Segment {
         /// Loop body.
         body: Vec<AluStep>,
     },
+    /// Branch-heavy weave: a run of conditional sites all keyed to the
+    /// outer loop counter's parity, with alternating sense site to site.
+    /// Every site therefore flips direction on every outer iteration —
+    /// anti-correlated with its own previous outcome, the worst case for a
+    /// per-site 2-bit counter and exactly what a history-indexed predictor
+    /// learns. Each site runs one of two ALU steps depending on the arm.
+    BranchWeave {
+        /// Sense of the first site (subsequent sites alternate).
+        flip: bool,
+        /// Per-site `(taken-arm, fall-through-arm)` steps.
+        arms: Vec<(AluStep, AluStep)>,
+    },
     /// Always-taken branch over a wrong-path poison load: a cold BTB
     /// predicts fall-through, so the machine speculatively issues a load
     /// of an out-of-bounds address and must squash its fault.
@@ -466,6 +478,7 @@ impl Plan {
                 Segment::Shared(v) => format!("shared[{}]", v.len()),
                 Segment::Diamond { .. } => "diamond".into(),
                 Segment::InnerLoop { iters, .. } => format!("loop[{iters}]"),
+                Segment::BranchWeave { arms, .. } => format!("weave[{}]", arms.len()),
                 Segment::PoisonGuard => "poison".into(),
                 Segment::Barrier => "barrier".into(),
             })
@@ -502,7 +515,7 @@ struct LowerCtx {
 fn gen_segment(r: &mut Rng) -> Segment {
     // Weighted kind pick: memory and branches dominate, sync and poison
     // stay occasional so most masks keep several of each hazard class.
-    match r.below(16) {
+    match r.below(18) {
         0..=2 => Segment::Alu(gen_alu_steps(r, 5)),
         3..=4 => Segment::Fp((0..r.range_usize(1, 5)).map(|_| gen_fp_step(r)).collect()),
         5..=8 => Segment::Mem((0..r.range_usize(2, 7)).map(|_| gen_mem_step(r)).collect()),
@@ -521,19 +534,29 @@ fn gen_segment(r: &mut Rng) -> Segment {
             body: gen_alu_steps(r, 3),
         },
         14 => Segment::PoisonGuard,
+        15..=16 => Segment::BranchWeave {
+            flip: r.coin(),
+            arms: (0..r.range_usize(2, 6))
+                .map(|_| (gen_alu_step(r), gen_alu_step(r)))
+                .collect(),
+        },
         _ => Segment::Barrier,
+    }
+}
+
+fn gen_alu_step(r: &mut Rng) -> AluStep {
+    AluStep {
+        op: r.pick_copy(ALU_OPS),
+        d: r.below(NUM_VALS as u64) as u8,
+        a: r.below(NUM_VALS as u64) as u8,
+        b: r.below(NUM_VALS as u64) as u8,
+        imm: r.range_i64(i64::from(i16::MIN), i64::from(i16::MAX)) as i16,
     }
 }
 
 fn gen_alu_steps(r: &mut Rng, max: usize) -> Vec<AluStep> {
     (0..r.range_usize(1, max + 1))
-        .map(|_| AluStep {
-            op: r.pick_copy(ALU_OPS),
-            d: r.below(NUM_VALS as u64) as u8,
-            a: r.below(NUM_VALS as u64) as u8,
-            b: r.below(NUM_VALS as u64) as u8,
-            imm: r.range_i64(i64::from(i16::MIN), i64::from(i16::MAX)) as i16,
-        })
+        .map(|_| gen_alu_step(r))
         .collect()
 }
 
@@ -697,6 +720,25 @@ fn lower_segment(b: &mut ProgramBuilder, seg: &Segment, cx: LowerCtx) {
             b.addi(cx.cnt2, cx.cnt2, -1);
             b.bge(cx.cnt2, cx.one, itop);
         }
+        Segment::BranchWeave { flip, arms } => {
+            // s1 = outer parity; it flips every iteration, so every site
+            // below alternates taken/not-taken across the outer loop.
+            b.andi(cx.s1, cx.cnt, 1);
+            for (i, (taken_step, fall_step)) in arms.iter().enumerate() {
+                let taken = b.label();
+                let join = b.label();
+                if (i % 2 == 0) == *flip {
+                    b.beq(cx.s1, cx.one, taken);
+                } else {
+                    b.bne(cx.s1, cx.one, taken);
+                }
+                lower_alu(b, fall_step, &cx.vals);
+                b.j(join);
+                b.bind(taken);
+                lower_alu(b, taken_step, &cx.vals);
+                b.bind(join);
+            }
+        }
         Segment::PoisonGuard => {
             // Always taken; a cold BTB predicts fall-through, so the
             // machine fetches and may issue the poison load speculatively,
@@ -800,6 +842,29 @@ mod tests {
         let mut interp = Interp::new(&p, 1);
         interp.run().unwrap();
         assert!(interp.finished());
+    }
+
+    #[test]
+    fn branch_weaves_are_generated_and_run() {
+        let cfg = GenConfig::default();
+        let mut saw = false;
+        for seed in 0..200 {
+            let plan = Plan::generate(seed, &cfg);
+            if !plan
+                .segments
+                .iter()
+                .any(|s| matches!(s, Segment::BranchWeave { .. }))
+            {
+                continue;
+            }
+            saw = true;
+            let p = plan.build_full(2).unwrap();
+            let mut interp = Interp::new(&p, 2);
+            if let Err(e) = interp.run() {
+                assert!(plan.fault_tail, "seed {seed}: unexpected {e}");
+            }
+        }
+        assert!(saw, "no BranchWeave drawn in 200 seeds");
     }
 
     #[test]

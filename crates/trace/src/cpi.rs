@@ -1,10 +1,11 @@
 //! The CPI-stack accountant: attributes every slot of frontend/commit
-//! bandwidth — `block_size` slots per cycle — to one leaf cause.
+//! bandwidth — `block_size × fetch_threads` slots per cycle — to one leaf
+//! cause.
 //!
 //! The invariant, enforced by tests across every workload × policy ×
 //! thread-count point: after [`CpiStack::finish`], the per-cause slot
-//! counts sum to exactly `block_size × cycles`. It holds by construction
-//! (see [`crate::event`]): the decoder disposes of exactly `block_size`
+//! counts sum to exactly `width × cycles`. It holds by construction
+//! (see [`crate::event`]): the decoder disposes of exactly `width`
 //! slots per cycle, either as admitted instructions (whose final
 //! classification is deferred to their retire/squash event) or as
 //! immediately classified losses, so the accountant is pure counting — no
@@ -15,7 +16,7 @@ use crate::event::{RetireKind, SlotCause, TraceEvent, TraceSink};
 /// The finished attribution of one run's slot bandwidth.
 #[derive(Clone, Debug)]
 pub struct CpiBreakdown {
-    /// Slots per cycle (the machine's `block_size`).
+    /// Slots per cycle (the machine's `block_size × fetch_threads`).
     pub width: u32,
     /// Cycles accounted.
     pub cycles: u64,
@@ -113,7 +114,7 @@ pub struct CpiStack {
 
 impl CpiStack {
     /// An accountant for a machine disposing `width` slots per cycle
-    /// (`SimConfig::block_size`).
+    /// (`SimConfig::trace_shape().width`, i.e. `block_size × fetch_threads`).
     #[must_use]
     pub fn new(width: u32) -> Self {
         CpiStack {

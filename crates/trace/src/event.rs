@@ -4,12 +4,13 @@
 //! The event model is built around one accounting discipline, chosen so the
 //! CPI-stack invariant holds *by construction* rather than by correlation:
 //!
-//! * **Every cycle the decoder disposes of exactly `block_size` slots.**
-//!   Each slot either admits an instruction into the scheduling unit
-//!   ([`TraceEvent::Decoded`]) or is lost to a classified cause
-//!   ([`TraceEvent::SlotsLost`]). An empty frontend, a full scheduling
-//!   unit, a scoreboard retry, and a short decode group all emit their
-//!   missing slots with the cause in effect that cycle.
+//! * **Every cycle the decoder disposes of exactly
+//!   `block_size × fetch_threads` slots** — `block_size` per decode lane,
+//!   one lane per fetch port. Each slot either admits an instruction into
+//!   the scheduling unit ([`TraceEvent::Decoded`]) or is lost to a
+//!   classified cause ([`TraceEvent::SlotsLost`]). An empty frontend, a
+//!   full scheduling unit, a scoreboard retry, and a short decode group
+//!   all emit their missing slots with the cause in effect that cycle.
 //! * **Every decoded instruction leaves the window exactly once**, via
 //!   [`TraceEvent::Retired`] (architectural commit, a discarded `WAIT`
 //!   spin poll, or the fault that aborts the run) or
@@ -17,7 +18,7 @@
 //!   classification is deferred until that moment.
 //!
 //! Summing admitted-slot fates and lost slots therefore reproduces
-//! `block_size × cycles` exactly — see [`crate::cpi::CpiStack`].
+//! `width × cycles` exactly — see [`crate::cpi::CpiStack`].
 //!
 //! Identity: every instruction that enters the scheduling unit gets a
 //! monotonically increasing `uid`, assigned at decode. Instructions fetched

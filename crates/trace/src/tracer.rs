@@ -12,7 +12,7 @@ use crate::occupancy::OccupancyStats;
 /// `SimConfig` without a cycle, so callers copy the fields over).
 #[derive(Clone, Copy, Debug)]
 pub struct MachineShape {
-    /// Decode/fetch width — slots per cycle (`block_size`).
+    /// Decode/fetch width — slots per cycle (`block_size × fetch_threads`).
     pub width: u32,
     /// Scheduling-unit depth in entries.
     pub su_depth: u32,

@@ -17,5 +17,8 @@ pub mod predictor;
 pub mod tags;
 
 pub use fu::{FuConfig, FuPool};
-pub use predictor::{BranchPredictor, Prediction};
+pub use predictor::{
+    BranchPredictor, GsharePredictor, PartitionedPredictor, Prediction, Predictor, PredictorKind,
+    PredictorStats,
+};
 pub use tags::{Tag, TagAllocator};

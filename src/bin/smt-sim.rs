@@ -10,7 +10,7 @@
 
 use std::process::ExitCode;
 
-use smt_superscalar::core::{CommitPolicy, FetchPolicy, SimConfig, Simulator};
+use smt_superscalar::core::{CommitPolicy, FetchPolicy, PredictorKind, SimConfig, Simulator};
 use smt_superscalar::mem::CacheKind;
 use smt_superscalar::uarch::FuConfig;
 use smt_superscalar::workloads::{workload, Scale, WorkloadKind};
@@ -28,7 +28,10 @@ fn usage() -> &'static str {
      options:\n\
        --workload <name>    ll1|ll2|ll3|ll5|ll7|ll12|laplace|mpd|matrix|sieve|water\n\
        --threads <1..6>     resident threads (default 4)\n\
-       --fetch <policy>     truerr|maskedrr|cswitch (default truerr)\n\
+       --fetch <policy>     truerr|maskedrr|cswitch|icount (default truerr)\n\
+       --predictor <kind>   shared|gshare|partitioned (default shared)\n\
+       --fetch-threads <n>  fetch ports, distinct threads per cycle (default 1)\n\
+       --fetch-width <n>    instructions per fetch block (default 4)\n\
        --commit <policy>    flexible|lowest (default flexible)\n\
        --cache <kind>       assoc|direct (default assoc)\n\
        --su <entries>       scheduling-unit depth (default 32)\n\
@@ -77,8 +80,29 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     "truerr" => FetchPolicy::TrueRoundRobin,
                     "maskedrr" => FetchPolicy::MaskedRoundRobin,
                     "cswitch" => FetchPolicy::ConditionalSwitch,
+                    "icount" => FetchPolicy::Icount,
                     other => return Err(format!("unknown fetch policy `{other}`")),
                 });
+            }
+            "--predictor" => {
+                opts.config = opts.config.with_predictor(match value("--predictor")? {
+                    "shared" => PredictorKind::SharedBtb,
+                    "gshare" => PredictorKind::Gshare,
+                    "partitioned" => PredictorKind::PartitionedBtb,
+                    other => return Err(format!("unknown predictor `{other}`")),
+                });
+            }
+            "--fetch-threads" => {
+                let n: usize = value("--fetch-threads")?
+                    .parse()
+                    .map_err(|e| format!("--fetch-threads: {e}"))?;
+                opts.config = opts.config.with_fetch_threads(n);
+            }
+            "--fetch-width" => {
+                let n: usize = value("--fetch-width")?
+                    .parse()
+                    .map_err(|e| format!("--fetch-width: {e}"))?;
+                opts.config = opts.config.with_fetch_width(n);
             }
             "--commit" => {
                 opts.config = opts.config.with_commit_policy(match value("--commit")? {
@@ -152,11 +176,14 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "{} ({}) · {} threads · {} · {} · SU {} · {}",
+        "{} ({}) · {} threads · {} · {} · {}×{} fetch · {} · SU {} · {}",
         w.name(),
         w.group(),
         opts.config.threads,
         opts.config.fetch_policy,
+        opts.config.predictor,
+        opts.config.fetch_threads,
+        opts.config.fetch_width,
         opts.config.cache_kind,
         opts.config.su_depth,
         opts.config.commit_policy,

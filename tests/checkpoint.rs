@@ -18,11 +18,15 @@ mod support;
 
 use std::fmt::Write as _;
 
-use smt_superscalar::core::{FetchPolicy, SimConfig, SimError, Simulator};
+use smt_superscalar::core::{FetchPolicy, PredictorKind, SimConfig, SimError, Simulator};
 use smt_testkit::Rng;
 use smt_workloads::{workload, Scale, WorkloadKind};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/checkpoint.txt");
+const FRONTEND_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/goldens/checkpoint_frontend.txt"
+);
 
 const FETCH: [FetchPolicy; 3] = [
     FetchPolicy::TrueRoundRobin,
@@ -94,6 +98,179 @@ fn interrupted_runs_are_bit_identical_to_uninterrupted() {
         "kernels only outgrow the register window at 8 threads: {skipped:?}"
     );
     support::check_golden(GOLDEN_PATH, &golden);
+}
+
+/// The front-end design space added after the paper grid: the ICOUNT
+/// policy, each alternative predictor family, and the two-port/wide shape.
+/// Same splice protocol as the main matrix, own golden file — so the
+/// original golden stays byte-identical row for row.
+#[test]
+fn front_end_splices_are_bit_identical() {
+    type MakeConfig = fn(usize) -> SimConfig;
+    let variants: [(&str, MakeConfig); 4] = [
+        ("Icount", |t| {
+            SimConfig::default()
+                .with_threads(t)
+                .with_fetch_policy(FetchPolicy::Icount)
+        }),
+        ("Gshare", |t| {
+            SimConfig::default()
+                .with_threads(t)
+                .with_predictor(PredictorKind::Gshare)
+        }),
+        ("PartitionedBtb", |t| {
+            SimConfig::default()
+                .with_threads(t)
+                .with_predictor(PredictorKind::PartitionedBtb)
+        }),
+        ("Icount+2x8", |t| {
+            SimConfig::default()
+                .with_threads(t)
+                .with_fetch_policy(FetchPolicy::Icount)
+                .with_fetch_threads(2.min(t))
+                .with_fetch_width(8)
+        }),
+    ];
+    let mut rng = Rng::new(0xf407_e4d5);
+    let mut golden = String::new();
+    for kind in WorkloadKind::ALL {
+        let w = workload(kind, Scale::Test);
+        for threads in THREADS {
+            let Ok(program) = w.build(threads) else {
+                continue; // infeasibility is pinned by the main matrix
+            };
+            for (name, make_config) in variants {
+                let config = make_config(threads);
+
+                let mut straight = Simulator::new(config.clone(), &program);
+                let uninterrupted = straight.run().expect("test-scale runs complete");
+
+                let k = 1 + rng.below(uninterrupted.cycles.max(2) - 1);
+                let mut front = Simulator::new(config.clone(), &program);
+                for _ in 0..k {
+                    front.step().expect("prefix steps complete");
+                }
+                let wire = front.checkpoint().to_bytes();
+                let snap = smt_superscalar::core::Snapshot::from_bytes(&wire)
+                    .expect("wire format round-trips");
+                let mut back = Simulator::restore(config, &program, &snap)
+                    .expect("snapshot matches its own (config, program)");
+                let resumed = back.run().expect("resumed runs complete");
+
+                let point = format!("{}/{name}/{threads}t@{k}", w.name());
+                assert_eq!(
+                    uninterrupted, resumed,
+                    "{point}: splice perturbed the statistics"
+                );
+                assert_eq!(
+                    straight.memory().words(),
+                    back.memory().words(),
+                    "{point}: final memory images must be bit-identical"
+                );
+                w.check(back.memory().words())
+                    .unwrap_or_else(|e| panic!("{point}: wrong answer after resume: {e}"));
+                writeln!(golden, "{point} {resumed:?}").expect("writing to a String cannot fail");
+            }
+        }
+    }
+    support::check_golden(FRONTEND_GOLDEN_PATH, &golden);
+}
+
+/// Satellite hardening pass: snapshots taken on *every* cycle of runs that
+/// exercise the per-thread fetch state — a masked thread (MaskedRR), an
+/// armed-but-unfired conditional switch (the window between trigger decode
+/// and the switch firing), and a `WAIT` suspension with its resume PC —
+/// must all restore into a machine whose completion is bit-identical to
+/// never having stopped. Coverage of each adversarial state is asserted,
+/// not hoped for.
+#[test]
+fn every_cycle_splices_preserve_per_thread_fetch_state() {
+    use smt_superscalar::isa::builder::ProgramBuilder;
+
+    // Two threads; each runs a dependent div chain (commit-blocks → MaskedRR
+    // masks; divs are ConditionalSwitch triggers), then a counting barrier
+    // (POST + WAIT → suspension with a resume PC), then one more div.
+    let mut b = ProgramBuilder::new();
+    let out = b.alloc_zeroed(8 * 8);
+    let sync = b.alloc_zeroed(8);
+    let [v, d, syn, obr, s0] = b.regs();
+    b.li(obr, out as i64);
+    b.slli(s0, b.tid_reg(), 3);
+    b.add(obr, obr, s0);
+    b.li(v, 1_000_000_007);
+    b.li(d, 3);
+    for _ in 0..6 {
+        b.div(v, v, d);
+        b.addi(v, v, 17);
+    }
+    b.li(syn, sync as i64);
+    b.post(syn);
+    b.wait(syn, b.nthreads_reg());
+    b.div(v, v, d);
+    b.sd(v, obr, 0);
+    b.halt();
+    let program = b.build(2).expect("program fits two threads");
+
+    let variants: [(&str, FetchPolicy); 3] = [
+        ("mrr", FetchPolicy::MaskedRoundRobin),
+        ("cs", FetchPolicy::ConditionalSwitch),
+        ("ic", FetchPolicy::Icount),
+    ];
+    for (name, policy) in variants {
+        let config = SimConfig::default()
+            .with_threads(2)
+            .with_fetch_policy(policy);
+
+        let mut straight = Simulator::new(config.clone(), &program);
+        let reference = straight.run().expect("run completes");
+
+        let mut walker = Simulator::new(config.clone(), &program);
+        let (mut saw_masked, mut saw_armed, mut saw_suspended) = (false, false, false);
+        while !walker.finished() {
+            assert!(walker.cycle() < 100_000, "{name}: watchdog");
+            walker.step().expect("no faults in this program");
+            for t in 0..2 {
+                saw_masked |= walker.fetch_unit().is_masked(t);
+                saw_armed |= walker.fetch_unit().has_switch_pending(t);
+                saw_suspended |= walker.fetch_unit().is_suspended(t);
+            }
+            let snap = walker.checkpoint();
+            let mut restored =
+                Simulator::restore(config.clone(), &program, &snap).expect("snapshot restores");
+            assert_eq!(
+                restored.checkpoint().to_bytes(),
+                snap.to_bytes(),
+                "{name}@{}: re-snapshot of a restored machine differs",
+                walker.cycle()
+            );
+            let resumed = restored.run().expect("resumed run completes");
+            assert_eq!(
+                resumed,
+                reference,
+                "{name}@{}: splice perturbed the statistics",
+                walker.cycle()
+            );
+            assert_eq!(
+                restored.memory().words(),
+                straight.memory().words(),
+                "{name}@{}: splice perturbed memory",
+                walker.cycle()
+            );
+        }
+        assert!(
+            saw_suspended,
+            "{name}: the barrier must suspend a thread at least one cycle"
+        );
+        if policy == FetchPolicy::MaskedRoundRobin {
+            assert!(saw_masked, "mrr: the div chain must commit-block and mask");
+        }
+        if policy == FetchPolicy::ConditionalSwitch {
+            assert!(
+                saw_armed,
+                "cs: some snapshot must land between trigger decode and the switch firing"
+            );
+        }
+    }
 }
 
 #[test]

@@ -132,3 +132,112 @@ fn cond_switch_rotates_the_active_thread_on_div_triggers() {
         assert!(switches >= 1);
     }
 }
+
+/// Thread 0 runs a long dependent fdiv chain (clogs the scheduling unit);
+/// every other thread runs a short ALU loop. Each thread stores its result
+/// to a private word so the interpreter check stays exact.
+fn heavy_light_program(threads: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let out = b.alloc_zeroed(8 * 8);
+    let [a, d, i, limit, obr, zero] = b.regs();
+    b.li(obr, out as i64);
+    b.slli(a, b.tid_reg(), 3);
+    b.add(obr, obr, a);
+    b.li(zero, 0);
+    let light = b.label();
+    let end = b.label();
+    b.bne(b.tid_reg(), zero, light);
+    // Heavy: a dependent fdiv chain.
+    b.lif(a, 1.0e12);
+    b.lif(d, 1.5);
+    for _ in 0..16 {
+        b.fdiv(a, a, d);
+    }
+    b.f2i(i, a);
+    b.sd(i, obr, 0);
+    b.j(end);
+    // Light: a short integer loop.
+    b.bind(light);
+    b.li(a, 0);
+    b.li(i, 0);
+    b.li(limit, 6);
+    let top = b.label();
+    b.bind(top);
+    b.addi(a, a, 5);
+    b.addi(i, i, 1);
+    b.blt(i, limit, top);
+    b.sd(a, obr, 0);
+    b.bind(end);
+    b.halt();
+    b.build(threads).unwrap()
+}
+
+/// Cycle at which the light thread (tid 1) fully retires under `config`,
+/// plus the finished machine for architectural checks.
+fn light_retire_cycle(config: SimConfig, p: &Program) -> (u64, Simulator<'_>) {
+    let mut sim = Simulator::new(config, p);
+    let mut retired_at = None;
+    while !sim.finished() {
+        assert!(sim.cycle() < 100_000, "watchdog: run did not finish");
+        sim.step().expect("no faults in this program");
+        if retired_at.is_none() && sim.fetch_unit().is_retired(1) {
+            retired_at = Some(sim.cycle());
+        }
+    }
+    (retired_at.expect("thread 1 retires"), sim)
+}
+
+#[test]
+fn icount_steers_fetch_toward_the_lighter_thread() {
+    let p = heavy_light_program(2);
+    let cfg = |policy| {
+        SimConfig::default()
+            .with_threads(2)
+            .with_fetch_policy(policy)
+    };
+    let (ic_cycle, ic_sim) = light_retire_cycle(cfg(FetchPolicy::Icount), &p);
+    let (rr_cycle, rr_sim) = light_retire_cycle(cfg(FetchPolicy::TrueRoundRobin), &p);
+    assert_matches_interp(&ic_sim, &p, 2);
+    assert_matches_interp(&rr_sim, &p, 2);
+    // The heavy thread's fdiv chain piles up in the scheduling unit, so the
+    // occupancy signal diverts fetch slots to the light thread — it must
+    // retire no later than under occupancy-blind round-robin.
+    assert!(
+        ic_cycle <= rr_cycle,
+        "ICOUNT retired the light thread at {ic_cycle}, TrueRR at {rr_cycle}"
+    );
+}
+
+#[test]
+fn two_ports_and_wide_blocks_match_the_reference() {
+    let p = heavy_light_program(4);
+    let narrow = SimConfig::default().with_threads(4);
+    let wide = SimConfig::default()
+        .with_threads(4)
+        .with_fetch_threads(2)
+        .with_fetch_width(8);
+    let mut narrow_sim = Simulator::new(narrow, &p);
+    let narrow_stats = narrow_sim.run().expect("narrow run completes");
+    let mut wide_sim = Simulator::new(wide.clone(), &p);
+    let wide_stats = wide_sim.run().expect("wide run completes");
+    assert_matches_interp(&narrow_sim, &p, 4);
+    assert_matches_interp(&wide_sim, &p, 4);
+    // Doubling fetch bandwidth can only help a fetch-starved 4-thread mix.
+    assert!(
+        wide_stats.cycles <= narrow_stats.cycles,
+        "two-port 8-wide fetch took {} cycles, one-port 4-wide took {}",
+        wide_stats.cycles,
+        narrow_stats.cycles
+    );
+
+    // The wide shape composes with every policy and predictor family.
+    for policy in [
+        FetchPolicy::MaskedRoundRobin,
+        FetchPolicy::ConditionalSwitch,
+        FetchPolicy::Icount,
+    ] {
+        let mut sim = Simulator::new(wide.clone().with_fetch_policy(policy), &p);
+        sim.run().expect("wide run completes");
+        assert_matches_interp(&sim, &p, 4);
+    }
+}

@@ -9,7 +9,9 @@
 //! comes from the repo-local deterministic generator (`smt-testkit`); each
 //! failure reproduces from the seed printed by the case runner.
 
-use smt_superscalar::core::{CommitPolicy, FetchPolicy, RenamingMode, SimConfig, Simulator};
+use smt_superscalar::core::{
+    CommitPolicy, FetchPolicy, PredictorKind, RenamingMode, SimConfig, Simulator,
+};
 use smt_superscalar::isa::builder::ProgramBuilder;
 use smt_superscalar::isa::interp::Interp;
 use smt_superscalar::isa::{Opcode, Program, Reg};
@@ -177,13 +179,22 @@ fn lower(seeds: &[i64], stmts: &[Stmt]) -> Program {
 }
 
 fn random_config(rng: &mut Rng) -> SimConfig {
+    let threads = rng.range_usize(1, 5);
     SimConfig::default()
-        .with_threads(rng.range_usize(1, 5))
+        .with_threads(threads)
         .with_fetch_policy(rng.pick_copy(&[
             FetchPolicy::TrueRoundRobin,
             FetchPolicy::MaskedRoundRobin,
             FetchPolicy::ConditionalSwitch,
+            FetchPolicy::Icount,
         ]))
+        .with_predictor(rng.pick_copy(&[
+            PredictorKind::SharedBtb,
+            PredictorKind::Gshare,
+            PredictorKind::PartitionedBtb,
+        ]))
+        .with_fetch_threads(if threads > 1 && rng.coin() { 2 } else { 1 })
+        .with_fetch_width(rng.pick_copy(&[4usize, 8]))
         .with_commit_policy(rng.pick_copy(&[CommitPolicy::Flexible, CommitPolicy::LowestOnly]))
         .with_cache_kind(rng.pick_copy(&[CacheKind::SetAssociative, CacheKind::DirectMapped]))
         .with_su_depth(rng.pick_copy(&[16usize, 32, 64]))

@@ -11,7 +11,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use smt_experiments::sweep::{plant_checkpoint, run_sweep, CellSpec, Grid, SweepOptions};
-use smt_superscalar::core::{FetchPolicy, Simulator};
+use smt_superscalar::core::{FetchPolicy, PredictorKind, Simulator};
 use smt_superscalar::mem::CacheKind;
 use smt_workloads::{workload, Scale, WorkloadKind};
 
@@ -27,7 +27,10 @@ fn small_grid() -> Grid {
     Grid {
         workloads: vec![WorkloadKind::Sieve],
         policies: vec![FetchPolicy::TrueRoundRobin, FetchPolicy::ConditionalSwitch],
+        predictors: vec![PredictorKind::SharedBtb],
         threads: vec![1, 4],
+        fetch_threads: vec![1],
+        fetch_widths: vec![4],
         su_depths: vec![32],
         caches: vec![CacheKind::SetAssociative],
     }
@@ -123,14 +126,20 @@ fn mid_flight_checkpoints_resume_instead_of_restarting() {
     let spec = CellSpec {
         kind: WorkloadKind::Sieve,
         policy: FetchPolicy::TrueRoundRobin,
+        predictor: PredictorKind::SharedBtb,
         threads: 4,
+        fetch_threads: 1,
+        fetch_width: 4,
         su_depth: 32,
         cache: CacheKind::SetAssociative,
     };
     let grid = Grid {
         workloads: vec![spec.kind],
         policies: vec![spec.policy],
+        predictors: vec![spec.predictor],
         threads: vec![spec.threads],
+        fetch_threads: vec![spec.fetch_threads],
+        fetch_widths: vec![spec.fetch_width],
         su_depths: vec![spec.su_depth],
         caches: vec![spec.cache],
     };
@@ -178,7 +187,10 @@ fn infeasible_cells_are_recorded_and_cached_not_fatal() {
     let grid = Grid {
         workloads: vec![WorkloadKind::Ll3],
         policies: vec![FetchPolicy::TrueRoundRobin],
+        predictors: vec![PredictorKind::SharedBtb],
         threads: vec![4, 8],
+        fetch_threads: vec![1],
+        fetch_widths: vec![4],
         su_depths: vec![32],
         caches: vec![CacheKind::SetAssociative],
     };
