@@ -16,6 +16,9 @@
 //!   (`<case>/mcycles_per_s`, `<case>/best_ms`, `<case>/cycles`), e.g. for
 //!   the repo-root `BENCH_sim_throughput.json` trajectory file or a CI
 //!   artifact.
+//! * `<substring>` — any other non-flag argument filters cases by name,
+//!   criterion-style (`simulate/4thr/Matrix` runs just that case; handy
+//!   under a profiler).
 
 use std::time::{Duration, Instant};
 
@@ -26,20 +29,24 @@ use smt_isa::Program;
 use smt_workloads::{workload, Scale, WorkloadKind};
 
 /// Measurement parameters: iterations repeat until `window` of measured
-/// time accumulates, capped at `max_iters`.
-#[derive(Clone, Copy)]
+/// time accumulates, capped at `max_iters`. `filter` restricts which cases
+/// run (substring match on the case name, criterion-style).
+#[derive(Clone)]
 struct Opts {
     window: Duration,
     max_iters: usize,
+    filter: Option<String>,
 }
 
 const FULL: Opts = Opts {
     window: Duration::from_millis(500),
     max_iters: 20,
+    filter: None,
 };
 const SMOKE: Opts = Opts {
     window: Duration::from_millis(50),
     max_iters: 3,
+    filter: None,
 };
 
 /// One finished case, for the optional JSON dump.
@@ -52,7 +59,12 @@ struct CaseResult {
 
 /// Times `body` (which returns a simulated-cycle count) and prints a
 /// criterion-style line: best-iteration wall time and simulated throughput.
-fn bench_case(out: &mut Vec<CaseResult>, opts: Opts, name: &str, mut body: impl FnMut() -> u64) {
+fn bench_case(out: &mut Vec<CaseResult>, opts: &Opts, name: &str, mut body: impl FnMut() -> u64) {
+    if let Some(f) = &opts.filter {
+        if !name.contains(f.as_str()) {
+            return;
+        }
+    }
     let cycles = body(); // warmup; also captures the workload's cycle count
     let mut best = Duration::MAX;
     let mut spent = Duration::ZERO;
@@ -80,7 +92,7 @@ fn bench_case(out: &mut Vec<CaseResult>, opts: Opts, name: &str, mut body: impl 
     });
 }
 
-fn bench_workload_simulation(out: &mut Vec<CaseResult>, opts: Opts) {
+fn bench_workload_simulation(out: &mut Vec<CaseResult>, opts: &Opts) {
     println!("# simulate: default config, 4 threads, Scale::Test");
     for kind in [WorkloadKind::Matrix, WorkloadKind::Ll7, WorkloadKind::Sieve] {
         let w = workload(kind, Scale::Test);
@@ -144,7 +156,7 @@ fn forwarding_kernel(iters: i64) -> Program {
         .expect("kernel fits a 4-thread window")
 }
 
-fn bench_store_forwarding(out: &mut Vec<CaseResult>, opts: Opts) {
+fn bench_store_forwarding(out: &mut Vec<CaseResult>, opts: &Opts) {
     println!("# store_forwarding: store/load-dense kernel, 4 threads");
     let program = forwarding_kernel(2_000);
     bench_case(out, opts, "store_forwarding/4thr/dense", || {
@@ -159,7 +171,7 @@ fn bench_store_forwarding(out: &mut Vec<CaseResult>, opts: Opts) {
     });
 }
 
-fn bench_fetch_policies(out: &mut Vec<CaseResult>, opts: Opts) {
+fn bench_fetch_policies(out: &mut Vec<CaseResult>, opts: &Opts) {
     println!("# fetch_policy_overhead: LL1, 4 threads");
     let w = workload(WorkloadKind::Ll1, Scale::Test);
     let program = w.build(4).expect("kernel fits");
@@ -186,7 +198,7 @@ fn bench_fetch_policies(out: &mut Vec<CaseResult>, opts: Opts) {
 /// sink-off overhead must stay at zero), the CPI-stack accountant alone
 /// (the cheapest useful sink), and the full tracer bundle with a bounded
 /// lifecycle ring (the most expensive supported sink).
-fn bench_trace_overhead(out: &mut Vec<CaseResult>, opts: Opts) {
+fn bench_trace_overhead(out: &mut Vec<CaseResult>, opts: &Opts) {
     println!("# trace_overhead: Matrix, 4 threads, sink-off vs attached sinks");
     let w = workload(WorkloadKind::Matrix, Scale::Test);
     let program = w.build(4).expect("kernel fits");
@@ -207,7 +219,7 @@ fn bench_trace_overhead(out: &mut Vec<CaseResult>, opts: Opts) {
     });
 }
 
-fn bench_interpreter(out: &mut Vec<CaseResult>, opts: Opts) {
+fn bench_interpreter(out: &mut Vec<CaseResult>, opts: &Opts) {
     println!("# functional interpreter");
     let w = workload(WorkloadKind::Matrix, Scale::Test);
     let program = w.build(4).expect("kernel fits");
@@ -222,19 +234,31 @@ fn main() {
     // the flags this harness understands.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
-    let json_path = argv
+    let json_at = argv.iter().position(|a| a == "--json");
+    let json_path = json_at.and_then(|i| argv.get(i + 1)).cloned();
+    let mut opts = if smoke { SMOKE } else { FULL };
+    // Profiling hooks: stretch the measurement window without recompiling
+    // (e.g. BENCH_WINDOW_MS=10000 BENCH_MAX_ITERS=100000 under gprofng).
+    if let Ok(ms) = std::env::var("BENCH_WINDOW_MS") {
+        opts.window = Duration::from_millis(ms.parse().expect("BENCH_WINDOW_MS: integer ms"));
+    }
+    if let Ok(n) = std::env::var("BENCH_MAX_ITERS") {
+        opts.max_iters = n.parse().expect("BENCH_MAX_ITERS: integer");
+    }
+    // Any remaining non-flag argument is a case-name filter. `cargo bench`
+    // itself may pass `--bench`; skip every `--flag` and the --json value.
+    opts.filter = argv
         .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| argv.get(i + 1))
-        .cloned();
-    let opts = if smoke { SMOKE } else { FULL };
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && json_at != Some(i.wrapping_sub(1)))
+        .map(|(_, a)| a.clone());
 
     let mut results = Vec::new();
-    bench_workload_simulation(&mut results, opts);
-    bench_store_forwarding(&mut results, opts);
-    bench_fetch_policies(&mut results, opts);
-    bench_trace_overhead(&mut results, opts);
-    bench_interpreter(&mut results, opts);
+    bench_workload_simulation(&mut results, &opts);
+    bench_store_forwarding(&mut results, &opts);
+    bench_fetch_policies(&mut results, &opts);
+    bench_trace_overhead(&mut results, &opts);
+    bench_interpreter(&mut results, &opts);
 
     if let Some(path) = json_path {
         let mut fields: Vec<(String, Cell)> = Vec::new();

@@ -1,0 +1,220 @@
+//! Warn-only CI perf gate: compares a fresh `sim_throughput --json` dump
+//! against the newest recorded entry in the repo-root trajectory file
+//! (`BENCH_sim_throughput.json`) and emits a GitHub `::warning::`
+//! annotation for every `simulate/*` case that regressed by more than the
+//! threshold.
+//!
+//! ```text
+//! cargo run -p smt-bench --bin perf_gate -- bench_smoke.json BENCH_sim_throughput.json
+//! ```
+//!
+//! The exit code is always 0: shared CI runners are far too noisy to gate
+//! a merge on throughput (single-digit-percent signal under tens-of-percent
+//! noise), so the gate's job is to leave a visible annotation a human can
+//! weigh, not to block. The repository has no JSON parser dependency; the
+//! extractor below reads just the subset our own writer emits (objects,
+//! strings, numbers).
+
+use std::process::ExitCode;
+
+/// Regression threshold: warn when `current / recorded < 0.85`.
+const THRESHOLD: f64 = 0.85;
+
+/// Extracts `(depth-1 object key, full key path, number)` triples from a
+/// JSON subset: nested objects, string keys, number/string values. Strings
+/// never nest and escapes only matter for skipping — which is all the
+/// trajectory file's prose notes need.
+fn number_fields(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    let mut path: Vec<String> = Vec::new();
+    let mut key: Option<String> = None;
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                let start = i + 1;
+                let mut end = start;
+                while let Some((j, d)) = chars.next() {
+                    if d == '\\' {
+                        chars.next();
+                    } else if d == '"' {
+                        end = j;
+                        break;
+                    }
+                }
+                let s = text[start..end].to_string();
+                // A string before a ':' is a key; after one, a value.
+                if key.is_none() {
+                    key = Some(s);
+                } else {
+                    key = None;
+                }
+            }
+            '{' => {
+                path.push(key.take().unwrap_or_default());
+            }
+            '}' => {
+                path.pop();
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                let mut end = text.len();
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_digit() || matches!(d, '.' | 'e' | 'E' | '+' | '-') {
+                        chars.next();
+                    } else {
+                        end = j;
+                        break;
+                    }
+                }
+                if let (Some(k), Ok(v)) = (key.take(), text[start..end].parse::<f64>()) {
+                    let top = path.last().cloned().unwrap_or_default();
+                    out.push((top, k, v));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The flat `case → Mcycles/s` map of a `--json` bench dump.
+fn bench_cases(text: &str) -> Vec<(String, f64)> {
+    number_fields(text)
+        .into_iter()
+        .filter_map(|(_, k, v)| {
+            k.strip_suffix("/mcycles_per_s")
+                .map(|case| (case.to_string(), v))
+        })
+        .collect()
+}
+
+/// The newest `pr*` entry of the trajectory file: its direct
+/// `case → Mcycles/s` children (ratio blocks like `vs_pr6` sit one level
+/// deeper and are excluded by the owning-object check).
+fn last_recorded(text: &str) -> (String, Vec<(String, f64)>) {
+    let fields = number_fields(text);
+    let last_pr = fields
+        .iter()
+        .map(|(top, _, _)| top)
+        .rfind(|t| t.starts_with("pr"))
+        .cloned()
+        .unwrap_or_default();
+    let cases = fields
+        .into_iter()
+        .filter(|(top, _, _)| *top == last_pr)
+        .filter_map(|(_, k, v)| {
+            k.strip_suffix("/mcycles_per_s")
+                .map(|case| (case.to_string(), v))
+        })
+        .collect();
+    (last_pr, cases)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [current_path, recorded_path] = args.as_slice() else {
+        eprintln!("usage: perf_gate <bench.json> <BENCH_sim_throughput.json>");
+        // Even usage errors stay warn-only in CI; the harness bitrot shows
+        // up in the step log either way.
+        return ExitCode::SUCCESS;
+    };
+    let read = |p: &String| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            println!("::warning::perf-gate: cannot read {p}: {e}");
+            String::new()
+        })
+    };
+    let current = bench_cases(&read(current_path));
+    let (entry, recorded) = last_recorded(&read(recorded_path));
+    if entry.is_empty() || current.is_empty() {
+        println!(
+            "::warning::perf-gate: nothing to compare (no recorded entry or empty bench dump)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut warned = 0;
+    let mut compared = 0;
+    for (case, was) in &recorded {
+        // Only the end-to-end simulation cases: the micro cases swing too
+        // hard on shared runners to be worth an annotation each.
+        if !case.starts_with("simulate/") {
+            continue;
+        }
+        let Some((_, now)) = current.iter().find(|(c, _)| c == case) else {
+            println!(
+                "::warning::perf-gate: {case} recorded in {entry} but missing from the bench dump"
+            );
+            warned += 1;
+            continue;
+        };
+        compared += 1;
+        let ratio = now / was;
+        if ratio < THRESHOLD {
+            println!(
+                "::warning::perf-gate: {case} at {now:.2} Mcycles/s is {ratio:.2}x the {entry} \
+                 record ({was:.2}); >15% below — rerun interleaved A/B locally before trusting this"
+            );
+            warned += 1;
+        }
+    }
+    println!("perf-gate: {compared} simulate/* cases compared against {entry}, {warned} warnings (informational only)");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAJECTORY: &str = r#"{
+      "_file": "doc { with braces } and \"quotes\"",
+      "pr1": {
+        "simulate/4thr/Matrix/mcycles_per_s": 2.0,
+        "other/case/mcycles_per_s": 1.0
+      },
+      "pr2": {
+        "simulate/4thr/Matrix/mcycles_per_s": 3.0,
+        "simulate/4thr/LL7/mcycles_per_s": 1.5,
+        "vs_pr1": {
+          "simulate/4thr/Matrix": 1.5,
+          "note": "prose: 10% faster { unbalanced"
+        }
+      }
+    }"#;
+
+    #[test]
+    fn last_entry_wins_and_nested_ratios_are_excluded() {
+        let (entry, cases) = last_recorded(TRAJECTORY);
+        assert_eq!(entry, "pr2");
+        assert_eq!(
+            cases,
+            vec![
+                ("simulate/4thr/Matrix".to_string(), 3.0),
+                ("simulate/4thr/LL7".to_string(), 1.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn bench_dump_parses_flat_cases() {
+        let dump = r#"{"mode": "smoke",
+            "simulate/4thr/Matrix/mcycles_per_s": 2.5,
+            "simulate/4thr/Matrix/best_ms": 0.4,
+            "simulate/4thr/Matrix/cycles": 1006}"#;
+        let cases = bench_cases(dump);
+        assert_eq!(cases, vec![("simulate/4thr/Matrix".to_string(), 2.5)]);
+    }
+
+    #[test]
+    fn strings_with_braces_do_not_break_nesting() {
+        // The _file doc and prose notes contain braces; depth tracking must
+        // ignore them or pr attribution collapses.
+        let fields = number_fields(TRAJECTORY);
+        assert!(fields
+            .iter()
+            .any(|(top, k, v)| top == "pr1" && k == "other/case/mcycles_per_s" && *v == 1.0));
+        assert!(fields
+            .iter()
+            .any(|(top, k, _)| top == "vs_pr1" && k == "simulate/4thr/Matrix"));
+    }
+}

@@ -68,9 +68,11 @@ pub struct InstructionUnit {
     rr: usize,
     /// Conditional Switch active thread.
     active: usize,
-    /// Recycled fetch-group storage (one group is in flight at a time, so a
-    /// single spare keeps the fetch path allocation-free in steady state).
-    spare: Vec<FetchedInsn>,
+    /// Recycled fetch-group storage. The fetch queue keeps several groups
+    /// in flight (multi-port fetch, decode backpressure), so a small pool —
+    /// not a single spare — is what keeps the fetch path allocation-free in
+    /// steady state. Squashed and dropped groups return here too.
+    pool: Vec<Vec<FetchedInsn>>,
 }
 
 impl InstructionUnit {
@@ -115,7 +117,7 @@ impl InstructionUnit {
             aligned,
             rr: 0,
             active: 0,
-            spare: Vec::new(),
+            pool: Vec::new(),
         }
     }
 
@@ -257,7 +259,7 @@ impl InstructionUnit {
     ) -> Option<FetchedBlock> {
         debug_assert!(self.fetchable(tid), "fetching for an unfetchable thread");
         let mut pc = self.threads[tid].pc;
-        let mut insns = std::mem::take(&mut self.spare);
+        let mut insns = self.pool.pop().unwrap_or_default();
         insns.reserve(self.width);
         // Aligned mode: the block spans [start, start + width); entering it
         // mid-way forfeits the leading slots.
@@ -302,7 +304,7 @@ impl InstructionUnit {
         }
         self.threads[tid].pc = pc;
         if insns.is_empty() {
-            self.spare = insns;
+            self.pool.push(insns);
             None
         } else {
             Some(FetchedBlock {
@@ -314,10 +316,14 @@ impl InstructionUnit {
     }
 
     /// Returns a consumed fetch group's storage for reuse by the next
-    /// [`fetch_block`](Self::fetch_block).
+    /// [`fetch_block`](Self::fetch_block). The pool is bounded by the
+    /// number of groups that can be in flight at once, so it never grows
+    /// past a handful of buffers; a cap guards the pathological case.
     pub fn recycle(&mut self, mut storage: Vec<FetchedInsn>) {
-        storage.clear();
-        self.spare = storage;
+        if self.pool.len() < 2 * self.threads.len() + 2 {
+            storage.clear();
+            self.pool.push(storage);
+        }
     }
 
     /// Squash recovery: redirect the thread to `pc` and clear speculative

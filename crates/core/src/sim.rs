@@ -9,7 +9,7 @@
 //! See the crate docs for the architecture overview and DESIGN.md for the
 //! paper mapping.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use smt_checkpoint::{DecodeError, Reader, Snapshot, Writer};
 use smt_isa::semantics::{alu_result, branch_taken, effective_addr};
@@ -21,20 +21,9 @@ use smt_uarch::{FuPool, Predictor, TagAllocator};
 use crate::commit::{CommitSink, Retirement};
 use crate::config::{FetchPolicy, RenamingMode, SimConfig};
 use crate::error::SimError;
-use crate::fasthash::MixState;
 use crate::fetch::{FetchedBlock, FetchedInsn, InstructionUnit};
 use crate::stats::{FuUsage, SimStats};
-use crate::su::{EntryState, Lookup, Operand, SchedulingUnit, SuEntry};
-
-/// One resident completed store in the forwarding index: its stable
-/// identity `(block id, entry index)`, owning thread, and data.
-#[derive(Clone, Copy, Debug)]
-struct FwdStore {
-    bid: u64,
-    ei: usize,
-    tid: usize,
-    result: u64,
-}
+use crate::su::{EntryState, Lookup, Operand, SchedulingUnit, StagedEntry, NO_SRC};
 
 /// Section tags of the snapshot payload, in serialization order. A tag
 /// mismatch on decode pinpoints the diverging component instead of
@@ -114,15 +103,14 @@ pub struct Simulator<'p> {
     /// window scan: an access at `(bid, ei)` is blocked iff the thread's
     /// oldest outstanding store/sync sits at a strictly older position.
     memsync: Vec<VecDeque<(u64, usize)>>,
-    /// Address-indexed resident completed non-faulted `Sd` entries (any
-    /// thread), each list sorted ascending by `(block id, entry index)` —
-    /// i.e. by age, since block ids are monotone along the window. A load
-    /// walks one address's list youngest-first instead of scanning the
-    /// whole window. Entries join at writeback and leave at commit or
-    /// squash; an address whose stores all left keeps its empty list so
-    /// steady state reuses the allocation.
-    fwd: HashMap<u64, Vec<FwdStore>, MixState>,
-    /// Next decode-order instruction identity (see [`SuEntry::uid`]).
+    /// Decode's staging buffer, drained into the scheduling unit by
+    /// `push_block` and reused every cycle (never reallocated in steady
+    /// state — sized to one block at construction).
+    decode_buf: Vec<StagedEntry>,
+    /// The ICOUNT fetch policy's per-thread occupancy scratch, reused
+    /// every cycle (only written when that policy is selected).
+    occupancy_buf: Vec<u32>,
+    /// Next decode-order instruction identity (see [`StagedEntry::uid`]).
     next_uid: u64,
     stats: SimStats,
 }
@@ -189,7 +177,8 @@ impl<'p> Simulator<'p> {
             sb: StoreBuffer::new(config.store_buffer),
             fetch_queue: VecDeque::with_capacity(config.fetch_threads),
             memsync: vec![VecDeque::with_capacity(config.su_depth); config.threads],
-            fwd: HashMap::with_capacity_and_hasher(config.su_depth, MixState::default()),
+            decode_buf: Vec::with_capacity(config.block_size),
+            occupancy_buf: vec![0; config.threads],
             next_uid: 0,
             stats: SimStats {
                 committed: vec![0; config.threads],
@@ -394,9 +383,10 @@ impl<'p> Simulator<'p> {
     /// Snapshot of structure occupancy at the end of the current cycle.
     fn occupancy(&self) -> Occupancy {
         let mut resident = [0u32; MAX_THREADS];
-        for block in self.su.blocks() {
-            if block.tid < MAX_THREADS {
-                resident[block.tid] += block.entries.len() as u32;
+        for bi in 0..self.su.num_blocks() {
+            let tid = self.su.block_tid(bi);
+            if tid < MAX_THREADS {
+                resident[tid] += self.su.block_len(bi) as u32;
             }
         }
         Occupancy {
@@ -443,22 +433,22 @@ impl<'p> Simulator<'p> {
             // store buffering, no predictor updates, no retirement. The
             // block-level flag makes the common (fault-free) case a single
             // test; the entry scan runs only on the way to aborting.
-            if self.su.block(i).has_fault() {
-                let (err, tid, pc, insn, uid) = {
-                    let e = self
-                        .su
-                        .block(i)
-                        .entries
-                        .iter()
-                        .find(|e| e.fault.is_some())
-                        .expect("fault flag implies a faulted entry");
-                    let err = e.fault.expect("find predicate guarantees a fault");
-                    (err, e.tid, e.pc, e.insn, e.uid)
-                };
+            if self.su.block_has_fault(i) {
+                let tid = self.su.block_tid(i);
+                let ei = (0..self.su.block_len(i))
+                    .find(|&ei| self.su.fault_at(i, ei).is_some())
+                    .expect("fault flag implies a faulted entry");
+                let err = self
+                    .su
+                    .fault_at(i, ei)
+                    .expect("find predicate guarantees a fault");
+                let pc = self.su.pc_at(i, ei);
+                let insn = self.su.insn_at(i, ei);
+                let uid = self.su.uid_at(i, ei);
                 if let Some(s) = sink.as_deref_mut() {
                     s.retired(&Retirement {
                         cycle: self.cycle,
-                        block: self.su.block(i).id,
+                        block: self.su.block_id(i),
                         tid,
                         pc,
                         insn,
@@ -477,37 +467,38 @@ impl<'p> Simulator<'p> {
                 return Err(SimError::Mem { err, tid, pc });
             }
             if self.buffer_block_stores(i) {
-                let mut block = self.su.remove_block(i);
-                let bid = block.id;
-                for (ei, e) in block.entries.drain(..).enumerate() {
+                let bid = self.su.block_id(i);
+                let tid = self.su.block_tid(i);
+                for ei in 0..self.su.block_len(i) {
+                    let e = self.su.commit_view(i, ei);
                     if let Some(rd) = e.insn.dest {
-                        self.regfile[e.tid * self.window + rd.index()] = e.result;
+                        self.regfile[tid * self.window + rd.index()] = e.result;
                     }
                     let mut architectural = true;
                     match e.insn.op {
                         op if op.is_cond_branch() => {
                             // Predictor history updates when the instruction
                             // is shifted out, per the paper.
-                            self.predictor.update(e.tid, e.pc, e.taken, e.target);
+                            self.predictor.update(tid, e.pc, e.taken, e.target);
                         }
-                        Opcode::J => self.predictor.update(e.tid, e.pc, true, e.target),
-                        Opcode::Halt => self.iu.retire(e.tid),
+                        Opcode::J => self.predictor.update(tid, e.pc, true, e.target),
+                        Opcode::Halt => self.iu.retire(tid),
                         Opcode::Wait if !e.sync_satisfied => {
                             // Spin retirement: discard the failed poll and
                             // refetch the WAIT, like a software spin loop.
-                            self.iu.redirect(e.tid, e.pc);
+                            self.iu.redirect(tid, e.pc);
                             self.stats.wait_spin_cycles += 1;
                             architectural = false;
                         }
                         _ => {}
                     }
                     if architectural {
-                        self.stats.committed[e.tid] += 1;
+                        self.stats.committed[tid] += 1;
                         if let Some(s) = sink.as_deref_mut() {
                             s.retired(&Retirement {
                                 cycle: self.cycle,
                                 block: bid,
-                                tid: e.tid,
+                                tid,
                                 pc: e.pc,
                                 insn: e.insn,
                                 dest: e.insn.dest.map(|rd| (rd, e.result)),
@@ -527,22 +518,11 @@ impl<'p> Simulator<'p> {
                             },
                         });
                     }
-                    if e.insn.op == Opcode::Sd {
-                        // A committing block is fault-free, so every one of
-                        // its stores is in the forwarding index.
-                        let list = self
-                            .fwd
-                            .get_mut(&e.mem_addr)
-                            .expect("committing store is indexed");
-                        let pos = list
-                            .iter()
-                            .position(|f| (f.bid, f.ei) == (bid, ei))
-                            .expect("committing store is indexed");
-                        list.remove(pos);
-                    }
                     self.tags.free(e.tag);
                 }
-                self.su.recycle_storage(block.entries);
+                // Frees the block's row and deregisters every entry — the
+                // committed stores leave the forwarding index here.
+                self.su.free_block(i);
             } else {
                 // The paper's restricted store policy: a committing store
                 // needs a store-buffer slot; a full buffer stalls commit.
@@ -560,21 +540,22 @@ impl<'p> Simulator<'p> {
     /// store made it; progress is guaranteed because the buffer drains one
     /// entry per cycle regardless of pipeline state.
     fn buffer_block_stores(&mut self, bi: usize) -> bool {
-        for ei in 0..self.su.block(bi).entries.len() {
-            let (tag, tid, addr, value, pc) = {
-                let e = &self.su.block(bi).entries[ei];
-                // Faulting blocks never reach here: commit pre-scans for
-                // faults before buffering any of the block's stores.
-                if e.insn.op != Opcode::Sd || e.store_buffered {
-                    continue;
-                }
-                (e.tag, e.tid, e.mem_addr, e.result, e.pc)
-            };
-            if self.sb.insert(tag.raw(), tid, addr, value, pc).is_err() {
+        let tid = self.su.block_tid(bi);
+        for ei in 0..self.su.block_len(bi) {
+            // Faulting blocks never reach here: commit pre-scans for
+            // faults before buffering any of the block's stores.
+            if self.su.insn_at(bi, ei).op != Opcode::Sd || self.su.store_buffered_at(bi, ei) {
+                continue;
+            }
+            let tag = self.su.tag_at(bi, ei).raw();
+            let addr = self.su.mem_addr_at(bi, ei);
+            let value = self.su.result_at(bi, ei);
+            let pc = self.su.pc_at(bi, ei);
+            if self.sb.insert(tag, tid, addr, value, pc).is_err() {
                 return false;
             }
-            self.sb.release(tag.raw());
-            self.su.block_mut(bi).entries[ei].store_buffered = true;
+            self.sb.release(tag);
+            self.su.set_store_buffered(bi, ei);
         }
         true
     }
@@ -627,18 +608,18 @@ impl<'p> Simulator<'p> {
     ) -> Result<(), SimError> {
         let now = self.cycle;
         self.su.mark_done(bi, ei);
-        let (tag, tid, pc, insn, result) = {
-            let e = &self.su.block(bi).entries[ei];
-            (e.tag, e.tid, e.pc, e.insn, e.result)
-        };
+        let tid = self.su.block_tid(bi);
+        let pc = self.su.pc_at(bi, ei);
+        let insn = self.su.insn_at(bi, ei);
+        let result = self.su.result_at(bi, ei);
         if let Some(t) = trace.as_deref_mut() {
             t.event(&TraceEvent::Completed {
                 cycle: now,
-                uid: self.su.block(bi).entries[ei].uid,
+                uid: self.su.uid_at(bi, ei),
             });
         }
         if insn.is_memsync() {
-            let bid = self.su.block(bi).id;
+            let bid = self.su.block_id(bi);
             let q = &mut self.memsync[tid];
             let pos = q
                 .iter()
@@ -646,28 +627,13 @@ impl<'p> Simulator<'p> {
                 .expect("completing store/sync is tracked in the ordering queue");
             q.remove(pos);
         }
-        if insn.op == Opcode::Sd {
-            // A completed non-faulted store becomes a forwarding source.
-            // Sorted insertion by the stable (block id, entry index) key:
-            // writeback order is not age order across threads.
-            let e = &self.su.block(bi).entries[ei];
-            if e.fault.is_none() {
-                let key = (self.su.block(bi).id, ei);
-                let list = self.fwd.entry(e.mem_addr).or_default();
-                let pos = list.partition_point(|f| (f.bid, f.ei) < key);
-                list.insert(
-                    pos,
-                    FwdStore {
-                        bid: key.0,
-                        ei,
-                        tid,
-                        result,
-                    },
-                );
-            }
+        if insn.op == Opcode::Sd && self.su.fault_at(bi, ei).is_none() {
+            // A completed non-faulted store becomes a forwarding source
+            // until commit or squash removes it.
+            self.su.fwd_insert(bi, ei);
         }
         if insn.dest.is_some() {
-            self.su.broadcast(tag, result, now);
+            self.su.broadcast(bi, ei, result, now);
         }
         match insn.op {
             Opcode::Post => {
@@ -681,18 +647,22 @@ impl<'p> Simulator<'p> {
                 // A satisfied WAIT releases the thread's fetch suspension;
                 // an unsatisfied one keeps fetch parked and will retire as a
                 // spin (commit refetches the WAIT itself).
-                if self.su.block(bi).entries[ei].sync_satisfied => {
-                    self.iu.resume_if(tid, tag);
+                if self.su.sync_satisfied_at(bi, ei) => {
+                    self.iu.resume_if(tid, self.su.tag_at(bi, ei));
                 }
             op if op.is_cond_branch() => {
-                let e = &self.su.block(bi).entries[ei];
-                let actual_next = if e.taken { e.target } else { pc + 1 };
-                let predicted_next =
-                    if e.predicted_taken { e.predicted_target } else { pc + 1 };
+                let taken = self.su.taken_at(bi, ei);
+                let target = self.su.target_at(bi, ei);
+                let actual_next = if taken { target } else { pc + 1 };
+                let predicted_next = if self.su.predicted_taken_at(bi, ei) {
+                    self.su.predicted_target_at(bi, ei)
+                } else {
+                    pc + 1
+                };
                 self.stats.branches.resolved += 1;
                 if actual_next != predicted_next {
                     self.stats.branches.mispredicted += 1;
-                    self.su.block_mut(bi).entries[ei].mispredicted = true;
+                    self.su.set_mispredicted(bi, ei);
                     self.squash_wrong_path(tid, bi, ei, actual_next, trace);
                 }
             }
@@ -713,11 +683,14 @@ impl<'p> Simulator<'p> {
         correct_pc: usize,
         mut trace: Option<&mut (dyn TraceSink + '_)>,
     ) {
-        let branch_key = (self.su.block(bi).id, ei);
-        let removed = self.su.squash_after(tid, bi, ei);
-        self.stats.squashed += removed.len() as u64;
+        // The squash deregisters removed entries from the waiter, producer,
+        // and forwarding indexes itself; the simulator only settles the
+        // state it owns (tags, ordering queues, fetch redirect).
+        let removed = self.su.squash_after(tid, bi, ei).len();
+        self.stats.squashed += removed as u64;
         let mut squashed_memsync = 0;
-        for r in removed {
+        for idx in 0..removed {
+            let r = self.su.squashed_at(idx);
             self.tags.free(r.tag);
             if let Some(t) = trace.as_deref_mut() {
                 t.event(&TraceEvent::Squashed {
@@ -727,16 +700,8 @@ impl<'p> Simulator<'p> {
             }
             // Done store/sync entries already left the ordering queue when
             // they completed; only outstanding ones are still tracked.
-            if !r.is_done() && r.insn.is_memsync() {
+            if r.memsync_outstanding {
                 squashed_memsync += 1;
-            }
-            if r.insn.op == Opcode::Sd && r.is_done() && r.fault.is_none() {
-                // The squashed entries are exactly this thread's entries
-                // younger than the branch, so the matching forwarding
-                // sources are those with the same thread and a younger key.
-                if let Some(list) = self.fwd.get_mut(&r.mem_addr) {
-                    list.retain(|f| f.tid != tid || (f.bid, f.ei) <= branch_key);
-                }
             }
         }
         // Squashed entries are the thread's youngest, so its squashed
@@ -745,8 +710,17 @@ impl<'p> Simulator<'p> {
             self.memsync[tid].pop_back();
         }
         self.iu.redirect(tid, correct_pc);
-        // Any of the thread's groups waiting at decode are wrong-path too.
-        self.fetch_queue.retain(|b| b.tid != tid);
+        // Any of the thread's groups waiting at decode are wrong-path too;
+        // their storage goes back to the fetcher's pool.
+        let mut i = 0;
+        while i < self.fetch_queue.len() {
+            if self.fetch_queue[i].tid == tid {
+                let b = self.fetch_queue.remove(i).expect("index in bounds");
+                self.iu.recycle(b.insns);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     // ---- issue ---------------------------------------------------------------------
@@ -758,20 +732,22 @@ impl<'p> Simulator<'p> {
         let mut budget = self.config.issue_width;
         let mut bi = 0;
         while bi < self.su.num_blocks() && budget > 0 {
-            // Fully-issued blocks have nothing to offer; skipping them is
-            // invisible (issue attempts on non-`Waiting` entries are pure
-            // no-ops) and makes the scan proportional to unissued work.
-            if !self.su.block(bi).has_unissued() {
-                bi += 1;
-                continue;
-            }
-            let mut ei = 0;
-            while ei < self.su.block(bi).entries.len() && budget > 0 {
+            // The ready mask holds exactly the unissued entries with no
+            // operand waiting on a producer — the only candidates the
+            // reference window scan could issue. Bypass timing is still
+            // checked per entry (an operand written back this cycle may not
+            // be usable yet without bypassing), so a set bit is necessary
+            // but not sufficient. Issuing clears the entry's own bit, and
+            // nothing during issue can set new bits, so the snapshot walk
+            // visits the same candidates in the same (oldest-first) order.
+            let mut mask = self.su.ready_mask(bi);
+            while mask != 0 && budget > 0 {
+                let ei = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
                 if self.try_issue_entry(bi, ei, trace.as_deref_mut())? {
                     budget -= 1;
                     self.stats.issued += 1;
                 }
-                ei += 1;
             }
             bi += 1;
         }
@@ -789,19 +765,16 @@ impl<'p> Simulator<'p> {
     ) -> Result<bool, SimError> {
         let now = self.cycle;
         let bypass = self.config.bypass;
-        let (insn, tid, a, b) = {
-            let e = &self.su.block(bi).entries[ei];
-            if e.state != EntryState::Waiting {
-                return Ok(false);
-            }
-            let (Some(a), Some(b)) = (
-                e.ops[0].value_at(now, bypass),
-                e.ops[1].value_at(now, bypass),
-            ) else {
-                return Ok(false);
-            };
-            (e.insn, e.tid, a, b)
+        if self.su.state_at(bi, ei) != EntryState::Waiting {
+            return Ok(false);
+        }
+        let ops = self.su.ops_at(bi, ei);
+        let (Some(a), Some(b)) = (ops[0].value_at(now, bypass), ops[1].value_at(now, bypass))
+        else {
+            return Ok(false);
         };
+        let insn = self.su.insn_at(bi, ei);
+        let tid = self.su.block_tid(bi);
         let class = insn.fu;
         match class {
             FuClass::Load => {
@@ -809,7 +782,7 @@ impl<'p> Simulator<'p> {
                 // store has its address (is in the store buffer) and no
                 // older sync is pending. The per-thread ordering queue holds
                 // outstanding store/sync positions oldest-first.
-                let bid = self.su.block(bi).id;
+                let bid = self.su.block_id(bi);
                 let blocked = self.memsync[tid]
                     .front()
                     .is_some_and(|&front| front < (bid, ei));
@@ -839,12 +812,11 @@ impl<'p> Simulator<'p> {
                     .try_issue(class, now)
                     .expect("can_issue checked")
                     .max(data_ready);
-                let block = self.su.block_mut(bi);
-                block.entries[ei].result = result;
-                block.entries[ei].mem_addr = addr;
-                block.entries[ei].dcache_miss = data_ready > now;
+                self.su.set_result(bi, ei, result);
+                self.su.set_mem_addr(bi, ei, addr);
+                self.su.set_dcache_miss(bi, ei, data_ready > now);
                 if let Some(err) = fault {
-                    block.set_fault(ei, err);
+                    self.su.set_fault(bi, ei, err);
                 }
                 self.su.mark_executing(bi, ei, done_at);
                 self.emit_issued(bi, ei, done_at, memk, trace);
@@ -856,18 +828,17 @@ impl<'p> Simulator<'p> {
                 // itself, so the front is older only if it differs from us.
                 let blocked = self.memsync[tid]
                     .front()
-                    .is_some_and(|&front| front < (self.su.block(bi).id, ei));
+                    .is_some_and(|&front| front < (self.su.block_id(bi), ei));
                 if blocked || !self.fu.can_issue(class, now) {
                     return Ok(false);
                 }
                 let addr = effective_addr(a, insn.imm);
                 let fault = self.mem.read(addr).err();
                 let done_at = self.fu.try_issue(class, now).expect("can_issue checked");
-                let block = self.su.block_mut(bi);
-                block.entries[ei].mem_addr = addr;
-                block.entries[ei].result = b; // store data, held until commit
+                self.su.set_mem_addr(bi, ei, addr);
+                self.su.set_result(bi, ei, b); // store data, held until commit
                 if let Some(err) = fault {
-                    block.set_fault(ei, err);
+                    self.su.set_fault(bi, ei, err);
                 }
                 self.su.mark_executing(bi, ei, done_at);
                 self.emit_issued(bi, ei, done_at, MemKind::None, trace);
@@ -876,10 +847,10 @@ impl<'p> Simulator<'p> {
             FuClass::Sync => {
                 // Non-speculative: only the thread's oldest unfinished
                 // instruction may execute a sync primitive.
-                if self.su.any_older(tid, bi, ei, |o| !o.is_done()) {
+                if self.su.any_older_unfinished(tid, bi, ei) {
                     return Ok(false);
                 }
-                let pc = self.su.block(bi).entries[ei].pc;
+                let pc = self.su.pc_at(bi, ei);
                 match insn.op {
                     Opcode::Wait => {
                         if !self.fu.can_issue(class, now) {
@@ -891,7 +862,7 @@ impl<'p> Simulator<'p> {
                                 .map_err(|err| SimError::Mem { err, tid, pc })?;
                         let satisfied = (flag as i64) >= (b as i64);
                         let done_at = self.fu.try_issue(class, now).expect("checked");
-                        self.su.block_mut(bi).entries[ei].sync_satisfied = satisfied;
+                        self.su.set_sync_satisfied(bi, ei, satisfied);
                         self.su.mark_executing(bi, ei, done_at);
                         self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                         Ok(true)
@@ -907,7 +878,7 @@ impl<'p> Simulator<'p> {
                         }
                         let done_at = self.fu.try_issue(class, now).expect("checked");
                         // Stash the address in `result` for writeback.
-                        self.su.block_mut(bi).entries[ei].result = a;
+                        self.su.set_result(bi, ei, a);
                         self.su.mark_executing(bi, ei, done_at);
                         self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                         Ok(true)
@@ -925,9 +896,7 @@ impl<'p> Simulator<'p> {
                     Opcode::Halt => (false, 0),
                     op => (branch_taken(op, a, b), insn.imm as usize),
                 };
-                let e = &mut self.su.block_mut(bi).entries[ei];
-                e.taken = taken;
-                e.target = target;
+                self.su.set_taken_target(bi, ei, taken, target);
                 self.su.mark_executing(bi, ei, done_at);
                 self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                 Ok(true)
@@ -937,7 +906,8 @@ impl<'p> Simulator<'p> {
                     return Ok(false);
                 }
                 let done_at = self.fu.try_issue(class, now).expect("checked");
-                self.su.block_mut(bi).entries[ei].result = alu_result(insn.op, a, b, insn.imm);
+                self.su
+                    .set_result(bi, ei, alu_result(insn.op, a, b, insn.imm));
                 self.su.mark_executing(bi, ei, done_at);
                 self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                 Ok(true)
@@ -955,11 +925,10 @@ impl<'p> Simulator<'p> {
         trace: Option<&mut (dyn TraceSink + '_)>,
     ) {
         if let Some(t) = trace {
-            let e = &self.su.block(bi).entries[ei];
             t.event(&TraceEvent::Issued {
                 cycle: self.cycle,
-                uid: e.uid,
-                fu: e.insn.fu,
+                uid: self.su.uid_at(bi, ei),
+                fu: self.su.insn_at(bi, ei).fu,
                 done_at,
                 mem,
             });
@@ -973,38 +942,16 @@ impl<'p> Simulator<'p> {
     /// control transfer of their thread), and the store buffer of committed
     /// stores. `None` falls through to the cache/memory.
     ///
-    /// The forwarding index holds exactly the resident completed non-faulted
-    /// stores, per address and age-sorted, so the youngest-first window walk
-    /// of the reference model collapses to one list traversal. Block ids are
-    /// monotone along the window, so `(block id, entry index)` ordering *is*
-    /// window-position ordering.
+    /// The scheduling unit's forwarding index holds exactly the resident
+    /// completed non-faulted stores, chained youngest-first per address
+    /// bucket, so the youngest-first window walk of the reference model
+    /// collapses to one chain traversal. Block ids are monotone along the
+    /// window, so `(block id, entry index)` ordering *is* window-position
+    /// ordering.
     fn forward_value(&self, tid: usize, lbid: u64, lei: usize, addr: u64) -> Option<u64> {
-        let list = match self.fwd.get(&addr) {
-            Some(list) if !list.is_empty() => list,
-            // No completed store resident at this address: the only
-            // possible forwarding source is the committed store buffer.
-            _ => return self.sb.forward(addr),
-        };
-        for f in list.iter().rev() {
-            if f.tid == tid {
-                if (f.bid, f.ei) < (lbid, lei) {
-                    return Some(f.result);
-                }
-                // A younger same-thread store cannot serve this load.
-                continue;
-            }
-            let sbi = self
-                .su
-                .position_of(f.bid)
-                .expect("forwarding index names resident blocks");
-            let speculative = self
-                .su
-                .any_older(f.tid, sbi, f.ei, |o| o.insn.is_control() && !o.is_done());
-            if !speculative {
-                return Some(f.result);
-            }
-        }
-        self.sb.forward(addr)
+        self.su
+            .forward_resident(tid, lbid, lei, addr)
+            .or_else(|| self.sb.forward(addr))
     }
 
     // ---- decode ---------------------------------------------------------------------
@@ -1090,28 +1037,37 @@ impl<'p> Simulator<'p> {
             .expect("eligibility scan checked the index");
         let tid = block.tid;
         let now = self.cycle;
-        let mut entries: Vec<SuEntry> = self.su.take_storage();
+        // The staging buffer moves out of `self` for the loop's duration so
+        // decode can push to it while querying the scheduling unit; every
+        // exit path puts it back, and it is never reallocated in steady
+        // state (sized to one block at construction).
+        let mut staged = std::mem::take(&mut self.decode_buf);
+        staged.clear();
         let mut leftover: Vec<FetchedInsn> = Vec::new();
         let cswitch = self.config.fetch_policy == FetchPolicy::ConditionalSwitch;
 
         for (idx, f) in block.insns.iter().enumerate() {
-            if entries.len() >= self.config.block_size {
+            if staged.len() >= self.config.block_size {
                 // A fetch group wider than a scheduling-unit block drains
                 // one block per cycle; the remainder keeps its turn.
                 leftover = block.insns[idx..].to_vec();
                 break;
             }
             // Resolve sources: in-group producers first (youngest), then the
-            // scheduling unit, then the committed register file.
+            // scheduling unit, then the committed register file. An in-group
+            // producer's slot handle is known before admission via
+            // `staging_handle` (the next block's row is fixed).
             let mut ops = [Operand::Unused, Operand::Unused];
+            let mut wait_src = [NO_SRC, NO_SRC];
             let mut scoreboard_stall = false;
             for (k, src) in f.insn.srcs.into_iter().enumerate() {
                 let Some(reg) = src else { continue };
-                let in_group = entries
+                let in_group = staged
                     .iter()
+                    .enumerate()
                     .rev()
-                    .find(|p| p.insn.dest == Some(reg))
-                    .map(|p| Lookup::Pending(p.tag));
+                    .find(|(_, p)| p.insn.dest == Some(reg))
+                    .map(|(pi, p)| Lookup::Pending(p.tag, self.su.staging_handle(pi)));
                 let lookup = in_group.unwrap_or_else(|| self.su.lookup(tid, reg));
                 ops[k] = match lookup {
                     Lookup::Available(v) => Operand::Ready {
@@ -1122,11 +1078,12 @@ impl<'p> Simulator<'p> {
                         value: self.regfile[tid * self.window + reg.index()],
                         since: now,
                     },
-                    Lookup::Pending(t) => {
+                    Lookup::Pending(t, src) => {
                         if self.config.renaming == RenamingMode::Scoreboard {
                             scoreboard_stall = true;
                             break;
                         }
+                        wait_src[k] = src;
                         Operand::Waiting { tag: t }
                     }
                 };
@@ -1139,9 +1096,11 @@ impl<'p> Simulator<'p> {
                 .tags
                 .alloc()
                 .expect("tag pool sized to the scheduling unit");
-            let mut entry = SuEntry::new(tag, tid, f.pc, f.insn, ops);
+            let mut entry = StagedEntry::new(tag, f.pc, f.insn);
             entry.uid = self.next_uid;
             self.next_uid += 1;
+            entry.ops = ops;
+            entry.wait_src = wait_src;
             entry.predicted_taken = f.predicted_taken;
             entry.predicted_target = f.predicted_target;
             match f.insn.op {
@@ -1153,7 +1112,7 @@ impl<'p> Simulator<'p> {
                     let fetch_followed = f.predicted_taken && f.predicted_target == target;
                     entry.predicted_taken = true;
                     entry.predicted_target = target;
-                    entries.push(entry);
+                    staged.push(entry);
                     if !fetch_followed {
                         self.iu.set_pc(tid, target);
                         // Fetch ran down the fall-through path; any of the
@@ -1180,28 +1139,28 @@ impl<'p> Simulator<'p> {
                     if cswitch {
                         self.iu.signal_switch(tid);
                     }
-                    entries.push(entry);
+                    staged.push(entry);
                     self.discard_tail(tid, &block.insns[idx + 1..]);
                     break;
                 }
                 Opcode::Halt => {
-                    entries.push(entry);
+                    staged.push(entry);
                     break;
                 }
                 _ => {
                     if cswitch && f.insn.triggers_cswitch() {
                         self.iu.signal_switch(tid);
                     }
-                    entries.push(entry);
+                    staged.push(entry);
                 }
             }
         }
 
-        if entries.is_empty() {
+        if staged.is_empty() {
             // Scoreboard stall on the very first instruction: retry the
             // whole group next cycle (it keeps its queue position; this
             // lane's later siblings skip the thread to stay in order).
-            self.su.recycle_storage(entries);
+            self.decode_buf = staged;
             if let Some(t) = trace {
                 let held = block.insns.len() as u32;
                 t.event(&TraceEvent::SlotsLost {
@@ -1222,15 +1181,14 @@ impl<'p> Simulator<'p> {
             *qi += 1;
             return;
         }
-        let bid = self.su.push_block(tid, entries);
-        let bi = self.su.num_blocks() - 1;
-        for (ei, e) in self.su.block(bi).entries.iter().enumerate() {
+        let bid = self.su.push_block(tid, &staged);
+        for (ei, e) in staged.iter().enumerate() {
             if e.insn.is_memsync() {
                 self.memsync[tid].push_back((bid, ei));
             }
         }
         if let Some(t) = trace {
-            for (ei, e) in self.su.block(bi).entries.iter().enumerate() {
+            for (ei, e) in staged.iter().enumerate() {
                 t.event(&TraceEvent::Decoded {
                     cycle: self.cycle,
                     slot: &DecodedSlot {
@@ -1248,7 +1206,7 @@ impl<'p> Simulator<'p> {
             // scoreboard-stalled remainder (retried next cycle), or simply
             // absent from a short fetch group / discarded past a
             // block-ending instruction.
-            let decoded = self.su.block(bi).entries.len() as u32;
+            let decoded = staged.len() as u32;
             let held = (leftover.len() as u32).min(width - decoded);
             if held > 0 {
                 t.event(&TraceEvent::SlotsLost {
@@ -1265,9 +1223,12 @@ impl<'p> Simulator<'p> {
                 });
             }
         }
+        staged.clear();
+        self.decode_buf = staged;
         if !leftover.is_empty() {
             // The undrained remainder keeps the group's queue position: one
-            // scheduling-unit block per group per cycle.
+            // scheduling-unit block per group per cycle. The drained
+            // original's storage goes back to the fetcher.
             self.fetch_queue.insert(
                 *qi,
                 FetchedBlock {
@@ -1276,6 +1237,7 @@ impl<'p> Simulator<'p> {
                     fetched_at: block.fetched_at,
                 },
             );
+            self.iu.recycle(block.insns);
             *deferred_width |= 1 << tid;
             *qi += 1;
         } else {
@@ -1291,14 +1253,16 @@ impl<'p> Simulator<'p> {
     /// corrected PC and re-encounters any real halt there.
     fn drop_queued_groups(&mut self, tid: usize) {
         let mut saw_halt = false;
-        self.fetch_queue.retain(|b| {
-            if b.tid == tid {
+        let mut i = 0;
+        while i < self.fetch_queue.len() {
+            if self.fetch_queue[i].tid == tid {
+                let b = self.fetch_queue.remove(i).expect("index in bounds");
                 saw_halt |= b.insns.iter().any(|f| f.insn.op == Opcode::Halt);
-                false
+                self.iu.recycle(b.insns);
             } else {
-                true
+                i += 1;
             }
-        });
+        }
         if saw_halt {
             self.iu.clear_fetch_halted(tid);
         }
@@ -1331,8 +1295,7 @@ impl<'p> Simulator<'p> {
     /// stall with a full unit, so a bottom block exists.
     fn head_stall_cause(&self) -> SlotCause {
         let now = self.cycle;
-        let block = self.su.block(0);
-        let Some((ei, e)) = block.entries.iter().enumerate().find(|(_, e)| !e.is_done()) else {
+        let Some(ei) = self.su.first_unfinished(0) else {
             // Everything in the bottom block is done but it has not left:
             // commit bandwidth (one block per cycle) or a store stuck on a
             // full store buffer.
@@ -1342,17 +1305,18 @@ impl<'p> Simulator<'p> {
                 SlotCause::SuFull
             };
         };
-        match e.state {
+        let insn = self.su.insn_at(0, ei);
+        match self.su.state_at(0, ei) {
             EntryState::Waiting => {
-                if !e.operands_ready(now, self.config.bypass) {
+                if !self.su.operands_ready_at(0, ei, now, self.config.bypass) {
                     return SlotCause::OperandWait;
                 }
-                match e.insn.fu {
+                match insn.fu {
                     FuClass::Sync => SlotCause::SyncWait,
                     class @ (FuClass::Load | FuClass::Store) => {
-                        let older_memsync = self.memsync[e.tid]
+                        let older_memsync = self.memsync[self.su.block_tid(0)]
                             .front()
-                            .is_some_and(|&front| front < (block.id, ei));
+                            .is_some_and(|&front| front < (self.su.block_id(0), ei));
                         if older_memsync {
                             SlotCause::MemOrder
                         } else if class == FuClass::Load
@@ -1370,9 +1334,9 @@ impl<'p> Simulator<'p> {
                 }
             }
             EntryState::Executing { .. } => {
-                if e.insn.fu == FuClass::Load && e.dcache_miss {
+                if insn.fu == FuClass::Load && self.su.dcache_miss_at(0, ei) {
                     SlotCause::DCacheMiss
-                } else if e.insn.fu == FuClass::Sync {
+                } else if insn.fu == FuClass::Sync {
                     SlotCause::SyncWait
                 } else {
                     SlotCause::FuBusy
@@ -1400,21 +1364,23 @@ impl<'p> Simulator<'p> {
         }
         // The ICOUNT signal: per-thread instructions resident in the
         // scheduling unit plus those queued ahead of decode. Computed only
-        // when the policy reads it, so the other policies pay nothing.
-        let mut occupancy = Vec::new();
-        if self.config.fetch_policy == FetchPolicy::Icount {
-            occupancy = vec![0u32; self.config.threads];
-            for b in self.su.blocks() {
-                occupancy[b.tid] += b.entries.len() as u32;
+        // when the policy reads it, so the other policies pay nothing; the
+        // scratch vector is owned by the simulator and reused every cycle.
+        let icount = self.config.fetch_policy == FetchPolicy::Icount;
+        if icount {
+            self.occupancy_buf.iter_mut().for_each(|c| *c = 0);
+            for bi in 0..self.su.num_blocks() {
+                self.occupancy_buf[self.su.block_tid(bi)] += self.su.block_len(bi) as u32;
             }
             for b in &self.fetch_queue {
-                occupancy[b.tid] += b.insns.len() as u32;
+                self.occupancy_buf[b.tid] += b.insns.len() as u32;
             }
         }
         // Each port serves a distinct thread this cycle.
         let mut granted: u32 = 0;
         for _ in self.fetch_queue.len()..ports {
-            let Some(tid) = self.iu.select_fetch(&occupancy, granted) else {
+            let occupancy: &[u32] = if icount { &self.occupancy_buf } else { &[] };
+            let Some(tid) = self.iu.select_fetch(occupancy, granted) else {
                 self.stats.fetch_idle_cycles += 1;
                 continue;
             };
@@ -1423,8 +1389,8 @@ impl<'p> Simulator<'p> {
                 Some(mut block) => {
                     block.fetched_at = self.cycle;
                     self.stats.fetched_blocks += 1;
-                    if !occupancy.is_empty() {
-                        occupancy[tid] += block.insns.len() as u32;
+                    if icount {
+                        self.occupancy_buf[tid] += block.insns.len() as u32;
                     }
                     self.fetch_queue.push_back(block);
                 }
@@ -1591,10 +1557,7 @@ impl<'p> Simulator<'p> {
         // Exactly the resident window entries hold live tags: commit
         // frees a store's tag before the store-buffer entry drains, so
         // buffered stores reference already-freed ids.
-        let resident: Vec<u64> = su
-            .blocks()
-            .flat_map(|b| b.entries.iter().map(|e| e.tag.raw()))
-            .collect();
+        let resident = su.resident_tags();
         self.tags = TagAllocator::restore(self.config.su_depth, &mut r, &resident)?;
         r.expect_section(sec::CACHE)?;
         self.cache = DataCache::restore(self.config.cache, &mut r)?;
@@ -1666,33 +1629,25 @@ impl<'p> Simulator<'p> {
         }
         r.finish()?;
 
-        // Rebuild the derived cross-references from the restored window.
+        // Rebuild the derived cross-references from the restored window
+        // (the scheduling unit rebuilt its own indexes — renaming,
+        // waiters, forwarding — inside `SchedulingUnit::restore`).
         self.memsync = vec![VecDeque::with_capacity(self.config.su_depth); self.config.threads];
-        self.fwd = HashMap::with_capacity_and_hasher(self.config.su_depth, MixState::default());
-        for b in su.blocks() {
-            if b.tid >= self.config.threads {
+        for bi in 0..su.num_blocks() {
+            let tid = su.block_tid(bi);
+            if tid >= self.config.threads {
                 return Err(malformed(format!(
-                    "resident block of thread {} in a {}-thread run",
-                    b.tid, self.config.threads
+                    "resident block of thread {tid} in a {}-thread run",
+                    self.config.threads
                 )));
             }
-            for (ei, e) in b.entries.iter().enumerate() {
+            let bid = su.block_id(bi);
+            for ei in 0..su.block_len(bi) {
                 // Outstanding (not yet written back) store/sync entries
                 // populate the per-thread ordering queues; blocks iterate
                 // oldest-first, so each queue comes out age-ordered.
-                if e.insn.is_memsync() && !e.is_done() {
-                    self.memsync[e.tid].push_back((b.id, ei));
-                }
-                // Completed non-faulted stores are forwarding sources
-                // until commit or squash removes them. Monotone block ids
-                // mean pushes arrive already sorted by (block id, entry).
-                if e.insn.op == Opcode::Sd && e.is_done() && e.fault.is_none() {
-                    self.fwd.entry(e.mem_addr).or_default().push(FwdStore {
-                        bid: b.id,
-                        ei,
-                        tid: e.tid,
-                        result: e.result,
-                    });
+                if su.insn_at(bi, ei).is_memsync() && !su.is_done_at(bi, ei) {
+                    self.memsync[tid].push_back((bid, ei));
                 }
             }
         }
@@ -1729,18 +1684,29 @@ impl<'p> Simulator<'p> {
                 b.insns[0].pc
             );
         }
-        for (bi, block) in self.su.blocks().enumerate() {
-            let _ = writeln!(out, "  block {bi} (id {}, tid {}):", block.id, block.tid);
-            for e in &block.entries {
-                let ready: Vec<bool> = e
-                    .ops
+        for bi in 0..self.su.num_blocks() {
+            let _ = writeln!(
+                out,
+                "  block {bi} (id {}, tid {}):",
+                self.su.block_id(bi),
+                self.su.block_tid(bi)
+            );
+            for ei in 0..self.su.block_len(bi) {
+                let ready: Vec<bool> = self
+                    .su
+                    .ops_at(bi, ei)
                     .iter()
                     .map(|o| o.value_at(self.cycle, true).is_some())
                     .collect();
                 let _ = writeln!(
                     out,
                     "    {} pc={} `{}` state={:?} ops_ready={:?} fault={:?}",
-                    e.tag, e.pc, e.insn, e.state, ready, e.fault
+                    self.su.tag_at(bi, ei),
+                    self.su.pc_at(bi, ei),
+                    self.su.insn_at(bi, ei),
+                    self.su.state_at(bi, ei),
+                    ready,
+                    self.su.fault_at(bi, ei)
                 );
             }
         }

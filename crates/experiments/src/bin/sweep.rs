@@ -8,6 +8,10 @@
 //! from their last snapshot, and the merged `results.json` comes out
 //! byte-identical to an uninterrupted run.
 //!
+//! Workers execute super-jobs of up to `--batch` cells sharing one built
+//! program (default: planner-sized from the grid and worker count);
+//! batching only affects scheduling, never results.
+//!
 //! ```text
 //! cargo run --release -p smt-experiments --bin sweep -- --out target/sweep
 //! cargo run --release -p smt-experiments --bin sweep -- \
@@ -56,6 +60,13 @@ fn main() {
         assert!(n > 0, "--checkpoint-every takes a positive cycle count");
         opts.checkpoint_every = Some(n);
     }
+    // Cells per super-job; unset, the planner sizes jobs from the grid and
+    // worker count. `--batch 1` forces strictly per-cell execution.
+    if let Some(b) = flag_value(&args, "--batch") {
+        let b: usize = b.parse().expect("--batch takes a positive cell count");
+        assert!(b > 0, "--batch takes a positive cell count");
+        opts.batch = Some(b);
+    }
     // Normally the crate version; overridable so the stale-cache path can
     // be exercised from the command line.
     if let Some(v) = flag_value(&args, "--code-version") {
@@ -64,6 +75,7 @@ fn main() {
 
     let began = Instant::now();
     let summary = run_sweep(&grid, &out, &opts).expect("sweep I/O failed");
+    let secs = began.elapsed().as_secs_f64();
     println!(
         "sweep: {} cells ({} executed, {} cached, {} resumed mid-flight, {} infeasible) \
          in {:.1}s with {} workers",
@@ -72,8 +84,17 @@ fn main() {
         summary.cached,
         summary.resumed,
         summary.infeasible,
-        began.elapsed().as_secs_f64(),
+        secs,
         opts.workers,
+    );
+    println!(
+        "sweep: {} cells, {} simulated cycles in {secs:.2}s = {:.2} Mcycles/s \
+         ({} cache hits, batch={})",
+        summary.total,
+        summary.simulated_cycles,
+        summary.simulated_cycles as f64 / secs / 1.0e6,
+        summary.cached,
+        summary.batch,
     );
     println!("sweep: results at {}", summary.results_path.display());
 }

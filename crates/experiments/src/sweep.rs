@@ -21,11 +21,20 @@
 //! names a register outside the shrunken per-thread window
 //! ([`SimError::RegisterWindow`]), are recorded as `infeasible` rather than
 //! aborting the sweep — the design space legitimately contains such points.
+//!
+//! Execution is *batched*: the flat cell list is planned into super-jobs of
+//! up to `batch` cells that share one `(workload, threads)` pair — and
+//! therefore one predecoded [`Program`] — and each worker interleaves the
+//! `step()` loops of its super-job's cells in fixed quanta. Workers steal
+//! whole super-jobs, so the grid costs one program build and one queue
+//! claim per group instead of per cell. Batching is pure scheduling: every
+//! cell still simulates on its own `Simulator`, so `results.json` and every
+//! cache entry are byte-identical whatever `batch` is.
 
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::{fmt, fs};
 
@@ -403,6 +412,9 @@ pub struct SweepOptions {
     /// are invalid. Defaults to this crate's version; tests override it to
     /// prove stale caches fail closed.
     pub code_version: String,
+    /// Cells per super-job; `None` lets the planner pick (see
+    /// [`default_batch`]). `Some(1)` recovers strictly per-cell execution.
+    pub batch: Option<usize>,
 }
 
 impl Default for SweepOptions {
@@ -412,6 +424,7 @@ impl Default for SweepOptions {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             checkpoint_every: None,
             code_version: env!("CARGO_PKG_VERSION").to_string(),
+            batch: None,
         }
     }
 }
@@ -429,8 +442,51 @@ pub struct SweepSummary {
     pub infeasible: usize,
     /// Cells that resumed from a mid-flight snapshot instead of cycle 0.
     pub resumed: usize,
+    /// Cycles stepped by this invocation (cache hits contribute nothing;
+    /// a resumed cell counts only the cycles it actually re-simulated).
+    pub simulated_cycles: u64,
+    /// Cells-per-super-job the run actually used (the `--batch` value or
+    /// the planner's choice).
+    pub batch: usize,
     /// Where the merged results were written.
     pub results_path: PathBuf,
+}
+
+/// Planner default for cells per super-job: aim for at least four
+/// super-jobs per worker so work stealing can still balance a skewed grid,
+/// while letting big grids amortize one program build and queue claim over
+/// many cells. [`plan_batches`] additionally never mixes programs within a
+/// job, so the effective size is capped by each `(workload, threads)`
+/// group.
+#[must_use]
+pub fn default_batch(cells: usize, workers: usize) -> usize {
+    (cells / (workers.max(1) * 4)).max(1)
+}
+
+/// Plans the flat cell list into super-jobs: cells are grouped by
+/// `(workload, threads)` — the key of [`Programs`], so every cell of a job
+/// shares one built kernel — in first-appearance order, and each group is
+/// chunked into jobs of at most `batch` cells. Returns indices into
+/// `specs`; every index appears exactly once.
+#[must_use]
+pub fn plan_batches(specs: &[CellSpec], batch: usize) -> Vec<Vec<usize>> {
+    let batch = batch.max(1);
+    let mut groups: Vec<((WorkloadKind, usize), Vec<usize>)> = Vec::new();
+    for (i, s) in specs.iter().enumerate() {
+        let key = (s.kind, s.threads);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    groups
+        .into_iter()
+        .flat_map(|(_, v)| {
+            v.chunks(batch)
+                .map(<[usize]>::to_vec)
+                .collect::<Vec<Vec<usize>>>()
+        })
+        .collect()
 }
 
 /// A built kernel, or why lowering it failed at this thread count.
@@ -567,120 +623,220 @@ fn infeasible_record(
     }
 }
 
-/// Simulates one feasible cell to completion, checkpointing every
-/// `checkpoint_every` cycles and resuming from an existing snapshot when
-/// one validates. Returns the record and whether a snapshot was resumed.
-///
-/// # Panics
-///
-/// Panics if the simulation faults, hits the watchdog, or produces a wrong
-/// architectural answer — sweep results must never contain broken runs.
-fn simulate_cell(
-    spec: &CellSpec,
+/// How many cycles one cell runs before its super-job rotates to the next
+/// cell. Large enough that the rotation is free against the per-cycle
+/// simulation cost, small enough that a short cell finishes (and its cache
+/// entry lands on disk) without waiting out a long sibling.
+const BATCH_QUANTUM: u64 = 512;
+
+/// One cell mid-flight inside a super-job.
+struct Running<'a> {
+    spec: CellSpec,
+    id: String,
     config: SimConfig,
-    program: &Program,
-    out: &Path,
-    opts: &SweepOptions,
-) -> Result<(CellRecord, bool), SimError> {
-    let id = spec.id();
-    let (mut sim, resumed) = match load_ckpt(out, &id, &opts.code_version)
-        .and_then(|snap| Simulator::restore(config.clone(), program, &snap).ok())
-    {
-        Some(sim) => (sim, true),
-        None => (Simulator::try_new(config.clone(), program)?, false),
-    };
-    while !sim.finished() {
+    sim: Simulator<'a>,
+    resumed: bool,
+    /// Cycle the simulator held when this invocation picked the cell up
+    /// (non-zero after a snapshot resume) — the delta to the final cycle is
+    /// what this run actually simulated.
+    start_cycle: u64,
+}
+
+/// Steps `cell` for up to one quantum, checkpointing on the same cadence a
+/// dedicated per-cell loop would. Returns whether the cell finished.
+fn advance(cell: &mut Running<'_>, out: &Path, opts: &SweepOptions) -> bool {
+    let id = &cell.id;
+    for _ in 0..BATCH_QUANTUM {
+        if cell.sim.finished() {
+            break;
+        }
         assert!(
-            sim.cycle() < sim.config().max_cycles,
+            cell.sim.cycle() < cell.sim.config().max_cycles,
             "{id}: watchdog: exceeded {} cycles",
-            sim.config().max_cycles
+            cell.sim.config().max_cycles
         );
-        sim.step()
+        cell.sim
+            .step()
             .unwrap_or_else(|e| panic!("{id}: simulation failed: {e}"));
         if let Some(every) = opts.checkpoint_every {
-            if sim.cycle() % every == 0 && !sim.finished() {
-                save_ckpt(out, &id, &opts.code_version, &sim.checkpoint())
+            if cell.sim.cycle() % every == 0 && !cell.sim.finished() {
+                save_ckpt(out, id, &opts.code_version, &cell.sim.checkpoint())
                     .unwrap_or_else(|e| panic!("{id}: cannot write checkpoint: {e}"));
             }
         }
     }
-    // The machine is drained; `run` performs no steps and finalizes the
-    // statistics (cache counters, FU busy cycles).
-    let stats = sim
-        .run()
-        .unwrap_or_else(|e| panic!("{id}: finalize failed: {e}"));
-    workload(spec.kind, opts.scale)
-        .check(sim.memory().words())
-        .unwrap_or_else(|e| panic!("{id}: wrong answer: {e}"));
-    let _ = fs::remove_file(ckpt_path(out, &id));
-    Ok((
-        CellRecord {
-            id,
-            code_version: opts.code_version.clone(),
-            config_hash: config_identity(&config),
-            program_hash: program_identity(program),
-            status: CellStatus::Done,
-            cycles: stats.cycles,
-            committed: stats.committed_total(),
-            ipc: stats.ipc(),
-            hit_rate: stats.cache.hit_rate(),
-            branch_accuracy: stats.branches.accuracy(),
-            su_stalls: stats.su_stall_cycles,
-            reason: String::new(),
-        },
-        resumed,
-    ))
+    cell.sim.finished()
 }
 
-/// Produces (from cache or by simulation) the record for one cell.
-/// Returns `(record, executed, resumed)`.
-fn produce_cell(
-    spec: &CellSpec,
+/// Drains a finished cell: finalizes statistics, verifies the
+/// architectural answer, drops the now-dead snapshot, and builds the
+/// record. Returns `(record, cycles simulated by this invocation)`.
+///
+/// # Panics
+///
+/// Panics if finalization fails or the workload checker rejects memory —
+/// sweep results must never contain broken runs.
+fn finalize(
+    mut cell: Running<'_>,
+    program_hash: u64,
+    out: &Path,
+    opts: &SweepOptions,
+) -> (CellRecord, u64) {
+    let id = &cell.id;
+    // The machine is drained; `run` performs no steps and finalizes the
+    // statistics (cache counters, FU busy cycles).
+    let stats = cell
+        .sim
+        .run()
+        .unwrap_or_else(|e| panic!("{id}: finalize failed: {e}"));
+    workload(cell.spec.kind, opts.scale)
+        .check(cell.sim.memory().words())
+        .unwrap_or_else(|e| panic!("{id}: wrong answer: {e}"));
+    let _ = fs::remove_file(ckpt_path(out, id));
+    let rec = CellRecord {
+        id: cell.id.clone(),
+        code_version: opts.code_version.clone(),
+        config_hash: config_identity(&cell.config),
+        program_hash,
+        status: CellStatus::Done,
+        cycles: stats.cycles,
+        committed: stats.committed_total(),
+        ipc: stats.ipc(),
+        hit_rate: stats.cache.hit_rate(),
+        branch_accuracy: stats.branches.accuracy(),
+        su_stalls: stats.su_stall_cycles,
+        reason: String::new(),
+    };
+    (rec, stats.cycles - cell.start_cycle)
+}
+
+/// Per-cell outcome of one super-job, in no particular order.
+struct BatchOutcome {
+    spec: CellSpec,
+    rec: CellRecord,
+    /// Whether the cell was simulated (vs. satisfied from cache).
+    ran: bool,
+    /// Whether it resumed from a mid-flight snapshot.
+    resumed: bool,
+    /// Cycles this invocation stepped for the cell.
+    stepped: u64,
+}
+
+/// Produces (from cache or by simulation) the records for one super-job:
+/// cells sharing a single built program, their `step()` loops interleaved
+/// in [`BATCH_QUANTUM`] slices on this one worker thread.
+fn produce_batch(
+    idxs: &[usize],
+    specs: &[CellSpec],
     out: &Path,
     opts: &SweepOptions,
     programs: &Programs,
-) -> (CellRecord, bool, bool) {
-    let config = spec.config();
-    let config_hash = config_identity(&config);
-    let built = programs.get(spec.kind, spec.threads);
+) -> Vec<BatchOutcome> {
+    let mut done = Vec::with_capacity(idxs.len());
+    let mut running: Vec<Running> = Vec::new();
+    // The planner groups by (workload, threads), so one memo lookup serves
+    // the whole job.
+    let first = &specs[idxs[0]];
+    let built = programs.get(first.kind, first.threads);
     let program_hash = match built.as_ref() {
         Ok(p) => program_identity(p),
         Err(_) => 0,
     };
-    if let Some(rec) = load_valid_cell(out, spec, &opts.code_version, config_hash, program_hash) {
-        return (rec, false, false);
-    }
-    let (rec, resumed) = match built.as_ref() {
-        Err(e) => (
-            infeasible_record(
-                spec,
-                &opts.code_version,
-                config_hash,
-                0,
-                format!("kernel does not lower at {} threads: {e}", spec.threads),
-            ),
-            false,
-        ),
-        Ok(program) => match simulate_cell(spec, config, program, out, opts) {
-            Ok((rec, resumed)) => (rec, resumed),
-            // Config rejections are holes in the space too: e.g. two fetch
-            // ports with a single resident thread.
-            Err(e @ (SimError::RegisterWindow { .. } | SimError::Config(_))) => (
-                infeasible_record(
+    let persist = |spec: &CellSpec, rec: CellRecord, resumed: bool, stepped: u64| {
+        write_atomic(&cell_path(out, &spec.id()), rec.to_lines().as_bytes())
+            .unwrap_or_else(|e| panic!("{}: cannot persist cell: {e}", spec.id()));
+        BatchOutcome {
+            spec: *spec,
+            rec,
+            ran: true,
+            resumed,
+            stepped,
+        }
+    };
+    for &i in idxs {
+        let spec = &specs[i];
+        debug_assert_eq!((spec.kind, spec.threads), (first.kind, first.threads));
+        let config = spec.config();
+        let config_hash = config_identity(&config);
+        if let Some(rec) = load_valid_cell(out, spec, &opts.code_version, config_hash, program_hash)
+        {
+            done.push(BatchOutcome {
+                spec: *spec,
+                rec,
+                ran: false,
+                resumed: false,
+                stepped: 0,
+            });
+            continue;
+        }
+        let program = match built.as_ref() {
+            Err(e) => {
+                let rec = infeasible_record(
                     spec,
                     &opts.code_version,
                     config_hash,
-                    program_hash,
-                    e.to_string(),
-                ),
-                false,
-            ),
-            Err(e) => panic!("{}: simulator rejected the cell: {e}", spec.id()),
-        },
-    };
-    write_atomic(&cell_path(out, &spec.id()), rec.to_lines().as_bytes())
-        .unwrap_or_else(|e| panic!("{}: cannot persist cell: {e}", spec.id()));
-    (rec, true, resumed)
+                    0,
+                    format!("kernel does not lower at {} threads: {e}", spec.threads),
+                );
+                done.push(persist(spec, rec, false, 0));
+                continue;
+            }
+            Ok(p) => p,
+        };
+        let id = spec.id();
+        match load_ckpt(out, &id, &opts.code_version)
+            .and_then(|snap| Simulator::restore(config.clone(), program, &snap).ok())
+        {
+            Some(sim) => running.push(Running {
+                spec: *spec,
+                id,
+                config,
+                start_cycle: sim.cycle(),
+                sim,
+                resumed: true,
+            }),
+            None => match Simulator::try_new(config.clone(), program) {
+                Ok(sim) => running.push(Running {
+                    spec: *spec,
+                    id,
+                    config,
+                    sim,
+                    resumed: false,
+                    start_cycle: 0,
+                }),
+                // Config rejections are holes in the space too: e.g. two
+                // fetch ports with a single resident thread.
+                Err(e @ (SimError::RegisterWindow { .. } | SimError::Config(_))) => {
+                    let rec = infeasible_record(
+                        spec,
+                        &opts.code_version,
+                        config_hash,
+                        program_hash,
+                        e.to_string(),
+                    );
+                    done.push(persist(spec, rec, false, 0));
+                }
+                Err(e) => panic!("{id}: simulator rejected the cell: {e}"),
+            },
+        }
+    }
+    // Interleave: rotate through the live cells one quantum at a time.
+    // Completion order does not matter — run_sweep sorts by cell id.
+    while !running.is_empty() {
+        let mut i = 0;
+        while i < running.len() {
+            if advance(&mut running[i], out, opts) {
+                let cell = running.swap_remove(i);
+                let resumed = cell.resumed;
+                let spec = cell.spec;
+                let (rec, stepped) = finalize(cell, program_hash, out, opts);
+                done.push(persist(&spec, rec, resumed, stepped));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    done
 }
 
 /// Renders the merged results of a sweep: one JSON object per cell, sorted
@@ -713,29 +869,38 @@ pub fn run_sweep(grid: &Grid, out: &Path, opts: &SweepOptions) -> io::Result<Swe
     fs::create_dir_all(out.join("cells"))?;
     fs::create_dir_all(out.join("ckpt"))?;
     let specs = grid.cells();
+    let batch = opts
+        .batch
+        .unwrap_or_else(|| default_batch(specs.len(), opts.workers));
+    let jobs = plan_batches(&specs, batch);
     let programs = Programs::new(opts.scale);
     let next = AtomicUsize::new(0);
     let executed = AtomicUsize::new(0);
     let cached = AtomicUsize::new(0);
     let resumed = AtomicUsize::new(0);
-    let workers = opts.workers.clamp(1, specs.len().max(1));
-    // Work stealing: each worker repeatedly claims the next unclaimed cell,
-    // so a worker stuck on one long simulation never strands the queue.
+    let stepped = AtomicU64::new(0);
+    let workers = opts.workers.clamp(1, jobs.len().max(1));
+    // Work stealing: each worker repeatedly claims the next unclaimed
+    // super-job, so a worker stuck on one long batch never strands the
+    // queue.
     let mut cells: Vec<(CellSpec, CellRecord)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let (next, executed, cached, resumed) = (&next, &executed, &cached, &resumed);
-                let (specs, programs) = (&specs, &programs);
+                let (next, executed, cached, resumed, stepped) =
+                    (&next, &executed, &cached, &resumed, &stepped);
+                let (specs, jobs, programs) = (&specs, &jobs, &programs);
                 s.spawn(move || {
                     let mut mine = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(spec) = specs.get(i) else { break };
-                        let (rec, ran, res) = produce_cell(spec, out, opts, programs);
-                        executed.fetch_add(usize::from(ran), Ordering::Relaxed);
-                        cached.fetch_add(usize::from(!ran), Ordering::Relaxed);
-                        resumed.fetch_add(usize::from(res), Ordering::Relaxed);
-                        mine.push((*spec, rec));
+                        let Some(job) = jobs.get(i) else { break };
+                        for o in produce_batch(job, specs, out, opts, programs) {
+                            executed.fetch_add(usize::from(o.ran), Ordering::Relaxed);
+                            cached.fetch_add(usize::from(!o.ran), Ordering::Relaxed);
+                            resumed.fetch_add(usize::from(o.resumed), Ordering::Relaxed);
+                            stepped.fetch_add(o.stepped, Ordering::Relaxed);
+                            mine.push((o.spec, o.rec));
+                        }
                     }
                     mine
                 })
@@ -758,6 +923,8 @@ pub fn run_sweep(grid: &Grid, out: &Path, opts: &SweepOptions) -> io::Result<Swe
             .filter(|(_, r)| r.status == CellStatus::Infeasible)
             .count(),
         resumed: resumed.into_inner(),
+        simulated_cycles: stepped.into_inner(),
+        batch,
         results_path,
     })
 }
@@ -825,6 +992,31 @@ mod tests {
         assert_eq!(cells.len(), 2 * 4 * 3 * 4 * 2 * 2);
         let ids: std::collections::HashSet<String> = cells.iter().map(CellSpec::id).collect();
         assert_eq!(ids.len(), cells.len(), "ids are unique");
+    }
+
+    #[test]
+    fn batches_partition_the_grid_and_never_mix_programs() {
+        let specs = Grid::smoke().cells();
+        for batch in [1, 3, 100] {
+            let jobs = plan_batches(&specs, batch);
+            let mut seen: Vec<usize> = jobs.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..specs.len()).collect::<Vec<_>>());
+            for job in &jobs {
+                assert!(job.len() <= batch);
+                let key = |i: &usize| (specs[*i].kind, specs[*i].threads);
+                assert!(job.iter().all(|i| key(i) == key(&job[0])));
+            }
+        }
+    }
+
+    #[test]
+    fn default_batch_keeps_workers_oversubscribed() {
+        // 990-cell paper grid on 8 workers: jobs stay well above 4/worker.
+        let b = default_batch(990, 8);
+        assert!(b >= 1 && 990 / b >= 8 * 4, "batch {b}");
+        assert_eq!(default_batch(3, 8), 1, "tiny grids fall back to per-cell");
+        assert_eq!(default_batch(0, 0), 1, "degenerate inputs still plan");
     }
 
     #[test]

@@ -204,12 +204,14 @@ impl DataCache {
         assert!(config.mshrs > 0, "cache needs at least one refill slot");
         DataCache {
             config,
-            sets: vec![
-                Set {
-                    lru: Vec::with_capacity(config.ways)
-                };
-                sets
-            ],
+            // Not `vec![template; sets]`: cloning a Vec copies only its
+            // elements, so the clones would start at capacity zero and each
+            // set would heap-allocate on its first fill mid-simulation.
+            sets: (0..sets)
+                .map(|_| Set {
+                    lru: Vec::with_capacity(config.ways),
+                })
+                .collect(),
             set_shift: config.line_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
             refills: Vec::with_capacity(config.mshrs),
