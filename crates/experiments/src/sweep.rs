@@ -46,6 +46,7 @@ use smt_core::{
 };
 use smt_isa::Program;
 use smt_mem::CacheKind;
+use smt_trace::{CpiBreakdown, CpiStack};
 use smt_workloads::{workload, Scale, WorkloadKind};
 
 use crate::json::object_to_json;
@@ -191,6 +192,23 @@ pub struct CellSpec {
     pub cache: CacheKind,
 }
 
+impl Default for CellSpec {
+    /// The paper's default machine point running Sieve: every dimension
+    /// matches what an absent field means in the serve protocol.
+    fn default() -> Self {
+        CellSpec {
+            kind: WorkloadKind::Sieve,
+            policy: FetchPolicy::default(),
+            predictor: PredictorKind::default(),
+            threads: defaults::THREADS,
+            fetch_threads: defaults::FETCH_THREADS,
+            fetch_width: defaults::FETCH_WIDTH,
+            su_depth: defaults::SU_DEPTH,
+            cache: CacheKind::default(),
+        }
+    }
+}
+
 impl CellSpec {
     /// Lowers the spec to a full simulator configuration.
     #[must_use]
@@ -259,14 +277,18 @@ pub enum CellStatus {
 }
 
 impl CellStatus {
-    fn as_str(self) -> &'static str {
+    /// Stable wire/cache spelling (`done` / `infeasible`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
         match self {
             CellStatus::Done => "done",
             CellStatus::Infeasible => "infeasible",
         }
     }
 
-    fn parse(s: &str) -> Option<Self> {
+    /// Inverse of [`as_str`](Self::as_str); anything else is `None`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
         match s {
             "done" => Some(CellStatus::Done),
             "infeasible" => Some(CellStatus::Infeasible),
@@ -522,10 +544,20 @@ impl Programs {
 
 /// Writes `bytes` to `path` atomically (tmp file + rename), so a kill at
 /// any instant leaves either the old file or the new one — never a torn
-/// write. Concurrent workers touch distinct paths, so the tmp name needs
-/// no uniquifier.
+/// write. The tmp name carries a process id and sequence number: within
+/// one sweep workers touch distinct paths, but several *processes*
+/// sharing a store (the serve daemon's scale-out mode) can produce the
+/// same cell concurrently, and a shared tmp name would let one writer
+/// rename away — or truncate under — the other's half-written file.
+/// Orphaned tmp files from a killed writer are inert: nothing loads them.
 fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let base = path.file_name().and_then(|n| n.to_str()).unwrap_or("write");
+    let tmp = path.with_file_name(format!(
+        "{base}.{}-{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    ));
     fs::write(&tmp, bytes)?;
     fs::rename(&tmp, path)
 }
@@ -624,10 +656,24 @@ fn infeasible_record(
 }
 
 /// How many cycles one cell runs before its super-job rotates to the next
-/// cell. Large enough that the rotation is free against the per-cycle
-/// simulation cost, small enough that a short cell finishes (and its cache
-/// entry lands on disk) without waiting out a long sibling.
-const BATCH_QUANTUM: u64 = 512;
+/// cell (and before a progress tick is emitted). Large enough that the
+/// rotation is free against the per-cycle simulation cost, small enough
+/// that a short cell finishes (and its cache entry lands on disk) without
+/// waiting out a long sibling.
+pub const BATCH_QUANTUM: u64 = 512;
+
+/// One progress observation, emitted after every [`BATCH_QUANTUM`] cycles
+/// a cell simulates (the `smt-serve` daemon forwards these to subscribed
+/// clients as live telemetry).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressTick<'a> {
+    /// The cell's stable id.
+    pub id: &'a str,
+    /// Current simulated cycle.
+    pub cycle: u64,
+    /// Instructions architecturally committed so far.
+    pub committed: u64,
+}
 
 /// One cell mid-flight inside a super-job.
 struct Running<'a> {
@@ -640,203 +686,325 @@ struct Running<'a> {
     /// (non-zero after a snapshot resume) — the delta to the final cycle is
     /// what this run actually simulated.
     start_cycle: u64,
+    /// Live CPI-stack accountant, when the caller asked for telemetry.
+    /// Only attached to cells starting at cycle 0: the accountant's slot
+    /// invariant needs to observe every decode, so a snapshot resume (with
+    /// instructions already in flight) runs untraced.
+    cpi: Option<CpiStack>,
 }
 
-/// Steps `cell` for up to one quantum, checkpointing on the same cadence a
-/// dedicated per-cell loop would. Returns whether the cell finished.
-fn advance(cell: &mut Running<'_>, out: &Path, opts: &SweepOptions) -> bool {
-    let id = &cell.id;
-    for _ in 0..BATCH_QUANTUM {
-        if cell.sim.finished() {
-            break;
-        }
-        assert!(
-            cell.sim.cycle() < cell.sim.config().max_cycles,
-            "{id}: watchdog: exceeded {} cycles",
-            cell.sim.config().max_cycles
-        );
-        cell.sim
-            .step()
+/// Per-cell outcome of scheduling one cell (or super-job of cells):
+/// the record that was produced or fetched, plus how it was produced.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell.
+    pub spec: CellSpec,
+    /// Its terminal record (identical whether simulated or cached).
+    pub rec: CellRecord,
+    /// Whether the cell was simulated (vs. satisfied from cache).
+    pub ran: bool,
+    /// Whether it resumed from a mid-flight snapshot.
+    pub resumed: bool,
+    /// Cycles this invocation stepped for the cell.
+    pub stepped: u64,
+    /// Live CPI-stack breakdown; present only when telemetry was
+    /// requested and the cell actually simulated from cycle 0.
+    pub cpi: Option<CpiBreakdown>,
+}
+
+/// The reusable scheduling core of the sweep engine: one result-store
+/// directory plus the execution knobs and the shared program memo.
+///
+/// Everything that executes cells — the batch `sweep` binary through
+/// [`run_sweep`], and the `smt-serve` daemon's worker pool — goes through
+/// this handle, so the cache-first/resume/infeasibility semantics (and
+/// therefore the produced bytes) are identical no matter who asks. The
+/// handle is `Sync`: workers share one `&Scheduler` across threads, and
+/// multiple *processes* can safely share one store directory because every
+/// write is atomic tmp+rename.
+pub struct Scheduler {
+    out: PathBuf,
+    opts: SweepOptions,
+    programs: Programs,
+}
+
+impl Scheduler {
+    /// Opens (creating if needed) the store layout under `out`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors creating the `cells`/`ckpt`
+    /// subdirectories.
+    pub fn new(out: &Path, opts: SweepOptions) -> io::Result<Self> {
+        fs::create_dir_all(out.join("cells"))?;
+        fs::create_dir_all(out.join("ckpt"))?;
+        Ok(Scheduler {
+            out: out.to_path_buf(),
+            programs: Programs::new(opts.scale),
+            opts,
+        })
+    }
+
+    /// The execution knobs this scheduler runs with.
+    #[must_use]
+    pub fn opts(&self) -> &SweepOptions {
+        &self.opts
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn out(&self) -> &Path {
+        &self.out
+    }
+
+    /// The identity hashes a record for `spec` must carry to be valid
+    /// under this scheduler: `(config hash, program hash)`. Builds (or
+    /// reuses the memoized) program; a kernel that fails to lower hashes
+    /// as 0, exactly as its infeasible record is written.
+    fn identities(&self, spec: &CellSpec) -> (u64, u64, Built) {
+        let built = self.programs.get(spec.kind, spec.threads);
+        let program_hash = match built.as_ref() {
+            Ok(p) => program_identity(p),
+            Err(_) => 0,
+        };
+        (config_identity(&spec.config()), program_hash, built)
+    }
+
+    /// Cache-only lookup: the cell's record if the store holds one whose
+    /// full key (code version, config hash, program hash) matches what
+    /// this scheduler would produce. Never simulates.
+    #[must_use]
+    pub fn probe(&self, spec: &CellSpec) -> Option<CellRecord> {
+        let (config_hash, program_hash, _) = self.identities(spec);
+        load_valid_cell(
+            &self.out,
+            spec,
+            &self.opts.code_version,
+            config_hash,
+            program_hash,
+        )
+    }
+
+    /// Produces one cell: from cache if valid, else by simulation
+    /// (resuming from a mid-flight snapshot when one exists). `on_tick`
+    /// fires after every [`BATCH_QUANTUM`] simulated cycles; `cpi`
+    /// requests a live CPI-stack breakdown on freshly simulated cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation faults, exceeds its cycle watchdog, fails
+    /// its workload check, or the store is unwritable — the same contract
+    /// as the batch sweep, whose results must never contain broken runs.
+    pub fn run_cell(
+        &self,
+        spec: &CellSpec,
+        cpi: bool,
+        on_tick: &mut dyn FnMut(ProgressTick<'_>),
+    ) -> CellOutcome {
+        self.run_batch(&[0], std::slice::from_ref(spec), cpi, on_tick)
+            .pop()
+            .expect("a one-cell batch produces one outcome")
+    }
+
+    /// Steps `cell` for up to one quantum, checkpointing on the same
+    /// cadence a dedicated per-cell loop would. Returns whether the cell
+    /// finished.
+    fn advance(&self, cell: &mut Running<'_>, on_tick: &mut dyn FnMut(ProgressTick<'_>)) -> bool {
+        let id = &cell.id;
+        for _ in 0..BATCH_QUANTUM {
+            if cell.sim.finished() {
+                break;
+            }
+            assert!(
+                cell.sim.cycle() < cell.sim.config().max_cycles,
+                "{id}: watchdog: exceeded {} cycles",
+                cell.sim.config().max_cycles
+            );
+            match cell.cpi.as_mut() {
+                Some(stack) => cell.sim.step_traced(stack),
+                None => cell.sim.step(),
+            }
             .unwrap_or_else(|e| panic!("{id}: simulation failed: {e}"));
-        if let Some(every) = opts.checkpoint_every {
-            if cell.sim.cycle() % every == 0 && !cell.sim.finished() {
-                save_ckpt(out, id, &opts.code_version, &cell.sim.checkpoint())
+            if let Some(every) = self.opts.checkpoint_every {
+                if cell.sim.cycle() % every == 0 && !cell.sim.finished() {
+                    save_ckpt(
+                        &self.out,
+                        id,
+                        &self.opts.code_version,
+                        &cell.sim.checkpoint(),
+                    )
                     .unwrap_or_else(|e| panic!("{id}: cannot write checkpoint: {e}"));
+                }
             }
         }
+        on_tick(ProgressTick {
+            id,
+            cycle: cell.sim.cycle(),
+            committed: cell.sim.stats().committed_total(),
+        });
+        cell.sim.finished()
     }
-    cell.sim.finished()
-}
 
-/// Drains a finished cell: finalizes statistics, verifies the
-/// architectural answer, drops the now-dead snapshot, and builds the
-/// record. Returns `(record, cycles simulated by this invocation)`.
-///
-/// # Panics
-///
-/// Panics if finalization fails or the workload checker rejects memory —
-/// sweep results must never contain broken runs.
-fn finalize(
-    mut cell: Running<'_>,
-    program_hash: u64,
-    out: &Path,
-    opts: &SweepOptions,
-) -> (CellRecord, u64) {
-    let id = &cell.id;
-    // The machine is drained; `run` performs no steps and finalizes the
-    // statistics (cache counters, FU busy cycles).
-    let stats = cell
-        .sim
-        .run()
-        .unwrap_or_else(|e| panic!("{id}: finalize failed: {e}"));
-    workload(cell.spec.kind, opts.scale)
-        .check(cell.sim.memory().words())
-        .unwrap_or_else(|e| panic!("{id}: wrong answer: {e}"));
-    let _ = fs::remove_file(ckpt_path(out, id));
-    let rec = CellRecord {
-        id: cell.id.clone(),
-        code_version: opts.code_version.clone(),
-        config_hash: config_identity(&cell.config),
-        program_hash,
-        status: CellStatus::Done,
-        cycles: stats.cycles,
-        committed: stats.committed_total(),
-        ipc: stats.ipc(),
-        hit_rate: stats.cache.hit_rate(),
-        branch_accuracy: stats.branches.accuracy(),
-        su_stalls: stats.su_stall_cycles,
-        reason: String::new(),
-    };
-    (rec, stats.cycles - cell.start_cycle)
-}
-
-/// Per-cell outcome of one super-job, in no particular order.
-struct BatchOutcome {
-    spec: CellSpec,
-    rec: CellRecord,
-    /// Whether the cell was simulated (vs. satisfied from cache).
-    ran: bool,
-    /// Whether it resumed from a mid-flight snapshot.
-    resumed: bool,
-    /// Cycles this invocation stepped for the cell.
-    stepped: u64,
-}
-
-/// Produces (from cache or by simulation) the records for one super-job:
-/// cells sharing a single built program, their `step()` loops interleaved
-/// in [`BATCH_QUANTUM`] slices on this one worker thread.
-fn produce_batch(
-    idxs: &[usize],
-    specs: &[CellSpec],
-    out: &Path,
-    opts: &SweepOptions,
-    programs: &Programs,
-) -> Vec<BatchOutcome> {
-    let mut done = Vec::with_capacity(idxs.len());
-    let mut running: Vec<Running> = Vec::new();
-    // The planner groups by (workload, threads), so one memo lookup serves
-    // the whole job.
-    let first = &specs[idxs[0]];
-    let built = programs.get(first.kind, first.threads);
-    let program_hash = match built.as_ref() {
-        Ok(p) => program_identity(p),
-        Err(_) => 0,
-    };
-    let persist = |spec: &CellSpec, rec: CellRecord, resumed: bool, stepped: u64| {
-        write_atomic(&cell_path(out, &spec.id()), rec.to_lines().as_bytes())
-            .unwrap_or_else(|e| panic!("{}: cannot persist cell: {e}", spec.id()));
-        BatchOutcome {
-            spec: *spec,
+    /// Drains a finished cell: finalizes statistics, verifies the
+    /// architectural answer, drops the now-dead snapshot, and builds the
+    /// record. Returns `(record, cycles simulated, cpi breakdown)`.
+    fn finalize(
+        &self,
+        mut cell: Running<'_>,
+        program_hash: u64,
+    ) -> (CellRecord, u64, Option<CpiBreakdown>) {
+        let id = &cell.id;
+        // The machine is drained; `run` performs no steps and finalizes
+        // the statistics (cache counters, FU busy cycles).
+        let stats = cell
+            .sim
+            .run()
+            .unwrap_or_else(|e| panic!("{id}: finalize failed: {e}"));
+        workload(cell.spec.kind, self.opts.scale)
+            .check(cell.sim.memory().words())
+            .unwrap_or_else(|e| panic!("{id}: wrong answer: {e}"));
+        let _ = fs::remove_file(ckpt_path(&self.out, id));
+        let rec = CellRecord {
+            id: cell.id.clone(),
+            code_version: self.opts.code_version.clone(),
+            config_hash: config_identity(&cell.config),
+            program_hash,
+            status: CellStatus::Done,
+            cycles: stats.cycles,
+            committed: stats.committed_total(),
+            ipc: stats.ipc(),
+            hit_rate: stats.cache.hit_rate(),
+            branch_accuracy: stats.branches.accuracy(),
+            su_stalls: stats.su_stall_cycles,
+            reason: String::new(),
+        };
+        (
             rec,
-            ran: true,
-            resumed,
-            stepped,
-        }
-    };
-    for &i in idxs {
-        let spec = &specs[i];
-        debug_assert_eq!((spec.kind, spec.threads), (first.kind, first.threads));
-        let config = spec.config();
-        let config_hash = config_identity(&config);
-        if let Some(rec) = load_valid_cell(out, spec, &opts.code_version, config_hash, program_hash)
-        {
-            done.push(BatchOutcome {
+            stats.cycles - cell.start_cycle,
+            cell.cpi.map(CpiStack::finish),
+        )
+    }
+
+    /// Produces (from cache or by simulation) the records for one
+    /// super-job: cells sharing a single built program, their `step()`
+    /// loops interleaved in [`BATCH_QUANTUM`] slices on this one thread.
+    fn run_batch(
+        &self,
+        idxs: &[usize],
+        specs: &[CellSpec],
+        cpi: bool,
+        on_tick: &mut dyn FnMut(ProgressTick<'_>),
+    ) -> Vec<CellOutcome> {
+        let out = &self.out;
+        let opts = &self.opts;
+        let mut done = Vec::with_capacity(idxs.len());
+        let mut running: Vec<Running> = Vec::new();
+        // The planner groups by (workload, threads), so one memo lookup
+        // serves the whole job.
+        let first = &specs[idxs[0]];
+        let (_, program_hash, built) = self.identities(first);
+        let persist = |spec: &CellSpec, rec: CellRecord, resumed: bool, stepped: u64, cpi| {
+            write_atomic(&cell_path(out, &spec.id()), rec.to_lines().as_bytes())
+                .unwrap_or_else(|e| panic!("{}: cannot persist cell: {e}", spec.id()));
+            CellOutcome {
                 spec: *spec,
                 rec,
-                ran: false,
-                resumed: false,
-                stepped: 0,
-            });
-            continue;
-        }
-        let program = match built.as_ref() {
-            Err(e) => {
-                let rec = infeasible_record(
-                    spec,
-                    &opts.code_version,
-                    config_hash,
-                    0,
-                    format!("kernel does not lower at {} threads: {e}", spec.threads),
-                );
-                done.push(persist(spec, rec, false, 0));
+                ran: true,
+                resumed,
+                stepped,
+                cpi,
+            }
+        };
+        for &i in idxs {
+            let spec = &specs[i];
+            debug_assert_eq!((spec.kind, spec.threads), (first.kind, first.threads));
+            let config = spec.config();
+            let config_hash = config_identity(&config);
+            if let Some(rec) =
+                load_valid_cell(out, spec, &opts.code_version, config_hash, program_hash)
+            {
+                done.push(CellOutcome {
+                    spec: *spec,
+                    rec,
+                    ran: false,
+                    resumed: false,
+                    stepped: 0,
+                    cpi: None,
+                });
                 continue;
             }
-            Ok(p) => p,
-        };
-        let id = spec.id();
-        match load_ckpt(out, &id, &opts.code_version)
-            .and_then(|snap| Simulator::restore(config.clone(), program, &snap).ok())
-        {
-            Some(sim) => running.push(Running {
-                spec: *spec,
-                id,
-                config,
-                start_cycle: sim.cycle(),
-                sim,
-                resumed: true,
-            }),
-            None => match Simulator::try_new(config.clone(), program) {
-                Ok(sim) => running.push(Running {
-                    spec: *spec,
-                    id,
-                    config,
-                    sim,
-                    resumed: false,
-                    start_cycle: 0,
-                }),
-                // Config rejections are holes in the space too: e.g. two
-                // fetch ports with a single resident thread.
-                Err(e @ (SimError::RegisterWindow { .. } | SimError::Config(_))) => {
+            let program = match built.as_ref() {
+                Err(e) => {
                     let rec = infeasible_record(
                         spec,
                         &opts.code_version,
                         config_hash,
-                        program_hash,
-                        e.to_string(),
+                        0,
+                        format!("kernel does not lower at {} threads: {e}", spec.threads),
                     );
-                    done.push(persist(spec, rec, false, 0));
+                    done.push(persist(spec, rec, false, 0, None));
+                    continue;
                 }
-                Err(e) => panic!("{id}: simulator rejected the cell: {e}"),
-            },
-        }
-    }
-    // Interleave: rotate through the live cells one quantum at a time.
-    // Completion order does not matter — run_sweep sorts by cell id.
-    while !running.is_empty() {
-        let mut i = 0;
-        while i < running.len() {
-            if advance(&mut running[i], out, opts) {
-                let cell = running.swap_remove(i);
-                let resumed = cell.resumed;
-                let spec = cell.spec;
-                let (rec, stepped) = finalize(cell, program_hash, out, opts);
-                done.push(persist(&spec, rec, resumed, stepped));
-            } else {
-                i += 1;
+                Ok(p) => p,
+            };
+            let id = spec.id();
+            match load_ckpt(out, &id, &opts.code_version)
+                .and_then(|snap| Simulator::restore(config.clone(), program, &snap).ok())
+            {
+                Some(sim) => running.push(Running {
+                    spec: *spec,
+                    id,
+                    config,
+                    start_cycle: sim.cycle(),
+                    sim,
+                    resumed: true,
+                    cpi: None,
+                }),
+                None => match Simulator::try_new(config.clone(), program) {
+                    Ok(sim) => running.push(Running {
+                        spec: *spec,
+                        id,
+                        cpi: cpi.then(|| CpiStack::new(config.trace_shape().width)),
+                        config,
+                        sim,
+                        resumed: false,
+                        start_cycle: 0,
+                    }),
+                    // Config rejections are holes in the space too: e.g.
+                    // two fetch ports with a single resident thread.
+                    Err(e @ (SimError::RegisterWindow { .. } | SimError::Config(_))) => {
+                        let rec = infeasible_record(
+                            spec,
+                            &opts.code_version,
+                            config_hash,
+                            program_hash,
+                            e.to_string(),
+                        );
+                        done.push(persist(spec, rec, false, 0, None));
+                    }
+                    Err(e) => panic!("{id}: simulator rejected the cell: {e}"),
+                },
             }
         }
+        // Interleave: rotate through the live cells one quantum at a
+        // time. Completion order does not matter — run_sweep sorts by
+        // cell id.
+        while !running.is_empty() {
+            let mut i = 0;
+            while i < running.len() {
+                if self.advance(&mut running[i], on_tick) {
+                    let cell = running.swap_remove(i);
+                    let resumed = cell.resumed;
+                    let spec = cell.spec;
+                    let (rec, stepped, breakdown) = self.finalize(cell, program_hash);
+                    done.push(persist(&spec, rec, resumed, stepped, breakdown));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        done
     }
-    done
 }
 
 /// Renders the merged results of a sweep: one JSON object per cell, sorted
@@ -866,14 +1034,12 @@ pub fn results_json(cells: &[(CellSpec, CellRecord)]) -> String {
 ///
 /// Panics if any cell's simulation faults or fails its workload check.
 pub fn run_sweep(grid: &Grid, out: &Path, opts: &SweepOptions) -> io::Result<SweepSummary> {
-    fs::create_dir_all(out.join("cells"))?;
-    fs::create_dir_all(out.join("ckpt"))?;
+    let sched = Scheduler::new(out, opts.clone())?;
     let specs = grid.cells();
     let batch = opts
         .batch
         .unwrap_or_else(|| default_batch(specs.len(), opts.workers));
     let jobs = plan_batches(&specs, batch);
-    let programs = Programs::new(opts.scale);
     let next = AtomicUsize::new(0);
     let executed = AtomicUsize::new(0);
     let cached = AtomicUsize::new(0);
@@ -888,13 +1054,13 @@ pub fn run_sweep(grid: &Grid, out: &Path, opts: &SweepOptions) -> io::Result<Swe
             .map(|_| {
                 let (next, executed, cached, resumed, stepped) =
                     (&next, &executed, &cached, &resumed, &stepped);
-                let (specs, jobs, programs) = (&specs, &jobs, &programs);
+                let (specs, jobs, sched) = (&specs, &jobs, &sched);
                 s.spawn(move || {
                     let mut mine = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
-                        for o in produce_batch(job, specs, out, opts, programs) {
+                        for o in sched.run_batch(job, specs, false, &mut |_| {}) {
                             executed.fetch_add(usize::from(o.ran), Ordering::Relaxed);
                             cached.fetch_add(usize::from(!o.ran), Ordering::Relaxed);
                             resumed.fetch_add(usize::from(o.resumed), Ordering::Relaxed);

@@ -21,6 +21,7 @@
 //! assert_eq!(Rng::new(7).next_u64(), Rng::new(7).next_u64());
 //! ```
 
+pub mod netfuzz;
 pub mod progen;
 pub mod shrink;
 

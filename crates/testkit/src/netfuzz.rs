@@ -1,0 +1,283 @@
+//! Seed-deterministic malformed-request generator for the `smt-serve`
+//! wire protocol.
+//!
+//! The server speaks newline-delimited JSON over TCP; this module
+//! generates the traffic a hostile or broken client could send — truncated
+//! lines, junk bytes, oversized fields, type-confused requests, nesting
+//! bombs, and valid requests shredded across many small TCP writes — as
+//! pure data, so the black-box suite in `crates/serve/tests` can drive a
+//! live server with raw sockets and assert the contract: *every* input
+//! gets a typed error line (or a clean close for unframeable input), and
+//! the server never panics, wedges, or corrupts its store.
+//!
+//! Everything derives from a [`Rng`] seed, so a failing case reproduces
+//! from its seed alone, like every other randomized test in the
+//! repository.
+
+use crate::Rng;
+
+/// What a correct server must do with the generated payload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expect {
+    /// The payload frames as at least one line, none of which is a valid
+    /// request: the server must answer each framed line with a typed
+    /// error and keep the connection usable.
+    ErrorLine,
+    /// The payload overflows the protocol's line cap: the server must
+    /// answer with a typed error and may then close the connection (it
+    /// cannot resynchronize without buffering attacker-controlled data).
+    ErrorMaybeClose,
+    /// The payload is actually a valid request, only its *framing* is
+    /// adversarial (split across many tiny writes): the server must
+    /// reassemble it and answer with a normal, non-error response.
+    Ok,
+}
+
+/// One generated adversarial exchange.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// Family name, for failure messages (`truncated`, `junk`, …).
+    pub label: &'static str,
+    /// Byte segments to write in order, each as its own `write` call
+    /// (with `TCP_NODELAY`, this approximates segment-split delivery).
+    pub segments: Vec<Vec<u8>>,
+    /// The contract the server must uphold.
+    pub expect: Expect,
+}
+
+impl FuzzCase {
+    fn one(label: &'static str, bytes: Vec<u8>, expect: Expect) -> Self {
+        FuzzCase {
+            label,
+            segments: vec![bytes],
+            expect,
+        }
+    }
+
+    /// Total payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the case carries no bytes at all (never generated, but
+    /// clippy insists a `len` has an `is_empty`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A syntactically valid protocol request, used as raw material for
+/// truncation and splitting. Kept semantically harmless: `ping` and
+/// `status` don't schedule work, and the `fetch` probes a cell that a
+/// test store may or may not hold — all produce non-error replies.
+fn valid_request(rng: &mut Rng) -> &'static str {
+    const VALID: [&str; 3] = [
+        "{\"verb\":\"ping\"}",
+        "{\"verb\":\"status\"}",
+        "{\"verb\":\"fetch\",\"cell\":{\"workload\":\"sieve\",\"threads\":1}}",
+    ];
+    rng.pick_copy(&VALID)
+}
+
+/// Requests that parse as JSON but violate the protocol: wrong verb
+/// types, missing fields, unknown names, out-of-range or overflowing
+/// numbers, non-object roots. Exercised verbatim (each must yield exactly
+/// one typed error line).
+const TYPE_CONFUSED: &[&str] = &[
+    "{\"verb\":42}",
+    "{\"verb\":null}",
+    "{\"verb\":[\"submit\"]}",
+    "{\"verb\":\"no_such_verb\"}",
+    "{\"no_verb\":true}",
+    "{}",
+    "[1,2,3]",
+    "\"just a string\"",
+    "42",
+    "true",
+    "null",
+    "{\"verb\":\"submit\"}",
+    "{\"verb\":\"submit\",\"cells\":42}",
+    "{\"verb\":\"submit\",\"cells\":{}}",
+    "{\"verb\":\"submit\",\"cells\":[42]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"threads\":4}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":7,\"threads\":4}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"nope\",\"threads\":4}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve\",\"threads\":0}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve\",\"threads\":-3}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve\",\"threads\":99999999999999999999}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve\",\"threads\":4,\"su_depth\":1.5}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve\",\"threads\":4,\"policy\":\"zzz\"}]}",
+    "{\"verb\":\"submit\",\"grid\":\"bogus\"}",
+    "{\"verb\":\"submit\",\"grid\":17}",
+    "{\"verb\":\"fetch\"}",
+    "{\"verb\":\"fetch\",\"cell\":[]}",
+    "{\"verb\":\"fetch\",\"cell\":{\"workload\":\"sieve\",\"threads\":4,\"cache\":\"xx\"}}",
+];
+
+/// Generates one adversarial exchange from the seed stream.
+pub fn malformed_request(rng: &mut Rng) -> FuzzCase {
+    match rng.below(6) {
+        0 => truncated(rng),
+        1 => junk(rng),
+        2 => oversized(rng),
+        3 => FuzzCase::one(
+            "type-confused",
+            framed(rng.pick(TYPE_CONFUSED).as_bytes()),
+            Expect::ErrorLine,
+        ),
+        4 => nesting_bomb(rng),
+        _ => split_valid(rng),
+    }
+}
+
+fn framed(bytes: &[u8]) -> Vec<u8> {
+    let mut v = bytes.to_vec();
+    v.push(b'\n');
+    v
+}
+
+/// A valid request cut mid-token. Every proper prefix of a minimal JSON
+/// object is invalid, so any cut point works.
+fn truncated(rng: &mut Rng) -> FuzzCase {
+    let full = valid_request(rng).as_bytes();
+    let cut = rng.range_usize(1, full.len());
+    FuzzCase::one("truncated", framed(&full[..cut]), Expect::ErrorLine)
+}
+
+/// Random bytes (often invalid UTF-8), newline-framed so the server sees
+/// exactly one garbage line.
+fn junk(rng: &mut Rng) -> FuzzCase {
+    let len = rng.range_usize(1, 64);
+    let mut bytes: Vec<u8> = (0..len)
+        .map(|_| {
+            // Avoid the frame delimiter so the case is a single line; any
+            // other byte value is fair game, including 0x00 and 0xff.
+            let b = (rng.below(255) + 1) as u8;
+            if b == b'\n' {
+                b'\r'
+            } else {
+                b
+            }
+        })
+        .collect();
+    // Make sure the line cannot accidentally be valid JSON: prepend a
+    // byte no JSON value starts with.
+    bytes.insert(0, b'#');
+    FuzzCase::one("junk", framed(&bytes), Expect::ErrorLine)
+}
+
+/// A request whose one string field exceeds the protocol line cap.
+fn oversized(rng: &mut Rng) -> FuzzCase {
+    // Just past the cap is the interesting boundary; far past it checks
+    // that nothing buffers proportionally to attacker input.
+    let over = if rng.coin() { 1024 } else { 256 * 1024 };
+    let mut bytes = b"{\"verb\":\"submit\",\"cells\":\"".to_vec();
+    bytes.resize(crate::netfuzz::LINE_CAP + over, b'A');
+    bytes.extend_from_slice(b"\"}");
+    FuzzCase::one("oversized", framed(&bytes), Expect::ErrorMaybeClose)
+}
+
+/// Mirror of the protocol's line cap (`smt_experiments::json::MAX_LINE`),
+/// duplicated here so the testkit stays dependency-free; the adversarial
+/// suite asserts the two constants agree.
+pub const LINE_CAP: usize = 1 << 20;
+
+/// `{"verb": [[[[…]]]]}` beyond the parser's depth bound.
+fn nesting_bomb(rng: &mut Rng) -> FuzzCase {
+    let depth = rng.range_usize(40, 200);
+    let mut s = String::from("{\"verb\":");
+    for _ in 0..depth {
+        s.push('[');
+    }
+    s.push('1');
+    for _ in 0..depth {
+        s.push(']');
+    }
+    s.push('}');
+    FuzzCase::one("nesting-bomb", framed(s.as_bytes()), Expect::ErrorLine)
+}
+
+/// A *valid* request delivered one fragment at a time — the partial-write
+/// case. The server must reassemble and answer normally.
+fn split_valid(rng: &mut Rng) -> FuzzCase {
+    let full = framed(valid_request(rng).as_bytes());
+    let cuts = rng.range_usize(1, 5.min(full.len() - 1));
+    let mut points: Vec<usize> = (0..cuts).map(|_| rng.range_usize(1, full.len())).collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut segments = Vec::new();
+    let mut prev = 0;
+    for p in points {
+        segments.push(full[prev..p].to_vec());
+        prev = p;
+    }
+    segments.push(full[prev..].to_vec());
+    FuzzCase {
+        label: "split-valid",
+        segments,
+        expect: Expect::Ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        for seed in 0..32 {
+            let a = malformed_request(&mut Rng::new(seed));
+            let b = malformed_request(&mut Rng::new(seed));
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.segments, b.segments);
+            assert_eq!(a.expect, b.expect);
+        }
+    }
+
+    #[test]
+    fn every_family_appears_and_is_framed() {
+        let mut labels = std::collections::HashSet::new();
+        for seed in 0..256 {
+            let case = malformed_request(&mut Rng::new(seed));
+            assert!(!case.is_empty());
+            labels.insert(case.label);
+            let total: Vec<u8> = case.segments.concat();
+            assert!(total.ends_with(b"\n"), "{}: payload is framed", case.label);
+            if case.label != "oversized" {
+                // Exactly one frame per case keeps reply accounting simple.
+                assert_eq!(
+                    total.iter().filter(|&&b| b == b'\n').count(),
+                    1,
+                    "{}: single line",
+                    case.label
+                );
+            }
+        }
+        for want in [
+            "truncated",
+            "junk",
+            "oversized",
+            "type-confused",
+            "nesting-bomb",
+            "split-valid",
+        ] {
+            assert!(labels.contains(want), "family {want} never generated");
+        }
+    }
+
+    #[test]
+    fn split_valid_reassembles_to_a_valid_request() {
+        for seed in 0..256 {
+            let case = malformed_request(&mut Rng::new(seed));
+            if case.label == "split-valid" {
+                let total = case.segments.concat();
+                let text = std::str::from_utf8(&total).expect("valid requests are UTF-8");
+                assert!(text.trim_end().starts_with("{\"verb\":\""), "{text}");
+                assert_eq!(case.expect, Expect::Ok);
+                assert!(case.segments.len() >= 2, "actually split");
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub use smt_experiments as experiments;
 pub use smt_isa as isa;
 pub use smt_mem as mem;
 pub use smt_oracle as oracle;
+pub use smt_serve as serve;
 pub use smt_trace as trace;
 pub use smt_uarch as uarch;
 pub use smt_workloads as workloads;
