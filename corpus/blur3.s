@@ -1,0 +1,46 @@
+# blur3 — 3-point box blur with clamped edges:
+#   OUT[i] = (IN[max(i-1,0)] + IN[i] + IN[min(i+1,n-1)]) / 3
+#
+# Elements are strided across threads. Division is the ISA's signed
+# div; fill values are masked positive so it matches the unsigned
+# reference (check = "blur3").
+#
+# ABI: r0 = tid, r1 = nthreads; parameter block at 0x1000.
+
+        li   r2, 0x1000
+        ld   r3, 0(r2)         # n
+        ld   r4, 16(r2)        # IN base
+        ld   r5, 24(r2)        # OUT base
+        li   r10, 3
+        li   r14, 0
+        addi r11, r3, -1       # n - 1
+        addi r6, r0, 0         # i = tid
+loop:
+        bge  r6, r3, done
+        addi r7, r6, -1        # left = i - 1
+        bge  r7, r14, left_ok
+        addi r7, r14, 0        # clamp left to 0
+left_ok:
+        addi r8, r6, 1         # right = i + 1
+        blt  r8, r3, right_ok
+        addi r8, r11, 0        # clamp right to n - 1
+right_ok:
+        slli r9, r7, 3
+        add  r9, r9, r4
+        ld   r12, 0(r9)        # IN[left]
+        slli r9, r6, 3
+        add  r9, r9, r4
+        ld   r13, 0(r9)        # IN[i]
+        add  r12, r12, r13
+        slli r9, r8, 3
+        add  r9, r9, r4
+        ld   r13, 0(r9)        # IN[right]
+        add  r12, r12, r13
+        div  r12, r12, r10     # sum / 3
+        slli r9, r6, 3
+        add  r9, r9, r5
+        sd   r12, 0(r9)        # OUT[i]
+        add  r6, r6, r1        # i += nthreads
+        j    loop
+done:
+        halt

@@ -1,0 +1,37 @@
+# chase — pointer-chase hazard stress. IN holds a permutation of
+# 0..n; for every start node s the kernel walks `steps` hops of
+#   idx = IN[idx]
+# and records the landing node in OUT[s]. The walk is a chain of
+# load-to-load dependences: each address comes from the previous
+# load's value, so the pipeline's load latency is fully exposed
+# (check = "chase").
+#
+# Start nodes are strided across threads.
+# ABI: r0 = tid, r1 = nthreads; parameter block at 0x1000.
+
+        li   r2, 0x1000
+        ld   r3, 0(r2)         # n
+        ld   r12, 8(r2)        # steps
+        ld   r4, 16(r2)        # IN base
+        ld   r5, 24(r2)        # OUT base
+        li   r9, 1
+        addi r6, r0, 0         # s = tid
+sloop:
+        bge  r6, r3, done      # while s < n
+        addi r7, r6, 0         # idx = s
+        addi r8, r12, 0        # k = steps
+hop:
+        blt  r8, r9, write     # while k >= 1
+        slli r10, r7, 3
+        add  r10, r10, r4
+        ld   r7, 0(r10)        # idx = IN[idx]   (serial dependence)
+        sub  r8, r8, r9
+        j    hop
+write:
+        slli r10, r6, 3
+        add  r10, r10, r5
+        sd   r7, 0(r10)        # OUT[s] = idx
+        add  r6, r6, r1        # s += nthreads
+        j    sloop
+done:
+        halt

@@ -1,0 +1,54 @@
+# matmul — n x n integer matrix multiply, C = A * B, wrapping
+# arithmetic. IN holds A then B (row-major, n*n words each); C goes to
+# OUT (check = "matmul"). Rows of C are strided across threads, so the
+# inner products are independent and compute-bound: one mul + add per
+# loaded pair, little shared-cache pressure compared to the streaming
+# kernels.
+#
+# ABI: r0 = tid, r1 = nthreads; parameter block at 0x1000
+# (n is the matrix dimension here).
+
+        li   r2, 0x1000
+        ld   r3, 0(r2)         # n
+        ld   r4, 16(r2)        # A base (IN)
+        ld   r5, 24(r2)        # C base (OUT)
+        mul  r6, r3, r3
+        slli r6, r6, 3
+        add  r6, r4, r6        # B base = A + n*n*8
+        addi r7, r0, 0         # i = tid
+iloop:
+        bge  r7, r3, done      # while i < n
+        li   r8, 0             # j = 0
+jloop:
+        bge  r8, r3, inext
+        li   r9, 0             # acc = 0
+        li   r10, 0            # k = 0
+kloop:
+        bge  r10, r3, kdone
+        mul  r11, r7, r3
+        add  r11, r11, r10
+        slli r11, r11, 3
+        add  r11, r11, r4
+        ld   r12, 0(r11)       # A[i][k]
+        mul  r11, r10, r3
+        add  r11, r11, r8
+        slli r11, r11, 3
+        add  r11, r11, r6
+        ld   r13, 0(r11)       # B[k][j]
+        mul  r12, r12, r13
+        add  r9, r9, r12       # acc += A[i][k] * B[k][j]
+        addi r10, r10, 1
+        j    kloop
+kdone:
+        mul  r11, r7, r3
+        add  r11, r11, r8
+        slli r11, r11, 3
+        add  r11, r11, r5
+        sd   r9, 0(r11)        # C[i][j] = acc
+        addi r8, r8, 1
+        j    jloop
+inext:
+        add  r7, r7, r1        # i += nthreads
+        j    iloop
+done:
+        halt

@@ -1,0 +1,25 @@
+# memstress — memory-bandwidth stress: a strided copy IN -> OUT where
+# consecutive elements belong to different threads, so concurrent
+# threads interleave their loads and stores through the shared D-cache.
+#
+# Final state: OUT[i] = IN[i] for all i (check = "copy").
+#
+# ABI: r0 = tid, r1 = nthreads; parameter block at 0x1000
+# (n, steps, IN base, OUT base, AUX base). Registers r0..r9 only.
+
+        li   r2, 0x1000
+        ld   r3, 0(r2)         # n
+        ld   r4, 16(r2)        # IN base
+        ld   r5, 24(r2)        # OUT base
+        addi r6, r0, 0         # i = tid
+loop:
+        bge  r6, r3, done      # while i < n
+        slli r7, r6, 3
+        add  r8, r4, r7
+        ld   r9, 0(r8)         # IN[i]
+        add  r8, r5, r7
+        sd   r9, 0(r8)         # OUT[i] = IN[i]
+        add  r6, r6, r1        # i += nthreads
+        j    loop
+done:
+        halt

@@ -1,0 +1,33 @@
+# primes — parallel prime sieve over composite flags:
+#   for p = 2 + tid, 2 + tid + nthreads, ... < n:
+#       mark OUT[2p], OUT[3p], ... = 1
+#
+# Every write stores the same value (1), so the cross-thread races on
+# shared flag words are benign and the final state is deterministic:
+# OUT[i] = 1 exactly for composite i (check = "sieve"). Marking
+# multiples of a composite p is redundant work the classic flag test
+# would skip — kept here so threads never race on a read.
+#
+# ABI: r0 = tid, r1 = nthreads; parameter block at 0x1000. The flags
+# live in the OUT region; there is no input.
+
+        li   r2, 0x1000
+        ld   r3, 0(r2)         # n
+        ld   r5, 24(r2)        # OUT base (flags)
+        li   r10, 1
+        addi r6, r0, 2         # p = 2 + tid
+ploop:
+        bge  r6, r3, done      # while p < n
+        add  r7, r6, r6        # m = 2p
+mark:
+        bge  r7, r3, pnext
+        slli r8, r7, 3
+        add  r8, r8, r5
+        sd   r10, 0(r8)        # flags[m] = 1
+        add  r7, r7, r6        # m += p
+        j    mark
+pnext:
+        add  r6, r6, r1        # p += nthreads
+        j    ploop
+done:
+        halt

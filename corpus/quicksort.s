@@ -1,0 +1,162 @@
+# quicksort — parallel sort in two phases (check = "sorted"):
+#
+#   1. Each thread quicksorts its contiguous slice of IN in place:
+#      iterative Lomuto quicksort with an explicit stack, always
+#      pushing the larger subrange and looping on the smaller, so the
+#      stack stays within log2(n) entries. The last thread absorbs the
+#      `n mod nthreads` remainder.
+#   2. A post/wait barrier at AUX+0, then thread 0 k-way merges the
+#      sorted slices into OUT by repeatedly taking the smallest live
+#      slice head (lowest thread wins ties — deterministic).
+#
+# Scratch ABI inside AUX (shared with the smt-corpus layout code):
+#   AUX + 0            barrier word
+#   AUX + 8  + t*16    slice table: {cursor, end} per thread (8 max)
+#   AUX + 136 + t*512  per-thread quicksort stack (32 ranges deep)
+#
+# r0 = tid, r1 = nthreads; parameter block at 0x1000. Uses r0..r15.
+
+        li   r2, 0x1000
+        ld   r3, 0(r2)         # n
+        ld   r4, 16(r2)        # IN base
+        ld   r5, 24(r2)        # OUT base
+        ld   r13, 32(r2)       # AUX base
+
+        # slice bounds: chunk = n / nthreads, last thread takes the rest
+        div  r6, r3, r1        # chunk
+        mul  r7, r0, r6        # lo = tid * chunk
+        add  r8, r7, r6        # hi = lo + chunk
+        addi r9, r0, 1
+        bne  r9, r1, slice_set
+        addi r8, r3, 0         # last thread: hi = n
+slice_set:
+        slli r9, r0, 4
+        add  r9, r9, r13
+        sd   r7, 8(r9)         # publish cursor = lo
+        sd   r8, 16(r9)        # publish end    = hi
+
+        # explicit stack for this thread
+        li   r14, 512
+        mul  r14, r0, r14
+        add  r14, r14, r13
+        addi r14, r14, 136     # sp
+        addi r15, r14, 0       # stack base
+
+        sub  r9, r8, r7
+        slti r9, r9, 2
+        li   r2, 0
+        bne  r9, r2, qdone     # fewer than 2 elements: nothing to sort
+        sd   r7, 0(r14)        # push [lo, hi)
+        sd   r8, 8(r14)
+        addi r14, r14, 16
+qloop:
+        bge  r15, r14, qdone   # stack empty: slice is sorted
+        addi r14, r14, -16
+        ld   r6, 0(r14)        # lo
+        ld   r7, 8(r14)        # hi
+qrange:
+        sub  r9, r7, r6
+        slti r9, r9, 2
+        li   r2, 0
+        bne  r9, r2, qloop     # range smaller than 2: pop the next one
+
+        # Lomuto partition, pivot = IN[hi-1]
+        addi r9, r7, -1
+        slli r10, r9, 3
+        add  r10, r10, r4
+        ld   r10, 0(r10)       # pivot value
+        addi r8, r6, 0         # i = lo
+        addi r9, r6, 0         # j = lo
+part:
+        addi r2, r7, -1
+        bge  r9, r2, part_done # j reached hi-1
+        slli r11, r9, 3
+        add  r11, r11, r4      # &IN[j]
+        ld   r12, 0(r11)
+        bge  r12, r10, part_next
+        slli r2, r8, 3
+        add  r2, r2, r4        # &IN[i]
+        ld   r3, 0(r2)         # (n is reloaded after the sort phase)
+        sd   r12, 0(r2)
+        sd   r3, 0(r11)        # swap IN[i] <-> IN[j]
+        addi r8, r8, 1
+part_next:
+        addi r9, r9, 1
+        j    part
+part_done:
+        slli r2, r8, 3
+        add  r2, r2, r4        # &IN[i]
+        ld   r3, 0(r2)
+        addi r11, r7, -1
+        slli r11, r11, 3
+        add  r11, r11, r4      # &IN[hi-1]
+        ld   r12, 0(r11)
+        sd   r12, 0(r2)
+        sd   r3, 0(r11)        # pivot into its final slot (index i)
+
+        # push the larger side, keep sorting the smaller
+        sub  r9, r8, r6        # left size  = i - lo
+        sub  r10, r7, r8
+        addi r10, r10, -1      # right size = hi - i - 1
+        blt  r9, r10, left_small
+        sd   r6, 0(r14)        # push left [lo, i)
+        sd   r8, 8(r14)
+        addi r14, r14, 16
+        addi r6, r8, 1         # continue with right [i+1, hi)
+        j    qrange
+left_small:
+        addi r2, r8, 1
+        sd   r2, 0(r14)        # push right [i+1, hi)
+        sd   r7, 8(r14)
+        addi r14, r14, 16
+        addi r7, r8, 0         # continue with left [lo, i)
+        j    qrange
+
+qdone:
+        li   r2, 0x1000
+        ld   r3, 0(r2)         # reload n (r3 doubled as a swap temp)
+        ld   r5, 24(r2)        # reload OUT base
+        addi r6, r13, 0
+        post r6                # barrier arrive (AUX + 0)
+        wait r6, r1            # barrier wait: all nthreads arrived
+
+        li   r2, 0
+        bne  r0, r2, fin       # only thread 0 merges
+        li   r6, 0             # o = 0
+merge:
+        bge  r6, r3, fin       # while o < n
+        li   r7, 0             # t = 0
+        li   r8, -1            # best thread (none yet)
+        li   r9, 0             # best head value
+scan:
+        bge  r7, r1, take
+        slli r10, r7, 4
+        add  r10, r10, r13
+        ld   r11, 8(r10)       # cursor_t
+        ld   r12, 16(r10)      # end_t
+        bge  r11, r12, scan_next
+        slli r2, r11, 3
+        add  r2, r2, r4
+        ld   r2, 0(r2)         # head value IN[cursor_t]
+        li   r14, -1
+        beq  r8, r14, better   # first live slice becomes the best
+        bge  r2, r9, scan_next # strictly smaller wins; ties keep low t
+better:
+        addi r8, r7, 0
+        addi r9, r2, 0
+scan_next:
+        addi r7, r7, 1
+        j    scan
+take:
+        slli r10, r6, 3
+        add  r10, r10, r5
+        sd   r9, 0(r10)        # OUT[o] = smallest head
+        slli r10, r8, 4
+        add  r10, r10, r13
+        ld   r11, 8(r10)
+        addi r11, r11, 1
+        sd   r11, 8(r10)       # advance the winning cursor
+        addi r6, r6, 1
+        j    merge
+fin:
+        halt

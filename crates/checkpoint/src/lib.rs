@@ -29,9 +29,18 @@ use std::hash::{Hash, Hasher};
 /// serialized entry stream kept its field order, but entry handles and
 /// the forwarding/producer index rebuild rules changed, so v1 payloads
 /// written by the per-entry-struct implementation are not trusted.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: program identity became a per-thread vector to bind snapshots of
+/// heterogeneous thread mixes (one program per hardware thread) to the
+/// exact mix they were taken under. A single-element vector identifies a
+/// homogeneous (SPMD) machine; v2 snapshots fail closed.
+pub const FORMAT_VERSION: u32 = 3;
 
 const MAGIC: [u8; 8] = *b"SMTSNAP\0";
+
+/// Upper bound on the per-thread program-hash vector — far above any real
+/// thread count, so a corrupted length can never drive a huge allocation.
+const MAX_PROGRAM_HASHES: usize = 64;
 
 /// Why a byte buffer could not be decoded.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -247,16 +256,19 @@ impl<'a> Reader<'a> {
 
 /// One complete machine state: identifying header plus opaque payload.
 ///
-/// The hashes bind a snapshot to the exact `(SimConfig, Program)` pair it
-/// was taken under; `Simulator::restore` refuses a snapshot whose hashes
-/// do not match, so a sweep cache can never resume a cell with the wrong
-/// machine.
+/// The hashes bind a snapshot to the exact `(SimConfig, programs)` pair
+/// it was taken under; `Simulator::restore` refuses a snapshot whose
+/// hashes do not match, so a sweep cache can never resume a cell with the
+/// wrong machine.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Snapshot {
     /// Stable hash of the simulator configuration.
     pub config_hash: u64,
-    /// Stable hash of the program image (text + data).
-    pub program_hash: u64,
+    /// Stable hash of each program image (text + entry + data). One
+    /// element for a homogeneous (SPMD) machine where every thread runs
+    /// the same program; one element *per hardware thread* for a
+    /// heterogeneous mix.
+    pub program_hashes: Vec<u64>,
     /// Cycle at which the snapshot was taken (informational; the payload
     /// carries the authoritative copy).
     pub cycle: u64,
@@ -272,7 +284,10 @@ impl Snapshot {
         w.buf.extend_from_slice(&MAGIC);
         w.put_u32(FORMAT_VERSION);
         w.put_u64(self.config_hash);
-        w.put_u64(self.program_hash);
+        w.put_usize(self.program_hashes.len());
+        for &h in &self.program_hashes {
+            w.put_u64(h);
+        }
         w.put_u64(self.cycle);
         w.put_bytes(&self.payload);
         let sum = fnv1a(&w.buf);
@@ -294,7 +309,16 @@ impl Snapshot {
             });
         }
         let config_hash = r.take_u64()?;
-        let program_hash = r.take_u64()?;
+        let n = r.take_usize()?;
+        if n == 0 || n > MAX_PROGRAM_HASHES {
+            return Err(DecodeError::Malformed(format!(
+                "{n} program hashes (1..={MAX_PROGRAM_HASHES} expected)"
+            )));
+        }
+        let mut program_hashes = Vec::with_capacity(n);
+        for _ in 0..n {
+            program_hashes.push(r.take_u64()?);
+        }
         let cycle = r.take_u64()?;
         let payload = r.take_bytes()?.to_vec();
         let body_len = bytes.len() - r.remaining();
@@ -306,7 +330,7 @@ impl Snapshot {
         r.finish()?;
         Ok(Self {
             config_hash,
-            program_hash,
+            program_hashes,
             cycle,
             payload,
         })
@@ -433,7 +457,7 @@ mod tests {
     fn snapshot_round_trip() {
         let snap = Snapshot {
             config_hash: 0x1111,
-            program_hash: 0x2222,
+            program_hashes: vec![0x2222],
             cycle: 12345,
             payload: vec![1, 2, 3, 4, 5],
         };
@@ -445,7 +469,7 @@ mod tests {
     fn snapshot_rejects_corruption() {
         let snap = Snapshot {
             config_hash: 1,
-            program_hash: 2,
+            program_hashes: vec![2, 3, 4, 5],
             cycle: 3,
             payload: vec![0xaa; 64],
         };
@@ -463,8 +487,10 @@ mod tests {
         ));
 
         let mut flipped = good.clone();
-        let mid = good.len() / 2;
-        flipped[mid] ^= 0x01;
+        // Flip a payload byte (the payload is the last field before the
+        // trailing 8-byte checksum): structurally valid, checksum-caught.
+        let in_payload = good.len() - 12;
+        flipped[in_payload] ^= 0x01;
         assert!(matches!(
             Snapshot::from_bytes(&flipped),
             Err(DecodeError::Checksum { .. })
@@ -485,12 +511,12 @@ mod tests {
     fn stale_version_rejected_with_valid_checksum() {
         let snap = Snapshot {
             config_hash: 1,
-            program_hash: 2,
+            program_hashes: vec![2],
             cycle: 3,
             payload: vec![0x55; 32],
         };
         let mut v1 = snap.to_bytes();
-        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        v1[8..12].copy_from_slice(&2u32.to_le_bytes());
         // Re-seal: the forged version byte must carry a *valid* checksum so
         // the test proves rejection happens on version, not on integrity.
         let body = v1.len() - 8;
@@ -499,7 +525,7 @@ mod tests {
         assert_eq!(
             Snapshot::from_bytes(&v1),
             Err(DecodeError::Version {
-                found: 1,
+                found: 2,
                 supported: FORMAT_VERSION,
             })
         );

@@ -96,13 +96,31 @@ impl InstructionUnit {
         width: usize,
         aligned: bool,
     ) -> Self {
+        Self::with_entries(policy, &vec![entry; n_threads], width, aligned)
+    }
+
+    /// Creates the unit with one entry point per thread — heterogeneous
+    /// mixes run a distinct program per hardware thread, so each thread
+    /// starts at its own program's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligned` is requested with a non-power-of-two width.
+    #[must_use]
+    pub fn with_entries(
+        policy: FetchPolicy,
+        entries: &[usize],
+        width: usize,
+        aligned: bool,
+    ) -> Self {
         assert!(
             !aligned || width.is_power_of_two(),
             "aligned fetch needs a power-of-two block size"
         );
         InstructionUnit {
-            threads: (0..n_threads)
-                .map(|_| ThreadState {
+            threads: entries
+                .iter()
+                .map(|&entry| ThreadState {
                     pc: entry,
                     fetch_halted: false,
                     suspended_on: None,

@@ -13,8 +13,8 @@ use std::collections::VecDeque;
 
 use smt_checkpoint::{DecodeError, Reader, Snapshot, Writer};
 use smt_isa::semantics::{alu_result, branch_taken, effective_addr};
-use smt_isa::{window_size, FuClass, Opcode, Program, Reg, MAX_THREADS};
-use smt_mem::{CacheStats, DataCache, MainMemory, Outcome, StoreBuffer};
+use smt_isa::{window_size, FuClass, Opcode, Program, Reg, MAX_THREADS, WORD_BYTES};
+use smt_mem::{CacheStats, DataCache, MainMemory, MemError, Outcome, StoreBuffer};
 use smt_trace::{DecodedSlot, MemKind, Occupancy, RetireKind, SlotCause, TraceEvent, TraceSink};
 use smt_uarch::{FuPool, Predictor, TagAllocator};
 
@@ -81,7 +81,19 @@ pub fn program_identity(program: &Program) -> u64 {
 #[derive(Clone, Debug)]
 pub struct Simulator<'p> {
     config: SimConfig,
-    program: &'p Program,
+    /// One program per thread for a heterogeneous mix; a single shared
+    /// entry for the homogeneous (SPMD) case.
+    programs: Vec<&'p Program>,
+    /// Threads run distinct programs: each thread owns a private segment
+    /// of the flat backing memory and sees itself as thread 0 of 1.
+    multiprogram: bool,
+    /// Per-thread byte offset of the thread's data segment in the flat
+    /// backing memory (all zero when homogeneous).
+    mem_base: Vec<u64>,
+    /// Per-thread data-segment size in bytes — the bound the thread's own
+    /// accesses are checked against, so faults carry thread-local
+    /// addresses identical to a solo run of that program.
+    mem_span: Vec<u64>,
     cycle: u64,
     su: SchedulingUnit,
     iu: InstructionUnit,
@@ -136,34 +148,104 @@ impl<'p> Simulator<'p> {
     /// * [`SimError::RegisterWindow`] if the program names a register
     ///   outside the per-thread window implied by the thread count.
     pub fn try_new(config: SimConfig, program: &'p Program) -> Result<Self, SimError> {
+        Self::build(config, vec![program], false)
+    }
+
+    /// Fallible constructor for a heterogeneous **program mix**: one
+    /// program per hardware thread. Each thread fetches and decodes its
+    /// own text, owns a private segment of the flat data memory (its
+    /// program's image, bounds-checked against its own size so faults
+    /// carry thread-local addresses), and sees itself as thread 0 of a
+    /// 1-thread machine — architecturally, `threads` independent
+    /// single-threaded programs sharing one pipeline, cache, and store
+    /// buffer.
+    ///
+    /// A single-thread mix is canonicalized to the homogeneous form (the
+    /// two are architecturally identical), so its snapshots interchange
+    /// with [`try_new`](Self::try_new)'s.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Program`] if `programs` does not hold exactly
+    ///   `config.threads` entries,
+    /// * everything [`try_new`](Self::try_new) reports.
+    pub fn try_new_mix(config: SimConfig, programs: &[&'p Program]) -> Result<Self, SimError> {
+        if programs.len() != config.threads {
+            return Err(SimError::Program(format!(
+                "mix of {} programs for {} threads",
+                programs.len(),
+                config.threads
+            )));
+        }
+        let multiprogram = config.threads > 1;
+        let programs = if multiprogram {
+            programs.to_vec()
+        } else {
+            vec![programs[0]]
+        };
+        Self::build(config, programs, multiprogram)
+    }
+
+    fn build(
+        config: SimConfig,
+        programs: Vec<&'p Program>,
+        multiprogram: bool,
+    ) -> Result<Self, SimError> {
         config.validate()?;
         let window = window_size(config.threads);
-        for (pc, insn) in program.decoded().iter().enumerate() {
-            let regs = [insn.dest, insn.srcs[0], insn.srcs[1]];
-            for reg in regs.into_iter().flatten() {
-                if reg.index() >= window {
-                    return Err(SimError::RegisterWindow {
-                        pc,
-                        reg,
-                        window,
-                        threads: config.threads,
-                    });
+        for program in &programs {
+            for (pc, insn) in program.decoded().iter().enumerate() {
+                let regs = [insn.dest, insn.srcs[0], insn.srcs[1]];
+                for reg in regs.into_iter().flatten() {
+                    if reg.index() >= window {
+                        return Err(SimError::RegisterWindow {
+                            pc,
+                            reg,
+                            window,
+                            threads: config.threads,
+                        });
+                    }
                 }
             }
         }
         let mut regfile = vec![0u64; window * config.threads];
         for tid in 0..config.threads {
-            regfile[tid * window] = tid as u64;
-            regfile[tid * window + 1] = config.threads as u64;
+            // A mix thread is thread 0 of 1 from its program's view; an
+            // SPMD thread knows its place in the gang.
+            let (tid_seed, n_seed) = if multiprogram {
+                (0, 1)
+            } else {
+                (tid as u64, config.threads as u64)
+            };
+            regfile[tid * window] = tid_seed;
+            regfile[tid * window + 1] = n_seed;
         }
+        let (mem, mem_base, mem_span) = if multiprogram {
+            let mut words: Vec<u64> = Vec::new();
+            let mut base = Vec::with_capacity(config.threads);
+            let mut span = Vec::with_capacity(config.threads);
+            for p in &programs {
+                base.push(words.len() as u64 * WORD_BYTES);
+                let image = p.data().to_words();
+                span.push(image.len() as u64 * WORD_BYTES);
+                words.extend(image);
+            }
+            (MainMemory::from_words(words), base, span)
+        } else {
+            let mem = MainMemory::from_image(programs[0].data());
+            let size = mem.size();
+            (mem, vec![0; config.threads], vec![size; config.threads])
+        };
+        let entries: Vec<usize> = (0..config.threads)
+            .map(|tid| programs[if multiprogram { tid } else { 0 }].entry())
+            .collect();
         let mut su = SchedulingUnit::new(config.su_blocks(), config.block_size);
         su.reserve_threads(config.threads);
         Ok(Simulator {
             su,
-            iu: InstructionUnit::with_alignment(
-                config.threads,
+            iu: InstructionUnit::with_entries(
                 config.fetch_policy,
-                program.entry(),
+                &entries,
                 config.fetch_width,
                 config.aligned_fetch,
             ),
@@ -172,7 +254,7 @@ impl<'p> Simulator<'p> {
             tags: TagAllocator::new(config.su_depth),
             regfile,
             window,
-            mem: MainMemory::from_image(program.data()),
+            mem,
             cache: DataCache::new(config.cache),
             sb: StoreBuffer::new(config.store_buffer),
             fetch_queue: VecDeque::with_capacity(config.fetch_threads),
@@ -187,8 +269,74 @@ impl<'p> Simulator<'p> {
             },
             cycle: 0,
             config,
-            program,
+            programs,
+            multiprogram,
+            mem_base,
+            mem_span,
         })
+    }
+
+    /// The program thread `tid` runs (every thread's in the homogeneous
+    /// case).
+    #[must_use]
+    pub fn program_of(&self, tid: usize) -> &'p Program {
+        self.programs[if self.multiprogram { tid } else { 0 }]
+    }
+
+    /// Whether threads run distinct programs (a heterogeneous mix).
+    #[must_use]
+    pub fn is_multiprogram(&self) -> bool {
+        self.multiprogram
+    }
+
+    /// Thread `tid`'s data segment in the flat backing memory, as a
+    /// `(byte offset, byte size)` pair — `(0, full size)` when
+    /// homogeneous. Mix verifiers use it to carve each thread's view out
+    /// of [`memory`](Self::memory).
+    #[must_use]
+    pub fn thread_segment(&self, tid: usize) -> (u64, u64) {
+        (self.mem_base[tid], self.mem_span[tid])
+    }
+
+    /// Translates a thread-local data address to its location in the
+    /// flat backing memory, reproducing [`MainMemory`]'s fault order
+    /// (alignment first, then bounds) against the thread's own segment:
+    /// a mix thread faults with exactly the address and bound it would
+    /// see running alone.
+    fn translate(&self, tid: usize, addr: u64) -> Result<u64, MemError> {
+        if !addr.is_multiple_of(WORD_BYTES) {
+            return Err(MemError::Unaligned { addr });
+        }
+        if addr >= self.mem_span[tid] {
+            return Err(MemError::OutOfBounds {
+                addr,
+                size: self.mem_span[tid],
+            });
+        }
+        Ok(self.mem_base[tid] + addr)
+    }
+
+    /// The per-thread identity vector stored in snapshots: one hash for
+    /// the homogeneous case, one per thread for a mix.
+    fn identity_vec(&self) -> Vec<u64> {
+        if self.multiprogram {
+            self.programs.iter().map(|p| program_identity(p)).collect()
+        } else {
+            vec![program_identity(self.programs[0])]
+        }
+    }
+
+    /// The initial flat-memory contents — the snapshot delta baseline.
+    fn baseline_words(&self) -> Vec<u64> {
+        if self.multiprogram {
+            let mut words = Vec::new();
+            for p in &self.programs {
+                words.extend(p.data().to_words());
+            }
+            words
+        } else {
+            self.programs[0].data().to_words()
+        }
     }
 
     /// The configuration of this run.
@@ -789,23 +937,31 @@ impl<'p> Simulator<'p> {
                 if blocked || !self.fu.can_issue(class, now) {
                     return Ok(false);
                 }
-                let addr = effective_addr(a, insn.imm);
-                let (result, fault, data_ready, memk) = match self.mem.read(addr) {
+                // The effective address is thread-local; the cache, the
+                // forwarding index, and the backing memory all speak
+                // global (translated) addresses, so cross-thread
+                // forwarding and mix cache interference are physical.
+                let mut addr = effective_addr(a, insn.imm);
+                let (result, fault, data_ready, memk) = match self.translate(tid, addr) {
                     Err(err) => (0, Some(err), now, MemKind::None), // speculative fault: defer
-                    Ok(mem_value) => match self.forward_value(tid, bid, ei, addr) {
-                        // Forwarded data bypasses the cache entirely.
-                        Some(v) => (v, None, now, MemKind::Forwarded),
-                        None => match self.cache.access(addr, now) {
-                            Outcome::Blocked { .. } => return Ok(false),
-                            Outcome::Hit => (mem_value, None, now, MemKind::Hit),
-                            Outcome::Miss { ready_at } => {
-                                (mem_value, None, ready_at, MemKind::Miss)
-                            }
-                            Outcome::PendingHit { ready_at } => {
-                                (mem_value, None, ready_at, MemKind::PendingHit)
-                            }
-                        },
-                    },
+                    Ok(gaddr) => {
+                        addr = gaddr;
+                        let mem_value = self.mem.read(gaddr).expect("translated address is valid");
+                        match self.forward_value(tid, bid, ei, gaddr) {
+                            // Forwarded data bypasses the cache entirely.
+                            Some(v) => (v, None, now, MemKind::Forwarded),
+                            None => match self.cache.access(gaddr, now) {
+                                Outcome::Blocked { .. } => return Ok(false),
+                                Outcome::Hit => (mem_value, None, now, MemKind::Hit),
+                                Outcome::Miss { ready_at } => {
+                                    (mem_value, None, ready_at, MemKind::Miss)
+                                }
+                                Outcome::PendingHit { ready_at } => {
+                                    (mem_value, None, ready_at, MemKind::PendingHit)
+                                }
+                            },
+                        }
+                    }
                 };
                 let done_at = self
                     .fu
@@ -832,8 +988,18 @@ impl<'p> Simulator<'p> {
                 if blocked || !self.fu.can_issue(class, now) {
                     return Ok(false);
                 }
-                let addr = effective_addr(a, insn.imm);
-                let fault = self.mem.read(addr).err();
+                // Stores hold their *global* address (the forwarding
+                // index and store buffer match loads by address); a
+                // faulting store keeps its thread-local one for precise
+                // reporting.
+                let mut addr = effective_addr(a, insn.imm);
+                let fault = match self.translate(tid, addr) {
+                    Ok(gaddr) => {
+                        addr = gaddr;
+                        None
+                    }
+                    Err(err) => Some(err),
+                };
                 let done_at = self.fu.try_issue(class, now).expect("can_issue checked");
                 self.su.set_mem_addr(bi, ei, addr);
                 self.su.set_result(bi, ei, b); // store data, held until commit
@@ -856,10 +1022,10 @@ impl<'p> Simulator<'p> {
                         if !self.fu.can_issue(class, now) {
                             return Ok(false);
                         }
-                        let flag =
-                            self.mem
-                                .read(a)
+                        let gaddr =
+                            self.translate(tid, a)
                                 .map_err(|err| SimError::Mem { err, tid, pc })?;
+                        let flag = self.mem.read(gaddr).expect("translated address is valid");
                         let satisfied = (flag as i64) >= (b as i64);
                         let done_at = self.fu.try_issue(class, now).expect("checked");
                         self.su.set_sync_satisfied(bi, ei, satisfied);
@@ -870,15 +1036,16 @@ impl<'p> Simulator<'p> {
                     Opcode::Post => {
                         // Validate the address now; the increment itself is
                         // applied at writeback.
-                        self.mem
-                            .read(a)
-                            .map_err(|err| SimError::Mem { err, tid, pc })?;
+                        let gaddr =
+                            self.translate(tid, a)
+                                .map_err(|err| SimError::Mem { err, tid, pc })?;
                         if !self.fu.can_issue(class, now) {
                             return Ok(false);
                         }
                         let done_at = self.fu.try_issue(class, now).expect("checked");
-                        // Stash the address in `result` for writeback.
-                        self.su.set_result(bi, ei, a);
+                        // Stash the (global) address in `result` for
+                        // writeback's fetch_add.
+                        self.su.set_result(bi, ei, gaddr);
                         self.su.mark_executing(bi, ei, done_at);
                         self.emit_issued(bi, ei, done_at, MemKind::None, trace);
                         Ok(true)
@@ -1385,7 +1552,10 @@ impl<'p> Simulator<'p> {
                 continue;
             };
             granted |= 1 << tid;
-            match self.iu.fetch_block(tid, self.program, &mut self.predictor) {
+            match self
+                .iu
+                .fetch_block(tid, self.program_of(tid), &mut self.predictor)
+            {
                 Some(mut block) => {
                     block.fetched_at = self.cycle;
                     self.stats.fetched_blocks += 1;
@@ -1446,7 +1616,7 @@ impl<'p> Simulator<'p> {
         w.section(sec::STORE_BUFFER);
         self.sb.save(&mut w);
         w.section(sec::MEMORY);
-        self.mem.save_delta(&self.program.data().to_words(), &mut w);
+        self.mem.save_delta(&self.baseline_words(), &mut w);
         w.section(sec::FETCH_BUFFER);
         w.put_usize(self.fetch_queue.len());
         for b in &self.fetch_queue {
@@ -1465,7 +1635,7 @@ impl<'p> Simulator<'p> {
         save_stats(&self.stats, &mut w);
         Snapshot {
             config_hash: config_identity(&self.config),
-            program_hash: program_identity(self.program),
+            program_hashes: self.identity_vec(),
             cycle: self.cycle,
             payload: w.into_bytes(),
         }
@@ -1493,13 +1663,48 @@ impl<'p> Simulator<'p> {
             )));
         }
         let want = program_identity(program);
-        if snapshot.program_hash != want {
+        if snapshot.program_hashes.as_slice() != [want] {
             return Err(SimError::Snapshot(format!(
-                "snapshot was taken of program {:#018x}, not {want:#018x}",
-                snapshot.program_hash
+                "snapshot was taken of program(s) {:#018x?}, not [{want:#018x}]",
+                snapshot.program_hashes
             )));
         }
         let mut sim = Self::try_new(config, program)?;
+        sim.apply_snapshot(snapshot)
+            .map_err(|e| SimError::Snapshot(e.to_string()))?;
+        Ok(sim)
+    }
+
+    /// Rebuilds a simulator from a snapshot of a heterogeneous mix taken
+    /// under the same configuration and per-thread programs. The
+    /// snapshot's identity vector must match the mix **position by
+    /// position** — restoring under a permuted or partially swapped mix
+    /// fails closed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`restore`](Self::restore), plus
+    /// [`SimError::Program`] for a mix of the wrong arity.
+    pub fn restore_mix(
+        config: SimConfig,
+        programs: &[&'p Program],
+        snapshot: &Snapshot,
+    ) -> Result<Self, SimError> {
+        let want = config_identity(&config);
+        if snapshot.config_hash != want {
+            return Err(SimError::Snapshot(format!(
+                "snapshot was taken under config {:#018x}, not {want:#018x}",
+                snapshot.config_hash
+            )));
+        }
+        let mut sim = Self::try_new_mix(config, programs)?;
+        let want = sim.identity_vec();
+        if snapshot.program_hashes != want {
+            return Err(SimError::Snapshot(format!(
+                "snapshot was taken of program(s) {:#018x?}, not {want:#018x?}",
+                snapshot.program_hashes
+            )));
+        }
         sim.apply_snapshot(snapshot)
             .map_err(|e| SimError::Snapshot(e.to_string()))?;
         Ok(sim)
@@ -1512,7 +1717,9 @@ impl<'p> Simulator<'p> {
     /// renaming indexes (rebuilt inside [`SchedulingUnit::restore`]).
     fn apply_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), DecodeError> {
         let malformed = DecodeError::Malformed;
-        let program = self.program;
+        let decoded: Vec<&[smt_isa::DecodedInsn]> = (0..self.config.threads)
+            .map(|tid| self.program_of(tid).decoded())
+            .collect();
         let mut r = Reader::new(&snapshot.payload);
         r.expect_section(sec::CORE)?;
         self.cycle = r.take_u64()?;
@@ -1538,7 +1745,7 @@ impl<'p> Simulator<'p> {
             self.config.su_blocks(),
             self.config.block_size,
             &mut r,
-            program.decoded(),
+            &decoded,
         )?;
         su.reserve_threads(self.config.threads);
         r.expect_section(sec::FETCH)?;
@@ -1564,7 +1771,7 @@ impl<'p> Simulator<'p> {
         r.expect_section(sec::STORE_BUFFER)?;
         self.sb = StoreBuffer::restore(self.config.store_buffer, &mut r)?;
         r.expect_section(sec::MEMORY)?;
-        self.mem = MainMemory::restore_delta(&program.data().to_words(), &mut r)?;
+        self.mem = MainMemory::restore_delta(&self.baseline_words(), &mut r)?;
         r.expect_section(sec::FETCH_BUFFER)?;
         let queued = r.take_usize()?;
         if queued > self.config.fetch_threads {
@@ -1593,7 +1800,7 @@ impl<'p> Simulator<'p> {
             let mut insns = Vec::with_capacity(n);
             for _ in 0..n {
                 let pc = r.take_usize()?;
-                let insn = *program.decoded().get(pc).ok_or_else(|| {
+                let insn = *decoded[tid].get(pc).ok_or_else(|| {
                     DecodeError::Malformed(format!("fetch-group pc {pc} outside the program"))
                 })?;
                 let predicted_taken = r.take_bool()?;
@@ -2152,6 +2359,127 @@ mod tests {
             Simulator::restore(config, &q, &snap),
             Err(SimError::Snapshot(_))
         ));
+    }
+
+    /// A second kernel for mixes: writes a recognizable pattern through
+    /// loads and stores, architecturally disjoint from `sum_program`.
+    fn pattern_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_zeroed(4 * 8);
+        let [v, i, limit, addr] = b.regs();
+        b.li(i, 0);
+        b.li(limit, 4);
+        let top = b.label();
+        b.bind(top);
+        b.slli(addr, i, 3);
+        b.addi(addr, addr, out as i32);
+        b.slli(v, i, 4);
+        b.addi(v, v, 7);
+        b.sd(v, addr, 0);
+        b.ld(v, addr, 0);
+        b.addi(i, i, 1);
+        b.blt(i, limit, top);
+        b.halt();
+        b.build(1).unwrap()
+    }
+
+    #[test]
+    fn hetero_mix_matches_per_thread_references() {
+        let a = sum_program();
+        let b = pattern_program();
+        let config = SimConfig::default().with_threads(2);
+        let mut sim = Simulator::try_new_mix(config, &[&a, &b]).unwrap();
+        assert!(sim.is_multiprogram());
+        let stats = sim.run().unwrap();
+        let w = window_size(2);
+        for (tid, p) in [(0usize, &a), (1, &b)] {
+            let mut interp = Interp::new(p, 1);
+            interp.run().unwrap();
+            let (base, span) = sim.thread_segment(tid);
+            let lo = (base / WORD_BYTES) as usize;
+            let hi = lo + (span / WORD_BYTES) as usize;
+            assert_eq!(
+                &sim.memory().words()[lo..hi],
+                interp.mem_words(),
+                "thread {tid}: its memory segment must match a solo run"
+            );
+            assert_eq!(
+                stats.committed[tid],
+                interp.retired_counts().iter().sum::<u64>(),
+                "thread {tid}: commit count"
+            );
+            assert_eq!(
+                &sim.reg_file()[tid * w..tid * w + w],
+                &interp.reg_file()[..w],
+                "thread {tid}: register window"
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_checkpoint_restore_resumes_bit_identically() {
+        let a = sum_program();
+        let b = pattern_program();
+        let config = SimConfig::default().with_threads(2);
+        let mut reference = Simulator::try_new_mix(config.clone(), &[&a, &b]).unwrap();
+        let ref_stats = reference.run().unwrap();
+
+        let mut sim = Simulator::try_new_mix(config.clone(), &[&a, &b]).unwrap();
+        for _ in 0..23 {
+            sim.step().unwrap();
+        }
+        let bytes = sim.checkpoint().to_bytes();
+        let snap = smt_checkpoint::Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.program_hashes.len(), 2, "mix identity is per-thread");
+        let mut resumed = Simulator::restore_mix(config, &[&a, &b], &snap).unwrap();
+        let stats = resumed.run().unwrap();
+
+        assert_eq!(stats, ref_stats, "resumed stats must match uninterrupted");
+        assert_eq!(resumed.cycle(), reference.cycle());
+        assert_eq!(resumed.reg_file(), reference.reg_file());
+        assert_eq!(resumed.memory().words(), reference.memory().words());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_mix() {
+        let a = sum_program();
+        let b = pattern_program();
+        let config = SimConfig::default().with_threads(2);
+        let mut sim = Simulator::try_new_mix(config.clone(), &[&a, &b]).unwrap();
+        sim.step().unwrap();
+        let snap = sim.checkpoint();
+
+        // Swapped mix order: the identity vector is positional.
+        assert!(matches!(
+            Simulator::restore_mix(config.clone(), &[&b, &a], &snap),
+            Err(SimError::Snapshot(_))
+        ));
+        // A mix snapshot is not a homogeneous snapshot of either program.
+        assert!(matches!(
+            Simulator::restore(config.clone(), &a, &snap),
+            Err(SimError::Snapshot(_))
+        ));
+        // And a homogeneous snapshot is not a mix snapshot.
+        let mut homog = Simulator::new(config.clone(), &a);
+        homog.step().unwrap();
+        let hsnap = homog.checkpoint();
+        assert!(matches!(
+            Simulator::restore_mix(config, &[&a, &a], &hsnap),
+            Err(SimError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn single_thread_mix_is_homogeneous() {
+        // At one thread the two forms are architecturally identical, so
+        // their snapshots interchange.
+        let p = pattern_program();
+        let config = SimConfig::default().with_threads(1);
+        let mut sim = Simulator::try_new_mix(config.clone(), &[&p]).unwrap();
+        assert!(!sim.is_multiprogram());
+        sim.step().unwrap();
+        let snap = sim.checkpoint();
+        assert!(Simulator::restore(config, &p, &snap).is_ok());
     }
 
     #[test]

@@ -1429,11 +1429,15 @@ impl SchedulingUnit {
     /// chains) from the serialized entry contents. Fails closed on any
     /// structural inconsistency — including a waiting operand whose
     /// producer is not resident, which no genuine snapshot can contain.
+    /// `decoded` holds one predecoded instruction table per thread
+    /// (heterogeneous mixes run a distinct program per thread; a
+    /// homogeneous run passes the same table for every slot), so each
+    /// entry's instruction is recovered from its *owning thread's* text.
     pub fn restore(
         capacity_blocks: usize,
         block_size: usize,
         r: &mut smt_checkpoint::Reader<'_>,
-        decoded: &[DecodedInsn],
+        decoded: &[&[DecodedInsn]],
     ) -> Result<Self, smt_checkpoint::DecodeError> {
         let malformed = |what: String| -> smt_checkpoint::DecodeError {
             smt_checkpoint::DecodeError::Malformed(what)
@@ -1458,6 +1462,12 @@ impl SchedulingUnit {
             if id < su.next_block_id || id >= next_block_id || tid > u8::MAX as usize {
                 return Err(malformed(format!("non-monotone block id {id}")));
             }
+            let text = *decoded.get(tid).ok_or_else(|| {
+                malformed(format!(
+                    "block of thread {tid} in a {}-thread run",
+                    decoded.len()
+                ))
+            })?;
             let row = su.free.pop().expect("capacity checked above") as usize;
             su.row_id[row] = id;
             su.row_tid[row] = tid as u8;
@@ -1475,7 +1485,7 @@ impl SchedulingUnit {
                     )));
                 }
                 let pc = r.take_usize()?;
-                su.insn[h] = *decoded
+                su.insn[h] = *text
                     .get(pc)
                     .ok_or_else(|| malformed(format!("entry pc {pc} outside program text")))?;
                 su.pc[h] = pc as u32;

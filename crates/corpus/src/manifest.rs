@@ -1,0 +1,231 @@
+//! A self-contained parser for the corpus manifest — the small TOML
+//! subset the corpus actually needs: `[section]` headers, `key = value`
+//! pairs where a value is a double-quoted string (no escapes) or a
+//! decimal integer, and `#` comments. Anything else is a typed error
+//! carrying the 1-based line number.
+//!
+//! The subset is deliberate: the workspace has no TOML dependency, and
+//! a manifest that needs escapes or nested tables is a manifest that
+//! has outgrown the corpus format.
+
+use std::fmt;
+
+/// A parsed `key = value` right-hand side.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ManValue {
+    /// Double-quoted string.
+    Str(String),
+    /// Decimal integer (possibly negative).
+    Int(i64),
+}
+
+impl ManValue {
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ManValue::Str(s) => Some(s),
+            ManValue::Int(_) => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ManValue::Int(v) => Some(*v),
+            ManValue::Str(_) => None,
+        }
+    }
+}
+
+/// One `[name]` section with its key/value pairs in file order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Section {
+    /// Section name (the workload name).
+    pub name: String,
+    /// 1-based line of the section header, for diagnostics.
+    pub line: usize,
+    /// Keys in declaration order.
+    pub entries: Vec<(String, ManValue)>,
+}
+
+impl Section {
+    /// Looks a key up by name.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&ManValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A manifest parse error: what went wrong and on which line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ManifestError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn err(line: usize, message: impl Into<String>) -> ManifestError {
+    ManifestError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Whether `name` is a legal section/key identifier: lowercase ASCII
+/// letters, digits, and underscores, starting with a letter. The
+/// charset keeps corpus names embeddable in cell ids and in the `'+'`
+/// mix spelling of the serve protocol.
+#[must_use]
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn parse_value(text: &str, line: usize) -> Result<ManValue, ManifestError> {
+    if let Some(body) = text.strip_prefix('"') {
+        let Some(s) = body.strip_suffix('"') else {
+            return Err(err(line, format!("unterminated string {text:?}")));
+        };
+        if s.contains('"') || s.contains('\\') {
+            return Err(err(
+                line,
+                format!("string {text:?} holds a quote or backslash (escapes unsupported)"),
+            ));
+        }
+        return Ok(ManValue::Str(s.to_string()));
+    }
+    text.parse::<i64>().map(ManValue::Int).map_err(|_| {
+        err(
+            line,
+            format!("value {text:?} is neither a string nor an integer"),
+        )
+    })
+}
+
+/// Parses manifest text into its sections, in file order.
+///
+/// # Errors
+///
+/// [`ManifestError`] on malformed lines, keys outside a section,
+/// duplicate sections, duplicate keys, or illegal identifiers.
+pub fn parse(text: &str) -> Result<Vec<Section>, ManifestError> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(header) = code.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(err(line, format!("malformed section header {code:?}")));
+            };
+            let name = name.trim();
+            if !valid_name(name) {
+                return Err(err(
+                    line,
+                    format!("section name {name:?} must be [a-z][a-z0-9_]*"),
+                ));
+            }
+            if sections.iter().any(|s| s.name == name) {
+                return Err(err(line, format!("duplicate section [{name}]")));
+            }
+            sections.push(Section {
+                name: name.to_string(),
+                line,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = code.split_once('=') else {
+            return Err(err(line, format!("expected `key = value`, got {code:?}")));
+        };
+        let key = key.trim();
+        if !valid_name(key) {
+            return Err(err(line, format!("key {key:?} must be [a-z][a-z0-9_]*")));
+        }
+        let Some(section) = sections.last_mut() else {
+            return Err(err(line, format!("key {key:?} outside any [section]")));
+        };
+        if section.get(key).is_some() {
+            return Err(err(
+                line,
+                format!("duplicate key {key:?} in [{}]", section.name),
+            ));
+        }
+        let value = parse_value(value.trim(), line)?;
+        section.entries.push((key.to_string(), value));
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_strings_and_integers() {
+        let text = "
+# corpus manifest
+[alpha]
+source = \"alpha.s\"   # trailing comment
+n = 64
+offset = -3
+
+[beta_2]
+source = \"beta.s\"
+";
+        let sections = parse(text).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].name, "alpha");
+        assert_eq!(sections[0].get("source").unwrap().as_str(), Some("alpha.s"));
+        assert_eq!(sections[0].get("n").unwrap().as_int(), Some(64));
+        assert_eq!(sections[0].get("offset").unwrap().as_int(), Some(-3));
+        assert_eq!(sections[1].name, "beta_2");
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let e = parse("[alpha]\nnonsense\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("key = 1\n").unwrap_err();
+        assert!(e.message.contains("outside any"));
+        let e = parse("[alpha]\nk = \"unterminated\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        let e = parse("[Alpha]\n").unwrap_err();
+        assert!(e.message.contains("must be"));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let e = parse("[a]\n[a]\n").unwrap_err();
+        assert!(e.message.contains("duplicate section"));
+        let e = parse("[a]\nk = 1\nk = 2\n").unwrap_err();
+        assert!(e.message.contains("duplicate key"));
+    }
+
+    #[test]
+    fn name_charset() {
+        assert!(valid_name("quicksort"));
+        assert!(valid_name("blur3"));
+        assert!(valid_name("mem_stress"));
+        assert!(!valid_name("3blur"));
+        assert!(!valid_name("a+b"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("Upper"));
+    }
+}

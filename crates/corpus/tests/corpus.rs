@@ -1,0 +1,161 @@
+//! End-to-end tests over the repository's real `corpus/` directory:
+//! the manifest loads, every kernel assembles, round-trips through the
+//! disassembler bit-identically, and — run functionally at 1, 2, 4,
+//! and 8 threads — satisfies its own check predicate.
+
+use smt_corpus::{Corpus, CorpusError};
+use smt_isa::asm::assemble;
+use smt_isa::interp::Interp;
+use smt_workloads::Scale;
+
+fn repo_corpus() -> Corpus {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus");
+    Corpus::load(dir).expect("the repository corpus must load")
+}
+
+#[test]
+fn manifest_declares_the_six_kernels() {
+    let corpus = repo_corpus();
+    let names: Vec<&str> = corpus.names().collect();
+    assert_eq!(
+        names,
+        [
+            "blur3",
+            "chase",
+            "matmul",
+            "memstress",
+            "primes",
+            "quicksort"
+        ],
+        "workloads are sorted by name"
+    );
+}
+
+#[test]
+fn every_workload_assembles_at_both_scales() {
+    let corpus = repo_corpus();
+    for w in corpus.workloads() {
+        for scale in [Scale::Test, Scale::Paper] {
+            let p = w.build(scale).expect("kernel must assemble");
+            assert!(!p.text().is_empty());
+        }
+    }
+}
+
+#[test]
+fn assembly_round_trips_through_disassembly_bit_identically() {
+    // The corpus loader's contract with the assembler: for every
+    // kernel, assemble -> disassemble -> reassemble reproduces the
+    // exact instruction sequence (labels collapse to absolute branch
+    // targets in the disassembly, which the assembler accepts).
+    let corpus = repo_corpus();
+    for w in corpus.workloads() {
+        let p = w.build(Scale::Test).unwrap();
+        let dis = p.disassemble();
+        let p2 = assemble(&dis, w.image(Scale::Test))
+            .unwrap_or_else(|e| panic!("{}: disassembly must reassemble: {e}", w.name()));
+        assert_eq!(
+            p.text(),
+            p2.text(),
+            "{}: reassembled text must be bit-identical",
+            w.name()
+        );
+        assert_eq!(p.data(), p2.data(), "{}: data image must survive", w.name());
+    }
+}
+
+#[test]
+fn every_workload_passes_its_own_check_at_1_2_4_and_8_threads() {
+    let corpus = repo_corpus();
+    for w in corpus.workloads() {
+        let p = w.build(Scale::Test).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let mut interp = Interp::new(&p, threads).with_fuel(50_000_000);
+            interp
+                .run()
+                .unwrap_or_else(|e| panic!("{} at {threads} threads: {e}", w.name()));
+            w.verify(interp.mem_words(), Scale::Test)
+                .unwrap_or_else(|e| panic!("{} at {threads} threads: {e}", w.name()));
+        }
+    }
+}
+
+#[test]
+fn paper_scale_passes_at_4_threads() {
+    let corpus = repo_corpus();
+    for w in corpus.workloads() {
+        let p = w.build(Scale::Paper).unwrap();
+        let mut interp = Interp::new(&p, 4).with_fuel(200_000_000);
+        interp
+            .run()
+            .unwrap_or_else(|e| panic!("{} at paper scale: {e}", w.name()));
+        w.verify(interp.mem_words(), Scale::Paper)
+            .unwrap_or_else(|e| panic!("{} at paper scale: {e}", w.name()));
+    }
+}
+
+#[test]
+fn checkers_reject_a_corrupted_output_word() {
+    let corpus = repo_corpus();
+    for w in corpus.workloads() {
+        let p = w.build(Scale::Test).unwrap();
+        let mut interp = Interp::new(&p, 2).with_fuel(50_000_000);
+        interp.run().unwrap();
+        let mut words = interp.mem_words().to_vec();
+        let l = w.layout(Scale::Test);
+        let idx = (l.out_base / 8) as usize;
+        words[idx] = words[idx].wrapping_add(1);
+        assert!(
+            w.verify(&words, Scale::Test).is_err(),
+            "{}: corrupting OUT[0] must fail the predicate",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn load_rejects_a_name_colliding_with_a_builtin() {
+    let dir = std::env::temp_dir().join(format!("smt-corpus-collide-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("manifest.toml"),
+        "[sieve]\nsource = \"sieve.s\"\ncheck = \"copy\"\nn = 8\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("sieve.s"), "halt\n").unwrap();
+    let err = Corpus::load(&dir).unwrap_err();
+    std::fs::remove_dir_all(&dir).ok();
+    match err {
+        CorpusError::Invalid { workload, message } => {
+            assert_eq!(workload, "sieve");
+            assert!(message.contains("built-in"), "{message}");
+        }
+        other => panic!("expected Invalid, got {other}"),
+    }
+}
+
+#[test]
+fn load_surfaces_assembler_diagnostics_with_position() {
+    let dir = std::env::temp_dir().join(format!("smt-corpus-asm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("manifest.toml"),
+        "[broken]\nsource = \"broken.s\"\ncheck = \"copy\"\nn = 8\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("broken.s"),
+        "addi r2, r1, 1\nfrobnicate r2\nhalt\n",
+    )
+    .unwrap();
+    let err = Corpus::load(&dir).unwrap_err();
+    std::fs::remove_dir_all(&dir).ok();
+    match err {
+        CorpusError::Asm { workload, error } => {
+            assert_eq!(workload, "broken");
+            assert_eq!(error.line, 2, "diagnostic carries the source line");
+            assert_eq!(error.token(), Some("frobnicate"));
+        }
+        other => panic!("expected Asm, got {other}"),
+    }
+}

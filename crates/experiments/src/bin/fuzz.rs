@@ -5,9 +5,13 @@
 //! Each seed generates one program [`Plan`]; the plan is lowered per thread
 //! count and verified under every [`FRONTENDS`] point — all four fetch
 //! policies, every predictor family, and the two-port/wide-fetch shapes.
+//! Each seed also drives a heterogeneous column: a [`MixPlan`] of 2 and 4
+//! *different* generated programs, one per thread, verified per thread
+//! against solo reference runs under [`MIX_FRONTENDS`].
 //! Any divergence is greedily minimized (segments are masked off while the
-//! failure reproduces) and reported as a `(seed, mask)` pair that
-//! regenerates the exact failing program — then the process exits nonzero.
+//! failure reproduces — for mixes, across the concatenated per-thread
+//! masks) and reported as a `(seed, mask)` pair that regenerates the exact
+//! failing program — then the process exits nonzero.
 //!
 //! ```text
 //! cargo run --release -p smt-experiments --bin fuzz                    # 200 seeds
@@ -34,8 +38,10 @@ use std::time::Instant;
 
 use smt_core::{FetchPolicy, PredictorKind, SimConfig, Simulator};
 use smt_isa::Program;
-use smt_oracle::{verify, verify_with_checkpoints, Divergence, Report};
-use smt_testkit::progen::{GenConfig, Plan};
+use smt_oracle::{
+    verify, verify_mix, verify_mix_with_checkpoints, verify_with_checkpoints, Divergence, Report,
+};
+use smt_testkit::progen::{GenConfig, MixPlan, Plan};
 use smt_testkit::shrink;
 use smt_trace::Tracer;
 
@@ -107,6 +113,30 @@ const FRONTENDS: [FrontEnd; 8] = [
 ];
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// Front ends for the heterogeneous-mix column: every fetch policy
+/// appears once, crossed with varied predictor families and one two-port
+/// / 8-wide shape, at a quarter of the homogeneous matrix's cost.
+const MIX_FRONTENDS: [FrontEnd; 4] = [
+    fe(FetchPolicy::TrueRoundRobin, PredictorKind::SharedBtb, 1, 4),
+    fe(FetchPolicy::Icount, PredictorKind::Gshare, 1, 4),
+    fe(
+        FetchPolicy::MaskedRoundRobin,
+        PredictorKind::PartitionedBtb,
+        1,
+        4,
+    ),
+    fe(
+        FetchPolicy::ConditionalSwitch,
+        PredictorKind::SharedBtb,
+        2,
+        8,
+    ),
+];
+
+/// Thread counts for the mix column: a mix of `t` programs only exists at
+/// `t` threads, and one thread is the homogeneous case.
+const MIX_THREADS: [usize; 2] = [2, 4];
+
 /// Generous for generated programs (thousands of cycles each), tight
 /// enough that a livelocked machine fails fast as a harness divergence.
 const FUZZ_MAX_CYCLES: u64 = 2_000_000;
@@ -166,6 +196,20 @@ fn run_verify(
     }
 }
 
+/// The mix counterpart of [`run_verify`]: `programs[tid]` runs on thread
+/// `tid`, each checked against a solo reference run of its own program.
+fn run_verify_mix(
+    programs: &[Program],
+    cfg: SimConfig,
+    checkpoint_every: Option<u64>,
+) -> Result<Report, Box<Divergence>> {
+    let refs: Vec<&Program> = programs.iter().collect();
+    match checkpoint_every {
+        Some(every) => verify_mix_with_checkpoints(&refs, cfg, every),
+        None => verify_mix(&refs, cfg),
+    }
+}
+
 /// Verifies one seed at every (policy, thread count) point. Returns the
 /// number of verifications done and the first failure, minimized.
 fn fuzz_seed(
@@ -193,6 +237,23 @@ fn fuzz_seed(
                         trace,
                         checkpoint_every,
                     )),
+                );
+            }
+        }
+    }
+    // The heterogeneous column: every thread runs a *different* generated
+    // program, checked per thread against a solo reference run.
+    for threads in MIX_THREADS {
+        let mix = MixPlan::generate(seed, threads, gen_cfg);
+        let programs = mix
+            .build_full()
+            .unwrap_or_else(|e| panic!("seed {seed}: mix must lower at {threads} slots: {e}"));
+        for frontend in MIX_FRONTENDS {
+            runs += 1;
+            if let Err(d) = run_verify_mix(&programs, config(frontend, threads), checkpoint_every) {
+                return (
+                    runs,
+                    Some(minimize_mix(&mix, frontend, &d, trace, checkpoint_every)),
                 );
             }
         }
@@ -251,6 +312,87 @@ fn minimize(
         threads,
         report,
     }
+}
+
+/// Shrinks a failing mix under its failing front end: the minimizer works
+/// on the concatenation of the per-slot masks, so segments vanish from
+/// every thread's program at once until only the interacting parts remain.
+fn minimize_mix(
+    mix: &MixPlan,
+    frontend: FrontEnd,
+    original: &smt_oracle::Divergence,
+    trace: bool,
+    checkpoint_every: Option<u64>,
+) -> Failure {
+    let threads = mix.plans.len();
+    let mask = shrink::minimize(mix.mask_len(), |mask| {
+        mix.build(mask).is_ok_and(|ps| {
+            run_verify_mix(&ps, config(frontend, threads), checkpoint_every).is_err()
+        })
+    });
+    let minimized = mix
+        .build(&mask)
+        .expect("minimizer only keeps buildable masks");
+    let divergence = match run_verify_mix(&minimized, config(frontend, threads), checkpoint_every) {
+        Err(d) => *d,
+        Ok(_) => original.clone(),
+    };
+    let mask_bits: String = mask.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    let mut listing = String::new();
+    for (slot, p) in minimized.iter().enumerate() {
+        listing.push_str(&format!(
+            "  thread {slot} program ({} instructions):\n",
+            p.text().len()
+        ));
+        for (pc, insn) in p.text().iter().enumerate() {
+            listing.push_str(&format!("    {pc:4}: {insn}\n"));
+        }
+    }
+    let window = if trace {
+        lifecycle_window_mix(&minimized, frontend, threads, divergence.cycle)
+    } else {
+        String::new()
+    };
+    let report = format!(
+        "seed {seed} (heterogeneous mix) diverges under {frontend} with {threads} thread(s)\n\
+         minimized concatenated mask: {mask_bits}  ({desc})\n\
+         repro: MixPlan::generate({seed}, {threads}, &GenConfig::default()).build(&mask)\n\
+         {divergence}\n{listing}{window}",
+        seed = mix.seed,
+        desc = mix.describe(&mask),
+    );
+    Failure {
+        seed: mix.seed,
+        frontend,
+        threads,
+        report,
+    }
+}
+
+/// [`lifecycle_window`] for a mix: the traced rerun restarts the machine
+/// with the per-thread programs.
+fn lifecycle_window_mix(
+    programs: &[Program],
+    frontend: FrontEnd,
+    threads: usize,
+    cycle: u64,
+) -> String {
+    let cfg = config(frontend, threads);
+    let (start, end) = (cycle.saturating_sub(TRACE_SPAN), cycle + TRACE_SPAN);
+    let cap = usize::try_from((end - start + 1) * cfg.block_size as u64).unwrap_or(4096);
+    let mut tracer = Tracer::new(cfg.trace_shape(), cap).with_window(start, end);
+    let refs: Vec<&Program> = programs.iter().collect();
+    let mut sim = match Simulator::try_new_mix(cfg, &refs) {
+        Ok(sim) => sim,
+        Err(e) => return format!("(no lifecycle window: mix rebuild failed: {e})\n"),
+    };
+    let outcome = sim.run_traced(&mut tracer);
+    let mut out = format!("lifecycle window, instructions decoded in cycles {start}..={end}:\n");
+    out.push_str(&tracer.lifecycle.render());
+    if let Err(e) = outcome {
+        out.push_str(&format!("(traced rerun ended early: {e})\n"));
+    }
+    out
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -321,9 +463,12 @@ fn main() {
     });
     println!(
         "fuzz: {total_runs} verifications over {seeds} seeds x {} front ends x {:?} threads \
+         (+ mixes: {} front ends x {:?} slots) \
          in {secs:.1}s ({:.0} programs/sec, {workers} workers{splices})",
         FRONTENDS.len(),
         THREAD_COUNTS,
+        MIX_FRONTENDS.len(),
+        MIX_THREADS,
         f64::from(u32::try_from(total_runs).unwrap_or(u32::MAX)) / secs.max(1e-9),
     );
     if failures.is_empty() {

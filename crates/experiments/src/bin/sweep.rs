@@ -16,11 +16,19 @@
 //! cargo run --release -p smt-experiments --bin sweep -- --out target/sweep
 //! cargo run --release -p smt-experiments --bin sweep -- \
 //!     --out target/sweep --grid smoke --scale test --checkpoint-every 5000
+//! cargo run --release -p smt-experiments --bin sweep -- \
+//!     --out target/hetero --grid hetero --scale test
 //! ```
+//!
+//! `--grid hetero` sweeps corpus kernels and heterogeneous per-thread
+//! mixes; it loads the workload corpus from `corpus/` unless `--corpus
+//! <dir>` points elsewhere.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
+use smt_corpus::Corpus;
 use smt_experiments::sweep::{run_sweep, Grid, SweepOptions};
 use smt_workloads::Scale;
 
@@ -36,11 +44,13 @@ fn main() {
     let out = PathBuf::from(
         flag_value(&args, "--out").expect("--out <dir> is required (cache and results live there)"),
     );
-    let grid = match flag_value(&args, "--grid").as_deref() {
+    let grid_name = flag_value(&args, "--grid");
+    let grid = match grid_name.as_deref() {
         None | Some("smoke") => Grid::smoke(),
         Some("paper") => Grid::paper(),
         Some("frontend") => Grid::frontend(),
-        Some(other) => panic!("--grid takes smoke|paper|frontend, not {other}"),
+        Some("hetero") => Grid::hetero(),
+        Some(other) => panic!("--grid takes smoke|paper|frontend|hetero, not {other}"),
     };
     let scale = match flag_value(&args, "--scale").as_deref() {
         None | Some("test") => Scale::Test,
@@ -71,6 +81,16 @@ fn main() {
     // be exercised from the command line.
     if let Some(v) = flag_value(&args, "--code-version") {
         opts.code_version = v;
+    }
+    // The hetero grid names corpus kernels, so it defaults the corpus to
+    // the repository's `corpus/` directory; any grid accepts an explicit
+    // `--corpus <dir>`.
+    let corpus_dir = flag_value(&args, "--corpus")
+        .or_else(|| matches!(grid_name.as_deref(), Some("hetero")).then(|| "corpus".to_string()));
+    if let Some(dir) = corpus_dir {
+        let corpus = Corpus::load(&dir)
+            .unwrap_or_else(|e| panic!("--corpus {dir}: cannot load the workload corpus: {e}"));
+        opts.corpus = Some(Arc::new(corpus));
     }
 
     let began = Instant::now();

@@ -44,6 +44,7 @@ use smt_core::{
     config_identity, program_identity, FetchPolicy, PredictorKind, SimConfig, SimError, Simulator,
     Snapshot,
 };
+use smt_corpus::Corpus;
 use smt_isa::Program;
 use smt_mem::CacheKind;
 use smt_trace::{CpiBreakdown, CpiStack};
@@ -52,11 +53,161 @@ use smt_workloads::{workload, Scale, WorkloadKind};
 use crate::json::object_to_json;
 use crate::Cell;
 
+/// One program source a cell can run: a built-in benchmark or a named
+/// workload of the on-disk corpus ([`SweepOptions::corpus`]).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum WorkRef {
+    /// A built-in benchmark.
+    Builtin(WorkloadKind),
+    /// A corpus workload, by manifest name.
+    Corpus(String),
+}
+
+impl WorkRef {
+    /// Display name: the builtin's canonical name, or the corpus name
+    /// (corpus names are already lowercase by manifest rule).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            WorkRef::Builtin(k) => k.name().to_string(),
+            WorkRef::Corpus(n) => n.clone(),
+        }
+    }
+
+    /// The lowercase spelling used inside cell ids.
+    #[must_use]
+    pub fn id_part(&self) -> String {
+        self.name().to_lowercase()
+    }
+
+    /// Parses one name: built-in benchmarks match case-insensitively,
+    /// anything else that is a legal corpus identifier is a corpus
+    /// reference (resolved against the attached corpus at run time).
+    ///
+    /// # Errors
+    ///
+    /// An explanation when `s` is neither.
+    pub fn parse(s: &str) -> Result<WorkRef, String> {
+        if let Some(kind) = WorkloadKind::ALL
+            .iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+        {
+            return Ok(WorkRef::Builtin(*kind));
+        }
+        if smt_corpus::manifest::valid_name(s) {
+            return Ok(WorkRef::Corpus(s.to_string()));
+        }
+        Err(format!(
+            "workload {s:?} is neither a built-in benchmark nor a legal corpus name"
+        ))
+    }
+}
+
+impl From<WorkloadKind> for WorkRef {
+    fn from(kind: WorkloadKind) -> Self {
+        WorkRef::Builtin(kind)
+    }
+}
+
+/// What a cell runs: one program on every thread (uniform — the
+/// homogeneous-multitasking model of the paper), or one program *per*
+/// thread (a heterogeneous mix, spelled `a+b` in ids and the serve
+/// protocol). A mix's arity must equal the cell's thread count.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WorkSpec {
+    refs: Vec<WorkRef>,
+}
+
+impl WorkSpec {
+    /// A uniform workload (every thread runs the same program).
+    #[must_use]
+    pub fn uniform(r: impl Into<WorkRef>) -> Self {
+        WorkSpec {
+            refs: vec![r.into()],
+        }
+    }
+
+    /// A named corpus workload, uniform across threads.
+    #[must_use]
+    pub fn corpus(name: &str) -> Self {
+        WorkSpec::uniform(WorkRef::Corpus(name.to_string()))
+    }
+
+    /// A heterogeneous per-thread mix. A single-element mix collapses
+    /// to the uniform spec (the two are the same machine).
+    #[must_use]
+    pub fn mix(refs: Vec<WorkRef>) -> Self {
+        assert!(!refs.is_empty(), "a work spec needs at least one program");
+        WorkSpec { refs }
+    }
+
+    /// The per-thread program references (length 1 = uniform).
+    #[must_use]
+    pub fn refs(&self) -> &[WorkRef] {
+        &self.refs
+    }
+
+    /// Whether this is a per-thread mix.
+    #[must_use]
+    pub fn is_mix(&self) -> bool {
+        self.refs.len() > 1
+    }
+
+    /// Canonical display name: single name, or `'+'`-joined mix.
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.refs
+            .iter()
+            .map(WorkRef::name)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// The lowercase `'+'`-joined spelling used inside cell ids.
+    #[must_use]
+    pub fn id_part(&self) -> String {
+        self.refs
+            .iter()
+            .map(WorkRef::id_part)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Parses `a` or `a+b+c` (the wire spelling of the serve protocol).
+    ///
+    /// # Errors
+    ///
+    /// An explanation when any component fails [`WorkRef::parse`].
+    pub fn parse(s: &str) -> Result<WorkSpec, String> {
+        let refs = s
+            .split('+')
+            .map(WorkRef::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        if refs.is_empty() {
+            return Err("empty workload name".into());
+        }
+        Ok(WorkSpec { refs })
+    }
+}
+
+impl From<WorkloadKind> for WorkSpec {
+    fn from(kind: WorkloadKind) -> Self {
+        WorkSpec::uniform(kind)
+    }
+}
+
+impl fmt::Display for WorkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
 /// The declarative sweep space: the cross product of every field.
 #[derive(Clone, Debug)]
 pub struct Grid {
-    /// Benchmarks to sweep.
-    pub workloads: Vec<WorkloadKind>,
+    /// Workloads to sweep: built-in benchmarks, corpus kernels, or
+    /// per-thread mixes.
+    pub workloads: Vec<WorkSpec>,
     /// Fetch policies.
     pub policies: Vec<FetchPolicy>,
     /// Branch-predictor families.
@@ -80,7 +231,7 @@ impl Grid {
     #[must_use]
     pub fn smoke() -> Self {
         Grid {
-            workloads: vec![WorkloadKind::Sieve, WorkloadKind::Ll3],
+            workloads: vec![WorkloadKind::Sieve.into(), WorkloadKind::Ll3.into()],
             policies: POLICIES.to_vec(),
             predictors: vec![PredictorKind::SharedBtb],
             threads: vec![1, 2, 4, 8],
@@ -95,7 +246,7 @@ impl Grid {
     #[must_use]
     pub fn paper() -> Self {
         Grid {
-            workloads: WorkloadKind::ALL.to_vec(),
+            workloads: WorkloadKind::ALL.iter().map(|&k| k.into()).collect(),
             policies: POLICIES.to_vec(),
             predictors: vec![PredictorKind::SharedBtb],
             threads: vec![1, 2, 4, 6, 8],
@@ -114,7 +265,7 @@ impl Grid {
     #[must_use]
     pub fn frontend() -> Self {
         Grid {
-            workloads: vec![WorkloadKind::Matrix, WorkloadKind::Ll7],
+            workloads: vec![WorkloadKind::Matrix.into(), WorkloadKind::Ll7.into()],
             policies: vec![
                 FetchPolicy::TrueRoundRobin,
                 FetchPolicy::MaskedRoundRobin,
@@ -130,21 +281,57 @@ impl Grid {
         }
     }
 
+    /// The heterogeneous-mix study: two corpus kernels solo (for the
+    /// interference baselines), two 2-program mixes pairing a cache-hungry
+    /// streamer with a compute-bound kernel, and one 4-program mix —
+    /// each under round-robin and ICOUNT fetch so the fairness question
+    /// has an answer in the same results file. Mixes only materialize at
+    /// the thread count matching their arity ([`Grid::cells`] skips the
+    /// rest), so the grid flattens to 14 cells.
+    #[must_use]
+    pub fn hetero() -> Self {
+        let mpd = WorkRef::Builtin(WorkloadKind::Mpd);
+        let ll7 = WorkRef::Builtin(WorkloadKind::Ll7);
+        let matmul = WorkRef::Corpus("matmul".into());
+        let memstress = WorkRef::Corpus("memstress".into());
+        Grid {
+            workloads: vec![
+                WorkSpec::corpus("quicksort"),
+                WorkSpec::corpus("matmul"),
+                WorkSpec::mix(vec![mpd.clone(), matmul.clone()]),
+                WorkSpec::mix(vec![memstress.clone(), ll7.clone()]),
+                WorkSpec::mix(vec![mpd, matmul, memstress, ll7]),
+            ],
+            policies: vec![FetchPolicy::TrueRoundRobin, FetchPolicy::Icount],
+            predictors: vec![PredictorKind::SharedBtb],
+            threads: vec![2, 4],
+            fetch_threads: vec![1],
+            fetch_widths: vec![defaults::FETCH_WIDTH],
+            su_depths: vec![32],
+            caches: vec![CacheKind::SetAssociative],
+        }
+    }
+
     /// Flattens the grid into cells, in a deterministic order (workload
-    /// outermost, cache geometry innermost).
+    /// outermost, cache geometry innermost). Per-thread mixes pair only
+    /// with the thread count matching their arity — the other thread
+    /// counts are not holes to record but points that do not exist.
     #[must_use]
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
-        for &kind in &self.workloads {
+        for work in &self.workloads {
             for &policy in &self.policies {
                 for &predictor in &self.predictors {
                     for &threads in &self.threads {
+                        if work.is_mix() && work.refs().len() != threads {
+                            continue;
+                        }
                         for &fetch_threads in &self.fetch_threads {
                             for &fetch_width in &self.fetch_widths {
                                 for &su_depth in &self.su_depths {
                                     for &cache in &self.caches {
                                         out.push(CellSpec {
-                                            kind,
+                                            work: work.clone(),
                                             policy,
                                             predictor,
                                             threads,
@@ -172,10 +359,10 @@ const POLICIES: [FetchPolicy; 3] = [
 ];
 
 /// One point of the sweep space.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CellSpec {
-    /// Benchmark.
-    pub kind: WorkloadKind,
+    /// What the threads run: one program, or one per thread.
+    pub work: WorkSpec,
     /// Fetch policy.
     pub policy: FetchPolicy,
     /// Branch-predictor family.
@@ -197,7 +384,7 @@ impl Default for CellSpec {
     /// matches what an absent field means in the serve protocol.
     fn default() -> Self {
         CellSpec {
-            kind: WorkloadKind::Sieve,
+            work: WorkloadKind::Sieve.into(),
             policy: FetchPolicy::default(),
             predictor: PredictorKind::default(),
             threads: defaults::THREADS,
@@ -242,7 +429,7 @@ impl CellSpec {
         };
         let mut id = format!(
             "{}-{policy}-t{}-su{}-{cache}",
-            self.kind.name().to_lowercase(),
+            self.work.id_part(),
             self.threads,
             self.su_depth,
         );
@@ -392,7 +579,7 @@ impl CellRecord {
     pub fn to_json(&self, spec: &CellSpec) -> String {
         object_to_json(&[
             ("id", Cell::Text(self.id.clone())),
-            ("workload", Cell::Text(spec.kind.name().to_string())),
+            ("workload", Cell::Text(spec.work.name())),
             ("policy", Cell::Text(format!("{:?}", spec.policy))),
             ("predictor", Cell::Text(format!("{:?}", spec.predictor))),
             ("threads", Cell::Int(spec.threads as u64)),
@@ -437,6 +624,10 @@ pub struct SweepOptions {
     /// Cells per super-job; `None` lets the planner pick (see
     /// [`default_batch`]). `Some(1)` recovers strictly per-cell execution.
     pub batch: Option<usize>,
+    /// The on-disk workload corpus, when one is attached. Cells that
+    /// reference a corpus kernel by name resolve against this; without
+    /// one, such cells record as infeasible with a "no corpus" reason.
+    pub corpus: Option<Arc<Corpus>>,
 }
 
 impl Default for SweepOptions {
@@ -447,6 +638,7 @@ impl Default for SweepOptions {
             checkpoint_every: None,
             code_version: env!("CARGO_PKG_VERSION").to_string(),
             batch: None,
+            corpus: None,
         }
     }
 }
@@ -493,9 +685,9 @@ pub fn default_batch(cells: usize, workers: usize) -> usize {
 #[must_use]
 pub fn plan_batches(specs: &[CellSpec], batch: usize) -> Vec<Vec<usize>> {
     let batch = batch.max(1);
-    let mut groups: Vec<((WorkloadKind, usize), Vec<usize>)> = Vec::new();
+    let mut groups: Vec<((WorkSpec, usize), Vec<usize>)> = Vec::new();
     for (i, s) in specs.iter().enumerate() {
-        let key = (s.kind, s.threads);
+        let key = (s.work.clone(), s.threads);
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, v)) => v.push(i),
             None => groups.push((key, vec![i])),
@@ -511,34 +703,75 @@ pub fn plan_batches(specs: &[CellSpec], batch: usize) -> Vec<Vec<usize>> {
         .collect()
 }
 
-/// A built kernel, or why lowering it failed at this thread count.
-type Built = Arc<Result<Program, String>>;
+/// The built kernel(s) of a cell — one program for a uniform workload,
+/// one per thread for a mix — or why lowering failed at this thread
+/// count.
+type Built = Arc<Result<Vec<Program>, String>>;
 
 /// Kernel memo shared by the workers: the program text depends only on
-/// `(kind, threads)` at a fixed scale, and both cache validation and
+/// `(work, threads)` at a fixed scale, and both cache validation and
 /// execution need it.
 struct Programs {
     scale: Scale,
-    built: Mutex<HashMap<(WorkloadKind, usize), Built>>,
+    corpus: Option<Arc<Corpus>>,
+    built: Mutex<HashMap<(WorkSpec, usize), Built>>,
 }
 
 impl Programs {
-    fn new(scale: Scale) -> Self {
+    fn new(scale: Scale, corpus: Option<Arc<Corpus>>) -> Self {
         Programs {
             scale,
+            corpus,
             built: Mutex::new(HashMap::new()),
         }
     }
 
-    fn get(&self, kind: WorkloadKind, threads: usize) -> Built {
+    /// Builds one program reference. Built-ins take the thread count the
+    /// partition must fit; corpus kernels are SPMD over a runtime thread
+    /// id and assemble identically at every thread count.
+    fn build_ref(&self, r: &WorkRef, threads: usize) -> Result<Program, String> {
+        match r {
+            WorkRef::Builtin(kind) => workload(*kind, self.scale)
+                .build(threads)
+                .map_err(|e| e.to_string()),
+            WorkRef::Corpus(name) => {
+                let corpus = self
+                    .corpus
+                    .as_deref()
+                    .ok_or_else(|| format!("workload {name:?} needs a corpus (--corpus)"))?;
+                let w = corpus
+                    .get(name)
+                    .ok_or_else(|| format!("no workload {name:?} in the corpus"))?;
+                w.build(self.scale).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    fn get(&self, work: &WorkSpec, threads: usize) -> Built {
         let mut built = self.built.lock().expect("program memo poisoned");
-        Arc::clone(built.entry((kind, threads)).or_insert_with(|| {
-            Arc::new(
-                workload(kind, self.scale)
-                    .build(threads)
-                    .map_err(|e| e.to_string()),
-            )
-        }))
+        if let Some(b) = built.get(&(work.clone(), threads)) {
+            return Arc::clone(b);
+        }
+        let result = if work.is_mix() {
+            if work.refs().len() == threads {
+                // Each mix slot is a single-threaded tenant of its own
+                // address-space segment.
+                work.refs()
+                    .iter()
+                    .map(|r| self.build_ref(r, 1))
+                    .collect::<Result<Vec<_>, _>>()
+            } else {
+                Err(format!(
+                    "mix of {} programs cannot run on {threads} threads",
+                    work.refs().len()
+                ))
+            }
+        } else {
+            self.build_ref(&work.refs()[0], threads).map(|p| vec![p])
+        };
+        let b: Built = Arc::new(result);
+        built.insert((work.clone(), threads), Arc::clone(&b));
+        b
     }
 }
 
@@ -740,9 +973,37 @@ impl Scheduler {
         fs::create_dir_all(out.join("ckpt"))?;
         Ok(Scheduler {
             out: out.to_path_buf(),
-            programs: Programs::new(opts.scale),
+            programs: Programs::new(opts.scale, opts.corpus.clone()),
             opts,
         })
+    }
+
+    /// Checks that every program reference of `work` can resolve under
+    /// this scheduler — builtin names always do; corpus names need an
+    /// attached corpus that knows them. The serve daemon calls this at
+    /// admission so a typo'd workload name becomes a typed protocol error
+    /// instead of an infeasible record polluting the shared store.
+    ///
+    /// # Errors
+    ///
+    /// An explanation naming the unresolvable reference.
+    pub fn resolve(&self, work: &WorkSpec) -> Result<(), String> {
+        for r in work.refs() {
+            if let WorkRef::Corpus(name) = r {
+                let corpus = self
+                    .opts
+                    .corpus
+                    .as_deref()
+                    .ok_or_else(|| format!("workload {name:?} needs a corpus (--corpus)"))?;
+                if corpus.get(name).is_none() {
+                    return Err(format!(
+                        "no workload {name:?} in the corpus (have: {})",
+                        corpus.names().collect::<Vec<_>>().join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The execution knobs this scheduler runs with.
@@ -762,9 +1023,17 @@ impl Scheduler {
     /// reuses the memoized) program; a kernel that fails to lower hashes
     /// as 0, exactly as its infeasible record is written.
     fn identities(&self, spec: &CellSpec) -> (u64, u64, Built) {
-        let built = self.programs.get(spec.kind, spec.threads);
+        let built = self.programs.get(&spec.work, spec.threads);
         let program_hash = match built.as_ref() {
-            Ok(p) => program_identity(p),
+            // A uniform cell hashes its single program exactly as before
+            // mixes existed (existing caches stay valid); a mix hashes
+            // the ordered vector of per-program identities.
+            Ok(ps) => match ps.as_slice() {
+                [p] => program_identity(p),
+                ps => smt_checkpoint::stable_hash(
+                    &ps.iter().map(program_identity).collect::<Vec<u64>>(),
+                ),
+            },
             Err(_) => 0,
         };
         (config_identity(&spec.config()), program_hash, built)
@@ -845,6 +1114,27 @@ impl Scheduler {
         cell.sim.finished()
     }
 
+    /// Verifies one program's architectural answer against the memory
+    /// words of its (possibly thread-local) address space.
+    fn check_ref(&self, r: &WorkRef, words: &[u64]) -> Result<(), String> {
+        match r {
+            WorkRef::Builtin(kind) => workload(*kind, self.opts.scale)
+                .check(words)
+                .map_err(|e| e.to_string()),
+            WorkRef::Corpus(name) => {
+                let corpus = self
+                    .opts
+                    .corpus
+                    .as_deref()
+                    .ok_or_else(|| format!("workload {name:?} needs a corpus"))?;
+                let w = corpus
+                    .get(name)
+                    .ok_or_else(|| format!("no workload {name:?} in the corpus"))?;
+                w.verify(words, self.opts.scale)
+            }
+        }
+    }
+
     /// Drains a finished cell: finalizes statistics, verifies the
     /// architectural answer, drops the now-dead snapshot, and builds the
     /// record. Returns `(record, cycles simulated, cpi breakdown)`.
@@ -860,9 +1150,20 @@ impl Scheduler {
             .sim
             .run()
             .unwrap_or_else(|e| panic!("{id}: finalize failed: {e}"));
-        workload(cell.spec.kind, self.opts.scale)
-            .check(cell.sim.memory().words())
-            .unwrap_or_else(|e| panic!("{id}: wrong answer: {e}"));
+        let words = cell.sim.memory().words();
+        if cell.spec.work.is_mix() {
+            // Every tenant is verified against its own address-space
+            // segment, exactly as if it had run alone.
+            for (tid, r) in cell.spec.work.refs().iter().enumerate() {
+                let (base, span) = cell.sim.thread_segment(tid);
+                let local = &words[(base / 8) as usize..((base + span) / 8) as usize];
+                self.check_ref(r, local)
+                    .unwrap_or_else(|e| panic!("{id}: thread {tid} wrong answer: {e}"));
+            }
+        } else {
+            self.check_ref(&cell.spec.work.refs()[0], words)
+                .unwrap_or_else(|e| panic!("{id}: wrong answer: {e}"));
+        }
         let _ = fs::remove_file(ckpt_path(&self.out, id));
         let rec = CellRecord {
             id: cell.id.clone(),
@@ -907,7 +1208,7 @@ impl Scheduler {
             write_atomic(&cell_path(out, &spec.id()), rec.to_lines().as_bytes())
                 .unwrap_or_else(|e| panic!("{}: cannot persist cell: {e}", spec.id()));
             CellOutcome {
-                spec: *spec,
+                spec: spec.clone(),
                 rec,
                 ran: true,
                 resumed,
@@ -917,14 +1218,14 @@ impl Scheduler {
         };
         for &i in idxs {
             let spec = &specs[i];
-            debug_assert_eq!((spec.kind, spec.threads), (first.kind, first.threads));
+            debug_assert_eq!((&spec.work, spec.threads), (&first.work, first.threads));
             let config = spec.config();
             let config_hash = config_identity(&config);
             if let Some(rec) =
                 load_valid_cell(out, spec, &opts.code_version, config_hash, program_hash)
             {
                 done.push(CellOutcome {
-                    spec: *spec,
+                    spec: spec.clone(),
                     rec,
                     ran: false,
                     resumed: false,
@@ -933,7 +1234,7 @@ impl Scheduler {
                 });
                 continue;
             }
-            let program = match built.as_ref() {
+            let programs = match built.as_ref() {
                 Err(e) => {
                     let rec = infeasible_record(
                         spec,
@@ -945,14 +1246,21 @@ impl Scheduler {
                     done.push(persist(spec, rec, false, 0, None));
                     continue;
                 }
-                Ok(p) => p,
+                Ok(ps) => ps,
             };
+            // Uniform cells replicate one program across the partition
+            // (the pre-mix construction paths, so their snapshots and
+            // identity hashes are unchanged); a mix places one
+            // single-threaded program per thread.
+            let mix: Vec<&Program> = programs.iter().collect();
             let id = spec.id();
-            match load_ckpt(out, &id, &opts.code_version)
-                .and_then(|snap| Simulator::restore(config.clone(), program, &snap).ok())
-            {
+            let restored = load_ckpt(out, &id, &opts.code_version).and_then(|snap| match mix[..] {
+                [p] => Simulator::restore(config.clone(), p, &snap).ok(),
+                _ => Simulator::restore_mix(config.clone(), &mix, &snap).ok(),
+            });
+            match restored {
                 Some(sim) => running.push(Running {
-                    spec: *spec,
+                    spec: spec.clone(),
                     id,
                     config,
                     start_cycle: sim.cycle(),
@@ -960,30 +1268,36 @@ impl Scheduler {
                     resumed: true,
                     cpi: None,
                 }),
-                None => match Simulator::try_new(config.clone(), program) {
-                    Ok(sim) => running.push(Running {
-                        spec: *spec,
-                        id,
-                        cpi: cpi.then(|| CpiStack::new(config.trace_shape().width)),
-                        config,
-                        sim,
-                        resumed: false,
-                        start_cycle: 0,
-                    }),
-                    // Config rejections are holes in the space too: e.g.
-                    // two fetch ports with a single resident thread.
-                    Err(e @ (SimError::RegisterWindow { .. } | SimError::Config(_))) => {
-                        let rec = infeasible_record(
-                            spec,
-                            &opts.code_version,
-                            config_hash,
-                            program_hash,
-                            e.to_string(),
-                        );
-                        done.push(persist(spec, rec, false, 0, None));
+                None => {
+                    let fresh = match mix[..] {
+                        [p] => Simulator::try_new(config.clone(), p),
+                        _ => Simulator::try_new_mix(config.clone(), &mix),
+                    };
+                    match fresh {
+                        Ok(sim) => running.push(Running {
+                            spec: spec.clone(),
+                            id,
+                            cpi: cpi.then(|| CpiStack::new(config.trace_shape().width)),
+                            config,
+                            sim,
+                            resumed: false,
+                            start_cycle: 0,
+                        }),
+                        // Config rejections are holes in the space too: e.g.
+                        // two fetch ports with a single resident thread.
+                        Err(e @ (SimError::RegisterWindow { .. } | SimError::Config(_))) => {
+                            let rec = infeasible_record(
+                                spec,
+                                &opts.code_version,
+                                config_hash,
+                                program_hash,
+                                e.to_string(),
+                            );
+                            done.push(persist(spec, rec, false, 0, None));
+                        }
+                        Err(e) => panic!("{id}: simulator rejected the cell: {e}"),
                     }
-                    Err(e) => panic!("{id}: simulator rejected the cell: {e}"),
-                },
+                }
             }
         }
         // Interleave: rotate through the live cells one quantum at a
@@ -995,7 +1309,7 @@ impl Scheduler {
                 if self.advance(&mut running[i], on_tick) {
                     let cell = running.swap_remove(i);
                     let resumed = cell.resumed;
-                    let spec = cell.spec;
+                    let spec = cell.spec.clone();
                     let (rec, stepped, breakdown) = self.finalize(cell, program_hash);
                     done.push(persist(&spec, rec, resumed, stepped, breakdown));
                 } else {
@@ -1101,7 +1415,7 @@ mod tests {
 
     fn spec() -> CellSpec {
         CellSpec {
-            kind: WorkloadKind::Sieve,
+            work: WorkloadKind::Sieve.into(),
             policy: FetchPolicy::TrueRoundRobin,
             predictor: PredictorKind::SharedBtb,
             threads: 4,
@@ -1120,10 +1434,60 @@ mod tests {
             cache: CacheKind::DirectMapped,
             threads: 8,
             su_depth: 16,
-            kind: WorkloadKind::Ll12,
+            work: WorkloadKind::Ll12.into(),
             ..spec()
         };
         assert_eq!(other.id(), "ll12-cs-t8-su16-dm");
+    }
+
+    #[test]
+    fn mix_and_corpus_specs_spell_their_ids_with_plus_joins() {
+        let solo = CellSpec {
+            work: WorkSpec::corpus("quicksort"),
+            threads: 2,
+            ..spec()
+        };
+        assert_eq!(solo.id(), "quicksort-trr-t2-su32-sa");
+        let mixed = CellSpec {
+            work: WorkSpec::mix(vec![
+                WorkRef::Builtin(WorkloadKind::Mpd),
+                WorkRef::Corpus("matmul".into()),
+            ]),
+            threads: 2,
+            policy: FetchPolicy::Icount,
+            ..spec()
+        };
+        assert_eq!(mixed.id(), "mpd+matmul-ic-t2-su32-sa");
+    }
+
+    #[test]
+    fn work_specs_parse_their_own_spelling() {
+        for s in ["sieve", "quicksort", "mpd+matmul", "memstress+ll7"] {
+            let w = WorkSpec::parse(s).expect(s);
+            assert_eq!(w.id_part(), s, "parse/id round trip");
+        }
+        assert_eq!(
+            WorkSpec::parse("SIEVE").unwrap().refs()[0],
+            WorkRef::Builtin(WorkloadKind::Sieve),
+            "builtins match case-insensitively"
+        );
+        assert!(WorkSpec::parse("not-a-name!").is_err());
+        assert!(WorkSpec::parse("sieve+").is_err(), "empty mix slot");
+    }
+
+    #[test]
+    fn hetero_grid_pairs_mixes_only_with_their_arity() {
+        let cells = Grid::hetero().cells();
+        // 2 solo workloads x 2 policies x {2,4} threads = 8 cells, plus
+        // 2 two-program mixes and 1 four-program mix at 2 policies each.
+        assert_eq!(cells.len(), 14);
+        for c in &cells {
+            if c.work.is_mix() {
+                assert_eq!(c.work.refs().len(), c.threads);
+            }
+        }
+        let ids: std::collections::HashSet<String> = cells.iter().map(CellSpec::id).collect();
+        assert_eq!(ids.len(), cells.len(), "ids are unique");
     }
 
     #[test]
@@ -1170,7 +1534,7 @@ mod tests {
             assert_eq!(seen, (0..specs.len()).collect::<Vec<_>>());
             for job in &jobs {
                 assert!(job.len() <= batch);
-                let key = |i: &usize| (specs[*i].kind, specs[*i].threads);
+                let key = |i: &usize| (specs[*i].work.clone(), specs[*i].threads);
                 assert!(job.iter().all(|i| key(i) == key(&job[0])));
             }
         }

@@ -84,7 +84,7 @@ fn batched_resume_from_planted_snapshot_matches_a_clean_run() {
     // The victim: one feasible cell is left exactly as a killed worker
     // would leave it — a validated snapshot in ckpt/ and no cell file.
     let spec = CellSpec {
-        kind: WorkloadKind::Sieve,
+        work: WorkloadKind::Sieve.into(),
         policy: FetchPolicy::TrueRoundRobin,
         predictor: PredictorKind::SharedBtb,
         threads: 4,
@@ -93,7 +93,7 @@ fn batched_resume_from_planted_snapshot_matches_a_clean_run() {
         su_depth: 32,
         cache: CacheKind::SetAssociative,
     };
-    let program = workload(spec.kind, Scale::Test)
+    let program = workload(WorkloadKind::Sieve, Scale::Test)
         .build(spec.threads)
         .expect("kernel fits");
     let mut sim = Simulator::new(spec.config(), &program);

@@ -67,6 +67,13 @@ impl MainMemory {
         }
     }
 
+    /// Initializes memory from pre-built words — e.g. the concatenated
+    /// per-thread data images of a heterogeneous program mix.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>) -> Self {
+        MainMemory { words }
+    }
+
     /// Memory size in bytes.
     #[must_use]
     pub fn size(&self) -> u64 {

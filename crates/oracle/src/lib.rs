@@ -41,7 +41,7 @@ use std::fmt;
 use smt_core::{CommitSink, Retirement, SimConfig, SimError, SimStats, Simulator, Snapshot};
 use smt_isa::interp::{Interp, InterpError, Progress};
 use smt_isa::semantics::effective_addr;
-use smt_isa::{Opcode, Program, Reg};
+use smt_isa::{Opcode, Program, Reg, WORD_BYTES};
 use smt_mem::MemError;
 
 /// How a retirement disagreed with the reference interpreter.
@@ -516,6 +516,272 @@ pub fn verify_with_checkpoints(
     conclude(&sim, oracle, outcome)
 }
 
+/// Lockstep oracle for a heterogeneous program mix: one reference
+/// interpreter per hardware thread, each running its own program as a
+/// 1-thread machine — exactly the mix's architectural contract. Store
+/// addresses are localized (the machine's flat backing memory is global;
+/// each reference speaks thread-local addresses) before comparison;
+/// memory faults already carry thread-local addresses by construction.
+#[derive(Debug)]
+pub struct MixOracle<'p> {
+    /// One per-thread oracle, each over a 1-thread interpreter. Thread
+    /// `tid`'s retirements are localized and replayed on `oracles[tid]`.
+    oracles: Vec<Oracle<'p>>,
+    /// Per-thread byte offset of the thread's data segment in the flat
+    /// backing memory ([`Simulator::thread_segment`]).
+    bases: Vec<u64>,
+    seqno: u64,
+    divergence: Option<Box<Divergence>>,
+    confirmed_fault: Option<(usize, usize)>,
+}
+
+impl<'p> MixOracle<'p> {
+    /// Creates a mix oracle: `programs[tid]` runs on thread `tid`, whose
+    /// data segment starts `bases[tid]` bytes into the flat memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` and `bases` disagree in length.
+    #[must_use]
+    pub fn new(programs: &[&'p Program], bases: &[u64], fault_bound: usize) -> Self {
+        assert_eq!(
+            programs.len(),
+            bases.len(),
+            "one memory base per mix program"
+        );
+        MixOracle {
+            oracles: programs
+                .iter()
+                .map(|p| Oracle::new(p, 1, fault_bound))
+                .collect(),
+            bases: bases.to_vec(),
+            seqno: 0,
+            divergence: None,
+            confirmed_fault: None,
+        }
+    }
+
+    /// The first divergence observed, if any.
+    #[must_use]
+    pub fn divergence(&self) -> Option<&Divergence> {
+        self.divergence.as_deref()
+    }
+
+    /// Consumes the oracle, yielding the first divergence.
+    #[must_use]
+    pub fn into_divergence(self) -> Option<Box<Divergence>> {
+        self.divergence
+    }
+
+    /// Thread `tid`'s reference interpreter.
+    #[must_use]
+    pub fn interp(&self, tid: usize) -> &Interp<'p> {
+        self.oracles[tid].interp()
+    }
+
+    /// Expects thread `tid`'s reference to fault like the machine did
+    /// (see [`Oracle::expect_fault`]). The fault's address is
+    /// thread-local on both sides.
+    pub fn expect_fault(&mut self, tid: usize, pc: usize, fault: MemError) {
+        if self.divergence.is_some() || self.confirmed_fault.is_some() {
+            return;
+        }
+        self.oracles[tid].expect_fault(0, pc, fault);
+        self.reap(tid);
+    }
+
+    /// Lifts thread `tid`'s inner oracle verdicts (divergence, confirmed
+    /// fault) into the mix-level state, restoring the global thread id
+    /// and stream position.
+    fn reap(&mut self, tid: usize) {
+        if let Some((_, pc)) = self.oracles[tid].confirmed_fault.take() {
+            self.confirmed_fault = Some((tid, pc));
+        }
+        if self.divergence.is_some() {
+            return;
+        }
+        if let Some(mut d) = self.oracles[tid].divergence.take() {
+            d.tid = tid;
+            d.seqno = self.seqno;
+            self.divergence = Some(d);
+        }
+    }
+}
+
+impl CommitSink for MixOracle<'_> {
+    fn retired(&mut self, r: &Retirement) {
+        if self.divergence.is_none() {
+            let mut local = *r;
+            local.tid = 0;
+            if let Some((addr, data)) = local.mem {
+                // Wrapping subtraction keeps a cross-segment store (a
+                // global address below this thread's base) unequal to
+                // every thread-local address instead of panicking.
+                local.mem = Some((addr.wrapping_sub(self.bases[r.tid]), data));
+            }
+            self.oracles[r.tid].check(&local);
+            self.reap(r.tid);
+        }
+        self.seqno += 1;
+    }
+}
+
+/// Runs a heterogeneous mix (`programs[tid]` on thread `tid`) under
+/// `config` with a [`MixOracle`] attached — the mix counterpart of
+/// [`verify`]. Each thread's commit stream, final register window,
+/// memory segment, and retirement count are checked against a solo
+/// 1-thread reference run of its own program.
+///
+/// # Errors
+///
+/// The first [`Divergence`], as for [`verify`].
+pub fn verify_mix(programs: &[&Program], config: SimConfig) -> Result<Report, Box<Divergence>> {
+    let fault_bound = config.su_depth;
+    let mut sim =
+        Simulator::try_new_mix(config, programs).map_err(|e| harness_divergence(e.to_string()))?;
+    let bases: Vec<u64> = (0..programs.len())
+        .map(|t| sim.thread_segment(t).0)
+        .collect();
+    let mut oracle = MixOracle::new(programs, &bases, fault_bound);
+    let outcome = sim.run_observed(&mut oracle);
+    conclude_mix(&sim, oracle, outcome)
+}
+
+/// Like [`verify_mix`], but splices a serialize/decode/restore cycle
+/// into the run every `every` cycles (see [`verify_with_checkpoints`]):
+/// a clean report certifies mix snapshots are transparent.
+///
+/// # Errors
+///
+/// The first [`Divergence`]; snapshot failures surface as
+/// [`DivergenceKind::Harness`].
+///
+/// # Panics
+///
+/// Panics if `every` is zero.
+pub fn verify_mix_with_checkpoints(
+    programs: &[&Program],
+    config: SimConfig,
+    every: u64,
+) -> Result<Report, Box<Divergence>> {
+    assert!(every > 0, "checkpoint interval must be positive");
+    let fault_bound = config.su_depth;
+    let mut sim = Simulator::try_new_mix(config.clone(), programs)
+        .map_err(|e| harness_divergence(e.to_string()))?;
+    let bases: Vec<u64> = (0..programs.len())
+        .map(|t| sim.thread_segment(t).0)
+        .collect();
+    let mut oracle = MixOracle::new(programs, &bases, fault_bound);
+    let outcome = loop {
+        let mut step_error = None;
+        for _ in 0..every {
+            if sim.finished() {
+                break;
+            }
+            if sim.cycle() >= sim.config().max_cycles {
+                step_error = Some(SimError::Watchdog {
+                    cycles: sim.config().max_cycles,
+                });
+                break;
+            }
+            if let Err(e) = sim.step_observed(&mut oracle) {
+                step_error = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = step_error {
+            break Err(e);
+        }
+        if sim.finished() {
+            break sim.run_observed(&mut oracle);
+        }
+        let bytes = sim.checkpoint().to_bytes();
+        let snap = Snapshot::from_bytes(&bytes)
+            .map_err(|e| harness_divergence(format!("snapshot decode: {e}")))?;
+        sim = Simulator::restore_mix(config.clone(), programs, &snap)
+            .map_err(|e| harness_divergence(format!("snapshot restore: {e}")))?;
+    };
+    conclude_mix(&sim, oracle, outcome)
+}
+
+/// Mix counterpart of [`conclude`]: the final-state diff runs per
+/// thread, against each thread's own reference — its register window,
+/// its memory segment, its retirement count.
+fn conclude_mix(
+    sim: &Simulator<'_>,
+    mut oracle: MixOracle<'_>,
+    outcome: Result<SimStats, SimError>,
+) -> Result<Report, Box<Divergence>> {
+    match outcome {
+        Ok(stats) => {
+            if let Some(d) = oracle.divergence.take() {
+                return Err(d);
+            }
+            let threads = oracle.oracles.len();
+            let window = sim.reg_file().len() / threads;
+            let mut final_state_error = None;
+            for (tid, o) in oracle.oracles.iter().enumerate() {
+                let interp = o.interp();
+                let (base, span) = sim.thread_segment(tid);
+                let lo = (base / WORD_BYTES) as usize;
+                let hi = lo + (span / WORD_BYTES) as usize;
+                if !interp.finished() {
+                    final_state_error = Some(format!("thread {tid}: its reference has not halted"));
+                } else if stats.committed[tid] != interp.retired_counts().iter().sum::<u64>() {
+                    final_state_error = Some(format!(
+                        "thread {tid}: retirement counts differ: sim {}, reference {}",
+                        stats.committed[tid],
+                        interp.retired_counts().iter().sum::<u64>()
+                    ));
+                } else if sim.reg_file()[tid * window..(tid + 1) * window]
+                    != interp.reg_file()[..window]
+                {
+                    final_state_error = Some(format!("thread {tid}: register windows differ"));
+                } else if sim.memory().words()[lo..hi] != *interp.mem_words() {
+                    final_state_error = Some(format!("thread {tid}: memory segments differ"));
+                }
+                if final_state_error.is_some() {
+                    break;
+                }
+            }
+            if let Some(msg) = final_state_error {
+                return Err(Box::new(Divergence {
+                    seqno: oracle.seqno,
+                    cycle: stats.cycles,
+                    block: 0,
+                    tid: 0,
+                    pc: 0,
+                    disasm: String::new(),
+                    kind: DivergenceKind::FinalState(msg),
+                }));
+            }
+            Ok(Report {
+                cycles: stats.cycles,
+                instructions: stats.committed_total(),
+                fault: None,
+            })
+        }
+        Err(SimError::Mem { err, tid, pc }) => {
+            oracle.expect_fault(tid, pc, err);
+            if let Some(d) = oracle.divergence.take() {
+                return Err(d);
+            }
+            debug_assert_eq!(oracle.confirmed_fault, Some((tid, pc)));
+            Ok(Report {
+                cycles: sim.cycle(),
+                instructions: sim.stats().committed.iter().sum(),
+                fault: Some((tid, pc)),
+            })
+        }
+        Err(e) => {
+            if let Some(d) = oracle.divergence.take() {
+                return Err(d);
+            }
+            Err(harness_divergence(e.to_string()))
+        }
+    }
+}
+
 fn harness_divergence(msg: String) -> Box<Divergence> {
     Box::new(Divergence {
         seqno: 0,
@@ -714,6 +980,116 @@ mod tests {
             verify(&p, SimConfig::default().with_threads(threads))
                 .unwrap_or_else(|d| panic!("{threads} threads: {d}"));
         }
+    }
+
+    fn blur_like_program() -> Program {
+        // Memory-heavy: repeatedly loads neighbours and stores averages.
+        let mut b = ProgramBuilder::new();
+        let src = b.alloc_zeroed(16 * 8);
+        let dst = b.alloc_zeroed(16 * 8);
+        let [i, limit, addr, v, w, acc] = b.regs();
+        b.li(i, 1);
+        b.li(limit, 15);
+        let top = b.label();
+        b.bind(top);
+        b.slli(addr, i, 3);
+        b.addi(addr, addr, src as i32);
+        b.sd(i, addr, 0);
+        b.ld(v, addr, -8);
+        b.ld(w, addr, 0);
+        b.add(acc, v, w);
+        b.addi(addr, addr, (dst as i32) - (src as i32));
+        b.sd(acc, addr, 0);
+        b.addi(i, i, 1);
+        b.blt(i, limit, top);
+        b.halt();
+        b.build(1).unwrap()
+    }
+
+    #[test]
+    fn hetero_mixes_verify_across_policies() {
+        let a = sum_program();
+        let b = blur_like_program();
+        for policy in [
+            FetchPolicy::TrueRoundRobin,
+            FetchPolicy::MaskedRoundRobin,
+            FetchPolicy::Icount,
+        ] {
+            let config = SimConfig::default()
+                .with_threads(2)
+                .with_fetch_policy(policy);
+            let report =
+                verify_mix(&[&a, &b], config).unwrap_or_else(|d| panic!("{policy} mix: {d}"));
+            assert!(report.fault.is_none());
+            assert!(report.instructions > 0);
+        }
+        // Four threads, two of each program, interleaved.
+        let config = SimConfig::default().with_threads(4);
+        verify_mix(&[&a, &b, &a, &b], config).unwrap_or_else(|d| panic!("4-thread mix: {d}"));
+    }
+
+    #[test]
+    fn hetero_checkpointed_runs_match_uninterrupted_reports() {
+        let a = sum_program();
+        let b = blur_like_program();
+        let config = SimConfig::default().with_threads(2);
+        let plain = verify_mix(&[&a, &b], config.clone()).unwrap_or_else(|d| panic!("{d}"));
+        let spliced = verify_mix_with_checkpoints(&[&a, &b], config, 13)
+            .unwrap_or_else(|d| panic!("checkpointed mix: {d}"));
+        assert_eq!(spliced, plain, "mix splices must be transparent");
+    }
+
+    #[test]
+    fn hetero_agreed_fault_is_not_a_divergence() {
+        // Thread 1's program faults; thread 0's is healthy. The fault
+        // must be confirmed against thread 1's own reference with its
+        // thread-local address.
+        let healthy = sum_program();
+        let mut b = ProgramBuilder::new();
+        let r = b.reg();
+        b.li(r, 1 << 40);
+        b.sd(r, r, 0);
+        b.halt();
+        let faulty = b.build(1).unwrap();
+        let report = verify_mix(&[&healthy, &faulty], SimConfig::default().with_threads(2))
+            .expect("fault agrees with thread 1's reference");
+        let (tid, pc) = report.fault.expect("run ends in a fault");
+        assert_eq!(tid, 1);
+        assert_eq!(faulty.fetch(pc).unwrap().op, Opcode::Sd);
+    }
+
+    #[test]
+    fn mix_store_corruption_is_caught() {
+        // Replay a real mix stream with thread 1's store aliased one
+        // slot over: the localized compare must trip StoreAddr.
+        let a = sum_program();
+        let b = blur_like_program();
+        let config = SimConfig::default().with_threads(2);
+        let mut sim = Simulator::try_new_mix(config.clone(), &[&a, &b]).unwrap();
+        struct Capture(Vec<Retirement>);
+        impl CommitSink for Capture {
+            fn retired(&mut self, r: &Retirement) {
+                self.0.push(*r);
+            }
+        }
+        let mut cap = Capture(Vec::new());
+        sim.run_observed(&mut cap).unwrap();
+        let bases = [sim.thread_segment(0).0, sim.thread_segment(1).0];
+        let mut o = MixOracle::new(&[&a, &b], &bases, 8);
+        let mut corrupted = false;
+        for r in &cap.0 {
+            let mut r = *r;
+            if !corrupted && r.tid == 1 && r.op() == Opcode::Sd {
+                let (addr, data) = r.mem.unwrap();
+                r.mem = Some((addr + 8, data));
+                corrupted = true;
+            }
+            o.retired(&r);
+        }
+        assert!(corrupted, "stream contains a thread-1 store");
+        let d = o.divergence().expect("aliased store detected");
+        assert_eq!(d.tid, 1, "divergence names the corrupted thread");
+        assert!(matches!(d.kind, DivergenceKind::StoreAddr { .. }));
     }
 
     /// Feeding the oracle a corrupted stream by hand proves each check

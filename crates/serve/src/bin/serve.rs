@@ -10,7 +10,13 @@
 //! cargo run --release -p smt-serve --bin serve -- --store target/serve
 //! cargo run --release -p smt-serve --bin serve -- \
 //!     --addr 127.0.0.1:7711 --store target/serve --scale paper --workers 8
+//! cargo run --release -p smt-serve --bin serve -- \
+//!     --store target/serve --corpus corpus
 //! ```
+//!
+//! `--corpus <dir>` attaches an on-disk workload corpus: submissions may
+//! then name corpus kernels and `'+'`-joined per-thread mixes
+//! (`mpd+matmul`) as workloads.
 //!
 //! The first stdout line is always
 //! `serve: listening on <ip>:<port> (...)` — scripts and the test
@@ -18,7 +24,9 @@
 //! `:0` (the default).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use smt_corpus::Corpus;
 use smt_experiments::sweep::SweepOptions;
 use smt_serve::server::Server;
 use smt_workloads::Scale;
@@ -56,6 +64,14 @@ fn main() {
     }
     if let Some(v) = flag_value(&args, "--code-version") {
         opts.code_version = v;
+    }
+    // With a corpus attached, submissions may name corpus kernels and
+    // '+'-joined per-thread mixes; without one, such cells are refused
+    // with a typed error at admission.
+    if let Some(dir) = flag_value(&args, "--corpus") {
+        let corpus = Corpus::load(&dir)
+            .unwrap_or_else(|e| panic!("--corpus {dir}: cannot load the workload corpus: {e}"));
+        opts.corpus = Some(Arc::new(corpus));
     }
 
     let workers = opts.workers;

@@ -23,8 +23,11 @@
 //!
 //! Dimension spellings match the cell-id abbreviations used everywhere
 //! else in the repository: policies `trr|mrr|cs|ic`, predictors
-//! `btb|gsh|pbtb`, caches `sa|dm`, workloads by case-insensitive name
-//! (`sieve`, `ll7`, `matrix`, …).
+//! `btb|gsh|pbtb`, caches `sa|dm`, workloads by case-insensitive
+//! built-in name (`sieve`, `ll7`, `matrix`, …) or corpus name
+//! (`quicksort`, …). A `'+'`-joined workload (`mpd+matmul`) is a
+//! heterogeneous per-thread mix; its arity must equal `threads`, and
+//! corpus names resolve only on a server started with `--corpus`.
 //!
 //! # Responses
 //!
@@ -45,7 +48,7 @@
 use smt_core::config::defaults;
 use smt_core::FetchPolicy;
 use smt_experiments::json::Value;
-use smt_experiments::sweep::{CellRecord, CellSpec, CellStatus, Grid};
+use smt_experiments::sweep::{CellRecord, CellSpec, CellStatus, Grid, WorkSpec};
 use smt_mem::CacheKind;
 use smt_trace::{CpiBreakdown, SlotCause};
 use smt_uarch::PredictorKind;
@@ -152,8 +155,9 @@ pub fn grid_by_name(name: &str) -> Result<Grid, String> {
         "smoke" => Ok(Grid::smoke()),
         "paper" => Ok(Grid::paper()),
         "frontend" => Ok(Grid::frontend()),
+        "hetero" => Ok(Grid::hetero()),
         other => Err(format!(
-            "unknown grid {other:?} (expected smoke|paper|frontend)"
+            "unknown grid {other:?} (expected smoke|paper|frontend|hetero)"
         )),
     }
 }
@@ -256,7 +260,7 @@ pub fn spec_from_value(v: &Value) -> Result<CellSpec, String> {
         return Err("cell spec must be a JSON object".into());
     };
     let workload = dim_str(v, "workload")?.ok_or("cell spec needs a \"workload\"")?;
-    let kind = parse_workload(workload).ok_or(format!("unknown workload {workload:?}"))?;
+    let work = WorkSpec::parse(workload)?;
     let policy = match dim_str(v, "policy")? {
         None => FetchPolicy::TrueRoundRobin,
         Some(s) => parse_policy(s).ok_or(format!("unknown policy {s:?} (trr|mrr|cs|ic)"))?,
@@ -270,7 +274,7 @@ pub fn spec_from_value(v: &Value) -> Result<CellSpec, String> {
         Some(s) => parse_cache(s).ok_or(format!("unknown cache {s:?} (sa|dm)"))?,
     };
     Ok(CellSpec {
-        kind,
+        work,
         policy,
         predictor,
         threads: dim(v, "threads", defaults::THREADS)?,
@@ -285,7 +289,7 @@ pub fn spec_from_value(v: &Value) -> Result<CellSpec, String> {
 #[must_use]
 pub fn spec_to_value(spec: &CellSpec) -> Value {
     Value::Object(vec![
-        ("workload".into(), spec.kind.name().into()),
+        ("workload".into(), spec.work.name().into()),
         ("policy".into(), policy_abbrev(spec.policy).into()),
         ("predictor".into(), spec.predictor.abbrev().into()),
         ("threads".into(), (spec.threads as u64).into()),
@@ -414,7 +418,7 @@ mod tests {
 
     fn sieve4() -> CellSpec {
         CellSpec {
-            kind: WorkloadKind::Sieve,
+            work: WorkloadKind::Sieve.into(),
             policy: FetchPolicy::TrueRoundRobin,
             predictor: PredictorKind::SharedBtb,
             threads: 4,
@@ -435,7 +439,7 @@ mod tests {
     #[test]
     fn specs_round_trip_through_the_wire_format() {
         let spec = CellSpec {
-            kind: WorkloadKind::Ll7,
+            work: WorkloadKind::Ll7.into(),
             policy: FetchPolicy::Icount,
             predictor: PredictorKind::Gshare,
             threads: 8,
@@ -449,10 +453,25 @@ mod tests {
     }
 
     #[test]
+    fn corpus_and_mix_workloads_round_trip_through_the_wire_format() {
+        for name in ["quicksort", "mpd+matmul", "memstress+ll7"] {
+            let spec = CellSpec {
+                work: WorkSpec::parse(name).unwrap(),
+                threads: 2,
+                ..sieve4()
+            };
+            let back = spec_from_value(&spec_to_value(&spec)).unwrap();
+            assert_eq!(back, spec, "{name}");
+        }
+        let v = parse_value(r#"{"workload":"mpd+not a name"}"#).unwrap();
+        assert!(spec_from_value(&v).is_err(), "bad mix slots are typed");
+    }
+
+    #[test]
     fn spec_validation_is_typed_and_bounded() {
         for (bad, why) in [
             (r#"{}"#, "workload"),
-            (r#"{"workload":"nope"}"#, "unknown workload"),
+            (r#"{"workload":"No Such Thing!"}"#, "neither"),
             (r#"{"workload":"sieve","threads":0}"#, "outside"),
             (r#"{"workload":"sieve","threads":5000}"#, "outside"),
             (r#"{"workload":"sieve","threads":-1}"#, "non-negative"),

@@ -109,7 +109,10 @@ impl Shared {
             return Err("server is shutting down".into());
         }
         inflight.insert(id, vec![tx]);
-        queue.push_back(Job { spec: *spec, cpi });
+        queue.push_back(Job {
+            spec: spec.clone(),
+            cpi,
+        });
         self.work.notify_one();
         Ok(true)
     }
@@ -357,7 +360,9 @@ fn respond(out: &mut TcpStream, shared: &Shared, req: Request) -> io::Result<boo
             )?;
         }
         Request::Fetch(spec) => {
-            if let Some(rec) = shared.sched.probe(&spec) {
+            if let Err(reason) = shared.sched.resolve(&spec.work) {
+                write_json_line(out, &proto::error_response(&reason))?;
+            } else if let Some(rec) = shared.sched.probe(&spec) {
                 shared.cached_hits.fetch_add(1, Ordering::Relaxed);
                 write_json_line(out, &proto::cell_response(&spec, &rec, None))?;
             } else {
@@ -403,9 +408,16 @@ fn submit(
     let mut cached = Vec::new();
     let (mut scheduled, mut joined, mut refused) = (0u64, 0u64, Vec::new());
     for spec in &unique {
+        // Admission check: a typo'd corpus name (or a corpus-less server)
+        // answers with a typed per-cell error instead of writing an
+        // infeasible record into the shared store.
+        if let Err(reason) = shared.sched.resolve(&spec.work) {
+            refused.push((spec.id(), reason));
+            continue;
+        }
         if let Some(rec) = shared.sched.probe(spec) {
             shared.cached_hits.fetch_add(1, Ordering::Relaxed);
-            cached.push((*(*spec), rec));
+            cached.push(((*spec).clone(), rec));
         } else {
             match shared.subscribe(spec, cpi, tx.clone()) {
                 Ok(true) => scheduled += 1,

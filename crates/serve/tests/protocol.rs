@@ -8,8 +8,10 @@ use std::fs;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use smt_corpus::Corpus;
 use smt_experiments::json::{parse_value, Value};
 use smt_experiments::sweep::{run_sweep, CellSpec, Grid, SweepOptions};
 use smt_serve::client::Client;
@@ -224,11 +226,83 @@ fn served_results_are_byte_identical_to_a_batch_sweep() {
 }
 
 #[test]
+fn hetero_mixes_served_with_a_corpus_match_the_batch_sweep() {
+    let corpus = Arc::new(
+        Corpus::load(concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus"))
+            .expect("repository corpus loads"),
+    );
+    let with_corpus = |workers| SweepOptions {
+        corpus: Some(Arc::clone(&corpus)),
+        ..opts(workers)
+    };
+
+    // Reference: the hetero grid through the batch path.
+    let batch_out = scratch("hetero-batch");
+    run_sweep(&Grid::hetero(), &batch_out, &with_corpus(2)).expect("batch hetero sweep");
+    let reference = fs::read_to_string(batch_out.join("results.json")).expect("reference bytes");
+
+    // Candidate: the same grid served over the socket into a fresh store.
+    let store = scratch("hetero-served");
+    let srv = Server::start("127.0.0.1:0", &store, with_corpus(4)).expect("server starts");
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    let outcome = client
+        .submit(&[], Some("hetero"), false, false, &mut |_| {})
+        .expect("served hetero submit");
+    assert_eq!(outcome.cells.len(), Grid::hetero().cells().len());
+    assert!(outcome.failed.is_empty(), "{:?}", outcome.failed);
+    assert_eq!(
+        outcome.results_json(),
+        reference,
+        "served hetero cells must reconstruct the batch results.json byte-for-byte"
+    );
+    shut_down(srv);
+    let _ = fs::remove_dir_all(&store);
+    let _ = fs::remove_dir_all(&batch_out);
+}
+
+#[test]
+fn corpus_names_are_refused_without_a_corpus_not_cached() {
+    let (srv, store) = server("no-corpus", 1);
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    let spec = CellSpec {
+        work: smt_experiments::sweep::WorkSpec::corpus("quicksort"),
+        threads: 2,
+        ..CellSpec::default()
+    };
+    let outcome = client
+        .submit(&[spec], None, false, false, &mut |_| {})
+        .expect("submit completes");
+    assert!(outcome.cells.is_empty(), "nothing was produced");
+    assert_eq!(outcome.failed.len(), 1, "the cell got a typed error");
+    assert!(
+        outcome.failed[0].1.contains("corpus"),
+        "{:?}",
+        outcome.failed[0]
+    );
+    // Refusal happens at admission: no infeasible record hit the store.
+    assert_eq!(
+        fs::read_dir(store.join("cells"))
+            .expect("cells dir")
+            .count(),
+        0,
+        "refused cells never touch the store"
+    );
+    let mut stream = TcpStream::connect(srv.addr()).expect("connect raw");
+    let err = roundtrip(
+        &mut stream,
+        r#"{"verb":"fetch","cell":{"workload":"quicksort","threads":2}}"#,
+    );
+    assert_eq!(kind(&err), "error", "fetch is refused too: {err:?}");
+    shut_down(srv);
+    let _ = fs::remove_dir_all(&store);
+}
+
+#[test]
 fn concurrent_duplicate_submissions_share_one_execution() {
     let (srv, store) = server("dedup", 1);
     let addr = srv.addr();
     let spec = CellSpec {
-        kind: WorkloadKind::Matrix,
+        work: WorkloadKind::Matrix.into(),
         threads: 4,
         ..CellSpec::default()
     };
@@ -237,6 +311,7 @@ fn concurrent_duplicate_submissions_share_one_execution() {
     // record.
     let submitters: Vec<_> = (0..4)
         .map(|_| {
+            let spec = spec.clone();
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 client
@@ -271,7 +346,7 @@ fn cpi_telemetry_rides_along_on_fresh_cells_only() {
     let (srv, store) = server("cpi", 1);
     let mut client = Client::connect(srv.addr()).expect("connect");
     let spec = CellSpec {
-        kind: WorkloadKind::Sieve,
+        work: WorkloadKind::Sieve.into(),
         threads: 2,
         ..CellSpec::default()
     };

@@ -103,7 +103,8 @@ const TYPE_CONFUSED: &[&str] = &[
     "{\"verb\":\"submit\",\"cells\":[42]}",
     "{\"verb\":\"submit\",\"cells\":[{\"threads\":4}]}",
     "{\"verb\":\"submit\",\"cells\":[{\"workload\":7,\"threads\":4}]}",
-    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"nope\",\"threads\":4}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"Not A Name!\",\"threads\":4}]}",
+    "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve+\",\"threads\":2}]}",
     "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve\",\"threads\":0}]}",
     "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve\",\"threads\":-3}]}",
     "{\"verb\":\"submit\",\"cells\":[{\"workload\":\"sieve\",\"threads\":99999999999999999999}]}",

@@ -494,6 +494,102 @@ impl Plan {
     }
 }
 
+/// A heterogeneous per-thread program mix drawn from one base seed: slot
+/// `t` gets its own independent [`Plan`] generated from a seed mixed with
+/// the slot index, and is lowered *at one thread* — each program owns its
+/// thread's private world, so [`Segment::Barrier`] self-satisfies and the
+/// mix can never deadlock regardless of what the other slots run.
+///
+/// The minimization mask is the concatenation of the per-slot masks, so
+/// the standard subset minimizer shrinks all programs of a failing mix at
+/// once; `(seed, threads, mask)` reproduces the exact failing mix.
+#[derive(Clone, Debug)]
+pub struct MixPlan {
+    /// Base seed the per-slot seeds derive from (for repro lines).
+    pub seed: u64,
+    /// One plan per hardware thread, in slot order.
+    pub plans: Vec<Plan>,
+}
+
+impl MixPlan {
+    /// Draws `threads` independent plans from `seed`.
+    #[must_use]
+    pub fn generate(seed: u64, threads: usize, cfg: &GenConfig) -> Self {
+        let plans = (0..threads)
+            .map(|slot| Plan::generate(Self::slot_seed(seed, slot), cfg))
+            .collect();
+        MixPlan { seed, plans }
+    }
+
+    /// The derived seed for one slot: a splitmix64 finalization of the
+    /// base seed offset by the slot index, so adjacent base seeds and
+    /// adjacent slots still get decorrelated plan streams.
+    #[must_use]
+    pub fn slot_seed(seed: u64, slot: usize) -> u64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(slot as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Length of the concatenated enabled mask [`MixPlan::build`] takes:
+    /// the sum of the per-slot [`Plan::mask_len`]s.
+    #[must_use]
+    pub fn mask_len(&self) -> usize {
+        self.plans.iter().map(Plan::mask_len).sum()
+    }
+
+    /// Lowers every slot (everything enabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`BuildError`] (cannot occur for generated
+    /// plans).
+    pub fn build_full(&self) -> Result<Vec<Program>, BuildError> {
+        self.build(&vec![true; self.mask_len()])
+    }
+
+    /// Pure lowering of every slot under its slice of the concatenated
+    /// mask, each at one thread. No randomness is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`BuildError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled.len() != self.mask_len()`.
+    pub fn build(&self, enabled: &[bool]) -> Result<Vec<Program>, BuildError> {
+        assert_eq!(enabled.len(), self.mask_len(), "mix mask length");
+        let mut at = 0;
+        self.plans
+            .iter()
+            .map(|plan| {
+                let slice = &enabled[at..at + plan.mask_len()];
+                at += plan.mask_len();
+                plan.build(slice, 1)
+            })
+            .collect()
+    }
+
+    /// One-line per-slot description of the enabled segments, for repro
+    /// reports.
+    #[must_use]
+    pub fn describe(&self, enabled: &[bool]) -> String {
+        let mut at = 0;
+        self.plans
+            .iter()
+            .enumerate()
+            .map(|(slot, plan)| {
+                let slice = &enabled[at..at + plan.mask_len()];
+                at += plan.mask_len();
+                format!("t{slot}: {}", plan.describe(slice))
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
 /// Registers and layout facts a segment lowering needs.
 #[derive(Clone, Copy)]
 struct LowerCtx {
@@ -873,5 +969,55 @@ mod tests {
         let all = vec![true; plan.mask_len()];
         let desc = plan.describe(&all);
         assert!(desc.contains("iters="), "{desc}");
+    }
+
+    #[test]
+    fn mix_plans_are_deterministic_and_slot_diverse() {
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            let a = MixPlan::generate(seed, 4, &cfg);
+            let b = MixPlan::generate(seed, 4, &cfg);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            let seeds: std::collections::HashSet<u64> = a.plans.iter().map(|p| p.seed).collect();
+            assert_eq!(seeds.len(), 4, "seed {seed}: slot seeds collide");
+        }
+    }
+
+    #[test]
+    fn mix_slots_run_solo_on_the_reference() {
+        let cfg = GenConfig::default();
+        for seed in 0..20 {
+            let mix = MixPlan::generate(seed, 2, &cfg);
+            for (slot, p) in mix.build_full().unwrap().iter().enumerate() {
+                let mut interp = Interp::new(p, 1);
+                if let Err(e) = interp.run() {
+                    assert!(
+                        mix.plans[slot].fault_tail,
+                        "seed {seed} slot {slot}: unexpected {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_mask_slices_address_their_own_slot() {
+        let mix = MixPlan::generate(11, 3, &GenConfig::default());
+        assert_eq!(
+            mix.mask_len(),
+            mix.plans.iter().map(Plan::mask_len).sum::<usize>()
+        );
+        // Disabling everything in slot 1 must leave slots 0 and 2 at their
+        // full-build instruction counts.
+        let full = mix.build_full().unwrap();
+        let mut mask = vec![true; mix.mask_len()];
+        let base = mix.plans[0].mask_len();
+        mask[base..base + mix.plans[1].mask_len()].fill(false);
+        let partial = mix.build(&mask).unwrap();
+        assert_eq!(full[0].text().len(), partial[0].text().len());
+        assert_eq!(full[2].text().len(), partial[2].text().len());
+        assert!(partial[1].text().len() < full[1].text().len());
+        let desc = mix.describe(&mask);
+        assert!(desc.contains("t0:") && desc.contains("t2:"), "{desc}");
     }
 }

@@ -25,7 +25,7 @@ fn scratch(name: &str) -> PathBuf {
 
 fn small_grid() -> Grid {
     Grid {
-        workloads: vec![WorkloadKind::Sieve],
+        workloads: vec![WorkloadKind::Sieve.into()],
         policies: vec![FetchPolicy::TrueRoundRobin, FetchPolicy::ConditionalSwitch],
         predictors: vec![PredictorKind::SharedBtb],
         threads: vec![1, 4],
@@ -43,6 +43,7 @@ fn opts() -> SweepOptions {
         checkpoint_every: Some(500),
         batch: None,
         code_version: "test-v1".to_string(),
+        corpus: None,
     }
 }
 
@@ -125,7 +126,7 @@ fn stale_cache_fails_closed_per_cell() {
 #[test]
 fn mid_flight_checkpoints_resume_instead_of_restarting() {
     let spec = CellSpec {
-        kind: WorkloadKind::Sieve,
+        work: WorkloadKind::Sieve.into(),
         policy: FetchPolicy::TrueRoundRobin,
         predictor: PredictorKind::SharedBtb,
         threads: 4,
@@ -135,7 +136,7 @@ fn mid_flight_checkpoints_resume_instead_of_restarting() {
         cache: CacheKind::SetAssociative,
     };
     let grid = Grid {
-        workloads: vec![spec.kind],
+        workloads: vec![spec.work.clone()],
         policies: vec![spec.policy],
         predictors: vec![spec.predictor],
         threads: vec![spec.threads],
@@ -152,7 +153,7 @@ fn mid_flight_checkpoints_resume_instead_of_restarting() {
 
     // Interrupted: a snapshot from cycle 200, planted as a kill would
     // leave it, must be picked up (resumed == 1) and finish identically.
-    let program = workload(spec.kind, Scale::Test)
+    let program = workload(WorkloadKind::Sieve, Scale::Test)
         .build(spec.threads)
         .expect("sieve fits 4 threads");
     let mut sim = Simulator::new(spec.config(), &program);
@@ -186,7 +187,7 @@ fn infeasible_cells_are_recorded_and_cached_not_fatal() {
     // LL3 needs 17 registers, one more than an 8-thread partition provides
     // (the checkpoint test pins the same fact via the typed error).
     let grid = Grid {
-        workloads: vec![WorkloadKind::Ll3],
+        workloads: vec![WorkloadKind::Ll3.into()],
         policies: vec![FetchPolicy::TrueRoundRobin],
         predictors: vec![PredictorKind::SharedBtb],
         threads: vec![4, 8],
