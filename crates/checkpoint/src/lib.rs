@@ -34,13 +34,33 @@ use std::hash::{Hash, Hasher};
 /// heterogeneous thread mixes (one program per hardware thread) to the
 /// exact mix they were taken under. A single-element vector identifies a
 /// homogeneous (SPMD) machine; v2 snapshots fail closed.
-pub const FORMAT_VERSION: u32 = 3;
+///
+/// v4: an optional **warm-identity** section after the header records
+/// which configuration identity fields a warmup-fork snapshot allows to
+/// differ on restore (see [`WarmIdentity`]). A snapshot without the
+/// section is still written as v3 byte-for-byte — exact-restore
+/// snapshots, caches, and their byte-identity guarantees are untouched —
+/// and v3 files continue to load. Only snapshots carrying a warm
+/// identity use the v4 layout.
+pub const FORMAT_VERSION: u32 = 4;
+
+/// Oldest format version [`Snapshot::from_bytes`] still accepts (exact
+/// restore only — it predates the warm-identity section).
+pub const MIN_FORMAT_VERSION: u32 = 3;
 
 const MAGIC: [u8; 8] = *b"SMTSNAP\0";
 
 /// Upper bound on the per-thread program-hash vector — far above any real
 /// thread count, so a corrupted length can never drive a huge allocation.
 const MAX_PROGRAM_HASHES: usize = 64;
+
+/// Upper bound on the relaxed-field-id list of a [`WarmIdentity`] — far
+/// above any real configuration field count, so a corrupted length can
+/// never drive a huge allocation.
+const MAX_RELAXED_FIELDS: usize = 64;
+
+/// Section tag introducing the v4 warm-identity header section.
+const WARM_SECTION: u32 = 0x5741_524d; // "WARM"
 
 /// Why a byte buffer could not be decoded.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -254,12 +274,34 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Identity relaxation carried by a warmup-fork (v4) snapshot.
+///
+/// An exact-restore snapshot binds to one configuration hash. A warm
+/// snapshot instead records *which* configuration fields the forked run
+/// may change (`relaxed`, as the field ids published by the simulator
+/// crate) plus a hash of the source configuration with exactly those
+/// fields canonicalized away (`warm_hash`). `fork_warm` recomputes the
+/// canonical hash for the *target* configuration against the stored
+/// relaxed list and compares: any difference in a non-relaxed field —
+/// including a forged or extended relaxed list, which changes the hash
+/// input — fails closed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WarmIdentity {
+    /// Sorted, deduplicated configuration field ids allowed to differ.
+    pub relaxed: Vec<u32>,
+    /// Stable hash of the source configuration with every relaxed field
+    /// replaced by its canonical (default) value.
+    pub warm_hash: u64,
+}
+
 /// One complete machine state: identifying header plus opaque payload.
 ///
 /// The hashes bind a snapshot to the exact `(SimConfig, programs)` pair
 /// it was taken under; `Simulator::restore` refuses a snapshot whose
 /// hashes do not match, so a sweep cache can never resume a cell with the
-/// wrong machine.
+/// wrong machine. A snapshot carrying a [`WarmIdentity`] additionally
+/// permits `fork_warm` under configurations differing only in the
+/// relaxed fields.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Snapshot {
     /// Stable hash of the simulator configuration.
@@ -272,23 +314,43 @@ pub struct Snapshot {
     /// Cycle at which the snapshot was taken (informational; the payload
     /// carries the authoritative copy).
     pub cycle: u64,
+    /// Identity relaxation for warmup forking. `None` serializes as the
+    /// v3 layout (exact restore only); `Some` selects v4.
+    pub warm: Option<WarmIdentity>,
     /// Component state, encoded with [`Writer`].
     pub payload: Vec<u8>,
 }
 
 impl Snapshot {
     /// Serializes header + payload + checksum into one buffer.
+    ///
+    /// A snapshot without a warm identity is emitted in the v3 layout,
+    /// byte-for-byte identical to what the v3 implementation wrote, so
+    /// exact-restore snapshot files and their byte-identity checks are
+    /// unaffected by the v4 extension.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.buf.extend_from_slice(&MAGIC);
-        w.put_u32(FORMAT_VERSION);
+        w.put_u32(if self.warm.is_some() {
+            FORMAT_VERSION
+        } else {
+            MIN_FORMAT_VERSION
+        });
         w.put_u64(self.config_hash);
         w.put_usize(self.program_hashes.len());
         for &h in &self.program_hashes {
             w.put_u64(h);
         }
         w.put_u64(self.cycle);
+        if let Some(warm) = &self.warm {
+            w.section(WARM_SECTION);
+            w.put_usize(warm.relaxed.len());
+            for &id in &warm.relaxed {
+                w.put_u32(id);
+            }
+            w.put_u64(warm.warm_hash);
+        }
         w.put_bytes(&self.payload);
         let sum = fnv1a(&w.buf);
         w.put_u64(sum);
@@ -296,13 +358,15 @@ impl Snapshot {
     }
 
     /// Decodes and validates a buffer produced by [`to_bytes`](Self::to_bytes).
+    /// Accepts the current version and v3 (exact-restore snapshots, which
+    /// decode with `warm: None`); anything else fails closed.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         let mut r = Reader::new(bytes);
         if r.take(MAGIC.len())? != MAGIC {
             return Err(DecodeError::BadMagic);
         }
         let version = r.take_u32()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(DecodeError::Version {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -320,6 +384,28 @@ impl Snapshot {
             program_hashes.push(r.take_u64()?);
         }
         let cycle = r.take_u64()?;
+        let warm = if version >= 4 {
+            r.expect_section(WARM_SECTION)?;
+            let k = r.take_usize()?;
+            if k > MAX_RELAXED_FIELDS {
+                return Err(DecodeError::Malformed(format!(
+                    "{k} relaxed fields (≤{MAX_RELAXED_FIELDS} expected)"
+                )));
+            }
+            let mut relaxed = Vec::with_capacity(k);
+            for _ in 0..k {
+                relaxed.push(r.take_u32()?);
+            }
+            if !relaxed.windows(2).all(|w| w[0] < w[1]) {
+                return Err(DecodeError::Malformed(
+                    "relaxed field ids must be strictly ascending".into(),
+                ));
+            }
+            let warm_hash = r.take_u64()?;
+            Some(WarmIdentity { relaxed, warm_hash })
+        } else {
+            None
+        };
         let payload = r.take_bytes()?.to_vec();
         let body_len = bytes.len() - r.remaining();
         let stored = r.take_u64()?;
@@ -332,6 +418,7 @@ impl Snapshot {
             config_hash,
             program_hashes,
             cycle,
+            warm,
             payload,
         })
     }
@@ -459,10 +546,94 @@ mod tests {
             config_hash: 0x1111,
             program_hashes: vec![0x2222],
             cycle: 12345,
+            warm: None,
             payload: vec![1, 2, 3, 4, 5],
         };
         let bytes = snap.to_bytes();
         assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    /// An exact-restore snapshot (no warm identity) must keep writing the
+    /// v3 layout byte-for-byte: existing snapshot files and the sweep's
+    /// byte-identity guarantees predate the v4 extension.
+    #[test]
+    fn exact_snapshot_still_writes_v3_bytes() {
+        let snap = Snapshot {
+            config_hash: 0xabcd,
+            program_hashes: vec![1, 2],
+            cycle: 9,
+            warm: None,
+            payload: vec![7; 16],
+        };
+        let bytes = snap.to_bytes();
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            MIN_FORMAT_VERSION,
+            "exact snapshots stay on the v3 wire format"
+        );
+        // Hand-build the v3 layout and compare every byte.
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&MAGIC);
+        w.put_u32(3);
+        w.put_u64(snap.config_hash);
+        w.put_usize(snap.program_hashes.len());
+        for &h in &snap.program_hashes {
+            w.put_u64(h);
+        }
+        w.put_u64(snap.cycle);
+        w.put_bytes(&snap.payload);
+        let sum = fnv1a(&w.buf);
+        w.put_u64(sum);
+        assert_eq!(bytes, w.into_bytes());
+    }
+
+    #[test]
+    fn warm_snapshot_round_trips_as_v4() {
+        let snap = Snapshot {
+            config_hash: 0x1111,
+            program_hashes: vec![0x2222, 0x3333],
+            cycle: 777,
+            warm: Some(WarmIdentity {
+                relaxed: vec![2, 5, 9],
+                warm_hash: 0xfeed_f00d,
+            }),
+            payload: vec![9, 8, 7],
+        };
+        let bytes = snap.to_bytes();
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn warm_relaxed_list_must_be_sorted_and_bounded() {
+        let snap = Snapshot {
+            config_hash: 1,
+            program_hashes: vec![2],
+            cycle: 3,
+            warm: Some(WarmIdentity {
+                relaxed: vec![5, 2], // out of order
+                warm_hash: 0,
+            }),
+            payload: vec![],
+        };
+        assert!(matches!(
+            Snapshot::from_bytes(&snap.to_bytes()),
+            Err(DecodeError::Malformed(_))
+        ));
+        let snap = Snapshot {
+            warm: Some(WarmIdentity {
+                relaxed: (0..100).collect(), // over the cap
+                warm_hash: 0,
+            }),
+            ..snap
+        };
+        assert!(matches!(
+            Snapshot::from_bytes(&snap.to_bytes()),
+            Err(DecodeError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -471,6 +642,7 @@ mod tests {
             config_hash: 1,
             program_hashes: vec![2, 3, 4, 5],
             cycle: 3,
+            warm: None,
             payload: vec![0xaa; 64],
         };
         let good = snap.to_bytes();
@@ -513,6 +685,7 @@ mod tests {
             config_hash: 1,
             program_hashes: vec![2],
             cycle: 3,
+            warm: None,
             payload: vec![0x55; 32],
         };
         let mut v1 = snap.to_bytes();

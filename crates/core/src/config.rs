@@ -107,6 +107,10 @@ pub mod defaults {
     pub const STORE_BUFFER: usize = 8;
     /// Branch-target-buffer entries.
     pub const BTB_ENTRIES: usize = 512;
+    /// Speculation-depth limit: maximum unresolved conditional branches a
+    /// thread may have in flight before its fetch stalls (0 = unlimited,
+    /// the paper's machine).
+    pub const SPEC_DEPTH: usize = 0;
     /// Watchdog: a run exceeding this many cycles is reported as hung.
     pub const MAX_CYCLES: u64 = 200_000_000;
 }
@@ -175,6 +179,11 @@ pub struct SimConfig {
     pub store_buffer: usize,
     /// BTB entries.
     pub btb_entries: usize,
+    /// Speculation-depth limit: a thread with this many unresolved
+    /// conditional branches in flight stops fetching until one resolves
+    /// (under True Round Robin its slot is wasted, like a suspension; the
+    /// other policies skip it). 0 disables the limit.
+    pub spec_depth: usize,
     /// Watchdog limit in cycles.
     pub max_cycles: u64,
 }
@@ -201,6 +210,7 @@ impl Default for SimConfig {
             cache: CacheConfig::paper(CacheKind::SetAssociative),
             store_buffer: defaults::STORE_BUFFER,
             btb_entries: defaults::BTB_ENTRIES,
+            spec_depth: defaults::SPEC_DEPTH,
             max_cycles: defaults::MAX_CYCLES,
         }
     }
@@ -318,6 +328,13 @@ impl SimConfig {
         self
     }
 
+    /// Sets the speculation-depth limit (0 = unlimited).
+    #[must_use]
+    pub fn with_spec_depth(mut self, depth: usize) -> Self {
+        self.spec_depth = depth;
+        self
+    }
+
     /// Sets the watchdog limit.
     #[must_use]
     pub fn with_max_cycles(mut self, cycles: u64) -> Self {
@@ -404,6 +421,121 @@ impl SimConfig {
             )));
         }
         Ok(())
+    }
+}
+
+/// Configuration-field identity registry for **warmup forking**.
+///
+/// A warm (v4) snapshot names the fields a forked run may change as a
+/// list of these ids, and binds everything else with a hash of the
+/// source configuration after [`canonicalize`] replaced every relaxed
+/// field with its default. `Simulator::fork_warm` recomputes that hash
+/// for the target configuration against the snapshot's own relaxed list:
+/// two configurations pass iff they agree on every non-relaxed field.
+///
+/// `threads` deliberately has **no** id — the register-file partition,
+/// per-thread memory segments, and program seeding all depend on it, so
+/// a warm fork can never change the thread count.
+pub mod warm {
+    use super::SimConfig;
+
+    /// `fetch_policy`.
+    pub const FETCH_POLICY: u32 = 1;
+    /// `predictor` (the family; the BTB geometry is [`BTB_ENTRIES`]).
+    pub const PREDICTOR: u32 = 2;
+    /// `fetch_width`.
+    pub const FETCH_WIDTH: u32 = 3;
+    /// `fetch_threads`.
+    pub const FETCH_THREADS: u32 = 4;
+    /// `commit_policy`.
+    pub const COMMIT_POLICY: u32 = 5;
+    /// `renaming`.
+    pub const RENAMING: u32 = 6;
+    /// `bypass`.
+    pub const BYPASS: u32 = 7;
+    /// `aligned_fetch`.
+    pub const ALIGNED_FETCH: u32 = 8;
+    /// `su_depth`.
+    pub const SU_DEPTH: u32 = 9;
+    /// `block_size`.
+    pub const BLOCK_SIZE: u32 = 10;
+    /// `issue_width`.
+    pub const ISSUE_WIDTH: u32 = 11;
+    /// `writeback_width`.
+    pub const WRITEBACK_WIDTH: u32 = 12;
+    /// `commit_window_blocks`.
+    pub const COMMIT_WINDOW_BLOCKS: u32 = 13;
+    /// `fu` (the whole functional-unit complement).
+    pub const FU: u32 = 14;
+    /// `cache_kind` + `cache` (organization and geometry together).
+    pub const CACHE: u32 = 15;
+    /// `store_buffer`.
+    pub const STORE_BUFFER: u32 = 16;
+    /// `btb_entries`.
+    pub const BTB_ENTRIES: u32 = 17;
+    /// `max_cycles` (the watchdog is not part of the machine).
+    pub const MAX_CYCLES: u32 = 18;
+    /// `spec_depth`.
+    pub const SPEC_DEPTH: u32 = 19;
+
+    /// Whether `id` names a field this build knows how to relax. A warm
+    /// snapshot naming an unknown id (written by a newer build) fails
+    /// closed instead of silently binding the wrong fields.
+    #[must_use]
+    pub fn is_known(id: u32) -> bool {
+        (FETCH_POLICY..=SPEC_DEPTH).contains(&id)
+    }
+
+    /// Every relaxable field — the standard relaxation the sweep's
+    /// warmup-fork store uses, leaving exactly `threads` bound.
+    #[must_use]
+    pub fn relax_all() -> Vec<u32> {
+        (FETCH_POLICY..=SPEC_DEPTH).collect()
+    }
+
+    /// `config` with every relaxed field replaced by its default value.
+    /// Unknown ids canonicalize nothing (callers reject them first; they
+    /// still perturb [`identity`] through the relaxed list itself).
+    #[must_use]
+    pub fn canonicalize(config: &SimConfig, relaxed: &[u32]) -> SimConfig {
+        let d = SimConfig::default();
+        let mut c = config.clone();
+        for &id in relaxed {
+            match id {
+                FETCH_POLICY => c.fetch_policy = d.fetch_policy,
+                PREDICTOR => c.predictor = d.predictor,
+                FETCH_WIDTH => c.fetch_width = d.fetch_width,
+                FETCH_THREADS => c.fetch_threads = d.fetch_threads,
+                COMMIT_POLICY => c.commit_policy = d.commit_policy,
+                RENAMING => c.renaming = d.renaming,
+                BYPASS => c.bypass = d.bypass,
+                ALIGNED_FETCH => c.aligned_fetch = d.aligned_fetch,
+                SU_DEPTH => c.su_depth = d.su_depth,
+                BLOCK_SIZE => c.block_size = d.block_size,
+                ISSUE_WIDTH => c.issue_width = d.issue_width,
+                WRITEBACK_WIDTH => c.writeback_width = d.writeback_width,
+                COMMIT_WINDOW_BLOCKS => c.commit_window_blocks = d.commit_window_blocks,
+                FU => c.fu = d.fu,
+                CACHE => {
+                    c.cache_kind = d.cache_kind;
+                    c.cache = d.cache;
+                }
+                STORE_BUFFER => c.store_buffer = d.store_buffer,
+                BTB_ENTRIES => c.btb_entries = d.btb_entries,
+                MAX_CYCLES => c.max_cycles = d.max_cycles,
+                SPEC_DEPTH => c.spec_depth = d.spec_depth,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// The warm identity hash: a stable digest of the canonicalized
+    /// configuration *and* the relaxed list itself, so editing the list
+    /// changes the hash along with the fields it unbinds.
+    #[must_use]
+    pub fn identity(config: &SimConfig, relaxed: &[u32]) -> u64 {
+        smt_checkpoint::stable_hash(&(canonicalize(config, relaxed), relaxed))
     }
 }
 
@@ -512,6 +644,59 @@ mod tests {
     fn two_ported_fetch_widens_the_trace_shape() {
         let shape = SimConfig::default().with_fetch_threads(2).trace_shape();
         assert_eq!(shape.width, 8, "slot bandwidth doubles with two ports");
+    }
+
+    #[test]
+    fn spec_depth_defaults_off_and_chains() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.spec_depth, 0, "paper machine: unlimited speculation");
+        let cfg = cfg.with_spec_depth(2);
+        assert_eq!(cfg.spec_depth, 2);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn warm_identity_binds_exactly_the_non_relaxed_fields() {
+        let base = SimConfig::default();
+        let relaxed = warm::relax_all();
+        let id = warm::identity(&base, &relaxed);
+        // Any relaxed field may differ without changing the identity.
+        let variant = base
+            .clone()
+            .with_su_depth(64)
+            .with_fetch_policy(FetchPolicy::Icount)
+            .with_predictor(PredictorKind::Gshare)
+            .with_cache_kind(CacheKind::DirectMapped)
+            .with_spec_depth(3);
+        assert_eq!(warm::identity(&variant, &relaxed), id);
+        // The non-relaxed field (threads) must not.
+        let other = base.clone().with_threads(2);
+        assert_ne!(warm::identity(&other, &relaxed), id);
+        // A shorter relaxed list re-binds the dropped fields…
+        let partial: Vec<u32> = relaxed
+            .iter()
+            .copied()
+            .filter(|&f| f != warm::SU_DEPTH)
+            .collect();
+        assert_ne!(
+            warm::identity(&base.clone().with_su_depth(64), &partial),
+            warm::identity(&base, &partial),
+            "su_depth binds once it is not relaxed"
+        );
+        // …and the list itself is part of the identity.
+        assert_ne!(
+            warm::identity(&base, &partial),
+            warm::identity(&base, &relaxed)
+        );
+    }
+
+    #[test]
+    fn warm_ids_are_known_and_complete() {
+        for id in warm::relax_all() {
+            assert!(warm::is_known(id));
+        }
+        assert!(!warm::is_known(0));
+        assert!(!warm::is_known(warm::SPEC_DEPTH + 1));
     }
 
     #[test]

@@ -54,6 +54,13 @@ struct ThreadState {
     masked: bool,
     /// Conditional Switch: the decoder saw a trigger instruction.
     switch_pending: bool,
+    /// Speculation-depth limit hit: the thread has too many unresolved
+    /// conditional branches in flight, so it cannot fetch this cycle
+    /// (True Round Robin wastes its slot, like a suspension). Transient —
+    /// the simulator's fetch stage recomputes it from the scheduling unit
+    /// every cycle before selection, so it is never serialized and resets
+    /// to `false` on restore.
+    spec_stalled: bool,
 }
 
 /// The multithreaded instruction unit.
@@ -128,6 +135,7 @@ impl InstructionUnit {
                     retired: false,
                     masked: false,
                     switch_pending: false,
+                    spec_stalled: false,
                 })
                 .collect(),
             policy,
@@ -153,7 +161,8 @@ impl InstructionUnit {
 
     /// Whether the thread could actually fetch this cycle.
     fn fetchable(&self, tid: usize) -> bool {
-        self.in_rotation(tid) && self.threads[tid].suspended_on.is_none()
+        let t = &self.threads[tid];
+        self.in_rotation(tid) && t.suspended_on.is_none() && !t.spec_stalled
     }
 
     /// Selects the thread that owns this cycle's (single) fetch slot —
@@ -416,6 +425,21 @@ impl InstructionUnit {
     /// stream.
     pub fn signal_switch(&mut self, tid: usize) {
         self.threads[tid].switch_pending = true;
+    }
+
+    /// Sets the speculation-depth stall for `tid`. The simulator's fetch
+    /// stage recomputes this for every thread each cycle (from the count
+    /// of unresolved conditional branches resident in the scheduling
+    /// unit) before any port selects, so the flag never carries stale
+    /// state across cycles or through a checkpoint.
+    pub fn set_spec_stall(&mut self, tid: usize, stalled: bool) {
+        self.threads[tid].spec_stalled = stalled;
+    }
+
+    /// Whether the speculation-depth limit currently stalls `tid`.
+    #[must_use]
+    pub fn is_spec_stalled(&self, tid: usize) -> bool {
+        self.threads[tid].spec_stalled
     }
 
     /// Current speculative fetch PC of `tid` (for tests/debugging).
@@ -772,6 +796,45 @@ mod tests {
             assert_eq!(first, 0);
             assert_eq!(iu.select_fetch(&[0], 1 << 0), None, "{policy}");
         }
+    }
+
+    /// Satellite of the speculation-depth knob: the per-policy stall
+    /// behaviour when a thread hits its unresolved-branch limit. True
+    /// Round Robin *wastes* the stalled thread's slot (the counter
+    /// advances "irrespective of the state of execution", exactly like a
+    /// suspension); the selective policies skip it and give the slot to a
+    /// sibling.
+    #[test]
+    fn spec_stall_wastes_trr_slot_and_is_skipped_elsewhere() {
+        // True Round Robin: the slot is consumed, not redistributed.
+        let mut iu = unit(3, FetchPolicy::TrueRoundRobin);
+        iu.set_spec_stall(1, true);
+        assert!(iu.is_spec_stalled(1));
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), None, "stalled thread's slot is wasted");
+        assert_eq!(iu.select(), Some(2));
+        iu.set_spec_stall(1, false);
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), Some(1), "cleared stall fetches again");
+
+        // Masked Round Robin: skipped, no slot lost.
+        let mut iu = unit(3, FetchPolicy::MaskedRoundRobin);
+        iu.set_spec_stall(1, true);
+        assert_eq!(iu.select(), Some(0));
+        assert_eq!(iu.select(), Some(2), "selective policy skips the stall");
+
+        // ICOUNT: the emptiest thread loses priority while stalled.
+        let mut iu = unit(3, FetchPolicy::Icount);
+        iu.set_spec_stall(1, true);
+        assert_eq!(iu.select_fetch(&[4, 0, 2], 0), Some(2));
+        iu.set_spec_stall(1, false);
+        assert_eq!(iu.select_fetch(&[4, 0, 2], 0), Some(1));
+
+        // Conditional Switch: a stalled active thread forces a switch.
+        let mut iu = unit(2, FetchPolicy::ConditionalSwitch);
+        assert_eq!(iu.select(), Some(0));
+        iu.set_spec_stall(0, true);
+        assert_eq!(iu.select(), Some(1), "stall switches the active thread");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use smt_trace::{DecodedSlot, MemKind, Occupancy, RetireKind, SlotCause, TraceEve
 use smt_uarch::{FuPool, Predictor, TagAllocator};
 
 use crate::commit::{CommitSink, Retirement};
-use crate::config::{FetchPolicy, RenamingMode, SimConfig};
+use crate::config::{warm, FetchPolicy, RenamingMode, SimConfig};
 use crate::error::SimError;
 use crate::fetch::{FetchedBlock, FetchedInsn, InstructionUnit};
 use crate::stats::{FuUsage, SimStats};
@@ -40,6 +40,14 @@ mod sec {
     pub const MEMORY: u32 = 9;
     pub const FETCH_BUFFER: u32 = 10;
     pub const STATS: u32 = 11;
+}
+
+/// Section tags of a *warm* (fork-only) snapshot payload. Disjoint from
+/// [`sec`] so an exact-restore path handed a warm payload (or vice versa)
+/// fails on the very first section tag.
+mod wsec {
+    pub const ARCH: u32 = 101;
+    pub const MEMORY: u32 = 102;
 }
 
 /// Stable identity hash of a configuration, as stored in a
@@ -124,6 +132,10 @@ pub struct Simulator<'p> {
     occupancy_buf: Vec<u32>,
     /// Next decode-order instruction identity (see [`StagedEntry::uid`]).
     next_uid: u64,
+    /// [`drain`](Self::drain) is parking the machine: the fetch stage
+    /// produces nothing until the pipeline empties. Transient (never
+    /// serialized) — `drain` sets and clears it around its own stepping.
+    fetch_suppressed: bool,
     stats: SimStats,
 }
 
@@ -262,6 +274,7 @@ impl<'p> Simulator<'p> {
             decode_buf: Vec::with_capacity(config.block_size),
             occupancy_buf: vec![0; config.threads],
             next_uid: 0,
+            fetch_suppressed: false,
             stats: SimStats {
                 committed: vec![0; config.threads],
                 issue_histogram: vec![0; config.issue_width + 1],
@@ -1525,9 +1538,22 @@ impl<'p> Simulator<'p> {
     // ---- fetch ----------------------------------------------------------------------
 
     fn fetch_stage(&mut self) {
+        if self.fetch_suppressed {
+            return; // drain(): the front end is parked
+        }
         let ports = self.config.fetch_threads;
         if self.fetch_queue.len() >= ports {
             return; // decode is backed up; the queue holds a block per port
+        }
+        // Speculation-depth limit: recompute every thread's stall flag from
+        // the scheduling unit before any port selects. The flags are
+        // transient by construction — nothing between here and selection
+        // changes the unresolved-branch population.
+        if self.config.spec_depth > 0 {
+            for tid in 0..self.config.threads {
+                let deep = self.su.unresolved_branches(tid) >= self.config.spec_depth as u32;
+                self.iu.set_spec_stall(tid, deep);
+            }
         }
         // The ICOUNT signal: per-thread instructions resident in the
         // scheduling unit plus those queued ahead of decode. Computed only
@@ -1637,8 +1663,232 @@ impl<'p> Simulator<'p> {
             config_hash: config_identity(&self.config),
             program_hashes: self.identity_vec(),
             cycle: self.cycle,
+            warm: None,
             payload: w.into_bytes(),
         }
+    }
+
+    /// Whether the pipeline is empty (scheduling unit, store buffer, and
+    /// fetch queue all drained) — the machine state a warm snapshot can
+    /// capture exactly. A finished machine is quiescent too.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.su.is_empty() && self.sb.is_empty() && self.fetch_queue.is_empty()
+    }
+
+    /// Parks the machine at a quiescent point: suppresses fetch and steps
+    /// until every in-flight instruction has left the pipeline (retired,
+    /// squashed, or spin-discarded) and the store buffer has written back.
+    /// Execution stays exact — drain only stops *new* fetch, so the
+    /// machine lands at an architecturally precise point a few cycles past
+    /// where it was. Threads spinning on an unsatisfied `WAIT` drain too:
+    /// the poll retires as a spin and the thread re-fetches it after a
+    /// fork or resume.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run) — the watchdog still applies.
+    pub fn drain(&mut self) -> Result<(), SimError> {
+        self.fetch_suppressed = true;
+        let result = (|| {
+            while !self.is_quiescent() {
+                if self.cycle >= self.config.max_cycles {
+                    return Err(SimError::Watchdog {
+                        cycles: self.config.max_cycles,
+                    });
+                }
+                self.step_inner(None, None)?;
+            }
+            Ok(())
+        })();
+        self.fetch_suppressed = false;
+        result
+    }
+
+    /// Captures a **warm** snapshot: only the configuration-independent
+    /// state — register file, per-thread architectural PCs and retirement,
+    /// and the memory delta. The machine must be [quiescent] (normally
+    /// via [`drain`](Self::drain)) so that this *is* the complete machine
+    /// state; everything microarchitectural (scheduling unit, caches,
+    /// predictor, BTB, functional units, fetch policy cursors) is empty
+    /// or cold by construction and is rebuilt cold by
+    /// [`fork_warm`](Self::fork_warm), then rewarmed inside the forked
+    /// run's own measurement window.
+    ///
+    /// `relaxed` names the configuration fields a fork may change (see
+    /// [`warm`]); it is sorted and deduplicated into the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] if the machine is not quiescent or
+    /// `relaxed` contains an unknown field id.
+    ///
+    /// [quiescent]: Self::is_quiescent
+    pub fn checkpoint_warm(&self, relaxed: &[u32]) -> Result<Snapshot, SimError> {
+        if !self.is_quiescent() {
+            return Err(SimError::Snapshot(
+                "warm checkpoint of a non-quiescent machine; call drain() first".into(),
+            ));
+        }
+        let mut relaxed: Vec<u32> = relaxed.to_vec();
+        relaxed.sort_unstable();
+        relaxed.dedup();
+        if let Some(&id) = relaxed.iter().find(|&&id| !warm::is_known(id)) {
+            return Err(SimError::Snapshot(format!(
+                "unknown relaxed configuration field id {id}"
+            )));
+        }
+        let mut w = Writer::new();
+        w.section(wsec::ARCH);
+        w.put_usize(self.regfile.len());
+        for &v in &self.regfile {
+            w.put_u64(v);
+        }
+        w.put_usize(self.config.threads);
+        for tid in 0..self.config.threads {
+            w.put_usize(self.iu.pc(tid));
+            w.put_bool(self.iu.is_retired(tid));
+        }
+        w.section(wsec::MEMORY);
+        self.mem.save_delta(&self.baseline_words(), &mut w);
+        Ok(Snapshot {
+            config_hash: config_identity(&self.config),
+            program_hashes: self.identity_vec(),
+            cycle: self.cycle,
+            warm: Some(smt_checkpoint::WarmIdentity {
+                warm_hash: warm::identity(&self.config, &relaxed),
+                relaxed,
+            }),
+            payload: w.into_bytes(),
+        })
+    }
+
+    /// Builds a fresh machine under `config` and seeds it with a warm
+    /// snapshot's architectural state: memory, register file, and each
+    /// thread's PC and retirement carry over; everything else (caches,
+    /// predictor, BTB, functional units, scheduling unit, fetch cursors,
+    /// statistics) starts cold, and the cycle counter restarts at zero —
+    /// the forked run measures exactly its own window.
+    ///
+    /// `config` may differ from the snapshot's source configuration only
+    /// in the snapshot's relaxed fields; the program identity must match
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Snapshot`] if the snapshot has no warm identity
+    ///   (exact snapshots must go through [`restore`](Self::restore)),
+    ///   names an unknown relaxed field, differs from `config` in a
+    ///   non-relaxed field, was taken of a different program, or its
+    ///   payload fails to decode;
+    /// * whatever [`try_new`](Self::try_new) reports.
+    pub fn fork_warm(
+        config: SimConfig,
+        program: &'p Program,
+        snapshot: &Snapshot,
+    ) -> Result<Self, SimError> {
+        let mut sim = Self::try_new(config, program)?;
+        sim.check_warm_identity(snapshot)?;
+        sim.apply_warm(snapshot)
+            .map_err(|e| SimError::Snapshot(e.to_string()))?;
+        Ok(sim)
+    }
+
+    /// [`fork_warm`](Self::fork_warm) for a heterogeneous mix. The
+    /// snapshot's per-thread identity vector must match the mix position
+    /// by position.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fork_warm`](Self::fork_warm), plus [`SimError::Program`]
+    /// for a mix of the wrong arity.
+    pub fn fork_warm_mix(
+        config: SimConfig,
+        programs: &[&'p Program],
+        snapshot: &Snapshot,
+    ) -> Result<Self, SimError> {
+        let mut sim = Self::try_new_mix(config, programs)?;
+        sim.check_warm_identity(snapshot)?;
+        sim.apply_warm(snapshot)
+            .map_err(|e| SimError::Snapshot(e.to_string()))?;
+        Ok(sim)
+    }
+
+    /// The fork-time identity gate: the snapshot must carry a warm
+    /// identity whose hash matches this machine's configuration under the
+    /// snapshot's own relaxed list, and the program identity must match
+    /// exactly.
+    fn check_warm_identity(&self, snapshot: &Snapshot) -> Result<(), SimError> {
+        let Some(w) = &snapshot.warm else {
+            return Err(SimError::Snapshot(
+                "snapshot has no warm identity; use restore() for exact resumption".into(),
+            ));
+        };
+        if let Some(&id) = w.relaxed.iter().find(|&&id| !warm::is_known(id)) {
+            return Err(SimError::Snapshot(format!(
+                "warm snapshot relaxes unknown configuration field id {id}"
+            )));
+        }
+        let want = warm::identity(&self.config, &w.relaxed);
+        if w.warm_hash != want {
+            return Err(SimError::Snapshot(format!(
+                "warm identity {:#018x} does not match {want:#018x}: the target \
+                 configuration differs in a field the snapshot did not relax",
+                w.warm_hash
+            )));
+        }
+        let want = self.identity_vec();
+        if snapshot.program_hashes != want {
+            return Err(SimError::Snapshot(format!(
+                "warm snapshot was taken of program(s) {:#018x?}, not {want:#018x?}",
+                snapshot.program_hashes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decodes a warm payload into a freshly built machine. Only the
+    /// architectural state is overwritten; `self` keeps its cold
+    /// microarchitecture, zero cycle counter, and zeroed statistics.
+    fn apply_warm(&mut self, snapshot: &Snapshot) -> Result<(), DecodeError> {
+        let malformed = DecodeError::Malformed;
+        let mut r = Reader::new(&snapshot.payload);
+        r.expect_section(wsec::ARCH)?;
+        let n = r.take_usize()?;
+        if n != self.regfile.len() {
+            return Err(malformed(format!(
+                "register file of {n} words, partition holds {}",
+                self.regfile.len()
+            )));
+        }
+        for slot in &mut self.regfile {
+            *slot = r.take_u64()?;
+        }
+        let threads = r.take_usize()?;
+        if threads != self.config.threads {
+            return Err(malformed(format!(
+                "thread state for {threads} threads, config has {}",
+                self.config.threads
+            )));
+        }
+        for tid in 0..threads {
+            let pc = r.take_usize()?;
+            let retired = r.take_bool()?;
+            if retired {
+                self.iu.retire(tid);
+            } else {
+                if self.program_of(tid).fetch_decoded(pc).is_none() {
+                    return Err(malformed(format!(
+                        "thread {tid} parked at pc {pc}, outside its program"
+                    )));
+                }
+                self.iu.set_pc(tid, pc);
+            }
+        }
+        r.expect_section(wsec::MEMORY)?;
+        self.mem = MainMemory::restore_delta(&self.baseline_words(), &mut r)?;
+        r.finish()?;
+        Ok(())
     }
 
     /// Rebuilds a simulator from a [`checkpoint`](Self::checkpoint)
@@ -1655,6 +1905,11 @@ impl<'p> Simulator<'p> {
         program: &'p Program,
         snapshot: &Snapshot,
     ) -> Result<Self, SimError> {
+        if snapshot.warm.is_some() {
+            return Err(SimError::Snapshot(
+                "warm snapshot holds architectural state only; use fork_warm()".into(),
+            ));
+        }
         let want = config_identity(&config);
         if snapshot.config_hash != want {
             return Err(SimError::Snapshot(format!(
@@ -1690,6 +1945,11 @@ impl<'p> Simulator<'p> {
         programs: &[&'p Program],
         snapshot: &Snapshot,
     ) -> Result<Self, SimError> {
+        if snapshot.warm.is_some() {
+            return Err(SimError::Snapshot(
+                "warm snapshot holds architectural state only; use fork_warm_mix()".into(),
+            ));
+        }
         let want = config_identity(&config);
         if snapshot.config_hash != want {
             return Err(SimError::Snapshot(format!(
@@ -2527,5 +2787,180 @@ mod tests {
             "wrong-path issues are extra"
         );
         assert_eq!(stats.cache.accesses, stats.cache.hits + stats.cache.misses);
+    }
+
+    #[test]
+    fn spec_depth_limit_stays_architecturally_exact() {
+        let p = sum_program();
+        let tight = run_and_check(&p, SimConfig::default().with_spec_depth(1));
+        let free = run_and_check(&p, SimConfig::default());
+        assert_eq!(tight.committed_total(), free.committed_total());
+        assert!(
+            tight.cycles >= free.cycles,
+            "a 1-deep speculation limit cannot speed the loop up: {} < {}",
+            tight.cycles,
+            free.cycles
+        );
+    }
+
+    #[test]
+    fn drain_parks_at_quiescence_and_stays_exact() {
+        let p = sum_program();
+        let config = SimConfig::default();
+        let mut sim = Simulator::new(config.clone(), &p);
+        for _ in 0..30 {
+            sim.step().unwrap();
+        }
+        assert!(!sim.is_quiescent(), "mid-loop the pipeline holds work");
+        sim.drain().unwrap();
+        assert!(sim.is_quiescent());
+        assert!(!sim.finished(), "drain parks, it does not finish the run");
+
+        // Draining only withholds new fetch; finishing the run from the
+        // parked machine still lands on the reference architecture.
+        sim.run().unwrap();
+        let mut interp = Interp::new(&p, config.threads);
+        interp.run().unwrap();
+        assert_eq!(sim.memory().words(), interp.mem_words());
+        assert_eq!(sim.reg_file(), interp.reg_file());
+    }
+
+    #[test]
+    fn warm_fork_resumes_architecture_under_variant_configs() {
+        let p = sum_program();
+        let source = SimConfig::default();
+        let mut sim = Simulator::new(source.clone(), &p);
+        for _ in 0..30 {
+            sim.step().unwrap();
+        }
+        sim.drain().unwrap();
+        // Round-trip the wire format: warm snapshots are v4 on disk.
+        let bytes = sim.checkpoint_warm(&warm::relax_all()).unwrap().to_bytes();
+        let snap = smt_checkpoint::Snapshot::from_bytes(&bytes).unwrap();
+        assert!(snap.warm.is_some());
+
+        let mut interp = Interp::new(&p, source.threads);
+        interp.run().unwrap();
+        let variants = [
+            source.clone(),
+            source.clone().with_su_depth(8),
+            source
+                .clone()
+                .with_predictor(smt_uarch::PredictorKind::Gshare)
+                .with_spec_depth(1),
+            source.clone().with_fetch_threads(2).with_fetch_width(16),
+        ];
+        for config in variants {
+            let mut fork = Simulator::fork_warm(config.clone(), &p, &snap).unwrap();
+            assert_eq!(fork.cycle(), 0, "the fork measures its own window only");
+            let stats = fork.run().unwrap();
+            assert!(stats.cycles > 0 && stats.committed_total() > 0);
+            assert_eq!(
+                fork.memory().words(),
+                interp.mem_words(),
+                "fork under {config:?} diverged architecturally"
+            );
+            assert_eq!(fork.reg_file(), interp.reg_file());
+        }
+    }
+
+    #[test]
+    fn warm_fork_mix_resumes_per_thread_architecture() {
+        let a = sum_program();
+        let b = pattern_program();
+        let config = SimConfig::default().with_threads(2);
+        let mut sim = Simulator::try_new_mix(config.clone(), &[&a, &b]).unwrap();
+        for _ in 0..25 {
+            sim.step().unwrap();
+        }
+        sim.drain().unwrap();
+        let snap = sim.checkpoint_warm(&[warm::SU_DEPTH, warm::CACHE]).unwrap();
+
+        let variant = config.clone().with_su_depth(8);
+        let mut fork = Simulator::fork_warm_mix(variant, &[&a, &b], &snap).unwrap();
+        fork.run().unwrap();
+        let w = window_size(2);
+        for (tid, p) in [(0usize, &a), (1, &b)] {
+            let mut interp = Interp::new(p, 1);
+            interp.run().unwrap();
+            let (base, span) = fork.thread_segment(tid);
+            let lo = (base / WORD_BYTES) as usize;
+            let hi = lo + (span / WORD_BYTES) as usize;
+            assert_eq!(&fork.memory().words()[lo..hi], interp.mem_words());
+            assert_eq!(
+                &fork.reg_file()[tid * w..tid * w + w],
+                &interp.reg_file()[..w]
+            );
+        }
+
+        // The mix fork gate is positional, like exact restore.
+        assert!(matches!(
+            Simulator::fork_warm_mix(config.clone().with_su_depth(8), &[&b, &a], &snap),
+            Err(SimError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn warm_fork_fails_closed() {
+        let p = sum_program();
+        let source = SimConfig::default();
+        let mut sim = Simulator::new(source.clone(), &p);
+        for _ in 0..30 {
+            sim.step().unwrap();
+        }
+
+        // A warm checkpoint of a busy pipeline is refused outright.
+        assert!(matches!(
+            sim.checkpoint_warm(&[warm::SU_DEPTH]),
+            Err(SimError::Snapshot(_))
+        ));
+        sim.drain().unwrap();
+        assert!(matches!(
+            sim.checkpoint_warm(&[warm::SPEC_DEPTH + 1]),
+            Err(SimError::Snapshot(_))
+        ));
+        let snap = sim.checkpoint_warm(&[warm::SU_DEPTH]).unwrap();
+
+        // Forking may vary relaxed fields only.
+        assert!(Simulator::fork_warm(source.clone().with_su_depth(4), &p, &snap).is_ok());
+        assert!(matches!(
+            Simulator::fork_warm(source.clone().with_fetch_width(16), &p, &snap),
+            Err(SimError::Snapshot(_))
+        ));
+        // The thread count is identity, never relaxable.
+        assert!(matches!(
+            Simulator::fork_warm(source.clone().with_threads(2), &p, &snap),
+            Err(SimError::Snapshot(_))
+        ));
+        // Program identity must match exactly.
+        let q = pattern_program();
+        assert!(matches!(
+            Simulator::fork_warm(source.clone(), &q, &snap),
+            Err(SimError::Snapshot(_))
+        ));
+        // Forging extra relaxed fields without the matching hash fails:
+        // the identity binds the relaxed list itself.
+        let mut forged = snap.clone();
+        forged
+            .warm
+            .as_mut()
+            .unwrap()
+            .relaxed
+            .push(warm::FETCH_WIDTH);
+        assert!(matches!(
+            Simulator::fork_warm(source.clone().with_fetch_width(16), &p, &forged),
+            Err(SimError::Snapshot(_))
+        ));
+
+        // Warm and exact snapshots do not interchange.
+        assert!(matches!(
+            Simulator::restore(source.clone(), &p, &snap),
+            Err(SimError::Snapshot(_))
+        ));
+        let exact = sim.checkpoint();
+        assert!(matches!(
+            Simulator::fork_warm(source, &p, &exact),
+            Err(SimError::Snapshot(_))
+        ));
     }
 }

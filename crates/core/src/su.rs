@@ -557,6 +557,31 @@ impl SchedulingUnit {
         (m != 0).then(|| m.trailing_zeros() as usize)
     }
 
+    /// Number of thread `tid`'s resident conditional branches that have
+    /// not yet written back — the unresolved speculation depth the fetch
+    /// stage gates on when a speculation-depth limit is configured.
+    /// Unconditional control transfers don't count: jumps resolve at
+    /// decode and `halt` is never speculated past.
+    #[must_use]
+    pub fn unresolved_branches(&self, tid: usize) -> u32 {
+        let mut n = 0;
+        for &row16 in &self.order {
+            let row = row16 as usize;
+            if self.row_tid[row] as usize != tid {
+                continue;
+            }
+            let mut m = self.mask_ctrl[row] & !self.mask_done[row];
+            while m != 0 {
+                let ei = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.insn[(row << self.shift) | ei].is_cond_branch() {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
     // ---- entry-level reads ----------------------------------------------------------
 
     /// Renaming tag of entry `(bi, ei)`.

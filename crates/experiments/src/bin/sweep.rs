@@ -23,13 +23,28 @@
 //! `--grid hetero` sweeps corpus kernels and heterogeneous per-thread
 //! mixes; it loads the workload corpus from `corpus/` unless `--corpus
 //! <dir>` points elsewhere.
+//!
+//! `--search <workload>` switches from exhaustive sweeping to the
+//! deterministic Pareto search: seeded hill climbing over the
+//! microarchitectural axes, maximizing IPC against the hardware-cost
+//! model, with warm-forked measurements by default (`--warmup 0` forces
+//! exact cold runs). It writes `search_trajectory.json` (byte-identical
+//! across re-runs) and `search_frontier.json` into `--out`:
+//!
+//! ```text
+//! cargo run --release -p smt-experiments --bin sweep -- \
+//!     --out target/search --search sieve --threads 4 --seed 7 \
+//!     --warmup 20000 --space full --scale test
+//! ```
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use smt_corpus::Corpus;
-use smt_experiments::sweep::{run_sweep, Grid, SweepOptions};
+use smt_experiments::explore::{run_search, EvalMode, SearchSpace};
+use smt_experiments::sweep::{run_sweep, Grid, Scheduler, SweepOptions, WorkSpec};
+use smt_search::SearchParams;
 use smt_workloads::Scale;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -91,6 +106,51 @@ fn main() {
         let corpus = Corpus::load(&dir)
             .unwrap_or_else(|e| panic!("--corpus {dir}: cannot load the workload corpus: {e}"));
         opts.corpus = Some(Arc::new(corpus));
+    }
+
+    if let Some(workload) = flag_value(&args, "--search") {
+        let work = WorkSpec::parse(&workload).unwrap_or_else(|e| panic!("--search: {e}"));
+        let threads: usize = flag_value(&args, "--threads").map_or(4, |t| {
+            t.parse().expect("--threads takes a positive integer")
+        });
+        let space = match flag_value(&args, "--space").as_deref() {
+            None | Some("smoke") => SearchSpace::smoke(work, threads),
+            Some("full") => SearchSpace::full(work, threads),
+            Some(other) => panic!("--space takes smoke|full, not {other}"),
+        };
+        let warmup: u64 = flag_value(&args, "--warmup")
+            .map_or(20_000, |w| w.parse().expect("--warmup takes a cycle count"));
+        let mode = if warmup == 0 {
+            EvalMode::Full
+        } else {
+            EvalMode::Warm { warmup }
+        };
+        let params = SearchParams {
+            seed: flag_value(&args, "--seed")
+                .map_or(0, |s| s.parse().expect("--seed takes an integer")),
+            ..SearchParams::default()
+        };
+        let began = Instant::now();
+        let sched = Scheduler::new(&out, opts).expect("cannot open the result store");
+        let report = run_search(&sched, &space, mode, &params).expect("search I/O failed");
+        println!(
+            "search: {} evaluations, {} climb steps, {}-point frontier ({mode} mode) in {:.1}s",
+            report.outcome.evaluations.len(),
+            report.outcome.steps.len(),
+            report.frontier.len(),
+            began.elapsed().as_secs_f64(),
+        );
+        for (spec, rec) in &report.frontier {
+            println!(
+                "search: frontier {} ipc={:.3} cost={}",
+                spec.id(),
+                rec.ipc,
+                smt_experiments::explore::hardware_cost(spec),
+            );
+        }
+        println!("search: trajectory at {}", report.trajectory_path.display());
+        println!("search: frontier at {}", report.frontier_path.display());
+        return;
     }
 
     let began = Instant::now();

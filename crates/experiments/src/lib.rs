@@ -14,6 +14,7 @@
 //! println!("{table}");
 //! ```
 
+pub mod explore;
 pub mod figures;
 pub mod json;
 pub mod runner;

@@ -222,6 +222,8 @@ pub struct Grid {
     pub su_depths: Vec<usize>,
     /// Cache organizations.
     pub caches: Vec<CacheKind>,
+    /// Speculation-depth limits (0 = unlimited).
+    pub spec_depths: Vec<usize>,
 }
 
 impl Grid {
@@ -239,6 +241,7 @@ impl Grid {
             fetch_widths: vec![defaults::FETCH_WIDTH],
             su_depths: vec![32],
             caches: vec![CacheKind::SetAssociative],
+            spec_depths: vec![defaults::SPEC_DEPTH],
         }
     }
 
@@ -254,6 +257,7 @@ impl Grid {
             fetch_widths: vec![defaults::FETCH_WIDTH],
             su_depths: vec![16, 32, 48],
             caches: vec![CacheKind::SetAssociative, CacheKind::DirectMapped],
+            spec_depths: vec![defaults::SPEC_DEPTH],
         }
     }
 
@@ -278,6 +282,7 @@ impl Grid {
             fetch_widths: vec![4, 8],
             su_depths: vec![32],
             caches: vec![CacheKind::SetAssociative],
+            spec_depths: vec![defaults::SPEC_DEPTH],
         }
     }
 
@@ -309,6 +314,7 @@ impl Grid {
             fetch_widths: vec![defaults::FETCH_WIDTH],
             su_depths: vec![32],
             caches: vec![CacheKind::SetAssociative],
+            spec_depths: vec![defaults::SPEC_DEPTH],
         }
     }
 
@@ -330,16 +336,19 @@ impl Grid {
                             for &fetch_width in &self.fetch_widths {
                                 for &su_depth in &self.su_depths {
                                     for &cache in &self.caches {
-                                        out.push(CellSpec {
-                                            work: work.clone(),
-                                            policy,
-                                            predictor,
-                                            threads,
-                                            fetch_threads,
-                                            fetch_width,
-                                            su_depth,
-                                            cache,
-                                        });
+                                        for &spec_depth in &self.spec_depths {
+                                            out.push(CellSpec {
+                                                work: work.clone(),
+                                                policy,
+                                                predictor,
+                                                threads,
+                                                fetch_threads,
+                                                fetch_width,
+                                                su_depth,
+                                                cache,
+                                                spec_depth,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -377,6 +386,9 @@ pub struct CellSpec {
     pub su_depth: usize,
     /// Cache organization.
     pub cache: CacheKind,
+    /// Speculation-depth limit: unresolved conditional branches a thread
+    /// may have in flight before its fetch stalls (0 = unlimited).
+    pub spec_depth: usize,
 }
 
 impl Default for CellSpec {
@@ -392,6 +404,7 @@ impl Default for CellSpec {
             fetch_width: defaults::FETCH_WIDTH,
             su_depth: defaults::SU_DEPTH,
             cache: CacheKind::default(),
+            spec_depth: defaults::SPEC_DEPTH,
         }
     }
 }
@@ -408,6 +421,7 @@ impl CellSpec {
             .with_fetch_width(self.fetch_width)
             .with_su_depth(self.su_depth)
             .with_cache_kind(self.cache)
+            .with_spec_depth(self.spec_depth)
     }
 
     /// Stable, filesystem-safe cell name, e.g. `sieve-trr-t4-su32-sa`.
@@ -442,6 +456,9 @@ impl CellSpec {
         }
         if self.fetch_width != defaults::FETCH_WIDTH {
             id.push_str(&format!("-fw{}", self.fetch_width));
+        }
+        if self.spec_depth != defaults::SPEC_DEPTH {
+            id.push_str(&format!("-sd{}", self.spec_depth));
         }
         id
     }
@@ -587,6 +604,7 @@ impl CellRecord {
             ("fetch_width", Cell::Int(spec.fetch_width as u64)),
             ("su_depth", Cell::Int(spec.su_depth as u64)),
             ("cache", Cell::Text(format!("{:?}", spec.cache))),
+            ("spec_depth", Cell::Int(spec.spec_depth as u64)),
             (
                 "config_hash",
                 Cell::Text(format!("{:#018x}", self.config_hash)),
@@ -706,7 +724,7 @@ pub fn plan_batches(specs: &[CellSpec], batch: usize) -> Vec<Vec<usize>> {
 /// The built kernel(s) of a cell — one program for a uniform workload,
 /// one per thread for a mix — or why lowering failed at this thread
 /// count.
-type Built = Arc<Result<Vec<Program>, String>>;
+pub(crate) type Built = Arc<Result<Vec<Program>, String>>;
 
 /// Kernel memo shared by the workers: the program text depends only on
 /// `(work, threads)` at a fixed scale, and both cache validation and
@@ -783,7 +801,7 @@ impl Programs {
 /// same cell concurrently, and a shared tmp name would let one writer
 /// rename away — or truncate under — the other's half-written file.
 /// Orphaned tmp files from a killed writer are inert: nothing loads them.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let base = path.file_name().and_then(|n| n.to_str()).unwrap_or("write");
     let tmp = path.with_file_name(format!(
@@ -865,7 +883,7 @@ fn load_valid_cell(
         .then_some(rec)
 }
 
-fn infeasible_record(
+pub(crate) fn infeasible_record(
     spec: &CellSpec,
     code_version: &str,
     config_hash: u64,
@@ -1022,7 +1040,7 @@ impl Scheduler {
     /// under this scheduler: `(config hash, program hash)`. Builds (or
     /// reuses the memoized) program; a kernel that fails to lower hashes
     /// as 0, exactly as its infeasible record is written.
-    fn identities(&self, spec: &CellSpec) -> (u64, u64, Built) {
+    pub(crate) fn identities(&self, spec: &CellSpec) -> (u64, u64, Built) {
         let built = self.programs.get(&spec.work, spec.threads);
         let program_hash = match built.as_ref() {
             // A uniform cell hashes its single program exactly as before
@@ -1116,7 +1134,7 @@ impl Scheduler {
 
     /// Verifies one program's architectural answer against the memory
     /// words of its (possibly thread-local) address space.
-    fn check_ref(&self, r: &WorkRef, words: &[u64]) -> Result<(), String> {
+    pub(crate) fn check_ref(&self, r: &WorkRef, words: &[u64]) -> Result<(), String> {
         match r {
             WorkRef::Builtin(kind) => workload(*kind, self.opts.scale)
                 .check(words)
@@ -1423,12 +1441,22 @@ mod tests {
             fetch_width: 4,
             su_depth: 32,
             cache: CacheKind::SetAssociative,
+            spec_depth: 0,
         }
     }
 
     #[test]
     fn cell_ids_encode_every_dimension() {
         assert_eq!(spec().id(), "sieve-trr-t4-su32-sa");
+        assert_eq!(
+            CellSpec {
+                spec_depth: 2,
+                ..spec()
+            }
+            .id(),
+            "sieve-trr-t4-su32-sa-sd2",
+            "the limit appears only when engaged, so existing ids are stable"
+        );
         let other = CellSpec {
             policy: FetchPolicy::ConditionalSwitch,
             cache: CacheKind::DirectMapped,

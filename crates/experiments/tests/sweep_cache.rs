@@ -92,6 +92,7 @@ fn batched_resume_from_planted_snapshot_matches_a_clean_run() {
         fetch_width: 4,
         su_depth: 32,
         cache: CacheKind::SetAssociative,
+        spec_depth: 0,
     };
     let program = workload(WorkloadKind::Sieve, Scale::Test)
         .build(spec.threads)

@@ -11,6 +11,7 @@
 //! | `status`   | —                                        | queue/worker/counter snapshot |
 //! | `submit`   | `cells: [spec…]` and/or `grid: "name"`, optional `progress: bool`, `cpi: bool` | schedule cells, stream results |
 //! | `fetch`    | `cell: spec`                             | cache-only probe, never simulates |
+//! | `search`   | `workload`, optional `threads`, `seed`, `warmup`, `space: "smoke"\|"full"` | deterministic Pareto search, one `frontier` response |
 //! | `shutdown` | —                                        | stop accepting, drain workers, exit |
 //!
 //! A *spec* object names one design-space cell. Only `workload` is
@@ -47,6 +48,7 @@
 
 use smt_core::config::defaults;
 use smt_core::FetchPolicy;
+use smt_experiments::explore::{hardware_cost, EvalMode, SearchReport, SearchSpace};
 use smt_experiments::json::Value;
 use smt_experiments::sweep::{CellRecord, CellSpec, CellStatus, Grid, WorkSpec};
 use smt_mem::CacheKind;
@@ -57,6 +59,10 @@ use smt_workloads::WorkloadKind;
 /// Most cells one `submit` may carry (the 990-cell paper grid fits with
 /// headroom; a hostile 10⁶-cell submission does not).
 pub const MAX_CELLS: usize = 4096;
+
+/// Warmup length a `search` request gets when it does not name one —
+/// matches the `sweep --search` default.
+pub const DEFAULT_WARMUP: u64 = 20_000;
 
 /// A parsed, validated request.
 #[derive(Clone, Debug)]
@@ -78,6 +84,21 @@ pub enum Request {
     },
     /// Cache-only probe for one cell.
     Fetch(CellSpec),
+    /// Deterministic Pareto search over a [`SearchSpace`], answered
+    /// with one `frontier` response.
+    Search {
+        /// What every searched point runs.
+        work: WorkSpec,
+        /// Resident threads (fixed across the space).
+        threads: usize,
+        /// Hill-climbing seed.
+        seed: u64,
+        /// How the points are measured: warm-forked after this many
+        /// warmup cycles, or exact cold runs when 0.
+        mode: EvalMode,
+        /// Whether to search the full region or the 16-point smoke one.
+        full_space: bool,
+    },
     /// Stop the server.
     Shutdown,
 }
@@ -105,6 +126,37 @@ impl Request {
             "fetch" => {
                 let cell = v.get("cell").ok_or("fetch needs a \"cell\" object")?;
                 Ok(Request::Fetch(spec_from_value(cell)?))
+            }
+            "search" => {
+                let workload = dim_str(v, "workload")?.ok_or("search needs a \"workload\"")?;
+                let work = WorkSpec::parse(workload)?;
+                let big = |key: &str, default: u64| -> Result<u64, String> {
+                    match v.get(key) {
+                        None => Ok(default),
+                        Some(x) => x
+                            .as_u64()
+                            .ok_or(format!("\"{key}\" must be a non-negative integer")),
+                    }
+                };
+                let warmup = big("warmup", DEFAULT_WARMUP)?;
+                let full_space = match dim_str(v, "space")? {
+                    None | Some("smoke") => false,
+                    Some("full") => true,
+                    Some(other) => {
+                        return Err(format!("unknown space {other:?} (smoke|full)"));
+                    }
+                };
+                Ok(Request::Search {
+                    work,
+                    threads: dim(v, "threads", defaults::THREADS)?,
+                    seed: big("seed", 0)?,
+                    mode: if warmup == 0 {
+                        EvalMode::Full
+                    } else {
+                        EvalMode::Warm { warmup }
+                    },
+                    full_space,
+                })
             }
             "submit" => {
                 let mut cells = Vec::new();
@@ -238,6 +290,23 @@ fn dim(v: &Value, key: &str, default: usize) -> Result<usize, String> {
     }
 }
 
+/// Like [`dim`] but admits 0 — for knobs where 0 means "disabled"
+/// (the speculation-depth limit).
+fn dim0(v: &Value, key: &str, default: usize) -> Result<usize, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => {
+            let n = x
+                .as_u64()
+                .ok_or(format!("\"{key}\" must be a non-negative integer"))?;
+            if n > DIM_MAX {
+                return Err(format!("\"{key}\" = {n} is outside 0..={DIM_MAX}"));
+            }
+            Ok(usize::try_from(n).expect("DIM_MAX fits usize"))
+        }
+    }
+}
+
 fn dim_str<'v>(v: &'v Value, key: &str) -> Result<Option<&'v str>, String> {
     match v.get(key) {
         None => Ok(None),
@@ -282,6 +351,7 @@ pub fn spec_from_value(v: &Value) -> Result<CellSpec, String> {
         fetch_width: dim(v, "fetch_width", defaults::FETCH_WIDTH)?,
         su_depth: dim(v, "su_depth", defaults::SU_DEPTH)?,
         cache,
+        spec_depth: dim0(v, "spec_depth", defaults::SPEC_DEPTH)?,
     })
 }
 
@@ -297,6 +367,7 @@ pub fn spec_to_value(spec: &CellSpec) -> Value {
         ("fetch_width".into(), (spec.fetch_width as u64).into()),
         ("su_depth".into(), (spec.su_depth as u64).into()),
         ("cache".into(), cache_abbrev(spec.cache).into()),
+        ("spec_depth".into(), (spec.spec_depth as u64).into()),
     ])
 }
 
@@ -402,6 +473,54 @@ pub fn parse_cell_response(v: &Value) -> Result<(CellSpec, CellRecord), String> 
     Ok((spec, rec))
 }
 
+/// Materializes the searched region a request named.
+#[must_use]
+pub fn search_space(work: WorkSpec, threads: usize, full_space: bool) -> SearchSpace {
+    if full_space {
+        SearchSpace::full(work, threads)
+    } else {
+        SearchSpace::smoke(work, threads)
+    }
+}
+
+/// Builds the `frontier` response for a finished search: the run shape,
+/// the trajectory digest (two servers answering the same request agree
+/// on it iff their trajectory artifacts are byte-equal), and the
+/// frontier as an array of cells with measured IPC and modeled cost, in
+/// ascending-cost order.
+#[must_use]
+pub fn search_response(report: &SearchReport) -> Value {
+    let frontier: Vec<Value> = report
+        .frontier
+        .iter()
+        .map(|(spec, rec)| {
+            let Value::Object(mut fields) = spec_to_value(spec) else {
+                unreachable!("spec_to_value returns an object")
+            };
+            fields.extend([
+                ("id".into(), rec.id.as_str().into()),
+                ("status".into(), rec.status.as_str().into()),
+                ("ipc".into(), rec.ipc.into()),
+                ("cost".into(), hardware_cost(spec).into()),
+            ]);
+            Value::Object(fields)
+        })
+        .collect();
+    Value::Object(vec![
+        ("type".into(), "frontier".into()),
+        (
+            "evaluations".into(),
+            (report.outcome.evaluations.len() as u64).into(),
+        ),
+        ("steps".into(), (report.outcome.steps.len() as u64).into()),
+        (
+            "trajectory_hash".into(),
+            format!("{:#018x}", report.trajectory_hash).into(),
+        ),
+        ("frontier".into(), Value::Array(frontier)),
+    ])
+}
+
 /// Builds a typed error response.
 #[must_use]
 pub fn error_response(reason: &str) -> Value {
@@ -426,6 +545,7 @@ mod tests {
             fetch_width: 4,
             su_depth: 32,
             cache: CacheKind::SetAssociative,
+            spec_depth: 0,
         }
     }
 
@@ -447,6 +567,7 @@ mod tests {
             fetch_width: 8,
             su_depth: 16,
             cache: CacheKind::DirectMapped,
+            spec_depth: 2,
         };
         let back = spec_from_value(&spec_to_value(&spec)).unwrap();
         assert_eq!(back, spec);
@@ -517,6 +638,59 @@ mod tests {
             r#"{"verb":"submit","cells":[{"workload":"sieve"}],"progress":"yes"}"#,
             r#"{"verb":"fetch"}"#,
             r#"7"#,
+        ] {
+            let v = parse_value(bad).unwrap();
+            assert!(Request::parse(&v).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn search_requests_parse_defaults_and_reject_bad_shapes() {
+        let minimal = parse_value(r#"{"verb":"search","workload":"sieve"}"#).unwrap();
+        let Ok(Request::Search {
+            work,
+            threads,
+            seed,
+            mode,
+            full_space,
+        }) = Request::parse(&minimal)
+        else {
+            panic!("minimal search parses");
+        };
+        assert_eq!(work, WorkSpec::from(WorkloadKind::Sieve));
+        assert_eq!(threads, defaults::THREADS);
+        assert_eq!(seed, 0);
+        assert!(matches!(mode, EvalMode::Warm { warmup } if warmup == DEFAULT_WARMUP));
+        assert!(!full_space, "space defaults to smoke");
+
+        let explicit = parse_value(
+            r#"{"verb":"search","workload":"matrix","threads":2,"seed":7,"warmup":0,"space":"full"}"#,
+        )
+        .unwrap();
+        let Ok(Request::Search {
+            threads,
+            seed,
+            mode,
+            full_space,
+            ..
+        }) = Request::parse(&explicit)
+        else {
+            panic!("explicit search parses");
+        };
+        assert_eq!((threads, seed), (2, 7));
+        assert!(
+            matches!(mode, EvalMode::Full),
+            "warmup 0 means exact cold runs"
+        );
+        assert!(full_space);
+
+        for bad in [
+            r#"{"verb":"search"}"#,
+            r#"{"verb":"search","workload":42}"#,
+            r#"{"verb":"search","workload":"sieve","space":"bogus"}"#,
+            r#"{"verb":"search","workload":"sieve","warmup":-1}"#,
+            r#"{"verb":"search","workload":"sieve","seed":"lucky"}"#,
+            r#"{"verb":"search","workload":"sieve","threads":0}"#,
         ] {
             let v = parse_value(bad).unwrap();
             assert!(Request::parse(&v).is_err(), "{bad} should be rejected");

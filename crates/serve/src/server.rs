@@ -26,8 +26,10 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 
+use smt_experiments::explore::run_search;
 use smt_experiments::json::{write_json_line, Frame, JsonLineReader, Value, MAX_LINE};
 use smt_experiments::sweep::{CellOutcome, CellSpec, Scheduler, SweepOptions};
+use smt_search::SearchParams;
 use smt_workloads::Scale;
 
 use crate::proto::{self, Request};
@@ -380,6 +382,49 @@ fn respond(out: &mut TcpStream, shared: &Shared, req: Request) -> io::Result<boo
             progress,
             cpi,
         } => submit(out, shared, &cells, progress, cpi)?,
+        Request::Search {
+            work,
+            threads,
+            seed,
+            mode,
+            full_space,
+        } => {
+            // Searches run on the handler thread: one search is a whole
+            // campaign of cells, so parking a connection on it (rather
+            // than a pool worker) keeps submit traffic flowing. The
+            // store-level cache still dedups the cells themselves.
+            if let Err(reason) = shared.sched.resolve(&work) {
+                write_json_line(out, &proto::error_response(&reason))?;
+                return Ok(true);
+            }
+            let space = proto::search_space(work, threads, full_space);
+            let params = SearchParams {
+                seed,
+                ..SearchParams::default()
+            };
+            let report = catch_unwind(AssertUnwindSafe(|| {
+                run_search(&shared.sched, &space, mode, &params)
+            }));
+            match report {
+                Ok(Ok(report)) => {
+                    shared
+                        .simulated
+                        .fetch_add(report.outcome.evaluations.len() as u64, Ordering::Relaxed);
+                    write_json_line(out, &proto::search_response(&report))?;
+                }
+                Ok(Err(e)) => {
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    write_json_line(
+                        out,
+                        &proto::error_response(&format!("search I/O failed: {e}")),
+                    )?;
+                }
+                Err(panic) => {
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    write_json_line(out, &proto::error_response(&panic_text(&panic)))?;
+                }
+            }
+        }
         Request::Shutdown => {
             write_json_line(out, &Value::Object(vec![("type".into(), "bye".into())]))?;
             shared.begin_shutdown();

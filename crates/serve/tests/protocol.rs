@@ -382,6 +382,67 @@ fn cpi_telemetry_rides_along_on_fresh_cells_only() {
     let _ = fs::remove_dir_all(&store);
 }
 
+#[test]
+fn search_verb_answers_one_frontier_and_reruns_agree_on_the_digest() {
+    let (srv, store) = server("search", 2);
+    let mut stream = TcpStream::connect(srv.addr()).expect("connect");
+    let request = r#"{"verb":"search","workload":"sieve","threads":2,"seed":7,"warmup":3000}"#;
+
+    let first = roundtrip(&mut stream, request);
+    assert_eq!(kind(&first), "frontier", "{first:?}");
+    assert!(
+        first.get("evaluations").and_then(Value::as_u64).unwrap() > 0,
+        "the smoke space was actually explored"
+    );
+    let frontier = first
+        .get("frontier")
+        .and_then(Value::as_array)
+        .expect("frontier array");
+    assert!(!frontier.is_empty(), "a feasible space has a frontier");
+    for point in frontier {
+        assert!(point.get("ipc").and_then(Value::as_f64).expect("ipc") > 0.0);
+        assert!(point.get("cost").and_then(Value::as_f64).expect("cost") > 0.0);
+        assert_eq!(
+            point.get("workload").and_then(Value::as_str),
+            Some("Sieve"),
+            "the whole frontier runs the searched workload"
+        );
+    }
+    let costs: Vec<f64> = frontier
+        .iter()
+        .map(|p| p.get("cost").and_then(Value::as_f64).unwrap())
+        .collect();
+    assert!(
+        costs.windows(2).all(|w| w[0] <= w[1]),
+        "frontier arrives in ascending-cost order: {costs:?}"
+    );
+    let digest = first
+        .get("trajectory_hash")
+        .and_then(Value::as_str)
+        .expect("digest string")
+        .to_string();
+
+    // Same request again: the warm store replays every cell from cache,
+    // and the trajectory digest — hence the artifact bytes — must agree.
+    let again = roundtrip(&mut stream, request);
+    assert_eq!(kind(&again), "frontier");
+    assert_eq!(
+        again.get("trajectory_hash").and_then(Value::as_str),
+        Some(digest.as_str()),
+        "re-served searches are byte-reproducible"
+    );
+    assert_eq!(first.to_line(), again.to_line(), "whole response agrees");
+
+    // A malformed space is refused with a typed error, not a hang.
+    let err = roundtrip(
+        &mut stream,
+        r#"{"verb":"search","workload":"sieve","space":"bogus"}"#,
+    );
+    assert_eq!(kind(&err), "error");
+    shut_down(srv);
+    let _ = fs::remove_dir_all(&store);
+}
+
 /// The acceptance gate: a fully cached 990-cell paper grid answers over
 /// the socket in under a second. Debug builds parse/stream an order of
 /// magnitude slower, so the wall-clock assertion is release-only (CI's

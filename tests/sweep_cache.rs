@@ -33,6 +33,7 @@ fn small_grid() -> Grid {
         fetch_widths: vec![4],
         su_depths: vec![32],
         caches: vec![CacheKind::SetAssociative],
+        spec_depths: vec![0],
     }
 }
 
@@ -134,6 +135,7 @@ fn mid_flight_checkpoints_resume_instead_of_restarting() {
         fetch_width: 4,
         su_depth: 32,
         cache: CacheKind::SetAssociative,
+        spec_depth: 0,
     };
     let grid = Grid {
         workloads: vec![spec.work.clone()],
@@ -144,6 +146,7 @@ fn mid_flight_checkpoints_resume_instead_of_restarting() {
         fetch_widths: vec![spec.fetch_width],
         su_depths: vec![spec.su_depth],
         caches: vec![spec.cache],
+        spec_depths: vec![spec.spec_depth],
     };
 
     // Reference: the cell simulated in one piece.
@@ -195,6 +198,7 @@ fn infeasible_cells_are_recorded_and_cached_not_fatal() {
         fetch_widths: vec![4],
         su_depths: vec![32],
         caches: vec![CacheKind::SetAssociative],
+        spec_depths: vec![0],
     };
     let dir = scratch("infeasible");
     let summary = run_sweep(&grid, &dir, &opts()).expect("sweep survives infeasible cells");
